@@ -1,0 +1,61 @@
+// Ablation Abl-1: effect of the software route on attainable bandwidth —
+// the same Triad kernel through every route that reaches each vendor,
+// normalized to the native route. Quantifies the "backend route
+// indirection" design choice (DESIGN.md Sec. 6).
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+#include "bench_support/stream.hpp"
+#include "models/stdparx/stdparx.hpp"
+
+int main() {
+  using namespace mcmm;
+  constexpr std::size_t kN = 1u << 22;
+  constexpr int kReps = 3;
+
+  stdparx::enable_experimental_roc_stdpar(true);
+  std::cout << "=== Abl-1: Triad bandwidth by software route (normalized "
+               "to the platform's best) ===\n\n";
+  std::cout << std::fixed << std::setprecision(3);
+
+  bool ordering_ok = true;
+  for (const Vendor v : kFigureRowOrder) {
+    struct Row {
+      std::string label;
+      double gbps;
+    };
+    std::vector<Row> rows;
+    for (auto& benchmark : bench::stream_benchmarks_for(v)) {
+      const auto results = bench::run_stream(*benchmark, kN, kReps);
+      for (const bench::StreamResult& r : results) {
+        if (r.kernel == bench::StreamKernel::Triad) {
+          rows.push_back({r.label, r.bandwidth_gbps});
+        }
+      }
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.gbps > b.gbps; });
+    const double best = rows.front().gbps;
+    std::cout << "--- " << to_string(v) << " ---\n";
+    for (const Row& r : rows) {
+      std::cout << "  " << std::left << std::setw(24) << r.label
+                << std::right << std::setw(10) << r.gbps << " GB/s  ("
+                << std::setprecision(2) << 100.0 * r.gbps / best
+                << "% of best)\n"
+                << std::setprecision(3);
+    }
+    std::cout << "\n";
+    // The slowest route must still deliver > 50 % of best (no broken
+    // routes), and there must be an actual spread (> 5 %).
+    ordering_ok = ordering_ok && rows.back().gbps > 0.5 * best &&
+                  rows.back().gbps < 0.98 * best;
+  }
+  stdparx::enable_experimental_roc_stdpar(false);
+
+  std::cout << (ordering_ok ? "PASS" : "FAIL")
+            << ": routes show a meaningful but bounded spread on every "
+               "platform\n";
+  return ordering_ok ? 0 : 1;
+}

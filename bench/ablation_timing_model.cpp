@@ -1,0 +1,61 @@
+// Ablation Abl-2: validates the analytic timing model (DESIGN.md Sec. 6):
+// simulated kernel time must decompose into launch latency + traffic /
+// effective bandwidth, and the simulated bandwidth must converge to the
+// descriptor's stream limit as sizes grow.
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "gpusim/costs.hpp"
+#include "gpusim/device.hpp"
+
+int main() {
+  using namespace mcmm;
+  using namespace mcmm::gpusim;
+
+  std::cout << "=== Abl-2: analytic timing model validation ===\n\n";
+  std::cout << std::fixed << std::setprecision(3);
+
+  bool ok = true;
+  for (const Vendor v : kFigureRowOrder) {
+    const DeviceDescriptor desc = descriptor_for(v);
+    Device dev(desc);
+    Queue& q = dev.default_queue();
+
+    std::cout << "--- " << desc.name << " ---\n";
+    std::cout << "size_bytes,sim_time_us,model_time_us,attained_gbps,"
+                 "limit_gbps\n";
+    for (double bytes = 1e4; bytes <= 1e10; bytes *= 100) {
+      KernelCosts costs;
+      costs.bytes_read = bytes / 2;
+      costs.bytes_written = bytes / 2;
+      const Event e = q.launch(launch_1d(64, 64), costs,
+                               [](const WorkItem&) {});
+      const double model = kernel_time_us(desc, q.backend_profile(), costs);
+      const double attained = bytes / (e.duration_us() * 1e3);
+      const double limit = desc.mem_bandwidth_gbps * kStreamEfficiency;
+      std::cout << bytes << ',' << e.duration_us() << ',' << model << ','
+                << attained << ',' << limit << "\n";
+      // The queue must charge exactly the model's time.
+      ok = ok && std::fabs(e.duration_us() - model) < 1e-9;
+      // Attained bandwidth never exceeds the stream limit.
+      ok = ok && attained <= limit * (1.0 + 1e-9);
+    }
+
+    // Latency floor: an empty kernel costs exactly the launch latency.
+    const Event empty = q.launch(launch_1d(1, 1), KernelCosts{},
+                                 [](const WorkItem&) {});
+    ok = ok &&
+         std::fabs(empty.duration_us() - desc.kernel_launch_latency_us) <
+             1e-9;
+    std::cout << "empty-kernel latency: " << empty.duration_us()
+              << " us (descriptor: " << desc.kernel_launch_latency_us
+              << ")\n\n";
+  }
+
+  std::cout << (ok ? "PASS" : "FAIL")
+            << ": simulated times equal the analytic model and respect "
+               "bandwidth ceilings\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// Experiment Ext-F2: the BabelStream-style performance-portability figure
+// the paper names as its natural extension (Sec. 5 "Performance
+// Evaluation", Sec. 6 future work). One row per (model route, vendor,
+// kernel) with attainable simulated bandwidth.
+//
+// Shape targets (from the BabelStream literature the paper cites):
+//   - the native model attains the highest bandwidth on its platform;
+//   - mature portability layers are within ~10 % of native;
+//   - experimental/translated routes trail visibly;
+//   - the H100-class device leads in absolute bandwidth.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_support/stream.hpp"
+#include "models/stdparx/stdparx.hpp"
+#include "yamlx/device_yaml.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcmm;
+  std::size_t n = 1u << 22;  // 4 Mi doubles per array, BabelStream-ish
+  int reps = 5;
+  if (argc > 1) n = static_cast<std::size_t>(std::stoull(argv[1]));
+  if (argc > 2) reps = std::stoi(argv[2]);
+  // Optional: benchmark a custom device configuration ("what would this
+  // look like on next year's part?") — replaces the vendor's simulated
+  // device for this run.
+  if (argc > 4 && std::string(argv[3]) == "--device") {
+    std::ifstream in(argv[4]);
+    if (!in) {
+      std::cerr << "cannot read device config " << argv[4] << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const gpusim::DeviceDescriptor custom =
+        yamlx::descriptor_from_yaml_text(buffer.str());
+    gpusim::Platform::instance().reset_device(custom.vendor, custom);
+    std::cout << "custom device loaded: " << custom.name << " ("
+              << custom.mem_bandwidth_gbps << " GB/s)\n";
+  }
+
+  // Include AMD's in-development stdpar route so the figure shows the
+  // 'limited support' tier too.
+  stdparx::enable_experimental_roc_stdpar(true);
+
+  std::cout << "=== Ext-F2: BabelStream across models and simulated "
+               "vendors ===\n";
+  std::cout << "arrays: 3 x " << n << " doubles, " << reps
+            << " repetitions, best simulated time per kernel\n\n";
+
+  bool all_verified = true;
+  for (const Vendor v : kFigureRowOrder) {
+    std::vector<bench::StreamResult> results;
+    for (auto& benchmark : bench::stream_benchmarks_for(v)) {
+      const auto r = bench::run_stream(*benchmark, n, reps);
+      results.insert(results.end(), r.begin(), r.end());
+      for (const bench::StreamResult& s : r) {
+        all_verified = all_verified && s.verified;
+      }
+    }
+    std::cout << "--- " << to_string(v) << " (simulated "
+              << gpusim::descriptor_for(v).name << ") ---\n";
+    std::cout << bench::format_stream_table(results) << "\n";
+  }
+
+  stdparx::enable_experimental_roc_stdpar(false);
+  std::cout << (all_verified ? "PASS" : "FAIL")
+            << ": all routes produced verified results\n";
+  return all_verified ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+// Experiment Ext-F2 (sweep): Triad bandwidth vs. array size per native
+// model — the "crossover" view showing launch latency dominating small
+// problems and bandwidth saturating large ones. Prints one CSV series per
+// (vendor, route) suitable for plotting.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_support/stream.hpp"
+#include "gpusim/costs.hpp"
+
+int main() {
+  using namespace mcmm;
+  std::cout << "=== Ext-F2 sweep: Triad bandwidth vs. array size ===\n\n";
+  std::cout << "vendor,route,n,triad_time_us,triad_gbps\n";
+  std::cout << std::fixed << std::setprecision(3);
+
+  bool saturation_seen = true;
+  for (const Vendor v : kFigureRowOrder) {
+    auto benches = bench::stream_benchmarks_for(v);
+    // The first bench of each vendor is its most-native route.
+    bench::StreamBenchmark& native = *benches.front();
+    double last_bw = 0.0;
+    for (std::size_t n = 1u << 14; n <= (1u << 24); n <<= 2) {
+      const auto results = bench::run_stream(native, n, 3);
+      for (const bench::StreamResult& r : results) {
+        if (r.kernel != bench::StreamKernel::Triad) continue;
+        std::cout << to_string(v) << ',' << r.label << ',' << n << ','
+                  << r.best_time_us << ',' << r.bandwidth_gbps << "\n";
+        last_bw = r.bandwidth_gbps;
+      }
+    }
+    // At 16 Mi doubles the route must run near the device's stream limit.
+    const double limit = gpusim::descriptor_for(v).mem_bandwidth_gbps *
+                         gpusim::kStreamEfficiency;
+    saturation_seen = saturation_seen && last_bw > 0.85 * limit;
+  }
+
+  std::cout << "\n" << (saturation_seen ? "PASS" : "FAIL")
+            << ": every native route saturates its device at large sizes\n";
+  return saturation_seen ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// google-benchmark microbenchmarks of the substrate itself: wall-clock
+// cost of the simulator's primitives (allocator, launch machinery, queue
+// ops, translators, renderers). These measure the *host* cost of the
+// simulation — complementary to the simulated-time figures.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_support/stream.hpp"
+#include "data/dataset.hpp"
+#include "gpusim/device.hpp"
+#include "render/render.hpp"
+#include "translate/translate.hpp"
+#include "yamlx/matrix_yaml.hpp"
+
+namespace {
+
+using namespace mcmm;
+
+void BM_AllocatorAllocFree(benchmark::State& state) {
+  gpusim::Device dev(gpusim::tiny_test_device(1 << 30));
+  for (auto _ : state) {
+    void* p = dev.allocate(static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(p);
+    dev.deallocate(p);
+  }
+}
+BENCHMARK(BM_AllocatorAllocFree)->Range(64, 1 << 20);
+
+void BM_KernelLaunchOverhead(benchmark::State& state) {
+  gpusim::Device dev(gpusim::tiny_test_device(1 << 20));
+  gpusim::Queue& q = dev.default_queue();
+  for (auto _ : state) {
+    q.launch(gpusim::launch_1d(1, 1), gpusim::KernelCosts{},
+             [](const gpusim::WorkItem&) {});
+  }
+}
+BENCHMARK(BM_KernelLaunchOverhead);
+
+void BM_KernelElementThroughput(benchmark::State& state) {
+  gpusim::Device dev(gpusim::tiny_test_device(1 << 28));
+  gpusim::Queue& q = dev.default_queue();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto* data = static_cast<double*>(dev.allocate(n * sizeof(double)));
+  for (auto _ : state) {
+    q.launch(gpusim::launch_1d(n, 256), gpusim::KernelCosts{},
+             [data, n](const gpusim::WorkItem& item) {
+               const std::size_t i = item.global_x();
+               if (i < n) data[i] = data[i] * 1.000001 + 0.5;
+             });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  dev.deallocate(data);
+}
+BENCHMARK(BM_KernelElementThroughput)->Range(1 << 10, 1 << 20);
+
+void BM_QueueMemcpyH2D(benchmark::State& state) {
+  gpusim::Device dev(gpusim::tiny_test_device(1 << 28));
+  gpusim::Queue& q = dev.default_queue();
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<char> host(bytes);
+  void* d = dev.allocate(bytes);
+  for (auto _ : state) {
+    q.memcpy(d, host.data(), bytes, gpusim::CopyKind::HostToDevice);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  dev.deallocate(d);
+}
+BENCHMARK(BM_QueueMemcpyH2D)->Range(1 << 10, 1 << 24);
+
+void BM_DatasetBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    const CompatibilityMatrix m = data::build_paper_matrix();
+    benchmark::DoNotOptimize(m.entry_count());
+  }
+}
+BENCHMARK(BM_DatasetBuild);
+
+void BM_RenderFigure1Text(benchmark::State& state) {
+  const CompatibilityMatrix& m = data::paper_matrix();
+  for (auto _ : state) {
+    const std::string s = render::figure1_text(m);
+    benchmark::DoNotOptimize(s.size());
+  }
+}
+BENCHMARK(BM_RenderFigure1Text);
+
+void BM_YamlRoundTrip(benchmark::State& state) {
+  const CompatibilityMatrix& m = data::paper_matrix();
+  for (auto _ : state) {
+    const CompatibilityMatrix round =
+        yamlx::matrix_from_yaml_text(yamlx::matrix_to_yaml_text(m));
+    benchmark::DoNotOptimize(round.entry_count());
+  }
+}
+BENCHMARK(BM_YamlRoundTrip);
+
+void BM_Hipify(benchmark::State& state) {
+  const std::string source =
+      "cudaMalloc(&p, n); cudaMemcpy(d, h, n, cudaMemcpyHostToDevice); "
+      "cudax::cudaLaunch(grid, block, kernel, a, b, c); "
+      "cublasSaxpy(handle, n, &alpha, x, 1, y, 1); cudaFree(p);";
+  for (auto _ : state) {
+    const auto r = translate::hipify(source);
+    benchmark::DoNotOptimize(r.code.size());
+  }
+}
+BENCHMARK(BM_Hipify);
+
+void BM_StreamTriadFullCycle(benchmark::State& state) {
+  auto benches = bench::stream_benchmarks_for(Vendor::NVIDIA);
+  bench::StreamBenchmark& native = *benches.front();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto results = bench::run_stream(native, n, 1);
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+BENCHMARK(BM_StreamTriadFullCycle)->Range(1 << 12, 1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// Experiment Ext-T6: the *executable* compatibility matrix — for every
+// C++ cell of Fig. 1, attempt to construct the corresponding runtime
+// embedding and print runs/translator-only/none next to the paper's
+// rating. This audits DESIGN.md design choice 2 (fail-fast support gating
+// at construction) across the whole table.
+
+#include <iomanip>
+#include <iostream>
+
+#include "data/dataset.hpp"
+#include "models/accx/accx.hpp"
+#include "models/alpakax/alpakax.hpp"
+#include "models/hipx/hipx.hpp"
+#include "models/kokkosx/kokkosx.hpp"
+#include "models/ompx/ompx.hpp"
+#include "models/pybindx/pybindx.hpp"
+#include "models/stdparx/stdparx.hpp"
+#include "models/syclx/syclx.hpp"
+
+namespace {
+
+using namespace mcmm;
+
+enum class Exec { Runs, TranslatorOnly, None };
+
+[[nodiscard]] const char* to_label(Exec e) {
+  switch (e) {
+    case Exec::Runs:
+      return "runs";
+    case Exec::TranslatorOnly:
+      return "translator";
+    case Exec::None:
+      return "none";
+  }
+  return "?";
+}
+
+[[nodiscard]] Exec probe(Model model, Vendor vendor) {
+  switch (model) {
+    case Model::CUDA:
+      return vendor == Vendor::NVIDIA ? Exec::Runs : Exec::TranslatorOnly;
+    case Model::HIP: {
+      if (vendor != Vendor::Intel) return Exec::Runs;
+      // chipStar: experimental opt-in runtime (item 33).
+      hipx::enable_experimental_chipstar(true);
+      hipx::set_platform(hipx::Platform::intel_chipstar);
+      void* p = nullptr;
+      const bool ok =
+          hipx::hipMalloc(&p, 16) == hipx::hipError_t::hipSuccess;
+      if (ok) (void)hipx::hipFree(p);
+      hipx::set_platform(hipx::Platform::amd);
+      hipx::enable_experimental_chipstar(false);
+      return ok ? Exec::Runs : Exec::None;
+    }
+    case Model::SYCL:
+      try {
+        const syclx::queue q(vendor, syclx::Implementation::DPCpp);
+        return Exec::Runs;
+      } catch (const UnsupportedCombination&) {
+        return Exec::None;
+      }
+    case Model::OpenACC:
+      for (const auto c : {accx::Compiler::NVHPC, accx::Compiler::GCC,
+                           accx::Compiler::Clacc, accx::Compiler::Cray}) {
+        if (accx::compiler_targets(c, vendor)) return Exec::Runs;
+      }
+      return vendor == Vendor::Intel ? Exec::TranslatorOnly : Exec::None;
+    case Model::OpenMP:
+      for (const auto c :
+           {ompx::Compiler::NVHPC, ompx::Compiler::GCC, ompx::Compiler::Clang,
+            ompx::Compiler::Cray, ompx::Compiler::AOMP,
+            ompx::Compiler::ICPX}) {
+        if (ompx::compiler_info(c).targets.contains(vendor)) {
+          return Exec::Runs;
+        }
+      }
+      return Exec::None;
+    case Model::Standard: {
+      stdparx::enable_experimental_roc_stdpar(true);
+      Exec result = Exec::None;
+      for (const auto r :
+           {stdparx::Runtime::NVHPC, stdparx::Runtime::OneDPL,
+            stdparx::Runtime::RocStdpar, stdparx::Runtime::OpenSYCL}) {
+        try {
+          (void)stdparx::par_gpu(vendor, r);
+          result = Exec::Runs;
+          break;
+        } catch (const UnsupportedCombination&) {
+        }
+      }
+      stdparx::enable_experimental_roc_stdpar(false);
+      return result;
+    }
+    case Model::Kokkos:
+      for (const auto s :
+           {kokkosx::ExecSpace::Cuda, kokkosx::ExecSpace::HIP,
+            kokkosx::ExecSpace::SYCL, kokkosx::ExecSpace::OpenMPTarget}) {
+        if (kokkosx::exec_space_targets(s, vendor)) return Exec::Runs;
+      }
+      return Exec::None;
+    case Model::Alpaka:
+      return Exec::Runs;
+    case Model::Python:
+      return Exec::Runs;  // pybindx packages exist for every vendor
+  }
+  return Exec::None;
+}
+
+}  // namespace
+
+int main() {
+  const CompatibilityMatrix& m = data::paper_matrix();
+
+  std::cout << "=== Ext-T6: executable support matrix vs. Fig. 1 (C++ row "
+               "+ Python) ===\n\n";
+  std::cout << std::left << std::setw(10) << "model" << std::setw(8)
+            << "vendor" << std::setw(26) << "Fig. 1 rating" << std::setw(12)
+            << "executable" << "agreement\n";
+  std::cout << std::string(66, '-') << "\n";
+
+  bool all_agree = true;
+  for (const Model model : kFigureColumnOrder) {
+    for (const Vendor vendor : kFigureRowOrder) {
+      const Language lang =
+          model == Model::Python ? Language::Python : Language::Cpp;
+      const SupportEntry& cell = m.at(vendor, model, lang);
+      const SupportCategory cat = cell.best_category();
+      const Exec exec = probe(model, vendor);
+
+      // Agreement rule: usable cells must be reachable (runs or via a
+      // translator pipeline); 'no support' cells must have nothing.
+      const bool agree = usable(cat) ? exec != Exec::None
+                                     : exec == Exec::None;
+      all_agree = all_agree && agree;
+      std::cout << std::left << std::setw(10) << to_string(model)
+                << std::setw(8) << to_string(vendor) << std::setw(26)
+                << category_name(cat) << std::setw(12) << to_label(exec)
+                << (agree ? "ok" : "MISMATCH") << "\n";
+    }
+  }
+
+  std::cout << "\n" << (all_agree ? "PASS" : "FAIL")
+            << ": the executable ecosystem agrees with Fig. 1 cell by "
+               "cell\n";
+  return all_agree ? 0 : 1;
+}

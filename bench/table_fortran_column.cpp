@@ -1,0 +1,72 @@
+// Experiment Text-T7: the paper's Fortran conclusion as a table — "While
+// the C++ support appears to be well on the way to good compatibility and
+// portability, the situation looks severely different for Fortran. The
+// only natively supported programming model on all three platforms is
+// OpenMP" (Sec. 6).
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/statistics.hpp"
+#include "data/dataset.hpp"
+
+int main() {
+  using namespace mcmm;
+  const CompatibilityMatrix& m = data::paper_matrix();
+
+  std::cout << "=== Text-T7: the Fortran column, model by model ===\n\n";
+  std::cout << std::left << std::setw(10) << "model";
+  for (const Vendor v : kFigureRowOrder) {
+    std::cout << std::setw(26) << to_string(v);
+  }
+  std::cout << "\n" << std::string(88, '-') << "\n";
+
+  Model vendor_native_everywhere = Model::Python;  // sentinel
+  int count_native_everywhere = 0;
+  for (const Model model : kFigureColumnOrder) {
+    if (model == Model::Python) continue;
+    std::cout << std::left << std::setw(10) << to_string(model);
+    int native_vendors = 0;
+    for (const Vendor v : kFigureRowOrder) {
+      const SupportEntry& e = m.at(v, model, Language::Fortran);
+      std::string cell(category_name(e.best_category()));
+      const bool native = std::any_of(
+          e.ratings.begin(), e.ratings.end(),
+          [](const Rating& r) { return vendor_provided(r.category); });
+      if (native) {
+        cell += " (vendor)";
+        ++native_vendors;
+      }
+      std::cout << std::setw(26) << cell;
+    }
+    std::cout << "\n";
+    if (native_vendors == 3) {
+      vendor_native_everywhere = model;
+      ++count_native_everywhere;
+    }
+  }
+
+  const Statistics stats(m);
+  const LanguageStats& cpp = stats.language(Language::Cpp);
+  const LanguageStats& f = stats.language(Language::Fortran);
+  std::cout << "\nC++ cells usable:     " << cpp.usable_cells << "/"
+            << cpp.total_cells << " (mean score " << std::fixed
+            << std::setprecision(2) << cpp.coverage_score << ")\n";
+  std::cout << "Fortran cells usable: " << f.usable_cells << "/"
+            << f.total_cells << " (mean score " << f.coverage_score
+            << ")\n";
+  std::cout << "models vendor-native in Fortran on all three platforms: "
+            << count_native_everywhere << " ("
+            << (count_native_everywhere == 1
+                    ? std::string(to_string(vendor_native_everywhere))
+                    : "?")
+            << ")\n";
+
+  const bool ok = count_native_everywhere == 1 &&
+                  vendor_native_everywhere == Model::OpenMP &&
+                  f.coverage_score < 0.6 * cpp.coverage_score;
+  std::cout << "\n" << (ok ? "PASS" : "FAIL")
+            << ": OpenMP is the only vendor-native Fortran model on all "
+               "three platforms; Fortran coverage is severely thinner\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// babelstream_portability: one portable workload, every route, every
+// simulated platform — the performance-portability study the paper names
+// as its natural extension. Prints a compact best-Triad-per-route matrix.
+
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "bench_support/stream.hpp"
+#include "models/stdparx/stdparx.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcmm;
+  std::size_t n = 1 << 20;
+  if (argc > 1) n = static_cast<std::size_t>(std::stoull(argv[1]));
+
+  stdparx::enable_experimental_roc_stdpar(true);
+
+  // route label -> vendor -> triad GB/s
+  std::map<std::string, std::map<Vendor, double>> triad;
+  for (const Vendor v : kFigureRowOrder) {
+    for (auto& benchmark : bench::stream_benchmarks_for(v)) {
+      for (const bench::StreamResult& r :
+           bench::run_stream(*benchmark, n, 3)) {
+        if (r.kernel == bench::StreamKernel::Triad && r.verified) {
+          triad[r.label][v] = r.bandwidth_gbps;
+        }
+      }
+    }
+  }
+  stdparx::enable_experimental_roc_stdpar(false);
+
+  std::cout << "Triad bandwidth (GB/s, simulated), arrays of " << n
+            << " doubles\n\n";
+  std::cout << std::left << std::setw(24) << "Route";
+  for (const Vendor v : kFigureRowOrder) {
+    std::cout << std::right << std::setw(10) << to_string(v);
+  }
+  std::cout << "\n" << std::string(54, '-') << "\n";
+  std::cout << std::fixed << std::setprecision(0);
+  for (const auto& [label, per_vendor] : triad) {
+    std::cout << std::left << std::setw(24) << label;
+    for (const Vendor v : kFigureRowOrder) {
+      const auto it = per_vendor.find(v);
+      if (it == per_vendor.end()) {
+        std::cout << std::right << std::setw(10) << "-";
+      } else {
+        std::cout << std::right << std::setw(10) << it->second;
+      }
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n('-' = the route does not exist on that platform; "
+               "compare Fig. 1)\n";
+  return 0;
+}

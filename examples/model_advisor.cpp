@@ -1,0 +1,75 @@
+// model_advisor: the paper's purpose as a command-line tool — "it is hard
+// for scientific programmers to navigate this abundance of choices"
+// (abstract). Give it your language and target platforms; it ranks the
+// programming-model routes recorded in Fig. 1.
+//
+// Usage:
+//   model_advisor <language> [platform...] [--vendor-only] [--min <tier>]
+//   model_advisor fortran amd intel nvidia
+//   model_advisor c++ amd --vendor-only
+//   model_advisor c++ --min some
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "data/dataset.hpp"
+#include "render/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcmm;
+
+  PlannerQuery query;
+  query.minimum_category = SupportCategory::Limited;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cout << "usage: model_advisor <c++|fortran|python> [amd] [intel] "
+                 "[nvidia] [--vendor-only] [--min "
+                 "<full|indirect|some|nonvendor|limited>]\n\n"
+                 "Examples:\n"
+                 "  model_advisor fortran amd intel nvidia\n"
+                 "  model_advisor c++ amd --vendor-only\n";
+    // Demo run so the example is self-contained.
+    std::cout << "\nDemo: Fortran code that must run on all three "
+                 "platforms, vendor-supported:\n\n";
+    query.language = Language::Fortran;
+    query.must_run_on = {Vendor::AMD, Vendor::Intel, Vendor::NVIDIA};
+    query.require_vendor_support = true;
+    query.minimum_category = SupportCategory::Some;
+    const RoutePlanner planner(data::paper_matrix());
+    std::cout << render::plan_report(planner.plan(query));
+    return 0;
+  }
+
+  const auto language = parse_language(args.front());
+  if (!language) {
+    std::cerr << "unknown language: " << args.front() << "\n";
+    return 2;
+  }
+  query.language = *language;
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--vendor-only") {
+      query.require_vendor_support = true;
+    } else if (args[i] == "--min" && i + 1 < args.size()) {
+      const auto tier = parse_category(args[++i]);
+      if (!tier) {
+        std::cerr << "unknown support tier: " << args[i] << "\n";
+        return 2;
+      }
+      query.minimum_category = *tier;
+    } else if (const auto vendor = parse_vendor(args[i])) {
+      query.must_run_on.push_back(*vendor);
+    } else {
+      std::cerr << "unknown argument: " << args[i] << "\n";
+      return 2;
+    }
+  }
+
+  const RoutePlanner planner(data::paper_matrix());
+  const auto plans = planner.plan(query);
+  std::cout << render::plan_report(plans);
+  return plans.empty() ? 1 : 0;
+}

@@ -1,0 +1,152 @@
+#include "bench_support/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace mcmm::bench {
+
+std::string_view to_string(StreamKernel k) noexcept {
+  switch (k) {
+    case StreamKernel::Copy:
+      return "Copy";
+    case StreamKernel::Mul:
+      return "Mul";
+    case StreamKernel::Add:
+      return "Add";
+    case StreamKernel::Triad:
+      return "Triad";
+    case StreamKernel::Dot:
+      return "Dot";
+  }
+  return "?";
+}
+
+double stream_bytes(StreamKernel k, std::size_t n) noexcept {
+  const double nd = static_cast<double>(n) * sizeof(double);
+  switch (k) {
+    case StreamKernel::Copy:
+    case StreamKernel::Mul:
+      return 2.0 * nd;  // one read + one write stream
+    case StreamKernel::Add:
+    case StreamKernel::Triad:
+      return 3.0 * nd;  // two reads + one write
+    case StreamKernel::Dot:
+      return 2.0 * nd;  // two reads
+  }
+  return 0.0;
+}
+
+bool verify_stream(const std::vector<double>& a, const std::vector<double>& b,
+                   const std::vector<double>& c, double dot, std::size_t n,
+                   int reps) {
+  // Replay the cycle on scalars (all elements evolve identically).
+  double va = kInitA, vb = kInitB, vc = kInitC;
+  for (int r = 0; r < reps; ++r) {
+    vc = va;
+    vb = kScalar * vc;
+    vc = va + vb;
+    va = vb + kScalar * vc;
+  }
+  const double expected_dot = va * vb * static_cast<double>(n);
+
+  const auto close = [](double x, double y) {
+    const double scale = std::max({std::fabs(x), std::fabs(y), 1e-30});
+    return std::fabs(x - y) / scale < 1e-8;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!close(a[i], va) || !close(b[i], vb) || !close(c[i], vc)) {
+      return false;
+    }
+  }
+  // Dot accumulates n terms; allow a looser relative tolerance.
+  const double scale = std::max(std::fabs(expected_dot), 1e-30);
+  return std::fabs(dot - expected_dot) / scale < 1e-6;
+}
+
+std::vector<StreamResult> run_stream(StreamBenchmark& bench, std::size_t n,
+                                     int reps) {
+  bench.alloc(n);
+  bench.init_arrays();
+
+  constexpr int kKernelCount = 5;
+  double best[kKernelCount];
+  std::fill(best, best + kKernelCount, std::numeric_limits<double>::max());
+  double dot_value = 0.0;
+
+  for (int r = 0; r < reps; ++r) {
+    double t0 = bench.simulated_time_us();
+    bench.copy();
+    double t1 = bench.simulated_time_us();
+    bench.mul();
+    double t2 = bench.simulated_time_us();
+    bench.add();
+    double t3 = bench.simulated_time_us();
+    bench.triad();
+    double t4 = bench.simulated_time_us();
+    dot_value = bench.dot();
+    double t5 = bench.simulated_time_us();
+
+    const double durations[kKernelCount] = {t1 - t0, t2 - t1, t3 - t2,
+                                            t4 - t3, t5 - t4};
+    for (int k = 0; k < kKernelCount; ++k) {
+      best[k] = std::min(best[k], durations[k]);
+    }
+  }
+
+  std::vector<double> a(n), b(n), c(n);
+  bench.read_arrays(a, b, c);
+  const bool ok = verify_stream(a, b, c, dot_value, n, reps);
+
+  std::vector<StreamResult> results;
+  const StreamKernel kernels[kKernelCount] = {
+      StreamKernel::Copy, StreamKernel::Mul, StreamKernel::Add,
+      StreamKernel::Triad, StreamKernel::Dot};
+  for (int k = 0; k < kKernelCount; ++k) {
+    StreamResult res;
+    res.label = bench.label();
+    res.vendor = bench.vendor();
+    res.kernel = kernels[k];
+    res.n = n;
+    res.best_time_us = best[k];
+    res.bandwidth_gbps =
+        stream_bytes(kernels[k], n) / (best[k] * 1e3);  // B/us -> GB/s
+    res.verified = ok;
+    results.push_back(std::move(res));
+  }
+  return results;
+}
+
+std::string format_stream_table(const std::vector<StreamResult>& results) {
+  std::ostringstream out;
+  out << std::left << std::setw(26) << "Route" << std::setw(8) << "Vendor"
+      << std::setw(7) << "Kernel" << std::right << std::setw(12)
+      << "Best us" << std::setw(12) << "GB/s" << std::setw(10) << "Verified"
+      << "\n";
+  out << std::string(75, '-') << "\n";
+  out << std::fixed << std::setprecision(1);
+  for (const StreamResult& r : results) {
+    out << std::left << std::setw(26) << r.label << std::setw(8)
+        << to_string(r.vendor) << std::setw(7) << to_string(r.kernel)
+        << std::right << std::setw(12) << r.best_time_us << std::setw(12)
+        << r.bandwidth_gbps << std::setw(10) << (r.verified ? "yes" : "NO")
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string format_stream_csv(const std::vector<StreamResult>& results) {
+  std::ostringstream out;
+  out << "route,vendor,kernel,n,best_time_us,bandwidth_gbps,verified\n";
+  out << std::fixed << std::setprecision(3);
+  for (const StreamResult& r : results) {
+    out << r.label << ',' << to_string(r.vendor) << ','
+        << to_string(r.kernel) << ',' << r.n << ',' << r.best_time_us << ','
+        << r.bandwidth_gbps << ',' << (r.verified ? 1 : 0) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mcmm::bench

@@ -1,0 +1,92 @@
+#pragma once
+// BabelStream-style benchmark suite (Deakin et al. [53], the performance
+// methodology the paper names as its natural extension, Sec. 5/6). The
+// five kernels — Copy, Mul, Add, Triad, Dot — are implemented once per
+// programming-model embedding; the harness runs them on the simulated
+// devices and reports attainable bandwidth per (model route, vendor).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcmm::bench {
+
+/// BabelStream's constants.
+inline constexpr double kInitA = 0.1;
+inline constexpr double kInitB = 0.2;
+inline constexpr double kInitC = 0.0;
+inline constexpr double kScalar = 0.4;
+
+enum class StreamKernel { Copy, Mul, Add, Triad, Dot };
+
+[[nodiscard]] std::string_view to_string(StreamKernel k) noexcept;
+
+/// Bytes moved by one invocation of a kernel on arrays of n doubles.
+[[nodiscard]] double stream_bytes(StreamKernel k, std::size_t n) noexcept;
+
+/// One programming-model implementation of the BabelStream kernels.
+/// Lifecycle: construct -> alloc(n) -> init_arrays() -> kernels -> read -> destruct.
+class StreamBenchmark {
+ public:
+  virtual ~StreamBenchmark() = default;
+
+  /// Route label, e.g. "CUDA", "SYCL(DPC++)", "Kokkos(HIP)".
+  [[nodiscard]] virtual std::string label() const = 0;
+  [[nodiscard]] virtual Vendor vendor() const = 0;
+
+  virtual void alloc(std::size_t n) = 0;
+  virtual void init_arrays() = 0;
+
+  virtual void copy() = 0;        ///< c[i] = a[i]
+  virtual void mul() = 0;         ///< b[i] = scalar * c[i]
+  virtual void add() = 0;         ///< c[i] = a[i] + b[i]
+  virtual void triad() = 0;       ///< a[i] = b[i] + scalar * c[i]
+  [[nodiscard]] virtual double dot() = 0;  ///< sum a[i] * b[i]
+
+  virtual void read_arrays(std::vector<double>& a, std::vector<double>& b,
+                           std::vector<double>& c) = 0;
+
+  /// Simulated time consumed so far on this route's queue, microseconds.
+  [[nodiscard]] virtual double simulated_time_us() const = 0;
+};
+
+/// Result of one (route, kernel) measurement.
+struct StreamResult {
+  std::string label;
+  Vendor vendor{};
+  StreamKernel kernel{};
+  std::size_t n{};
+  double best_time_us{};    ///< min simulated time over repetitions
+  double bandwidth_gbps{};  ///< stream_bytes / best_time
+  bool verified{};
+};
+
+/// Runs the BabelStream cycle `reps` times on `bench` with arrays of `n`
+/// doubles, verifying the final array contents; returns one result per
+/// kernel.
+[[nodiscard]] std::vector<StreamResult> run_stream(StreamBenchmark& bench,
+                                                   std::size_t n, int reps);
+
+/// Verifies arrays after `reps` iterations of the BabelStream cycle plus a
+/// final dot; returns true when within tolerance.
+[[nodiscard]] bool verify_stream(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 const std::vector<double>& c, double dot,
+                                 std::size_t n, int reps);
+
+/// Factory: every model route of Fig. 1's C++ row that can execute on
+/// `vendor` (the executable cross-section of the compatibility table).
+[[nodiscard]] std::vector<std::unique_ptr<StreamBenchmark>>
+stream_benchmarks_for(Vendor vendor);
+
+/// Formats results as a BabelStream-like table (one row per route/kernel).
+[[nodiscard]] std::string format_stream_table(
+    const std::vector<StreamResult>& results);
+
+/// Formats results as CSV.
+[[nodiscard]] std::string format_stream_csv(
+    const std::vector<StreamResult>& results);
+
+}  // namespace mcmm::bench

@@ -1,0 +1,326 @@
+#include "core/claims.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/statistics.hpp"
+
+namespace mcmm {
+namespace {
+
+struct ClaimDef {
+  const char* id;
+  const char* statement;
+  std::function<ClaimResult(const CompatibilityMatrix&)> eval;
+};
+
+[[nodiscard]] bool usable_cell(const CompatibilityMatrix& m, Vendor v,
+                               Model mo, Language l) {
+  const SupportEntry* e = m.find(Combination{v, mo, l});
+  return e != nullptr && e->usable();
+}
+
+[[nodiscard]] bool vendor_cell(const CompatibilityMatrix& m, Vendor v,
+                               Model mo, Language l) {
+  const SupportEntry* e = m.find(Combination{v, mo, l});
+  if (e == nullptr) return false;
+  return std::any_of(e->ratings.begin(), e->ratings.end(), [](const Rating& r) {
+    return vendor_provided(r.category);
+  });
+}
+
+const std::vector<ClaimDef>& claim_defs() {
+  static const std::vector<ClaimDef> defs = {
+      {"cell-count",
+       "51 possible combinations are explored (abstract, Sec. 3)",
+       [](const CompatibilityMatrix& m) {
+         std::ostringstream ev;
+         ev << m.entry_count() << " cells in matrix";
+         return ClaimResult{"", "", m.entry_count() == 51, ev.str()};
+       }},
+      {"description-count",
+       "the combinations are explained in 44 unique descriptions (Sec. 3)",
+       [](const CompatibilityMatrix& m) {
+         std::ostringstream ev;
+         ev << m.description_count() << " descriptions";
+         return ClaimResult{"", "", m.description_count() == 44, ev.str()};
+       }},
+      {"routes-over-50",
+       "more than 50 routes for programming a GPU device are identified "
+       "(Sec. 1)",
+       [](const CompatibilityMatrix& m) {
+         std::ostringstream ev;
+         ev << m.total_route_count() << " concrete routes recorded";
+         return ClaimResult{"", "", m.total_route_count() > 50, ev.str()};
+       }},
+      {"openmp-everywhere",
+       "OpenMP is supported on all three platforms, for both C++ and Fortran "
+       "(Sec. 6)",
+       [](const CompatibilityMatrix& m) {
+         bool ok = true;
+         std::ostringstream ev;
+         for (const Vendor v : kAllVendors) {
+           for (const Language l : {Language::Cpp, Language::Fortran}) {
+             const bool u = vendor_cell(m, v, Model::OpenMP, l);
+             ev << to_string(v) << "/" << to_string(l) << "="
+                << (u ? "vendor" : "NO") << " ";
+             ok = ok && u;
+           }
+         }
+         return ClaimResult{"", "", ok, ev.str()};
+       }},
+      {"openmp-only-native-fortran",
+       "the only natively (vendor-)supported programming model for Fortran "
+       "on all three platforms is OpenMP (Sec. 6)",
+       [](const CompatibilityMatrix& m) {
+         std::ostringstream ev;
+         bool ok = true;
+         for (const Model mo : kAllModels) {
+           if (mo == Model::Python) continue;
+           int vendors = 0;
+           for (const Vendor v : kAllVendors) {
+             if (vendor_cell(m, v, mo, Language::Fortran)) ++vendors;
+           }
+           if (vendors == 3) {
+             ev << to_string(mo) << " native-Fortran on all 3; ";
+             if (mo != Model::OpenMP) ok = false;
+           }
+         }
+         const bool omp_everywhere = [&] {
+           for (const Vendor v : kAllVendors) {
+             if (!vendor_cell(m, v, Model::OpenMP, Language::Fortran)) {
+               return false;
+             }
+           }
+           return true;
+         }();
+         return ClaimResult{"", "", ok && omp_everywhere, ev.str()};
+       }},
+      {"sycl-all-platforms",
+       "SYCL supports all three GPU platforms for C++ (Sec. 6)",
+       [](const CompatibilityMatrix& m) {
+         bool ok = true;
+         std::ostringstream ev;
+         for (const Vendor v : kAllVendors) {
+           const bool u = usable_cell(m, v, Model::SYCL, Language::Cpp);
+           ev << to_string(v) << "=" << (u ? "yes" : "no") << " ";
+           ok = ok && u;
+         }
+         return ClaimResult{"", "", ok, ev.str()};
+       }},
+      {"kokkos-alpaka-all-platforms",
+       "Kokkos and Alpaka support all three platforms for C++ (Sec. 6)",
+       [](const CompatibilityMatrix& m) {
+         bool ok = true;
+         std::ostringstream ev;
+         for (const Model mo : {Model::Kokkos, Model::Alpaka}) {
+           for (const Vendor v : kAllVendors) {
+             const bool u = usable_cell(m, v, mo, Language::Cpp);
+             ev << to_string(mo) << "/" << to_string(v) << "="
+                << (u ? "yes" : "no") << " ";
+             ok = ok && u;
+           }
+         }
+         return ClaimResult{"", "", ok, ev.str()};
+       }},
+      {"openacc-no-intel",
+       "OpenACC can be used on NVIDIA and AMD GPUs, but (real) support for "
+       "Intel GPUs does not exist (Sec. 6)",
+       [](const CompatibilityMatrix& m) {
+         const bool nv = usable_cell(m, Vendor::NVIDIA, Model::OpenACC,
+                                     Language::Cpp);
+         const bool amd =
+             usable_cell(m, Vendor::AMD, Model::OpenACC, Language::Cpp);
+         const SupportEntry* intel =
+             m.find(Combination{Vendor::Intel, Model::OpenACC, Language::Cpp});
+         // Intel offers only a one-shot migration tool; the cell must be at
+         // best "limited".
+         const bool intel_weak =
+             intel != nullptr &&
+             score(intel->best_category()) <= score(SupportCategory::Limited);
+         std::ostringstream ev;
+         ev << "NVIDIA=" << nv << " AMD=" << amd
+            << " Intel-category=" << category_name(intel->best_category());
+         return ClaimResult{"", "", nv && amd && intel_weak, ev.str()};
+       }},
+      {"nvidia-most-comprehensive",
+       "the support for NVIDIA GPUs can be considered most comprehensive "
+       "(Sec. 6)",
+       [](const CompatibilityMatrix& m) {
+         const Statistics stats(m);
+         std::ostringstream ev;
+         for (const VendorStats& vs : stats.vendors()) {
+           ev << to_string(vs.vendor) << "=" << vs.coverage_score << " ";
+         }
+         return ClaimResult{
+             "", "", stats.most_comprehensive_vendor() == Vendor::NVIDIA,
+             ev.str()};
+       }},
+      {"fortran-severely-thinner",
+       "while C++ support is well on the way, the situation looks severely "
+       "different for Fortran (Sec. 6)",
+       [](const CompatibilityMatrix& m) {
+         const Statistics stats(m);
+         const LanguageStats& cpp = stats.language(Language::Cpp);
+         const LanguageStats& f = stats.language(Language::Fortran);
+         std::ostringstream ev;
+         ev << "C++ coverage=" << cpp.coverage_score
+            << " Fortran coverage=" << f.coverage_score;
+         // "Severely": Fortran's mean score is at most 60 % of C++'s.
+         return ClaimResult{
+             "", "", f.coverage_score <= 0.6 * cpp.coverage_score, ev.str()};
+       }},
+      {"python-all-platforms",
+       "Python is well-supported on all three platforms (Sec. 6)",
+       [](const CompatibilityMatrix& m) {
+         bool ok = true;
+         std::ostringstream ev;
+         for (const Vendor v : kAllVendors) {
+           const bool u =
+               usable_cell(m, v, Model::Python, Language::Python);
+           ev << to_string(v) << "=" << (u ? "yes" : "no") << " ";
+           ok = ok && u;
+         }
+         return ClaimResult{"", "", ok, ev.str()};
+       }},
+      {"cuda-hip-shared-source",
+       "NVIDIA and AMD GPUs can be used from the same HIP source code "
+       "(Sec. 6)",
+       [](const CompatibilityMatrix& m) {
+         const bool nv =
+             usable_cell(m, Vendor::NVIDIA, Model::HIP, Language::Cpp);
+         const bool amd =
+             usable_cell(m, Vendor::AMD, Model::HIP, Language::Cpp);
+         std::ostringstream ev;
+         ev << "HIP C++: NVIDIA=" << nv << " AMD=" << amd;
+         return ClaimResult{"", "", nv && amd, ev.str()};
+       }},
+      {"amd-community-carried",
+       "much of the support is driven by the community, especially for "
+       "the AMD platform (Sec. 5, Topicality)",
+       [](const CompatibilityMatrix& m) {
+         std::ostringstream ev;
+         std::map<Vendor, int> non_vendor_cells;
+         for (const SupportEntry* e : m.entries()) {
+           if (!e->usable()) continue;
+           if (e->primary().provider != Provider::PlatformVendor) {
+             non_vendor_cells[e->combo.vendor]++;
+           }
+         }
+         for (const Vendor v : kAllVendors) {
+           ev << to_string(v) << "=" << non_vendor_cells[v] << " ";
+         }
+         const bool ok =
+             non_vendor_cells[Vendor::AMD] >
+                 non_vendor_cells[Vendor::Intel] &&
+             non_vendor_cells[Vendor::AMD] >=
+                 non_vendor_cells[Vendor::NVIDIA];
+         return ClaimResult{"", "", ok, ev.str()};
+       }},
+      {"llvm-key-component",
+       "a key component in the ecosystem is the LLVM toolchain: the "
+       "native-model compilers of all three vendors are LLVM-based "
+       "(Sec. 6)",
+       [](const CompatibilityMatrix& m) {
+         // Toolchains known to be LLVM-based (the paper's Sec. 6
+         // discussion: AMD Clang behind hipcc, Intel's DPC++/icpx/ifx,
+         // NVIDIA's NVHPC backends, Clang/Flang themselves).
+         const auto is_llvm = [](const Route& r) {
+           for (const char* marker :
+                {"clang", "hipcc", "icpx", "ifx", "flang", "llvm",
+                 "aomp", "syclcc", "c2s", "cuspv", "dpct"}) {
+             if (r.toolchain.find(marker) != std::string::npos ||
+                 r.name.find("LLVM") != std::string::npos ||
+                 r.name.find("Clang") != std::string::npos ||
+                 r.name.find("DPC++") != std::string::npos) {
+               return true;
+             }
+           }
+           return false;
+         };
+         std::ostringstream ev;
+         bool ok = true;
+         // The native model of each vendor must have an LLVM-based route.
+         const struct {
+           Vendor vendor;
+           Model model;
+         } natives[] = {{Vendor::NVIDIA, Model::CUDA},
+                        {Vendor::AMD, Model::HIP},
+                        {Vendor::Intel, Model::SYCL}};
+         for (const auto& nat : natives) {
+           const SupportEntry& e =
+               m.at(nat.vendor, nat.model, Language::Cpp);
+           const bool any = std::any_of(e.routes.begin(), e.routes.end(),
+                                        is_llvm);
+           ev << to_string(nat.vendor) << "=" << (any ? "llvm" : "NO")
+              << " ";
+           ok = ok && any;
+         }
+         // And LLVM-based routes must make up a substantial share of the
+         // whole table ("through LLVM, many third-party projects are
+         // enabled").
+         std::size_t llvm_routes = 0, total = 0;
+         for (const SupportEntry* e : m.entries()) {
+           for (const Route& r : e->routes) {
+             ++total;
+             if (is_llvm(r)) ++llvm_routes;
+           }
+         }
+         ev << "(" << llvm_routes << "/" << total << " routes LLVM-based)";
+         ok = ok && llvm_routes * 5 >= total * 2;  // at least 40 %
+         return ClaimResult{"", "", ok, ev.str()};
+       }},
+      {"sycl-fortran-nowhere",
+       "SYCL, a C++-based model, has no Fortran support on any platform "
+       "(Sec. 4, item 6)",
+       [](const CompatibilityMatrix& m) {
+         bool ok = true;
+         std::ostringstream ev;
+         for (const Vendor v : kAllVendors) {
+           const SupportEntry* e =
+               m.find(Combination{v, Model::SYCL, Language::Fortran});
+           const bool none =
+               e != nullptr && e->best_category() == SupportCategory::None;
+           ev << to_string(v) << "=" << (none ? "none" : "SUPPORT?") << " ";
+           ok = ok && none;
+         }
+         return ClaimResult{"", "", ok, ev.str()};
+       }},
+  };
+  return defs;
+}
+
+}  // namespace
+
+std::vector<ClaimResult> Claims::evaluate_all() const {
+  std::vector<ClaimResult> out;
+  out.reserve(claim_defs().size());
+  for (const ClaimDef& def : claim_defs()) {
+    ClaimResult r = def.eval(*matrix_);
+    r.id = def.id;
+    r.statement = def.statement;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+ClaimResult Claims::evaluate(const std::string& id) const {
+  for (const ClaimDef& def : claim_defs()) {
+    if (id == def.id) {
+      ClaimResult r = def.eval(*matrix_);
+      r.id = def.id;
+      r.statement = def.statement;
+      return r;
+    }
+  }
+  throw LookupError("unknown claim id: " + id);
+}
+
+std::vector<std::string> Claims::ids() const {
+  std::vector<std::string> out;
+  for (const ClaimDef& def : claim_defs()) out.emplace_back(def.id);
+  return out;
+}
+
+}  // namespace mcmm

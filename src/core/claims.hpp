@@ -1,0 +1,38 @@
+#pragma once
+// Machine-checkable versions of the structural claims the paper makes in its
+// abstract, Sec. 1, and the conclusion (Sec. 6). Each claim evaluates against
+// a CompatibilityMatrix so the "results" of the paper can be regenerated and
+// regression-tested.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/matrix.hpp"
+
+namespace mcmm {
+
+struct ClaimResult {
+  std::string id;       ///< short stable identifier, e.g. "openmp-everywhere"
+  std::string statement;  ///< the claim as phrased by the paper
+  bool holds{};
+  std::string evidence;  ///< counts / cells backing the verdict
+};
+
+class Claims {
+ public:
+  explicit Claims(const CompatibilityMatrix& matrix) : matrix_(&matrix) {}
+
+  /// Evaluates all registered paper claims.
+  [[nodiscard]] std::vector<ClaimResult> evaluate_all() const;
+
+  /// Evaluates one claim by id; throws LookupError for unknown ids.
+  [[nodiscard]] ClaimResult evaluate(const std::string& id) const;
+
+  [[nodiscard]] std::vector<std::string> ids() const;
+
+ private:
+  const CompatibilityMatrix* matrix_;
+};
+
+}  // namespace mcmm

@@ -1,0 +1,94 @@
+#include "core/diff.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace mcmm {
+
+int MatrixDiff::improvements() const noexcept {
+  return static_cast<int>(std::count_if(
+      rating_changes.begin(), rating_changes.end(),
+      [](const RatingChange& c) { return c.delta() > 0; }));
+}
+
+int MatrixDiff::regressions() const noexcept {
+  return static_cast<int>(std::count_if(
+      rating_changes.begin(), rating_changes.end(),
+      [](const RatingChange& c) { return c.delta() < 0; }));
+}
+
+MatrixDiff diff_matrices(const CompatibilityMatrix& before,
+                         const CompatibilityMatrix& after) {
+  MatrixDiff diff;
+
+  for (const SupportEntry* old_entry : before.entries()) {
+    const SupportEntry* new_entry = after.find(old_entry->combo);
+    if (new_entry == nullptr) {
+      diff.cells_only_in_before.push_back(old_entry->combo);
+      continue;
+    }
+    if (old_entry->best_category() != new_entry->best_category()) {
+      diff.rating_changes.push_back(RatingChange{
+          old_entry->combo, old_entry->best_category(),
+          new_entry->best_category()});
+    }
+    std::set<std::string> old_routes, new_routes;
+    for (const Route& r : old_entry->routes) old_routes.insert(r.name);
+    for (const Route& r : new_entry->routes) new_routes.insert(r.name);
+    for (const std::string& name : new_routes) {
+      if (!old_routes.contains(name)) {
+        diff.route_changes.push_back(
+            RouteChange{old_entry->combo, name, true});
+      }
+    }
+    for (const std::string& name : old_routes) {
+      if (!new_routes.contains(name)) {
+        diff.route_changes.push_back(
+            RouteChange{old_entry->combo, name, false});
+      }
+    }
+  }
+  for (const SupportEntry* new_entry : after.entries()) {
+    if (before.find(new_entry->combo) == nullptr) {
+      diff.cells_only_in_after.push_back(new_entry->combo);
+    }
+  }
+  return diff;
+}
+
+std::string format_diff(const MatrixDiff& diff) {
+  std::ostringstream out;
+  if (diff.empty()) {
+    out << "No changes between snapshots.\n";
+    return out.str();
+  }
+  if (!diff.rating_changes.empty()) {
+    out << "Rating changes:\n";
+    for (const RatingChange& c : diff.rating_changes) {
+      out << "  " << to_string(c.combo) << ": "
+          << category_name(c.before) << " -> " << category_name(c.after)
+          << (c.delta() > 0 ? "  (improved)" :
+              c.delta() < 0 ? "  (regressed)" : "")
+          << "\n";
+    }
+  }
+  if (!diff.route_changes.empty()) {
+    out << "Route changes:\n";
+    for (const RouteChange& c : diff.route_changes) {
+      out << "  " << (c.added ? "+ " : "- ") << to_string(c.combo) << ": "
+          << c.route_name << "\n";
+    }
+  }
+  for (const Combination& c : diff.cells_only_in_before) {
+    out << "  cell removed: " << to_string(c) << "\n";
+  }
+  for (const Combination& c : diff.cells_only_in_after) {
+    out << "  cell added: " << to_string(c) << "\n";
+  }
+  out << diff.improvements() << " improvement(s), " << diff.regressions()
+      << " regression(s)\n";
+  return out.str();
+}
+
+}  // namespace mcmm

@@ -1,0 +1,56 @@
+#pragma once
+// Matrix diffing: the paper is "a living overview of the evolving field,
+// with snapshots in paper form at regular intervals" (Acknowledgments),
+// tracked in a GitHub repository [55]. This module compares two snapshots
+// of the compatibility matrix and reports what changed — the tooling a
+// living overview needs.
+
+#include <string>
+#include <vector>
+
+#include "core/matrix.hpp"
+
+namespace mcmm {
+
+/// One cell whose rating changed between snapshots.
+struct RatingChange {
+  Combination combo{};
+  SupportCategory before{};
+  SupportCategory after{};
+
+  /// Positive = support improved.
+  [[nodiscard]] int delta() const noexcept {
+    return score(after) - score(before);
+  }
+};
+
+/// One route added or removed on a cell.
+struct RouteChange {
+  Combination combo{};
+  std::string route_name;
+  bool added{};  ///< false = removed
+};
+
+struct MatrixDiff {
+  std::vector<RatingChange> rating_changes;
+  std::vector<RouteChange> route_changes;
+  std::vector<Combination> cells_only_in_before;
+  std::vector<Combination> cells_only_in_after;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return rating_changes.empty() && route_changes.empty() &&
+           cells_only_in_before.empty() && cells_only_in_after.empty();
+  }
+  [[nodiscard]] int improvements() const noexcept;
+  [[nodiscard]] int regressions() const noexcept;
+};
+
+/// Structural diff between two snapshots (compares best categories and
+/// route name sets per cell).
+[[nodiscard]] MatrixDiff diff_matrices(const CompatibilityMatrix& before,
+                                       const CompatibilityMatrix& after);
+
+/// Human-readable changelog (the release-notes text of a snapshot bump).
+[[nodiscard]] std::string format_diff(const MatrixDiff& diff);
+
+}  // namespace mcmm

@@ -1,0 +1,27 @@
+#include "core/entry.hpp"
+
+#include <algorithm>
+
+namespace mcmm {
+
+SupportCategory SupportEntry::best_category() const noexcept {
+  SupportCategory best = SupportCategory::None;
+  for (const Rating& r : ratings) {
+    if (score(r.category) > score(best)) best = r.category;
+  }
+  return best;
+}
+
+bool SupportEntry::usable() const noexcept {
+  return std::any_of(ratings.begin(), ratings.end(), [](const Rating& r) {
+    return mcmm::usable(r.category);
+  });
+}
+
+int SupportEntry::best_route_rank() const noexcept {
+  int best = 0;
+  for (const Route& r : routes) best = std::max(best, route_rank(r));
+  return best;
+}
+
+}  // namespace mcmm

@@ -1,0 +1,42 @@
+#pragma once
+// A SupportEntry is one cell of the overview table; a Description is one of
+// the 44 numbered items of the paper's Sec. 4 (an item can describe several
+// cells, e.g. item 6 covers SYCL/Fortran on all three vendors).
+
+#include <string>
+#include <vector>
+
+#include "core/route.hpp"
+#include "core/support.hpp"
+#include "core/types.hpp"
+
+namespace mcmm {
+
+/// One numbered description of the paper's Sec. 4.
+struct Description {
+  int id{};                 ///< 1..44, the paper's item number
+  std::string title;        ///< e.g. "NVIDIA - CUDA - C++"
+  std::string text;         ///< condensed description body
+  std::vector<std::string> references;  ///< bibliography keys / URLs
+};
+
+/// One cell of Fig. 1.
+struct SupportEntry {
+  Combination combo{};
+  /// 1 or 2 ratings; the paper double-rates a few cells (Python on NVIDIA,
+  /// CUDA C++ on Intel). The first rating is the primary one.
+  std::vector<Rating> ratings;
+  int description_id{};  ///< the Sec. 4 item explaining this cell
+  std::vector<Route> routes;
+  /// True when the rating was reconstructed from the description text rather
+  /// than read off the (unavailable) figure PDF; see DESIGN.md Sec. 5.
+  bool inferred{true};
+
+  [[nodiscard]] const Rating& primary() const { return ratings.front(); }
+  [[nodiscard]] SupportCategory best_category() const noexcept;
+  [[nodiscard]] bool usable() const noexcept;
+  /// Highest route rank among the entry's routes (0 when none).
+  [[nodiscard]] int best_route_rank() const noexcept;
+};
+
+}  // namespace mcmm

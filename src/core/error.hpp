@@ -1,0 +1,61 @@
+#pragma once
+// Exception taxonomy shared by the knowledge base and the simulated
+// programming-model runtimes.
+
+#include <stdexcept>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace mcmm {
+
+/// Base class for all library errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The knowledge base was asked for a cell/description that does not exist.
+class LookupError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A dataset failed a structural integrity check (wrong counts, duplicate
+/// cells, dangling description ids, ...).
+class IntegrityError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A programming-model runtime was asked to run on a platform where Fig. 1
+/// records "no support" (or where the requested backend does not exist).
+class UnsupportedCombination : public Error {
+ public:
+  UnsupportedCombination(const Combination& combo, std::string detail)
+      : Error("unsupported combination: " + to_string(combo) +
+              (detail.empty() ? "" : " (" + detail + ")")),
+        combo_(combo) {}
+
+  [[nodiscard]] const Combination& combo() const noexcept { return combo_; }
+
+ private:
+  Combination combo_;
+};
+
+/// A specific feature is missing on a route whose overall rating is
+/// "some support" / "limited support".
+class UnsupportedFeature : public Error {
+ public:
+  UnsupportedFeature(std::string feature, std::string detail)
+      : Error("unsupported feature: " + feature +
+              (detail.empty() ? "" : " (" + detail + ")")),
+        feature_(std::move(feature)) {}
+
+  [[nodiscard]] const std::string& feature() const noexcept { return feature_; }
+
+ private:
+  std::string feature_;
+};
+
+}  // namespace mcmm

@@ -1,0 +1,164 @@
+#include "core/matrix.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/error.hpp"
+
+namespace mcmm {
+
+void CompatibilityMatrix::add_entry(SupportEntry entry) {
+  if (!language_applies(entry.combo.model, entry.combo.language)) {
+    throw IntegrityError("language " +
+                         std::string(to_string(entry.combo.language)) +
+                         " does not apply to model " +
+                         std::string(to_string(entry.combo.model)));
+  }
+  if (entry.ratings.empty()) {
+    throw IntegrityError("entry without ratings: " + to_string(entry.combo));
+  }
+  if (entry.ratings.size() > 2) {
+    throw IntegrityError("entry with more than two ratings: " +
+                         to_string(entry.combo));
+  }
+  const auto [it, inserted] = entries_.emplace(entry.combo, std::move(entry));
+  if (!inserted) {
+    throw IntegrityError("duplicate entry: " + to_string(it->first));
+  }
+}
+
+void CompatibilityMatrix::add_description(Description d) {
+  if (d.id <= 0) throw IntegrityError("description id must be positive");
+  const auto [it, inserted] = descriptions_.emplace(d.id, std::move(d));
+  if (!inserted) {
+    throw IntegrityError("duplicate description id " +
+                         std::to_string(it->first));
+  }
+}
+
+void CompatibilityMatrix::validate() const {
+  if (entries_.size() != static_cast<std::size_t>(kCombinationCount)) {
+    throw IntegrityError("expected " + std::to_string(kCombinationCount) +
+                         " cells, got " + std::to_string(entries_.size()));
+  }
+  if (descriptions_.size() != static_cast<std::size_t>(kDescriptionCount)) {
+    throw IntegrityError("expected " + std::to_string(kDescriptionCount) +
+                         " descriptions, got " +
+                         std::to_string(descriptions_.size()));
+  }
+  std::set<int> referenced;
+  for (const auto& [combo, entry] : entries_) {
+    if (!descriptions_.contains(entry.description_id)) {
+      throw IntegrityError("cell " + to_string(combo) +
+                           " references missing description " +
+                           std::to_string(entry.description_id));
+    }
+    referenced.insert(entry.description_id);
+    if (entry.usable() && entry.routes.empty()) {
+      throw IntegrityError("usable cell without routes: " + to_string(combo));
+    }
+    for (const Rating& r : entry.ratings) {
+      const bool vendor_cat = vendor_provided(r.category);
+      if (vendor_cat && r.provider != Provider::PlatformVendor) {
+        throw IntegrityError("cell " + to_string(combo) +
+                             ": vendor-tier category '" +
+                             std::string(category_name(r.category)) +
+                             "' requires platform-vendor provider");
+      }
+      if (r.category == SupportCategory::NonVendorGood &&
+          r.provider == Provider::PlatformVendor) {
+        throw IntegrityError("cell " + to_string(combo) +
+                             ": non-vendor category with platform-vendor "
+                             "provider");
+      }
+      if (r.category == SupportCategory::None &&
+          r.provider != Provider::Nobody) {
+        throw IntegrityError("cell " + to_string(combo) +
+                             ": 'no support' must have provider nobody");
+      }
+    }
+  }
+  for (const auto& [id, d] : descriptions_) {
+    if (!referenced.contains(id)) {
+      throw IntegrityError("description " + std::to_string(id) +
+                           " ('" + d.title + "') not referenced by any cell");
+    }
+  }
+}
+
+const SupportEntry& CompatibilityMatrix::at(const Combination& c) const {
+  const auto it = entries_.find(c);
+  if (it == entries_.end()) {
+    throw LookupError("no entry for " + to_string(c));
+  }
+  return it->second;
+}
+
+const SupportEntry* CompatibilityMatrix::find(
+    const Combination& c) const noexcept {
+  const auto it = entries_.find(c);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const Description& CompatibilityMatrix::description(int id) const {
+  const auto it = descriptions_.find(id);
+  if (it == descriptions_.end()) {
+    throw LookupError("no description with id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<const SupportEntry*> CompatibilityMatrix::entries() const {
+  std::vector<const SupportEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [combo, entry] : entries_) out.push_back(&entry);
+  std::sort(out.begin(), out.end(),
+            [](const SupportEntry* a, const SupportEntry* b) {
+              return combination_index(a->combo) < combination_index(b->combo);
+            });
+  return out;
+}
+
+std::vector<const Description*> CompatibilityMatrix::descriptions() const {
+  std::vector<const Description*> out;
+  out.reserve(descriptions_.size());
+  for (const auto& [id, d] : descriptions_) out.push_back(&d);
+  return out;
+}
+
+std::vector<const SupportEntry*> CompatibilityMatrix::by_vendor(
+    Vendor v) const {
+  return where([v](const SupportEntry& e) { return e.combo.vendor == v; });
+}
+
+std::vector<const SupportEntry*> CompatibilityMatrix::by_model(Model m) const {
+  return where([m](const SupportEntry& e) { return e.combo.model == m; });
+}
+
+std::vector<const SupportEntry*> CompatibilityMatrix::by_language(
+    Language l) const {
+  return where([l](const SupportEntry& e) { return e.combo.language == l; });
+}
+
+std::vector<const SupportEntry*> CompatibilityMatrix::where(
+    const std::function<bool(const SupportEntry&)>& pred) const {
+  std::vector<const SupportEntry*> out;
+  for (const SupportEntry* e : entries()) {
+    if (pred(*e)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<const SupportEntry*> CompatibilityMatrix::cells_of_description(
+    int id) const {
+  return where(
+      [id](const SupportEntry& e) { return e.description_id == id; });
+}
+
+std::size_t CompatibilityMatrix::total_route_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [combo, entry] : entries_) n += entry.routes.size();
+  return n;
+}
+
+}  // namespace mcmm

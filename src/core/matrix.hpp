@@ -1,0 +1,73 @@
+#pragma once
+// CompatibilityMatrix: the in-memory form of the paper's Fig. 1 plus the
+// Sec. 4 descriptions — a validated, queryable knowledge base.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/entry.hpp"
+#include "core/types.hpp"
+
+namespace mcmm {
+
+class CompatibilityMatrix {
+ public:
+  CompatibilityMatrix() = default;
+
+  /// Adds a cell. Throws IntegrityError on duplicates or on a combination
+  /// whose language does not apply to its model.
+  void add_entry(SupportEntry entry);
+
+  /// Adds a Sec. 4 description. Throws IntegrityError on duplicate ids.
+  void add_description(Description d);
+
+  /// Validates the structural invariants stated in the paper: 51 cells,
+  /// 44 descriptions, every cell references an existing description, every
+  /// description referenced by at least one cell, every cell has >= 1 rating
+  /// and usable cells have >= 1 route. Throws IntegrityError on violation.
+  void validate() const;
+
+  [[nodiscard]] const SupportEntry& at(const Combination& c) const;
+  [[nodiscard]] const SupportEntry& at(Vendor v, Model m, Language l) const {
+    return at(Combination{v, m, l});
+  }
+  [[nodiscard]] const SupportEntry* find(const Combination& c) const noexcept;
+
+  [[nodiscard]] const Description& description(int id) const;
+
+  /// All entries in figure order (row-major).
+  [[nodiscard]] std::vector<const SupportEntry*> entries() const;
+  /// All descriptions ordered by id.
+  [[nodiscard]] std::vector<const Description*> descriptions() const;
+
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return entries_.size();
+  }
+  [[nodiscard]] std::size_t description_count() const noexcept {
+    return descriptions_.size();
+  }
+
+  /// Filtered views.
+  [[nodiscard]] std::vector<const SupportEntry*> by_vendor(Vendor v) const;
+  [[nodiscard]] std::vector<const SupportEntry*> by_model(Model m) const;
+  [[nodiscard]] std::vector<const SupportEntry*> by_language(Language l) const;
+  [[nodiscard]] std::vector<const SupportEntry*> where(
+      const std::function<bool(const SupportEntry&)>& pred) const;
+
+  /// Cells whose description is a given Sec. 4 item.
+  [[nodiscard]] std::vector<const SupportEntry*> cells_of_description(
+      int id) const;
+
+  /// Count of programming routes across the whole matrix — the paper's
+  /// "more than 50 routes ... when no further limitations (pre-)exist".
+  [[nodiscard]] std::size_t total_route_count() const noexcept;
+
+ private:
+  std::map<Combination, SupportEntry> entries_;
+  std::map<int, Description> descriptions_;
+};
+
+}  // namespace mcmm

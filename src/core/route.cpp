@@ -1,0 +1,105 @@
+#include "core/route.hpp"
+
+namespace mcmm {
+
+std::string_view to_string(RouteKind k) noexcept {
+  switch (k) {
+    case RouteKind::Compiler:
+      return "compiler";
+    case RouteKind::Translator:
+      return "translator";
+    case RouteKind::Bindings:
+      return "bindings";
+    case RouteKind::Library:
+      return "library";
+    case RouteKind::Runtime:
+      return "runtime";
+  }
+  return "?";
+}
+
+std::string_view to_string(Maturity m) noexcept {
+  switch (m) {
+    case Maturity::Production:
+      return "production";
+    case Maturity::Stable:
+      return "stable";
+    case Maturity::Experimental:
+      return "experimental";
+    case Maturity::Unmaintained:
+      return "unmaintained";
+    case Maturity::Retired:
+      return "retired";
+  }
+  return "?";
+}
+
+std::optional<RouteKind> parse_route_kind(std::string_view s) noexcept {
+  if (s == "compiler") return RouteKind::Compiler;
+  if (s == "translator") return RouteKind::Translator;
+  if (s == "bindings") return RouteKind::Bindings;
+  if (s == "library") return RouteKind::Library;
+  if (s == "runtime") return RouteKind::Runtime;
+  return std::nullopt;
+}
+
+std::optional<Maturity> parse_maturity(std::string_view s) noexcept {
+  if (s == "production") return Maturity::Production;
+  if (s == "stable") return Maturity::Stable;
+  if (s == "experimental") return Maturity::Experimental;
+  if (s == "unmaintained") return Maturity::Unmaintained;
+  if (s == "retired") return Maturity::Retired;
+  return std::nullopt;
+}
+
+int route_rank(const Route& r) noexcept {
+  int rank = 0;
+  switch (r.maturity) {
+    case Maturity::Production:
+      rank += 400;
+      break;
+    case Maturity::Stable:
+      rank += 300;
+      break;
+    case Maturity::Experimental:
+      rank += 150;
+      break;
+    case Maturity::Unmaintained:
+      rank += 50;
+      break;
+    case Maturity::Retired:
+      rank += 0;
+      break;
+  }
+  switch (r.provider) {
+    case Provider::PlatformVendor:
+      rank += 8;
+      break;
+    case Provider::OtherVendor:
+      rank += 5;
+      break;
+    case Provider::Community:
+      rank += 4;
+      break;
+    case Provider::Nobody:
+      break;
+  }
+  // Direct compilation beats translation pipelines and raw bindings.
+  switch (r.kind) {
+    case RouteKind::Compiler:
+      rank += 3;
+      break;
+    case RouteKind::Runtime:
+    case RouteKind::Library:
+      rank += 2;
+      break;
+    case RouteKind::Bindings:
+      rank += 1;
+      break;
+    case RouteKind::Translator:
+      break;
+  }
+  return rank;
+}
+
+}  // namespace mcmm

@@ -1,0 +1,58 @@
+#pragma once
+// A "route" is one concrete way to use a programming model on a platform:
+// a compiler, a bindings package, a source-to-source translator, ... The
+// paper's Sec. 4 descriptions enumerate these; the route planner ranks them.
+
+#include <string>
+#include <vector>
+
+#include "core/support.hpp"
+#include "core/types.hpp"
+
+namespace mcmm {
+
+/// Kind of software artifact a route is built around.
+enum class RouteKind : std::uint8_t {
+  Compiler,    ///< a compiler (toolchain) with direct codegen for the device
+  Translator,  ///< a source-to-source translation tool (HIPIFY, SYCLomatic, ...)
+  Bindings,    ///< pre-made language bindings (hipfort, FLCL, dpctl, ...)
+  Library,     ///< a library implementation (oneDPL, CuPy, ...)
+  Runtime,     ///< a runtime/backend plugin (roc-stdpar, Level Zero, ...)
+};
+
+/// Maturity of the route, as described in the paper's text.
+enum class Maturity : std::uint8_t {
+  Production,    ///< production grade, vendor- or community-maintained
+  Stable,        ///< usable and maintained, not the reference path
+  Experimental,  ///< explicitly experimental / in development
+  Unmaintained,  ///< exists but no longer maintained (GPUFORT, ZLUDA, ...)
+  Retired,       ///< discontinued (ComputeCpp, C++AMP, ...)
+};
+
+[[nodiscard]] std::string_view to_string(RouteKind k) noexcept;
+[[nodiscard]] std::string_view to_string(Maturity m) noexcept;
+
+[[nodiscard]] std::optional<RouteKind> parse_route_kind(
+    std::string_view s) noexcept;
+[[nodiscard]] std::optional<Maturity> parse_maturity(
+    std::string_view s) noexcept;
+
+/// One concrete way to use (model, language) on a vendor platform.
+struct Route {
+  std::string name;        ///< e.g. "NVIDIA HPC SDK (nvc++)", "Open SYCL"
+  RouteKind kind{RouteKind::Compiler};
+  Provider provider{Provider::Community};
+  Maturity maturity{Maturity::Stable};
+  std::string toolchain;   ///< driving executable, e.g. "nvc++", "hipcc"
+  std::vector<std::string> flags;     ///< enabling compiler options
+  std::vector<std::string> environment;  ///< required env vars, e.g. HIP_PLATFORM=nvidia
+  std::string notes;       ///< free-form caveats from the paper text
+
+  [[nodiscard]] friend bool operator==(const Route&, const Route&) = default;
+};
+
+/// Ranking weight of a route for the planner: production vendor compilers
+/// first, retired/unmaintained tools last.
+[[nodiscard]] int route_rank(const Route& r) noexcept;
+
+}  // namespace mcmm

@@ -1,0 +1,108 @@
+#include "core/statistics.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace mcmm {
+
+Statistics::Statistics(const CompatibilityMatrix& matrix) {
+  for (const Vendor v : kAllVendors) {
+    VendorStats vs;
+    vs.vendor = v;
+    double total_score = 0;
+    int cells = 0;
+    for (const SupportEntry* e : matrix.by_vendor(v)) {
+      const SupportCategory best = e->best_category();
+      vs.histogram[e->primary().category]++;
+      if (usable(best)) vs.usable_cells++;
+      if (comprehensive(best)) vs.comprehensive_cells++;
+      const bool vendor_route = std::any_of(
+          e->ratings.begin(), e->ratings.end(),
+          [](const Rating& r) { return vendor_provided(r.category); });
+      if (vendor_route) vs.vendor_provided_cells++;
+      total_score += score(best);
+      ++cells;
+    }
+    vs.coverage_score = cells > 0 ? total_score / cells : 0.0;
+    vendor_stats_.push_back(std::move(vs));
+  }
+
+  for (const Language l :
+       {Language::Cpp, Language::Fortran, Language::Python}) {
+    LanguageStats ls;
+    ls.language = l;
+    double total_score = 0;
+    for (const SupportEntry* e : matrix.by_language(l)) {
+      ls.total_cells++;
+      if (e->usable()) ls.usable_cells++;
+      total_score += score(e->best_category());
+    }
+    ls.coverage_score =
+        ls.total_cells > 0 ? total_score / ls.total_cells : 0.0;
+    language_stats_.push_back(ls);
+  }
+
+  for (const Model m : kAllModels) {
+    ModelStats ms;
+    ms.model = m;
+    for (const Vendor v : kAllVendors) {
+      const Language lang =
+          (m == Model::Python) ? Language::Python : Language::Cpp;
+      const SupportEntry* cpp = matrix.find(Combination{v, m, lang});
+      if (cpp != nullptr && cpp->usable()) ms.vendors_usable_cpp++;
+      if (cpp != nullptr &&
+          std::any_of(cpp->ratings.begin(), cpp->ratings.end(),
+                      [](const Rating& r) {
+                        return vendor_provided(r.category);
+                      })) {
+        ms.vendors_vendor_native++;
+      }
+      if (m != Model::Python) {
+        const SupportEntry* f =
+            matrix.find(Combination{v, m, Language::Fortran});
+        if (f != nullptr && f->usable()) ms.vendors_usable_fortran++;
+      }
+    }
+    model_stats_.push_back(ms);
+  }
+
+  for (const SupportEntry* e : matrix.entries()) {
+    overall_[e->primary().category]++;
+    providers_[e->primary().provider]++;
+    if (e->usable()) ++usable_;
+    if (e->ratings.size() > 1) ++dual_rated_;
+  }
+}
+
+const VendorStats& Statistics::vendor(Vendor v) const {
+  for (const VendorStats& vs : vendor_stats_) {
+    if (vs.vendor == v) return vs;
+  }
+  throw LookupError("no stats for vendor");
+}
+
+const LanguageStats& Statistics::language(Language l) const {
+  for (const LanguageStats& ls : language_stats_) {
+    if (ls.language == l) return ls;
+  }
+  throw LookupError("no stats for language");
+}
+
+const ModelStats& Statistics::model(Model m) const {
+  for (const ModelStats& ms : model_stats_) {
+    if (ms.model == m) return ms;
+  }
+  throw LookupError("no stats for model");
+}
+
+Vendor Statistics::most_comprehensive_vendor() const {
+  const auto it = std::max_element(
+      vendor_stats_.begin(), vendor_stats_.end(),
+      [](const VendorStats& a, const VendorStats& b) {
+        return a.coverage_score < b.coverage_score;
+      });
+  return it->vendor;
+}
+
+}  // namespace mcmm

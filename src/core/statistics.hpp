@@ -1,0 +1,90 @@
+#pragma once
+// Derived statistics over the compatibility matrix — the counts behind the
+// paper's narrative claims ("support for NVIDIA GPUs is most comprehensive",
+// "the situation looks severely different for Fortran", ...).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/matrix.hpp"
+
+namespace mcmm {
+
+/// Histogram of primary-rating categories.
+using CategoryHistogram = std::map<SupportCategory, int>;
+
+struct VendorStats {
+  Vendor vendor{};
+  CategoryHistogram histogram;         ///< over all 17 cells of the vendor row
+  int usable_cells{};                  ///< cells rated better than None
+  int comprehensive_cells{};           ///< Full / IndirectGood / NonVendorGood
+  int vendor_provided_cells{};         ///< Full / IndirectGood / Some
+  double coverage_score{};             ///< mean score() over the row (0..5)
+};
+
+struct LanguageStats {
+  Language language{};
+  int usable_cells{};
+  int total_cells{};
+  double coverage_score{};
+};
+
+struct ModelStats {
+  Model model{};
+  int vendors_usable_cpp{};      ///< vendors with usable C++ support
+  int vendors_usable_fortran{};  ///< vendors with usable Fortran support
+  int vendors_vendor_native{};   ///< vendors providing support themselves (C++)
+};
+
+class Statistics {
+ public:
+  explicit Statistics(const CompatibilityMatrix& matrix);
+
+  [[nodiscard]] const std::vector<VendorStats>& vendors() const noexcept {
+    return vendor_stats_;
+  }
+  [[nodiscard]] const std::vector<LanguageStats>& languages() const noexcept {
+    return language_stats_;
+  }
+  [[nodiscard]] const std::vector<ModelStats>& models() const noexcept {
+    return model_stats_;
+  }
+
+  [[nodiscard]] const VendorStats& vendor(Vendor v) const;
+  [[nodiscard]] const LanguageStats& language(Language l) const;
+  [[nodiscard]] const ModelStats& model(Model m) const;
+
+  /// Vendor with the highest coverage score (the paper: NVIDIA).
+  [[nodiscard]] Vendor most_comprehensive_vendor() const;
+
+  /// Category histogram over the full matrix (primary ratings).
+  [[nodiscard]] const CategoryHistogram& overall_histogram() const noexcept {
+    return overall_;
+  }
+
+  /// Count of usable (vendor, model, language) combinations — the ">50
+  /// routes" framing counts distinct software routes; this counts cells.
+  [[nodiscard]] int usable_combinations() const noexcept { return usable_; }
+
+  /// Cells carrying two ratings (the paper's dual-rated cells: Python on
+  /// NVIDIA, CUDA C++ on Intel).
+  [[nodiscard]] int dual_rated_cells() const noexcept { return dual_rated_; }
+
+  /// Histogram of primary-rating providers over all cells.
+  [[nodiscard]] const std::map<Provider, int>& provider_histogram()
+      const noexcept {
+    return providers_;
+  }
+
+ private:
+  std::vector<VendorStats> vendor_stats_;
+  std::vector<LanguageStats> language_stats_;
+  std::vector<ModelStats> model_stats_;
+  CategoryHistogram overall_;
+  std::map<Provider, int> providers_;
+  int usable_{};
+  int dual_rated_{};
+};
+
+}  // namespace mcmm

@@ -1,0 +1,126 @@
+#include "core/support.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mcmm {
+namespace {
+
+[[nodiscard]] std::string lowered(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+}  // namespace
+
+std::string_view category_name(SupportCategory c) noexcept {
+  switch (c) {
+    case SupportCategory::Full:
+      return "full support";
+    case SupportCategory::IndirectGood:
+      return "indirect good support";
+    case SupportCategory::Some:
+      return "some support";
+    case SupportCategory::NonVendorGood:
+      return "non-vendor good support";
+    case SupportCategory::Limited:
+      return "limited support";
+    case SupportCategory::None:
+      return "no support";
+  }
+  return "?";
+}
+
+std::string_view category_symbol(SupportCategory c) noexcept {
+  switch (c) {
+    case SupportCategory::Full:
+      return "●";  // ● filled circle
+    case SupportCategory::IndirectGood:
+      return "◑";  // ◑ half-filled circle
+    case SupportCategory::Some:
+      return "◐";  // ◐ half-filled circle (left)
+    case SupportCategory::NonVendorGood:
+      return "◉";  // ◉ fisheye (ring with core): comprehensive, non-vendor
+    case SupportCategory::Limited:
+      return "△";  // △ open triangle
+    case SupportCategory::None:
+      return "–";  // – en-dash
+  }
+  return "?";
+}
+
+std::string_view category_symbol_ascii(SupportCategory c) noexcept {
+  switch (c) {
+    case SupportCategory::Full:
+      return "F";
+    case SupportCategory::IndirectGood:
+      return "I";
+    case SupportCategory::Some:
+      return "S";
+    case SupportCategory::NonVendorGood:
+      return "N";
+    case SupportCategory::Limited:
+      return "L";
+    case SupportCategory::None:
+      return "-";
+  }
+  return "?";
+}
+
+std::string_view to_string(Provider p) noexcept {
+  switch (p) {
+    case Provider::PlatformVendor:
+      return "platform vendor";
+    case Provider::OtherVendor:
+      return "other vendor";
+    case Provider::Community:
+      return "community";
+    case Provider::Nobody:
+      return "nobody";
+  }
+  return "?";
+}
+
+std::optional<SupportCategory> parse_category(std::string_view s) noexcept {
+  const std::string k = lowered(s);
+  if (k == "full" || k == "full support") return SupportCategory::Full;
+  if (k == "indirect" || k == "indirect good support")
+    return SupportCategory::IndirectGood;
+  if (k == "some" || k == "some support") return SupportCategory::Some;
+  if (k == "nonvendor" || k == "non-vendor" || k == "non-vendor good support")
+    return SupportCategory::NonVendorGood;
+  if (k == "limited" || k == "limited support") return SupportCategory::Limited;
+  if (k == "none" || k == "no support") return SupportCategory::None;
+  return std::nullopt;
+}
+
+std::optional<Provider> parse_provider(std::string_view s) noexcept {
+  const std::string k = lowered(s);
+  if (k == "vendor" || k == "platform vendor") return Provider::PlatformVendor;
+  if (k == "other vendor" || k == "othervendor") return Provider::OtherVendor;
+  if (k == "community") return Provider::Community;
+  if (k == "nobody" || k == "none") return Provider::Nobody;
+  return std::nullopt;
+}
+
+int score(SupportCategory c) noexcept {
+  switch (c) {
+    case SupportCategory::Full:
+      return 5;
+    case SupportCategory::IndirectGood:
+      return 4;
+    case SupportCategory::Some:
+      return 3;
+    case SupportCategory::NonVendorGood:
+      return 3;
+    case SupportCategory::Limited:
+      return 1;
+    case SupportCategory::None:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace mcmm

@@ -1,0 +1,91 @@
+#pragma once
+// The six-level support-category rating scheme of the paper (Sec. 3) and the
+// provider taxonomy used to distinguish vendor-driven from community-driven
+// support.
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mcmm {
+
+/// The paper's six rating categories, ordered from strongest to weakest.
+/// The ordering is meaningful: `score()` maps it to a 0..5 scale used by
+/// statistics and the route planner.
+enum class SupportCategory : std::uint8_t {
+  Full,           ///< "full support": vendor-complete, documented, maintained
+  IndirectGood,   ///< "indirect good support": vendor maps/translates to a native model
+  Some,           ///< "some support": vendor support, not (yet) comprehensive
+  NonVendorGood,  ///< "non-vendor good support": comprehensive, community-driven
+  Limited,        ///< "limited support": very incomplete and/or high-effort
+  None,           ///< "no support"
+};
+
+inline constexpr std::array<SupportCategory, 6> kAllCategories{
+    SupportCategory::Full,          SupportCategory::IndirectGood,
+    SupportCategory::Some,          SupportCategory::NonVendorGood,
+    SupportCategory::Limited,       SupportCategory::None,
+};
+
+/// Who provides the support for a combination.
+enum class Provider : std::uint8_t {
+  PlatformVendor,  ///< the vendor of the GPU device itself
+  OtherVendor,     ///< a different hardware/software vendor (e.g. AMD's HIP on NVIDIA)
+  Community,       ///< community / open-source third party
+  Nobody,
+};
+
+/// Long-form names as used in Sec. 3 ("Category Name: ...").
+[[nodiscard]] std::string_view category_name(SupportCategory c) noexcept;
+
+/// Single-character Unicode symbol used in our rendition of Fig. 1.
+[[nodiscard]] std::string_view category_symbol(SupportCategory c) noexcept;
+
+/// Pure-ASCII fallback symbol (for terminals without Unicode).
+[[nodiscard]] std::string_view category_symbol_ascii(SupportCategory c) noexcept;
+
+[[nodiscard]] std::string_view to_string(Provider p) noexcept;
+
+[[nodiscard]] std::optional<SupportCategory> parse_category(
+    std::string_view s) noexcept;
+[[nodiscard]] std::optional<Provider> parse_provider(std::string_view s) noexcept;
+
+/// Numeric score for ranking: Full=5 ... None=0. `NonVendorGood` scores above
+/// `Some`? No: the paper orders categories by *comprehensiveness first,
+/// provider second*; we score Full=5, IndirectGood=4, Some=3, NonVendorGood=3,
+/// Limited=1, None=0 and break the Some/NonVendorGood tie by provider
+/// preference in the planner.
+[[nodiscard]] int score(SupportCategory c) noexcept;
+
+/// True when any practical route exists (anything better than None).
+[[nodiscard]] constexpr bool usable(SupportCategory c) noexcept {
+  return c != SupportCategory::None;
+}
+
+/// True when the support counts as "comprehensive" in the paper's sense
+/// (full, indirect-good, or non-vendor-good).
+[[nodiscard]] constexpr bool comprehensive(SupportCategory c) noexcept {
+  return c == SupportCategory::Full || c == SupportCategory::IndirectGood ||
+         c == SupportCategory::NonVendorGood;
+}
+
+/// True when the support is provided by the platform vendor itself
+/// (full, indirect-good, or some).
+[[nodiscard]] constexpr bool vendor_provided(SupportCategory c) noexcept {
+  return c == SupportCategory::Full || c == SupportCategory::IndirectGood ||
+         c == SupportCategory::Some;
+}
+
+/// One rating of a cell. A cell can carry up to two ratings (the paper
+/// double-rates e.g. Python-on-NVIDIA and CUDA-on-Intel).
+struct Rating {
+  SupportCategory category{SupportCategory::None};
+  Provider provider{Provider::Nobody};
+  /// Short justification, paraphrasing the paper's description.
+  std::string rationale;
+
+  [[nodiscard]] friend bool operator==(const Rating&, const Rating&) = default;
+};
+
+}  // namespace mcmm

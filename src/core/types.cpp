@@ -1,0 +1,123 @@
+#include "core/types.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mcmm {
+namespace {
+
+[[nodiscard]] std::string lowered(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(Vendor v) noexcept {
+  switch (v) {
+    case Vendor::AMD:
+      return "AMD";
+    case Vendor::Intel:
+      return "Intel";
+    case Vendor::NVIDIA:
+      return "NVIDIA";
+  }
+  return "?";
+}
+
+std::string_view to_string(Model m) noexcept {
+  switch (m) {
+    case Model::CUDA:
+      return "CUDA";
+    case Model::HIP:
+      return "HIP";
+    case Model::SYCL:
+      return "SYCL";
+    case Model::OpenACC:
+      return "OpenACC";
+    case Model::OpenMP:
+      return "OpenMP";
+    case Model::Standard:
+      return "Standard";
+    case Model::Kokkos:
+      return "Kokkos";
+    case Model::Alpaka:
+      return "Alpaka";
+    case Model::Python:
+      return "Python";
+  }
+  return "?";
+}
+
+std::string_view to_string(Language l) noexcept {
+  switch (l) {
+    case Language::Cpp:
+      return "C++";
+    case Language::Fortran:
+      return "Fortran";
+    case Language::Python:
+      return "Python";
+  }
+  return "?";
+}
+
+std::optional<Vendor> parse_vendor(std::string_view s) noexcept {
+  const std::string k = lowered(s);
+  if (k == "amd") return Vendor::AMD;
+  if (k == "intel") return Vendor::Intel;
+  if (k == "nvidia") return Vendor::NVIDIA;
+  return std::nullopt;
+}
+
+std::optional<Model> parse_model(std::string_view s) noexcept {
+  const std::string k = lowered(s);
+  if (k == "cuda") return Model::CUDA;
+  if (k == "hip") return Model::HIP;
+  if (k == "sycl") return Model::SYCL;
+  if (k == "openacc" || k == "acc") return Model::OpenACC;
+  if (k == "openmp" || k == "omp") return Model::OpenMP;
+  if (k == "standard" || k == "stdpar" || k == "pstl") return Model::Standard;
+  if (k == "kokkos") return Model::Kokkos;
+  if (k == "alpaka") return Model::Alpaka;
+  if (k == "python") return Model::Python;
+  return std::nullopt;
+}
+
+std::optional<Language> parse_language(std::string_view s) noexcept {
+  const std::string k = lowered(s);
+  if (k == "c++" || k == "cpp" || k == "cxx" || k == "c") return Language::Cpp;
+  if (k == "fortran" || k == "f" || k == "f90") return Language::Fortran;
+  if (k == "python" || k == "py") return Language::Python;
+  return std::nullopt;
+}
+
+int combination_index(const Combination& c) noexcept {
+  // Row-major over kFigureRowOrder x kFigureColumnOrder, with the two
+  // language sub-columns (C++ then Fortran) for non-Python models.
+  int row = 0;
+  for (std::size_t i = 0; i < kFigureRowOrder.size(); ++i) {
+    if (kFigureRowOrder[i] == c.vendor) row = static_cast<int>(i);
+  }
+  int col = 0;
+  for (const Model m : kFigureColumnOrder) {
+    if (m == c.model) break;
+    col += (m == Model::Python) ? 1 : 2;
+  }
+  if (c.model != Model::Python && c.language == Language::Fortran) col += 1;
+  constexpr int kColumnsPerRow = 8 * 2 + 1;
+  return row * kColumnsPerRow + col;
+}
+
+std::string to_string(const Combination& c) {
+  std::string out;
+  out += to_string(c.vendor);
+  out += " / ";
+  out += to_string(c.model);
+  out += " / ";
+  out += to_string(c.language);
+  return out;
+}
+
+}  // namespace mcmm

@@ -1,0 +1,93 @@
+#pragma once
+// Core vocabulary of the compatibility overview: GPU vendors, programming
+// models, and programming languages, exactly as enumerated in the paper
+// (Herten, SC-W 2023, Sec. 3).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mcmm {
+
+/// The three vendors of dedicated HPC GPUs covered by the overview table.
+enum class Vendor : std::uint8_t { AMD, Intel, NVIDIA };
+
+/// Programming models covered by the overview table (Fig. 1 columns).
+/// `Python` is the per-vendor summary column ("etc - Python" in the paper).
+enum class Model : std::uint8_t {
+  CUDA,
+  HIP,
+  SYCL,
+  OpenACC,
+  OpenMP,
+  Standard,  ///< standard-language parallelism (pSTL / `do concurrent`)
+  Kokkos,
+  Alpaka,
+  Python,
+};
+
+/// Programming languages distinguished by the table's sub-columns.
+enum class Language : std::uint8_t { Cpp, Fortran, Python };
+
+inline constexpr std::array<Vendor, 3> kAllVendors{Vendor::AMD, Vendor::Intel,
+                                                   Vendor::NVIDIA};
+
+inline constexpr std::array<Model, 9> kAllModels{
+    Model::CUDA,   Model::HIP,      Model::SYCL,
+    Model::OpenACC, Model::OpenMP,  Model::Standard,
+    Model::Kokkos, Model::Alpaka,   Model::Python,
+};
+
+/// Column order used by Fig. 1 (native models first, then directive-based,
+/// then standard parallelism, then portability layers, then Python).
+inline constexpr std::array<Model, 9> kFigureColumnOrder{
+    Model::CUDA,   Model::HIP,      Model::SYCL,
+    Model::OpenACC, Model::OpenMP,  Model::Standard,
+    Model::Kokkos, Model::Alpaka,   Model::Python,
+};
+
+/// Row order used by Fig. 1.
+inline constexpr std::array<Vendor, 3> kFigureRowOrder{
+    Vendor::NVIDIA, Vendor::AMD, Vendor::Intel};
+
+[[nodiscard]] std::string_view to_string(Vendor v) noexcept;
+[[nodiscard]] std::string_view to_string(Model m) noexcept;
+[[nodiscard]] std::string_view to_string(Language l) noexcept;
+
+[[nodiscard]] std::optional<Vendor> parse_vendor(std::string_view s) noexcept;
+[[nodiscard]] std::optional<Model> parse_model(std::string_view s) noexcept;
+[[nodiscard]] std::optional<Language> parse_language(
+    std::string_view s) noexcept;
+
+/// Languages applicable to a model column: every model has C++ and Fortran
+/// sub-columns except the Python summary column.
+[[nodiscard]] constexpr bool language_applies(Model m, Language l) noexcept {
+  if (m == Model::Python) return l == Language::Python;
+  return l == Language::Cpp || l == Language::Fortran;
+}
+
+/// A single cell of the overview table: (vendor, model, language).
+struct Combination {
+  Vendor vendor{};
+  Model model{};
+  Language language{};
+
+  [[nodiscard]] friend constexpr auto operator<=>(const Combination&,
+                                                  const Combination&) = default;
+};
+
+/// Total number of cells in Fig. 1: 3 vendors x (8 models x 2 languages + 1
+/// Python column) = 51, as stated in the paper's abstract and Sec. 3.
+inline constexpr int kCombinationCount = 51;
+
+/// Number of unique description items in Sec. 4 of the paper.
+inline constexpr int kDescriptionCount = 44;
+
+/// Stable ordering key for a combination (row-major in figure order).
+[[nodiscard]] int combination_index(const Combination& c) noexcept;
+
+[[nodiscard]] std::string to_string(const Combination& c);
+
+}  // namespace mcmm

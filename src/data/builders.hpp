@@ -1,0 +1,115 @@
+#pragma once
+// Small fluent builder used by the per-vendor dataset translation units to
+// keep the 51 cell definitions readable.
+
+#include <utility>
+
+#include "core/entry.hpp"
+#include "core/matrix.hpp"
+
+namespace mcmm::data::detail {
+
+class EntryBuilder {
+ public:
+  EntryBuilder(Vendor v, Model m, Language l, int description_id) {
+    entry_.combo = Combination{v, m, l};
+    entry_.description_id = description_id;
+  }
+
+  EntryBuilder& rated(SupportCategory c, Provider p, std::string rationale) {
+    entry_.ratings.push_back(Rating{c, p, std::move(rationale)});
+    return *this;
+  }
+
+  EntryBuilder& route(Route r) {
+    entry_.routes.push_back(std::move(r));
+    return *this;
+  }
+
+  /// Marks the rating as pinned by the paper's Sec. 5 discussion (not merely
+  /// inferred from the description text).
+  EntryBuilder& pinned() {
+    entry_.inferred = false;
+    return *this;
+  }
+
+  void add_to(CompatibilityMatrix& m) { m.add_entry(std::move(entry_)); }
+
+ private:
+  SupportEntry entry_;
+};
+
+/// Shorthand route constructors.
+[[nodiscard]] inline Route compiler_route(std::string name, Provider p,
+                                          Maturity mat, std::string toolchain,
+                                          std::vector<std::string> flags = {},
+                                          std::vector<std::string> env = {},
+                                          std::string notes = {}) {
+  Route r;
+  r.name = std::move(name);
+  r.kind = RouteKind::Compiler;
+  r.provider = p;
+  r.maturity = mat;
+  r.toolchain = std::move(toolchain);
+  r.flags = std::move(flags);
+  r.environment = std::move(env);
+  r.notes = std::move(notes);
+  return r;
+}
+
+[[nodiscard]] inline Route translator_route(std::string name, Provider p,
+                                            Maturity mat,
+                                            std::string toolchain,
+                                            std::string notes = {}) {
+  Route r;
+  r.name = std::move(name);
+  r.kind = RouteKind::Translator;
+  r.provider = p;
+  r.maturity = mat;
+  r.toolchain = std::move(toolchain);
+  r.notes = std::move(notes);
+  return r;
+}
+
+[[nodiscard]] inline Route bindings_route(std::string name, Provider p,
+                                          Maturity mat, std::string toolchain,
+                                          std::string notes = {}) {
+  Route r;
+  r.name = std::move(name);
+  r.kind = RouteKind::Bindings;
+  r.provider = p;
+  r.maturity = mat;
+  r.toolchain = std::move(toolchain);
+  r.notes = std::move(notes);
+  return r;
+}
+
+[[nodiscard]] inline Route library_route(std::string name, Provider p,
+                                         Maturity mat, std::string toolchain,
+                                         std::string notes = {}) {
+  Route r;
+  r.name = std::move(name);
+  r.kind = RouteKind::Library;
+  r.provider = p;
+  r.maturity = mat;
+  r.toolchain = std::move(toolchain);
+  r.notes = std::move(notes);
+  return r;
+}
+
+[[nodiscard]] inline Route runtime_route(std::string name, Provider p,
+                                         Maturity mat, std::string toolchain,
+                                         std::vector<std::string> flags = {},
+                                         std::string notes = {}) {
+  Route r;
+  r.name = std::move(name);
+  r.kind = RouteKind::Runtime;
+  r.provider = p;
+  r.maturity = mat;
+  r.toolchain = std::move(toolchain);
+  r.flags = std::move(flags);
+  r.notes = std::move(notes);
+  return r;
+}
+
+}  // namespace mcmm::data::detail

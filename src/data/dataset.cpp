@@ -1,0 +1,20 @@
+#include "data/dataset.hpp"
+
+namespace mcmm::data {
+
+CompatibilityMatrix build_paper_matrix() {
+  CompatibilityMatrix m;
+  detail::add_descriptions(m);
+  detail::add_nvidia_entries(m);
+  detail::add_amd_entries(m);
+  detail::add_intel_entries(m);
+  m.validate();
+  return m;
+}
+
+const CompatibilityMatrix& paper_matrix() {
+  static const CompatibilityMatrix matrix = build_paper_matrix();
+  return matrix;
+}
+
+}  // namespace mcmm::data

@@ -1,0 +1,28 @@
+#pragma once
+// The paper's full dataset: Fig. 1's 51 cells and Sec. 4's 44 descriptions,
+// encoded as a validated CompatibilityMatrix.
+//
+// Provenance: ratings reconstructed from the Sec. 4 descriptions and the
+// Sec. 5 discussion (see DESIGN.md Sec. 5); every entry carries
+// `inferred = true` except the cells the discussion pins explicitly.
+
+#include "core/matrix.hpp"
+
+namespace mcmm::data {
+
+/// The singleton paper dataset; built and validated on first use.
+[[nodiscard]] const CompatibilityMatrix& paper_matrix();
+
+/// Builds a fresh copy (used by mutation-style tests and the YAML pipeline).
+[[nodiscard]] CompatibilityMatrix build_paper_matrix();
+
+// Internal builders, one translation unit per vendor row (plus the shared
+// Sec. 4 descriptions).
+namespace detail {
+void add_descriptions(CompatibilityMatrix& m);
+void add_nvidia_entries(CompatibilityMatrix& m);
+void add_amd_entries(CompatibilityMatrix& m);
+void add_intel_entries(CompatibilityMatrix& m);
+}  // namespace detail
+
+}  // namespace mcmm::data

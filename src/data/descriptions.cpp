@@ -1,0 +1,286 @@
+// The 44 numbered descriptions of the paper's Sec. 4, condensed. Item ids
+// match the paper's reference numbers exactly (1..44). Where one item covers
+// several cells (items 4, 6, 14, 16) the title lists all platforms, as in
+// the paper.
+
+#include "data/dataset.hpp"
+
+namespace mcmm::data::detail {
+
+void add_descriptions(CompatibilityMatrix& m) {
+  const auto add = [&m](int id, std::string title, std::string text,
+                        std::vector<std::string> refs) {
+    m.add_description(
+        Description{id, std::move(title), std::move(text), std::move(refs)});
+  };
+
+  add(1, "NVIDIA - CUDA - C++",
+      "CUDA C/C++ is supported on NVIDIA GPUs through the CUDA Toolkit "
+      "(first released 2007, current version 12.2). The toolkit covers "
+      "nearly all aspects of the platform: programming API with language "
+      "extensions, libraries, profiling/debugging tools, compiler, and "
+      "management tools. Higher languages are translated to the PTX ISA, "
+      "then compiled to SASS device binary. As the platform reference, the "
+      "support is very comprehensive. NVIDIA GPUs can also be used via "
+      "Clang's CUDA support in the LLVM toolchain.",
+      {"NVIDIA CUDA Toolkit"});
+  add(2, "NVIDIA - CUDA - Fortran",
+      "CUDA Fortran, a proprietary Fortran extension by NVIDIA, is "
+      "supported via the NVIDIA HPC SDK (NVHPC), activated through the "
+      "-cuda switch of nvfortran. It models the CUDA C/C++ definitions "
+      "closely, supports explicit Fortran kernels and 'cuf kernels' "
+      "(compiler-generated parallel code). CUDA Fortran support was "
+      "recently merged into Flang, the LLVM-based Fortran compiler.",
+      {"NVIDIA CUDA Fortran"});
+  add(3, "NVIDIA - HIP - C++",
+      "HIP programs can directly use NVIDIA GPUs via a CUDA backend. API "
+      "calls are named similarly (hipMalloc() for cudaMalloc()) and kernel "
+      "syntax keywords are identical; HIP also interfaces CUDA libraries "
+      "(hipblasSaxpy() for cublasSaxpy()). Target NVIDIA GPUs through "
+      "hipcc with HIP_PLATFORM=nvidia. AMD offers the HIPIFY conversion "
+      "tool to create HIP code from CUDA.",
+      {"AMD HIP"});
+  add(4, "NVIDIA, AMD - HIP - Fortran",
+      "No Fortran version of HIP exists; HIP is solely a C/C++ model. But "
+      "AMD offers an extensive set of ready-made interfaces to the HIP API "
+      "and HIP/ROCm libraries with hipfort (MIT-licensed). All interfaces "
+      "implement C functionality; CUDA-like Fortran kernel extensions are "
+      "not available.",
+      {"AMD hipfort"});
+  add(5, "NVIDIA - SYCL - C++",
+      "No direct support by NVIDIA, but SYCL runs on NVIDIA GPUs through "
+      "multiple venues: DPC++ (Intel-led open-source LLVM compiler; also a "
+      "oneAPI plugin), Open SYCL (previously hipSYCL; via LLVM CUDA "
+      "support or NVHPC nvc++), and formerly ComputeCpp by CodePlay "
+      "(unsupported since September 2023). Intel offers the SYCLomatic "
+      "tool to translate CUDA code to SYCL.",
+      {"Intel DPC++", "Open SYCL"});
+  add(6, "NVIDIA, AMD, Intel - SYCL - Fortran",
+      "SYCL is a C++-based programming model (C++17) and by its nature "
+      "does not support Fortran. No pre-made bindings are available.",
+      {"Khronos SYCL"});
+  add(7, "NVIDIA - OpenACC - C++",
+      "OpenACC C/C++ is supported most extensively through the NVIDIA HPC "
+      "SDK (nvc/nvc++ with -acc -gpu), conforming to OpenACC 2.7. Good "
+      "support also in GCC since 5.0 (OpenACC 2.6, -fopenacc, nvptx "
+      "architecture) and through Clacc, which adapts LLVM/Clang and "
+      "translates OpenACC to OpenMP during compilation.",
+      {"NVIDIA HPC SDK", "GCC OpenACC", "Clacc"});
+  add(8, "NVIDIA - OpenACC - Fortran",
+      "Similar to OpenACC C/C++ but not identical: NVHPC nvfortran, GCC "
+      "gfortran (identical options to C/C++), LLVM Flang (initially via "
+      "the Flacc project, now in main LLVM), and the HPE Cray Programming "
+      "Environment (ftn -hacc).",
+      {"NVIDIA HPC SDK", "GCC OpenACC", "Flacc", "HPE Cray PE"});
+  add(9, "NVIDIA - OpenMP - C++",
+      "OpenMP offloading to NVIDIA GPUs through multiple venues: NVHPC "
+      "nvc/nvc++ (-mp; only a subset of OpenMP 5.0), GCC (-fopenmp with "
+      "-foffload; OpenMP 4.5 complete, 5.x in progress), Clang (-fopenmp "
+      "-fopenmp-targets=...; 4.5 plus selected 5.0/5.1), HPE Cray PE "
+      "(subset of 5.0/5.1), and AMD's AOMP.",
+      {"NVIDIA HPC SDK", "GCC OpenMP", "Clang OpenMP", "HPE Cray PE"});
+  add(10, "NVIDIA - OpenMP - Fortran",
+      "Nearly identical to C/C++: NVHPC nvfortran (-mp), GCC gfortran, "
+      "LLVM Flang (-mp, when compiled via Clang), and the HPE Cray "
+      "Programming Environment.",
+      {"NVIDIA HPC SDK", "GCC OpenMP", "Flang", "HPE Cray PE"});
+  add(11, "NVIDIA - Standard - C++",
+      "Parallel algorithms and data structures of the C++ parallel STL "
+      "are supported through nvc++ of the NVIDIA HPC SDK via "
+      "-stdpar=gpu. Open SYCL is implementing pSTL support "
+      "(--hipsycl-stdpar), and Intel's DPC++/oneDPL can target NVIDIA "
+      "GPUs as well.",
+      {"NVIDIA HPC SDK", "Open SYCL", "Intel oneDPL"});
+  add(12, "NVIDIA - Standard - Fortran",
+      "Standard language parallelism of Fortran, mainly do concurrent, is "
+      "supported through nvfortran of the NVIDIA HPC SDK, enabled via "
+      "-stdpar=gpu.",
+      {"NVIDIA HPC SDK"});
+  add(13, "NVIDIA - Kokkos - C++",
+      "Kokkos supports NVIDIA GPUs with multiple backends: native CUDA "
+      "C/C++ (nvcc), NVIDIA HPC SDK (CUDA support in nvc++), and Clang "
+      "(direct CUDA support or OpenMP offloading, clang++).",
+      {"Kokkos"});
+  add(14, "NVIDIA, AMD, Intel - Kokkos - Fortran",
+      "Kokkos is a C++ programming model, but an official Fortran Language "
+      "Compatibility Layer (FLCL) is available. Through this layer, GPUs "
+      "can be used as supported by Kokkos C++.",
+      {"Kokkos FLCL"});
+  add(15, "NVIDIA - Alpaka - C++",
+      "Alpaka supports NVIDIA GPUs in C++ (C++17), either through nvcc or "
+      "LLVM/Clang's CUDA support (clang++).",
+      {"Alpaka"});
+  add(16, "NVIDIA, AMD, Intel - Alpaka - Fortran",
+      "Alpaka is a C++ programming model and no ready-made Fortran support "
+      "exists.",
+      {"Alpaka"});
+  add(17, "NVIDIA - etc - Python",
+      "Multiple venues: CUDA Python (NVIDIA's low-level interfaces to CUDA "
+      "C/C++; PyPI cuda-python), PyCUDA (community; higher-level features "
+      "with its own C++ base layer), CuPy (NumPy-compatible GPU "
+      "primitives, custom kernels, library bindings; cupy-cuda12x), Numba "
+      "(decorator-based JIT acceleration), and cuNumeric (NVIDIA; "
+      "NumPy-inspired, scales to multiple GPUs via Legate).",
+      {"CUDA Python", "PyCUDA", "CuPy", "Numba", "cuNumeric"});
+  add(18, "AMD - CUDA - C++",
+      "CUDA is not directly supported on AMD GPUs, but it can be "
+      "translated to HIP through AMD's HIPIFY. Using hipcc and "
+      "HIP_PLATFORM=amd, CUDA-to-HIP-translated code can be executed.",
+      {"AMD HIPIFY"});
+  add(19, "AMD - CUDA - Fortran",
+      "No direct support, but AMD offers GPUFORT, a source-to-source "
+      "translator converting some CUDA Fortran to Fortran+OpenMP (via "
+      "AOMP) or Fortran with HIP bindings and extracted C kernels (via "
+      "hipfort). Covered functionality is driven by use-case requirements; "
+      "the last commit is two years old.",
+      {"AMD GPUFORT"});
+  add(20, "AMD - HIP - C++",
+      "HIP C++ is the native programming model for AMD GPUs and fully "
+      "supports the devices. Part of the ROCm platform (compilers, "
+      "libraries, tools, drivers; mostly open source). Compile with hipcc "
+      "(a compiler-driver wrapper finally calling AMD's Clang with the "
+      "AMDGPU backend), HIP_PLATFORM=amd, --offload-arch=gfx90a etc.",
+      {"AMD HIP", "AMD ROCm"});
+  add(21, "AMD - SYCL - C++",
+      "No direct support by AMD, but third-party software: Open SYCL "
+      "(previously hipSYCL; relies on HIP/ROCm support in Clang, all "
+      "internal compilation models can target AMD) and DPC++ (open source "
+      "or via the oneAPI ROCm plugin). Unlike for CUDA, no conversion "
+      "tool like SYCLomatic exists.",
+      {"Open SYCL", "Intel DPC++"});
+  add(22, "AMD - OpenACC - C++",
+      "Not supported by AMD itself; third-party support through GCC "
+      "(-fopenacc, -foffload=amdgcn-amdhsa=\"-march=gfx906\") or Clacc "
+      "(translating OpenACC to OpenMP, -fopenacc with "
+      "-fopenmp-targets=amdgcn-amd-amdhsa). Intel's OpenACC-to-OpenMP "
+      "source translator can also be used for AMD's platform.",
+      {"GCC OpenACC", "Clacc"});
+  add(23, "AMD - OpenACC - Fortran",
+      "No native AMD support, but AMD supplies GPUFORT (research project; "
+      "source-to-source to Fortran+OpenMP or Fortran+hipfort with "
+      "extracted C kernels; use-case-driven, last commit two years old). "
+      "Community support through GCC gfortran, upcoming in LLVM (Flacc), "
+      "the HPE Cray Programming Environment, and Intel's OpenACC-to-OpenMP "
+      "translator.",
+      {"AMD GPUFORT", "GCC OpenACC", "Flacc", "HPE Cray PE"});
+  add(24, "AMD - OpenMP - C++",
+      "AMD offers AOMP, a dedicated Clang-based compiler for OpenMP "
+      "C/C++ offloading, usually shipped with ROCm. Supports most OpenMP "
+      "4.5 and some 5.0 features; usual Clang options apply (-fopenmp). "
+      "The HPE Cray Programming Environment also supports OpenMP on AMD "
+      "GPUs.",
+      {"AMD AOMP", "HPE Cray PE"});
+  add(25, "AMD - OpenMP - Fortran",
+      "Through AOMP, AMD supports OpenMP offloading in Fortran using the "
+      "flang executable and Clang-typical options (foremost -fopenmp). "
+      "Also available through the HPE Cray Programming Environment.",
+      {"AMD AOMP", "HPE Cray PE"});
+  add(26, "AMD - Standard - C++",
+      "AMD does not yet provide production-grade pSTL support. Under "
+      "development is roc-stdpar (ROCm Standard Parallelism Runtime, "
+      "-stdpar, aiming at upstream LLVM). Open SYCL is adding pSTL "
+      "support (--hipsycl-stdpar) usable on AMD backends; Intel's oneDPL "
+      "via DPC++ has experimental AMD support.",
+      {"AMD roc-stdpar", "Open SYCL", "Intel oneDPL"});
+  add(27, "AMD - Standard - Fortran",
+      "There is no (known) way to launch Standard-based parallel "
+      "algorithms in Fortran on AMD GPUs.",
+      {});
+  add(28, "AMD - Kokkos - C++",
+      "Kokkos supports AMD GPUs mainly through the HIP/ROCm backend; an "
+      "OpenMP offloading backend is also available.",
+      {"Kokkos"});
+  add(29, "AMD - Alpaka - C++",
+      "Alpaka supports AMD GPUs in C++ through HIP or through an OpenMP "
+      "backend.",
+      {"Alpaka"});
+  add(30, "AMD - etc - Python",
+      "AMD does not officially support GPU programming with Python; "
+      "third-party solutions exist: CuPy experimentally supports "
+      "ROCm (cupy-rocm-5-0), Numba once had AMD support (unmaintained), "
+      "low-level bindings exist with PyHIP (pyhip-interface), and "
+      "PyOpenCL binds OpenCL.",
+      {"CuPy", "PyHIP", "PyOpenCL"});
+  add(31, "Intel - CUDA - C++",
+      "Intel does not support CUDA C/C++ on their GPUs, but offers "
+      "SYCLomatic, an open-source CUDA-to-SYCL translator (commercially "
+      "the DPC++ Compatibility Tool). The community project chipStar "
+      "(previously CHIP-SPV, 1.0 released) targets Intel GPUs from CUDA "
+      "via Clang's CUDA support and a cuspv wrapper. ZLUDA implemented "
+      "CUDA on Intel GPUs but is not maintained anymore.",
+      {"Intel SYCLomatic", "chipStar", "ZLUDA"});
+  add(32, "Intel - CUDA - Fortran",
+      "No direct support for CUDA Fortran on Intel GPUs. A simple example "
+      "binding SYCL to a (CUDA) Fortran program via ISO_C_BINDING can be "
+      "found on GitHub.",
+      {});
+  add(33, "Intel - HIP - C++",
+      "No native HIP support on Intel GPUs. The open-source project "
+      "chipStar supports HIP by mapping it to OpenCL or Intel's Level "
+      "Zero runtime, using an LLVM-based toolchain with HIP and SPIR-V "
+      "functionality.",
+      {"chipStar"});
+  add(34, "Intel - HIP - Fortran",
+      "HIP for Fortran does not exist, and there are no translation "
+      "efforts for Intel GPUs.",
+      {});
+  add(35, "Intel - SYCL - C++",
+      "SYCL (C++17-based) is Intel's prime programming model for their "
+      "GPUs, implemented via DPC++, an LLVM-based toolchain (own LLVM "
+      "fork, upstreaming planned). Intel releases the commercial Intel "
+      "oneAPI DPC++ compiler on top. Open SYCL also supports Intel GPUs "
+      "(SPIR-V or Level Zero). ComputeCpp was a previous solution, "
+      "unsupported since September 2023.",
+      {"Intel DPC++", "Intel oneAPI", "Open SYCL"});
+  add(36, "Intel - OpenACC - C++",
+      "No direct OpenACC C/C++ support for Intel GPUs. Intel offers a "
+      "Python-based source translator, the Application Migration Tool for "
+      "OpenACC to OpenMP API.",
+      {"Intel OpenACC migration tool"});
+  add(37, "Intel - OpenACC - Fortran",
+      "No direct support either; Intel's OpenACC-to-OpenMP source "
+      "translation tool also supports Fortran.",
+      {"Intel OpenACC migration tool"});
+  add(38, "Intel - OpenMP - C++",
+      "OpenMP is a second key programming model for Intel GPUs and "
+      "well-supported: built into Intel oneAPI DPC++/C++. All OpenMP 4.5 "
+      "and most 5.0/5.1 features are supported. Enable with -qopenmp of "
+      "icpx and -fopenmp-targets=spir64.",
+      {"Intel oneAPI"});
+  add(39, "Intel - OpenMP - Fortran",
+      "OpenMP in Fortran is Intel's main route for Fortran applications "
+      "on their GPUs, supported through the LLVM-based Intel Fortran "
+      "Compiler ifx (not the Classic compiler), part of the oneAPI HPC "
+      "Toolkit; enabled via -qopenmp and -fopenmp-targets=spir64.",
+      {"Intel oneAPI"});
+  add(40, "Intel - Standard - C++",
+      "Intel supports C++ standard parallelism through the open-source "
+      "oneDPL (oneAPI DPC++ Library), implementing the pSTL on top of the "
+      "DPC++ compiler; algorithms, data structures, and policies live in "
+      "the oneapi::dpl:: namespace. Open SYCL is adding pSTL support "
+      "(--hipsycl-stdpar).",
+      {"Intel oneDPL", "Open SYCL"});
+  add(41, "Intel - Standard - Fortran",
+      "Fortran standard parallelism (do concurrent) is supported through "
+      "the Intel Fortran Compiler ifx (oneAPI HPC toolkit); support added "
+      "in oneAPI 2022.1 and extended since. Use -qopenmp together with "
+      "-fopenmp-target-do-concurrent and -fopenmp-targets=spir64.",
+      {"Intel oneAPI"});
+  add(42, "Intel - Kokkos - C++",
+      "No direct support by Intel, but Kokkos supports Intel GPUs through "
+      "an experimental SYCL backend.",
+      {"Kokkos"});
+  add(43, "Intel - Alpaka - C++",
+      "Since v0.9.0, Alpaka contains experimental SYCL support with which "
+      "Intel GPUs can be targeted. Alpaka can also fall back to an OpenMP "
+      "backend.",
+      {"Alpaka"});
+  add(44, "Intel - etc - Python",
+      "Three notable packages: dpctl (Data Parallel Control; low-level "
+      "Python bindings to SYCL), numba-dpex (Data-parallel Extension to "
+      "Numba; JIT for Intel GPUs), and dpnp (Data Parallel Extension for "
+      "NumPy; NumPy API with Intel GPU support).",
+      {"Intel dpctl", "Intel numba-dpex", "Intel dpnp"});
+}
+
+}  // namespace mcmm::data::detail

@@ -1,0 +1,215 @@
+// AMD row of Fig. 1: 17 cells (items 18..30 plus shared items 4, 6, 14, 16).
+
+#include "data/builders.hpp"
+#include "data/dataset.hpp"
+
+namespace mcmm::data::detail {
+
+void add_amd_entries(CompatibilityMatrix& m) {
+  constexpr Vendor V = Vendor::AMD;
+
+  // 18: CUDA / C++ — vendor translation via HIPIFY.
+  EntryBuilder(V, Model::CUDA, Language::Cpp, 18)
+      .rated(SupportCategory::IndirectGood, Provider::PlatformVendor,
+             "AMD's HIPIFY semi-automatically translates CUDA to the native "
+             "HIP model")
+      .route(translator_route("HIPIFY + hipcc", Provider::PlatformVendor,
+                              Maturity::Production, "hipify-perl",
+                              "translated code runs via hipcc with "
+                              "HIP_PLATFORM=amd"))
+      .add_to(m);
+
+  // 19: CUDA / Fortran — GPUFORT only.
+  EntryBuilder(V, Model::CUDA, Language::Fortran, 19)
+      .rated(SupportCategory::Limited, Provider::PlatformVendor,
+             "GPUFORT converts some CUDA Fortran; use-case-driven coverage, "
+             "unmaintained for two years")
+      .route(translator_route("GPUFORT", Provider::PlatformVendor,
+                              Maturity::Unmaintained, "gpufort",
+                              "to Fortran+OpenMP (AOMP) or Fortran+hipfort "
+                              "with extracted C kernels"))
+      .add_to(m);
+
+  // 20: HIP / C++ — the native model.
+  EntryBuilder(V, Model::HIP, Language::Cpp, 20)
+      .rated(SupportCategory::Full, Provider::PlatformVendor,
+             "HIP is the native model of the ROCm platform")
+      .pinned()
+      .route(compiler_route("ROCm / hipcc", Provider::PlatformVendor,
+                            Maturity::Production, "hipcc",
+                            {"--offload-arch=gfx90a"},
+                            {"HIP_PLATFORM=amd"},
+                            "compiler driver calling AMD Clang (AMDGPU "
+                            "backend)"))
+      .add_to(m);
+
+  // 4 (shared): HIP / Fortran — hipfort, vendor-provided on AMD.
+  EntryBuilder(V, Model::HIP, Language::Fortran, 4)
+      .rated(SupportCategory::Some, Provider::PlatformVendor,
+             "hipfort is AMD's own bindings set; covers the C API surface "
+             "but offers no Fortran kernel language")
+      .route(bindings_route("hipfort", Provider::PlatformVendor,
+                            Maturity::Stable, "hipfc",
+                            "MIT-licensed interfaces to HIP API and ROCm "
+                            "libraries"))
+      .add_to(m);
+
+  // 21: SYCL / C++.
+  EntryBuilder(V, Model::SYCL, Language::Cpp, 21)
+      .rated(SupportCategory::NonVendorGood, Provider::Community,
+             "Open SYCL and DPC++ (ROCm plugin) provide comprehensive "
+             "third-party support; no SYCLomatic-like conversion tool")
+      .route(compiler_route("Open SYCL", Provider::Community, Maturity::Stable,
+                            "syclcc", {}, {},
+                            "relies on HIP/ROCm support in Clang"))
+      .route(compiler_route("DPC++ (ROCm plugin)", Provider::OtherVendor,
+                            Maturity::Stable, "clang++ (intel/llvm)",
+                            {"-fsycl",
+                             "-fsycl-targets=amdgcn-amd-amdhsa"}))
+      .add_to(m);
+
+  // 6 (shared): SYCL / Fortran.
+  EntryBuilder(V, Model::SYCL, Language::Fortran, 6)
+      .rated(SupportCategory::None, Provider::Nobody,
+             "SYCL is C++17-based; no pre-made bindings exist")
+      .add_to(m);
+
+  // 22: OpenACC / C++.
+  EntryBuilder(V, Model::OpenACC, Language::Cpp, 22)
+      .rated(SupportCategory::NonVendorGood, Provider::Community,
+             "GCC and Clacc support OpenACC C/C++ on AMD GPUs; nothing from "
+             "AMD itself")
+      .route(compiler_route("GCC", Provider::Community, Maturity::Stable,
+                            "g++",
+                            {"-fopenacc",
+                             "-foffload=amdgcn-amdhsa=\"-march=gfx906\""}))
+      .route(compiler_route("Clacc", Provider::Community,
+                            Maturity::Experimental, "clang (clacc)",
+                            {"-fopenacc",
+                             "-fopenmp-targets=amdgcn-amd-amdhsa"},
+                            {}, "translates OpenACC to OpenMP"))
+      .route(translator_route("Intel OpenACC->OpenMP migration tool",
+                              Provider::OtherVendor, Maturity::Stable,
+                              "intel-application-migration-tool",
+                              "source translation also usable for AMD"))
+      .add_to(m);
+
+  // 23: OpenACC / Fortran.
+  EntryBuilder(V, Model::OpenACC, Language::Fortran, 23)
+      .rated(SupportCategory::NonVendorGood, Provider::Community,
+             "gfortran and the HPE Cray PE carry OpenACC Fortran on AMD; "
+             "AMD's own GPUFORT is an unmaintained research project")
+      .route(compiler_route("GCC", Provider::Community, Maturity::Stable,
+                            "gfortran", {"-fopenacc"}))
+      .route(compiler_route("HPE Cray PE", Provider::OtherVendor,
+                            Maturity::Production, "ftn", {"-hacc"}))
+      .route(compiler_route("LLVM Flang (Flacc)", Provider::Community,
+                            Maturity::Experimental, "flang-new"))
+      .route(translator_route("GPUFORT", Provider::PlatformVendor,
+                              Maturity::Unmaintained, "gpufort"))
+      .route(translator_route("Intel OpenACC->OpenMP migration tool",
+                              Provider::OtherVendor, Maturity::Stable,
+                              "intel-application-migration-tool"))
+      .add_to(m);
+
+  // 24: OpenMP / C++ — AOMP.
+  EntryBuilder(V, Model::OpenMP, Language::Cpp, 24)
+      .rated(SupportCategory::Some, Provider::PlatformVendor,
+             "AOMP supports most OpenMP 4.5 and some 5.0 features")
+      .route(compiler_route("AOMP", Provider::PlatformVendor,
+                            Maturity::Production, "aompcc", {"-fopenmp"},
+                            {}, "Clang-based, usually shipped with ROCm"))
+      .route(compiler_route("HPE Cray PE", Provider::OtherVendor,
+                            Maturity::Production, "CC", {"-fopenmp"}))
+      .add_to(m);
+
+  // 25: OpenMP / Fortran.
+  EntryBuilder(V, Model::OpenMP, Language::Fortran, 25)
+      .rated(SupportCategory::Some, Provider::PlatformVendor,
+             "AOMP's flang supports OpenMP offloading in Fortran")
+      .route(compiler_route("AOMP (flang)", Provider::PlatformVendor,
+                            Maturity::Production, "flang", {"-fopenmp"}))
+      .route(compiler_route("HPE Cray PE", Provider::OtherVendor,
+                            Maturity::Production, "ftn", {"-fopenmp"}))
+      .add_to(m);
+
+  // 26: Standard / C++ — "most ambivalence" per Sec. 5.
+  EntryBuilder(V, Model::Standard, Language::Cpp, 26)
+      .rated(SupportCategory::Limited, Provider::PlatformVendor,
+             "no production-grade vendor solution yet; roc-stdpar is in "
+             "development, Open SYCL and oneDPL routes are experimental")
+      .pinned()
+      .route(runtime_route("roc-stdpar", Provider::PlatformVendor,
+                           Maturity::Experimental, "clang++ (roc-stdpar)",
+                           {"-stdpar"},
+                           "aims to merge into upstream LLVM"))
+      .route(compiler_route("Open SYCL stdpar", Provider::Community,
+                            Maturity::Experimental, "syclcc",
+                            {"--hipsycl-stdpar"}))
+      .route(library_route("oneDPL via DPC++", Provider::OtherVendor,
+                           Maturity::Experimental, "clang++ (intel/llvm)",
+                           "DPC++ has experimental AMD support"))
+      .add_to(m);
+
+  // 27: Standard / Fortran — nothing.
+  EntryBuilder(V, Model::Standard, Language::Fortran, 27)
+      .rated(SupportCategory::None, Provider::Nobody,
+             "no known way to launch Fortran standard parallelism on AMD "
+             "GPUs")
+      .add_to(m);
+
+  // 28: Kokkos / C++.
+  EntryBuilder(V, Model::Kokkos, Language::Cpp, 28)
+      .rated(SupportCategory::NonVendorGood, Provider::Community,
+             "mature HIP/ROCm backend, plus an OpenMP offload backend")
+      .route(library_route("Kokkos HIP backend", Provider::Community,
+                           Maturity::Production, "hipcc"))
+      .route(library_route("Kokkos OpenMP offload backend",
+                           Provider::Community, Maturity::Experimental,
+                           "clang++"))
+      .add_to(m);
+
+  // 14 (shared): Kokkos / Fortran.
+  EntryBuilder(V, Model::Kokkos, Language::Fortran, 14)
+      .rated(SupportCategory::Limited, Provider::Community,
+             "only via the Fortran Language Compatibility Layer")
+      .route(bindings_route("Kokkos FLCL", Provider::Community,
+                            Maturity::Stable, "flcl"))
+      .add_to(m);
+
+  // 29: Alpaka / C++.
+  EntryBuilder(V, Model::Alpaka, Language::Cpp, 29)
+      .rated(SupportCategory::NonVendorGood, Provider::Community,
+             "HIP backend or OpenMP backend")
+      .route(library_route("Alpaka HIP backend", Provider::Community,
+                           Maturity::Production, "hipcc"))
+      .route(library_route("Alpaka OpenMP backend", Provider::Community,
+                           Maturity::Stable, "clang++"))
+      .add_to(m);
+
+  // 16 (shared): Alpaka / Fortran.
+  EntryBuilder(V, Model::Alpaka, Language::Fortran, 16)
+      .rated(SupportCategory::None, Provider::Nobody,
+             "C++ model; no ready-made Fortran support")
+      .add_to(m);
+
+  // 30: Python — third-party, partly unmaintained.
+  EntryBuilder(V, Model::Python, Language::Python, 30)
+      .rated(SupportCategory::Limited, Provider::Community,
+             "no official AMD support; CuPy/ROCm is experimental, Numba's "
+             "AMD target is unmaintained, PyHIP is low-level")
+      .route(library_route("CuPy (ROCm)", Provider::Community,
+                           Maturity::Experimental,
+                           "pip install cupy-rocm-5-0"))
+      .route(bindings_route("PyHIP", Provider::Community,
+                            Maturity::Experimental,
+                            "pip install pyhip-interface"))
+      .route(library_route("Numba (ROCm)", Provider::Community,
+                           Maturity::Unmaintained, "pip install numba",
+                           "AMD support no longer maintained"))
+      .route(bindings_route("PyOpenCL", Provider::Community, Maturity::Stable,
+                            "pip install pyopencl"))
+      .add_to(m);
+}
+
+}  // namespace mcmm::data::detail

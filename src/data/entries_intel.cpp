@@ -1,0 +1,202 @@
+// Intel row of Fig. 1: 17 cells (items 31..44 plus shared items 6, 14, 16).
+
+#include "data/builders.hpp"
+#include "data/dataset.hpp"
+
+namespace mcmm::data::detail {
+
+void add_intel_entries(CompatibilityMatrix& m) {
+  constexpr Vendor V = Vendor::Intel;
+
+  // 31: CUDA / C++ — dual-rated, pinned by Sec. 5 ("double-rating ...
+  // honors chipStar besides the CUDA-to-SYCL conversion tool").
+  EntryBuilder(V, Model::CUDA, Language::Cpp, 31)
+      .rated(SupportCategory::IndirectGood, Provider::PlatformVendor,
+             "SYCLomatic / DPC++ Compatibility Tool translate CUDA to the "
+             "native SYCL model")
+      .rated(SupportCategory::Limited, Provider::Community,
+             "chipStar runs CUDA via Clang + SPIR-V; young (1.0); ZLUDA is "
+             "unmaintained")
+      .pinned()
+      .route(translator_route("SYCLomatic", Provider::PlatformVendor,
+                              Maturity::Production, "c2s",
+                              "open-source CUDA -> SYCL translator"))
+      .route(translator_route("DPC++ Compatibility Tool",
+                              Provider::PlatformVendor, Maturity::Production,
+                              "dpct", "commercial SYCLomatic variant"))
+      .route(compiler_route("chipStar (cuspv)", Provider::Community,
+                            Maturity::Experimental, "cuspv", {}, {},
+                            "CUDA via Clang's CUDA support and SPIR-V"))
+      .route(runtime_route("ZLUDA", Provider::Community,
+                           Maturity::Unmaintained, "zluda", {},
+                           "CUDA implementation for Intel GPUs; abandoned"))
+      .add_to(m);
+
+  // 32: CUDA / Fortran — nothing real.
+  EntryBuilder(V, Model::CUDA, Language::Fortran, 32)
+      .rated(SupportCategory::None, Provider::Nobody,
+             "only a GitHub example binding SYCL into Fortran via "
+             "ISO_C_BINDING — the paper's definition of 'no support'")
+      .add_to(m);
+
+  // 33: HIP / C++ — chipStar.
+  EntryBuilder(V, Model::HIP, Language::Cpp, 33)
+      .rated(SupportCategory::Limited, Provider::Community,
+             "chipStar maps HIP to OpenCL or Level Zero; LLVM-based, young")
+      .route(compiler_route("chipStar", Provider::Community,
+                            Maturity::Experimental, "hipcc (chipStar)", {},
+                            {}, "HIP -> OpenCL / Level Zero via SPIR-V"))
+      .add_to(m);
+
+  // 34: HIP / Fortran — nothing.
+  EntryBuilder(V, Model::HIP, Language::Fortran, 34)
+      .rated(SupportCategory::None, Provider::Nobody,
+             "HIP for Fortran does not exist; no translation efforts for "
+             "Intel GPUs")
+      .add_to(m);
+
+  // 35: SYCL / C++ — the prime model.
+  EntryBuilder(V, Model::SYCL, Language::Cpp, 35)
+      .rated(SupportCategory::Full, Provider::PlatformVendor,
+             "SYCL is Intel's prime model, implemented via DPC++ and the "
+             "commercial oneAPI DPC++ compiler")
+      .pinned()
+      .route(compiler_route("DPC++ (intel/llvm)", Provider::PlatformVendor,
+                            Maturity::Production, "clang++ (intel/llvm)",
+                            {"-fsycl"}))
+      .route(compiler_route("Intel oneAPI DPC++/C++",
+                            Provider::PlatformVendor, Maturity::Production,
+                            "icpx", {"-fsycl"}))
+      .route(compiler_route("Open SYCL", Provider::Community, Maturity::Stable,
+                            "syclcc", {}, {}, "SPIR-V or Level Zero"))
+      .route(compiler_route("ComputeCpp", Provider::Community,
+                            Maturity::Retired, "compute++", {}, {},
+                            "unsupported since Sep 2023"))
+      .add_to(m);
+
+  // 6 (shared): SYCL / Fortran.
+  EntryBuilder(V, Model::SYCL, Language::Fortran, 6)
+      .rated(SupportCategory::None, Provider::Nobody,
+             "SYCL is C++17-based; no pre-made bindings exist")
+      .add_to(m);
+
+  // 36: OpenACC / C++ — migration tool only.
+  EntryBuilder(V, Model::OpenACC, Language::Cpp, 36)
+      .rated(SupportCategory::Limited, Provider::PlatformVendor,
+             "no direct support; only a one-shot Python-based source "
+             "translator to OpenMP")
+      .route(translator_route("Intel Application Migration Tool for OpenACC "
+                              "to OpenMP API",
+                              Provider::PlatformVendor, Maturity::Stable,
+                              "intel-application-migration-tool"))
+      .add_to(m);
+
+  // 37: OpenACC / Fortran — same tool.
+  EntryBuilder(V, Model::OpenACC, Language::Fortran, 37)
+      .rated(SupportCategory::Limited, Provider::PlatformVendor,
+             "the OpenACC-to-OpenMP migration tool also handles Fortran")
+      .route(translator_route("Intel Application Migration Tool for OpenACC "
+                              "to OpenMP API",
+                              Provider::PlatformVendor, Maturity::Stable,
+                              "intel-application-migration-tool"))
+      .add_to(m);
+
+  // 38: OpenMP / C++ — second key model.
+  EntryBuilder(V, Model::OpenMP, Language::Cpp, 38)
+      .rated(SupportCategory::Full, Provider::PlatformVendor,
+             "all OpenMP 4.5 and most 5.0/5.1 features in oneAPI DPC++/C++")
+      .route(compiler_route("Intel oneAPI DPC++/C++",
+                            Provider::PlatformVendor, Maturity::Production,
+                            "icpx",
+                            {"-qopenmp", "-fopenmp-targets=spir64"}))
+      .add_to(m);
+
+  // 39: OpenMP / Fortran — the main Fortran route.
+  EntryBuilder(V, Model::OpenMP, Language::Fortran, 39)
+      .rated(SupportCategory::Full, Provider::PlatformVendor,
+             "ifx (LLVM-based) is Intel's main route for Fortran "
+             "applications on their GPUs")
+      .route(compiler_route("Intel Fortran Compiler (ifx)",
+                            Provider::PlatformVendor, Maturity::Production,
+                            "ifx",
+                            {"-qopenmp", "-fopenmp-targets=spir64"}))
+      .add_to(m);
+
+  // 40: Standard / C++ — pinned 'some' by Sec. 5 ("all pSTL functionality
+  // currently resides in a custom namespace").
+  EntryBuilder(V, Model::Standard, Language::Cpp, 40)
+      .rated(SupportCategory::Some, Provider::PlatformVendor,
+             "oneDPL implements the pSTL on DPC++, but in the "
+             "oneapi::dpl:: namespace rather than std::")
+      .pinned()
+      .route(library_route("oneDPL", Provider::PlatformVendor,
+                           Maturity::Production, "icpx",
+                           "algorithms/policies in oneapi::dpl::"))
+      .route(compiler_route("Open SYCL stdpar", Provider::Community,
+                            Maturity::Experimental, "syclcc",
+                            {"--hipsycl-stdpar"}))
+      .add_to(m);
+
+  // 41: Standard / Fortran — ifx do concurrent.
+  EntryBuilder(V, Model::Standard, Language::Fortran, 41)
+      .rated(SupportCategory::Some, Provider::PlatformVendor,
+             "do concurrent offload added in oneAPI 2022.1 and extended "
+             "since; needs an OpenMP flag combination")
+      .route(compiler_route("Intel Fortran Compiler (ifx)",
+                            Provider::PlatformVendor, Maturity::Production,
+                            "ifx",
+                            {"-qopenmp", "-fopenmp-target-do-concurrent",
+                             "-fopenmp-targets=spir64"}))
+      .add_to(m);
+
+  // 42: Kokkos / C++ — experimental SYCL backend.
+  EntryBuilder(V, Model::Kokkos, Language::Cpp, 42)
+      .rated(SupportCategory::Limited, Provider::Community,
+             "Kokkos targets Intel GPUs only through an experimental SYCL "
+             "backend")
+      .route(library_route("Kokkos SYCL backend", Provider::Community,
+                           Maturity::Experimental, "icpx"))
+      .add_to(m);
+
+  // 14 (shared): Kokkos / Fortran.
+  EntryBuilder(V, Model::Kokkos, Language::Fortran, 14)
+      .rated(SupportCategory::Limited, Provider::Community,
+             "only via the Fortran Language Compatibility Layer")
+      .route(bindings_route("Kokkos FLCL", Provider::Community,
+                            Maturity::Stable, "flcl"))
+      .add_to(m);
+
+  // 43: Alpaka / C++ — experimental since v0.9.0.
+  EntryBuilder(V, Model::Alpaka, Language::Cpp, 43)
+      .rated(SupportCategory::Limited, Provider::Community,
+             "experimental SYCL support since v0.9.0; OpenMP fallback")
+      .route(library_route("Alpaka SYCL backend", Provider::Community,
+                           Maturity::Experimental, "icpx"))
+      .route(library_route("Alpaka OpenMP backend", Provider::Community,
+                           Maturity::Stable, "icpx"))
+      .add_to(m);
+
+  // 16 (shared): Alpaka / Fortran.
+  EntryBuilder(V, Model::Alpaka, Language::Fortran, 16)
+      .rated(SupportCategory::None, Provider::Nobody,
+             "C++ model; no ready-made Fortran support")
+      .add_to(m);
+
+  // 44: Python — three vendor packages.
+  EntryBuilder(V, Model::Python, Language::Python, 44)
+      .rated(SupportCategory::Some, Provider::PlatformVendor,
+             "dpctl, numba-dpex, and dpnp are vendor-provided but younger "
+             "and narrower than the NVIDIA Python stack")
+      .route(bindings_route("dpctl", Provider::PlatformVendor,
+                            Maturity::Stable, "pip install dpctl",
+                            "low-level bindings to SYCL"))
+      .route(library_route("numba-dpex", Provider::PlatformVendor,
+                           Maturity::Stable, "conda install numba-dpex",
+                           "JIT extension of Numba"))
+      .route(library_route("dpnp", Provider::PlatformVendor, Maturity::Stable,
+                           "pip install dpnp",
+                           "NumPy API with Intel GPU support"))
+      .add_to(m);
+}
+
+}  // namespace mcmm::data::detail

@@ -1,0 +1,247 @@
+// NVIDIA row of Fig. 1: 17 cells (items 1..17 of Sec. 4, plus shared items
+// 4, 6, 14, 16 for the Fortran columns of C++-only models).
+
+#include "data/builders.hpp"
+#include "data/dataset.hpp"
+
+namespace mcmm::data::detail {
+
+void add_nvidia_entries(CompatibilityMatrix& m) {
+  constexpr Vendor V = Vendor::NVIDIA;
+
+  // 1: CUDA / C++ — the platform reference.
+  EntryBuilder(V, Model::CUDA, Language::Cpp, 1)
+      .rated(SupportCategory::Full, Provider::PlatformVendor,
+             "CUDA Toolkit is the platform reference; very comprehensive")
+      .pinned()
+      .route(compiler_route("CUDA Toolkit", Provider::PlatformVendor,
+                            Maturity::Production, "nvcc", {},
+                            {}, "reference implementation, PTX -> SASS"))
+      .route(compiler_route("Clang CUDA", Provider::Community,
+                            Maturity::Stable, "clang++",
+                            {"--cuda-gpu-arch=sm_90"}, {},
+                            "LLVM emits PTX; needs CUDA toolkit for final "
+                            "compilation"))
+      .add_to(m);
+
+  // 2: CUDA / Fortran — NVHPC CUDA Fortran.
+  EntryBuilder(V, Model::CUDA, Language::Fortran, 2)
+      .rated(SupportCategory::Full, Provider::PlatformVendor,
+             "CUDA Fortran via NVHPC implements most CUDA API features "
+             "including explicit kernels and cuf kernels")
+      .route(compiler_route("NVIDIA HPC SDK (CUDA Fortran)",
+                            Provider::PlatformVendor, Maturity::Production,
+                            "nvfortran", {"-cuda"}))
+      .route(compiler_route("LLVM Flang (CUDA Fortran)", Provider::Community,
+                            Maturity::Experimental, "flang-new", {},
+                            {}, "support recently merged into Flang"))
+      .add_to(m);
+
+  // 3: HIP / C++ — AMD's model with a CUDA backend.
+  EntryBuilder(V, Model::HIP, Language::Cpp, 3)
+      .rated(SupportCategory::NonVendorGood, Provider::OtherVendor,
+             "HIP's CUDA backend maps near-1:1 onto CUDA; maintained by AMD, "
+             "not by NVIDIA")
+      .route(compiler_route("hipcc (CUDA backend)", Provider::OtherVendor,
+                            Maturity::Production, "hipcc", {},
+                            {"HIP_PLATFORM=nvidia"}))
+      .route(translator_route("HIPIFY (CUDA -> HIP)", Provider::OtherVendor,
+                              Maturity::Production, "hipify-perl",
+                              "to initially create HIP code from CUDA"))
+      .add_to(m);
+
+  // 4 (shared with AMD): HIP / Fortran — hipfort bindings only.
+  EntryBuilder(V, Model::HIP, Language::Fortran, 4)
+      .rated(SupportCategory::Limited, Provider::OtherVendor,
+             "hipfort interfaces cover the C API surface but no Fortran "
+             "kernel language; on NVIDIA additionally routed through the "
+             "CUDA backend")
+      .route(bindings_route("hipfort", Provider::OtherVendor,
+                            Maturity::Stable, "hipfc",
+                            "MIT-licensed interfaces to HIP API and ROCm "
+                            "libraries"))
+      .add_to(m);
+
+  // 5: SYCL / C++ — DPC++ / Open SYCL.
+  EntryBuilder(V, Model::SYCL, Language::Cpp, 5)
+      .rated(SupportCategory::NonVendorGood, Provider::OtherVendor,
+             "comprehensive via Intel's DPC++ (CUDA plugin) and Open SYCL; "
+             "no support by NVIDIA itself")
+      .route(compiler_route("DPC++ (CUDA plugin)", Provider::OtherVendor,
+                            Maturity::Production, "clang++ (intel/llvm)",
+                            {"-fsycl",
+                             "-fsycl-targets=nvptx64-nvidia-cuda"}))
+      .route(compiler_route("Open SYCL", Provider::Community, Maturity::Stable,
+                            "syclcc", {},
+                            {}, "via LLVM CUDA support or NVHPC nvc++"))
+      .route(compiler_route("ComputeCpp", Provider::Community,
+                            Maturity::Retired, "compute++", {}, {},
+                            "CodePlay product, unsupported since Sep 2023"))
+      .route(translator_route("SYCLomatic (CUDA -> SYCL)",
+                              Provider::OtherVendor, Maturity::Production,
+                              "c2s"))
+      .add_to(m);
+
+  // 6 (shared): SYCL / Fortran — none anywhere.
+  EntryBuilder(V, Model::SYCL, Language::Fortran, 6)
+      .rated(SupportCategory::None, Provider::Nobody,
+             "SYCL is C++17-based; no pre-made bindings exist")
+      .add_to(m);
+
+  // 7: OpenACC / C++ — pinned 'full' by the paper's Sec. 5 discussion.
+  EntryBuilder(V, Model::OpenACC, Language::Cpp, 7)
+      .rated(SupportCategory::Full, Provider::PlatformVendor,
+             "NVHPC conforms to OpenACC 2.7; rated complete by the paper")
+      .pinned()
+      .route(compiler_route("NVIDIA HPC SDK", Provider::PlatformVendor,
+                            Maturity::Production, "nvc++",
+                            {"-acc", "-gpu"}))
+      .route(compiler_route("GCC", Provider::Community, Maturity::Stable,
+                            "g++", {"-fopenacc"}, {},
+                            "OpenACC 2.6 via nvptx since GCC 5.0"))
+      .route(compiler_route("Clacc", Provider::Community,
+                            Maturity::Experimental, "clang (clacc)",
+                            {"-fopenacc"}, {},
+                            "translates OpenACC to OpenMP inside LLVM"))
+      .add_to(m);
+
+  // 8: OpenACC / Fortran.
+  EntryBuilder(V, Model::OpenACC, Language::Fortran, 8)
+      .rated(SupportCategory::Full, Provider::PlatformVendor,
+             "nvfortran mirrors the C/C++ OpenACC support")
+      .route(compiler_route("NVIDIA HPC SDK", Provider::PlatformVendor,
+                            Maturity::Production, "nvfortran",
+                            {"-acc", "-gpu"}))
+      .route(compiler_route("GCC", Provider::Community, Maturity::Stable,
+                            "gfortran", {"-fopenacc"}))
+      .route(compiler_route("LLVM Flang (Flacc)", Provider::Community,
+                            Maturity::Experimental, "flang-new", {},
+                            {}, "initially contributed by the Flacc project"))
+      .route(compiler_route("HPE Cray PE", Provider::OtherVendor,
+                            Maturity::Production, "ftn", {"-hacc"}))
+      .add_to(m);
+
+  // 9: OpenMP / C++ — pinned 'some' by the Sec. 5 discussion.
+  EntryBuilder(V, Model::OpenMP, Language::Cpp, 9)
+      .rated(SupportCategory::Some, Provider::PlatformVendor,
+             "NVHPC implements only a subset of OpenMP 5.0 and is upfront "
+             "about missing offloading features")
+      .pinned()
+      .route(compiler_route("NVIDIA HPC SDK", Provider::PlatformVendor,
+                            Maturity::Production, "nvc++", {"-mp=gpu"}, {},
+                            "subset of OpenMP 5.0"))
+      .route(compiler_route("GCC", Provider::Community, Maturity::Stable,
+                            "g++", {"-fopenmp", "-foffload=nvptx-none"}, {},
+                            "OpenMP 4.5 complete; 5.x in progress"))
+      .route(compiler_route("Clang", Provider::Community, Maturity::Stable,
+                            "clang++",
+                            {"-fopenmp",
+                             "-fopenmp-targets=nvptx64-nvidia-cuda"},
+                            {}, "4.5 plus selected 5.0/5.1 features"))
+      .route(compiler_route("HPE Cray PE", Provider::OtherVendor,
+                            Maturity::Production, "CC", {"-fopenmp"}))
+      .route(compiler_route("AOMP", Provider::OtherVendor, Maturity::Stable,
+                            "aompcc", {"-fopenmp"}, {},
+                            "AMD's Clang/LLVM compiler also targets NVIDIA"))
+      .add_to(m);
+
+  // 10: OpenMP / Fortran.
+  EntryBuilder(V, Model::OpenMP, Language::Fortran, 10)
+      .rated(SupportCategory::Some, Provider::PlatformVendor,
+             "nearly identical to the C/C++ OpenMP situation")
+      .route(compiler_route("NVIDIA HPC SDK", Provider::PlatformVendor,
+                            Maturity::Production, "nvfortran", {"-mp=gpu"}))
+      .route(compiler_route("GCC", Provider::Community, Maturity::Stable,
+                            "gfortran", {"-fopenmp"}))
+      .route(compiler_route("LLVM Flang", Provider::Community,
+                            Maturity::Experimental, "flang-new", {"-mp"},
+                            {}, "only when Flang is compiled via Clang"))
+      .route(compiler_route("HPE Cray PE", Provider::OtherVendor,
+                            Maturity::Production, "ftn", {"-fopenmp"}))
+      .add_to(m);
+
+  // 11: Standard / C++ — nvc++ -stdpar.
+  EntryBuilder(V, Model::Standard, Language::Cpp, 11)
+      .rated(SupportCategory::Full, Provider::PlatformVendor,
+             "pSTL offloading is production-supported in nvc++")
+      .route(compiler_route("NVIDIA HPC SDK", Provider::PlatformVendor,
+                            Maturity::Production, "nvc++",
+                            {"-stdpar=gpu"}))
+      .route(compiler_route("Open SYCL stdpar", Provider::Community,
+                            Maturity::Experimental, "syclcc",
+                            {"--hipsycl-stdpar"}))
+      .route(library_route("oneDPL via DPC++", Provider::OtherVendor,
+                           Maturity::Experimental, "clang++ (intel/llvm)",
+                           "pSTL algorithms usable on NVIDIA GPUs"))
+      .add_to(m);
+
+  // 12: Standard / Fortran — do concurrent.
+  EntryBuilder(V, Model::Standard, Language::Fortran, 12)
+      .rated(SupportCategory::Full, Provider::PlatformVendor,
+             "do concurrent offloading via nvfortran -stdpar=gpu")
+      .route(compiler_route("NVIDIA HPC SDK", Provider::PlatformVendor,
+                            Maturity::Production, "nvfortran",
+                            {"-stdpar=gpu"}))
+      .add_to(m);
+
+  // 13: Kokkos / C++.
+  EntryBuilder(V, Model::Kokkos, Language::Cpp, 13)
+      .rated(SupportCategory::NonVendorGood, Provider::Community,
+             "multiple mature Kokkos backends target NVIDIA GPUs")
+      .route(library_route("Kokkos CUDA backend", Provider::Community,
+                           Maturity::Production, "nvcc"))
+      .route(library_route("Kokkos NVHPC backend", Provider::Community,
+                           Maturity::Stable, "nvc++"))
+      .route(library_route("Kokkos Clang backend", Provider::Community,
+                           Maturity::Stable, "clang++",
+                           "direct CUDA support or OpenMP offloading"))
+      .add_to(m);
+
+  // 14 (shared): Kokkos / Fortran — FLCL.
+  EntryBuilder(V, Model::Kokkos, Language::Fortran, 14)
+      .rated(SupportCategory::Limited, Provider::Community,
+             "only via the Fortran Language Compatibility Layer")
+      .route(bindings_route("Kokkos FLCL", Provider::Community,
+                            Maturity::Stable, "flcl"))
+      .add_to(m);
+
+  // 15: Alpaka / C++.
+  EntryBuilder(V, Model::Alpaka, Language::Cpp, 15)
+      .rated(SupportCategory::NonVendorGood, Provider::Community,
+             "CUDA backend via nvcc or clang++")
+      .route(library_route("Alpaka CUDA backend", Provider::Community,
+                           Maturity::Production, "nvcc"))
+      .route(library_route("Alpaka Clang-CUDA backend", Provider::Community,
+                           Maturity::Stable, "clang++"))
+      .add_to(m);
+
+  // 16 (shared): Alpaka / Fortran — none.
+  EntryBuilder(V, Model::Alpaka, Language::Fortran, 16)
+      .rated(SupportCategory::None, Provider::Nobody,
+             "C++ model; no ready-made Fortran support")
+      .add_to(m);
+
+  // 17: Python — dual-rated (vendor full + community good), pinned by Sec. 5.
+  EntryBuilder(V, Model::Python, Language::Python, 17)
+      .rated(SupportCategory::Full, Provider::PlatformVendor,
+             "CUDA Python and cuNumeric are vendor-provided and "
+             "comprehensive")
+      .rated(SupportCategory::NonVendorGood, Provider::Community,
+             "the open-source pick-up (PyCUDA, CuPy, Numba) is acknowledged "
+             "with a second, non-vendor rating")
+      .pinned()
+      .route(bindings_route("CUDA Python", Provider::PlatformVendor,
+                            Maturity::Production, "pip install cuda-python"))
+      .route(library_route("CuPy", Provider::Community, Maturity::Production,
+                           "pip install cupy-cuda12x"))
+      .route(library_route("PyCUDA", Provider::Community, Maturity::Stable,
+                           "pip install pycuda"))
+      .route(library_route("Numba", Provider::Community, Maturity::Production,
+                           "pip install numba"))
+      .route(library_route("cuNumeric", Provider::PlatformVendor,
+                           Maturity::Stable, "pip install cunumeric",
+                           "NumPy-inspired; scales via Legate"))
+      .add_to(m);
+}
+
+}  // namespace mcmm::data::detail

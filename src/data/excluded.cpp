@@ -1,0 +1,45 @@
+#include "data/excluded.hpp"
+
+#include <sstream>
+
+namespace mcmm::data {
+
+const std::vector<ExcludedModel>& excluded_models() {
+  static const std::vector<ExcludedModel> models = {
+      {"RAJA",
+       "similar in spirit to, albeit not as popular as Kokkos (about "
+       "one-third as many GitHub stars)",
+       false},
+      {"OpenCL",
+       "never gained much traction in the HPC-GPU space, mostly due to "
+       "the lukewarm support by NVIDIA",
+       false},
+      {"HPX",
+       "similar to pSTL support, arguably more extensive, but less "
+       "'standard'",
+       false},
+      {"C++AMP", "deprecated in 2022", true},
+      {"libtorch",
+       "in principle the core of PyTorch can be used as a form of "
+       "programming model",
+       false},
+      {"libompx",
+       "a compatibility-library prototype implementing vendor-agnostic "
+       "pSTL-like algorithms; no compatibility libraries were included",
+       false},
+  };
+  return models;
+}
+
+std::string excluded_models_note() {
+  std::ostringstream out;
+  out << "Models considered but excluded (paper Sec. 5, Model "
+         "Selection):\n";
+  for (const ExcludedModel& m : excluded_models()) {
+    out << "  - " << m.name << (m.deprecated ? " [deprecated]" : "")
+        << ": " << m.reason << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mcmm::data

@@ -1,0 +1,23 @@
+#pragma once
+// The models the paper deliberately excludes (Sec. 5, "Model Selection"),
+// with the paper's stated reasons — part of the reproduced artifact, since
+// the selection itself is a result readers rely on.
+
+#include <string>
+#include <vector>
+
+namespace mcmm::data {
+
+struct ExcludedModel {
+  std::string name;
+  std::string reason;       ///< the paper's justification
+  bool deprecated{false};   ///< the model itself is discontinued
+};
+
+/// RAJA, OpenCL, HPX, C++AMP, libtorch, libompx — in the paper's order.
+[[nodiscard]] const std::vector<ExcludedModel>& excluded_models();
+
+/// Footnote-style text block for renderers.
+[[nodiscard]] std::string excluded_models_note();
+
+}  // namespace mcmm::data

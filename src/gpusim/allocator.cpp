@@ -1,0 +1,97 @@
+#include "gpusim/allocator.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace mcmm::gpusim {
+
+DeviceAllocator::~DeviceAllocator() {
+  // Free any leaked blocks; leak *detection* is the caller's job via
+  // live_allocations().
+  for (const auto& [base, block] : blocks_) {
+    std::free(const_cast<void*>(base));
+  }
+}
+
+void* DeviceAllocator::allocate(std::size_t bytes) {
+  const std::lock_guard lock(mutex_);
+  if (fault_plan_.fail_allocation_after >= 0) {
+    if (fault_plan_.fail_allocation_after == 0) {
+      fault_plan_.fail_allocation_after = -1;
+      throw OutOfMemory(bytes, capacity_ - used_);
+    }
+    --fault_plan_.fail_allocation_after;
+  }
+  if (bytes > capacity_ || used_ > capacity_ - bytes) {
+    throw OutOfMemory(bytes, capacity_ - used_);
+  }
+  // Zero-byte allocations still get a unique address.
+  void* p = std::malloc(bytes == 0 ? 1 : bytes);
+  if (p == nullptr) throw std::bad_alloc();
+  blocks_.emplace(p, Block{bytes});
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  return p;
+}
+
+void DeviceAllocator::deallocate(void* p) {
+  const std::lock_guard lock(mutex_);
+  const auto it = blocks_.find(p);
+  if (it == blocks_.end()) {
+    throw InvalidPointer("deallocate: pointer is not a live device "
+                         "allocation (double free or foreign pointer)");
+  }
+  used_ -= it->second.bytes;
+  blocks_.erase(it);
+  std::free(p);
+}
+
+bool DeviceAllocator::owns(const void* p) const {
+  const std::lock_guard lock(mutex_);
+  if (blocks_.empty()) return false;
+  auto it = blocks_.upper_bound(p);
+  if (it == blocks_.begin()) return false;
+  --it;
+  const auto* base = static_cast<const std::byte*>(it->first);
+  const auto* probe = static_cast<const std::byte*>(p);
+  return probe < base + (it->second.bytes == 0 ? 1 : it->second.bytes);
+}
+
+void DeviceAllocator::check_range(const void* p, std::size_t bytes) const {
+  const std::lock_guard lock(mutex_);
+  auto it = blocks_.upper_bound(p);
+  if (it == blocks_.begin()) {
+    throw InvalidPointer("range check: pointer is not device memory");
+  }
+  --it;
+  const auto* base = static_cast<const std::byte*>(it->first);
+  const auto* probe = static_cast<const std::byte*>(p);
+  if (probe >= base + it->second.bytes ||
+      bytes > it->second.bytes -
+                  static_cast<std::size_t>(probe - base)) {
+    throw InvalidPointer("range check: access runs past the end of the "
+                         "device allocation");
+  }
+}
+
+std::size_t DeviceAllocator::used_bytes() const {
+  const std::lock_guard lock(mutex_);
+  return used_;
+}
+
+std::size_t DeviceAllocator::peak_bytes() const {
+  const std::lock_guard lock(mutex_);
+  return peak_;
+}
+
+std::size_t DeviceAllocator::live_allocations() const {
+  const std::lock_guard lock(mutex_);
+  return blocks_.size();
+}
+
+void DeviceAllocator::set_fault_plan(const FaultPlan& plan) {
+  const std::lock_guard lock(mutex_);
+  fault_plan_ = plan;
+}
+
+}  // namespace mcmm::gpusim

@@ -1,0 +1,68 @@
+#pragma once
+// Simulated device-memory allocator. Device memory is host memory, but every
+// allocation is tracked so the runtime can validate pointer provenance,
+// detect leaks, account capacity, and inject failures — the properties real
+// GPU runtimes enforce and tests want to exercise.
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+
+#include "gpusim/error.hpp"
+
+namespace mcmm::gpusim {
+
+/// Deterministic fault injection: the Nth allocation from now fails.
+struct FaultPlan {
+  /// -1 = no injected faults; 0 = next allocation fails, etc.
+  long long fail_allocation_after{-1};
+};
+
+class DeviceAllocator {
+ public:
+  explicit DeviceAllocator(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+  ~DeviceAllocator();
+
+  DeviceAllocator(const DeviceAllocator&) = delete;
+  DeviceAllocator& operator=(const DeviceAllocator&) = delete;
+
+  /// Allocates `bytes` of simulated device memory. Throws OutOfMemory when
+  /// capacity would be exceeded or an injected fault triggers. Zero-byte
+  /// allocations return a unique non-null pointer (like cudaMalloc).
+  [[nodiscard]] void* allocate(std::size_t bytes);
+
+  /// Frees a pointer previously returned by allocate. Throws InvalidPointer
+  /// for unknown or double-freed pointers.
+  void deallocate(void* p);
+
+  /// True when p points into a live allocation (interior pointers count).
+  [[nodiscard]] bool owns(const void* p) const;
+
+  /// Validates that [p, p + bytes) lies within one live allocation; throws
+  /// InvalidPointer otherwise.
+  void check_range(const void* p, std::size_t bytes) const;
+
+  [[nodiscard]] std::size_t used_bytes() const;
+  [[nodiscard]] std::size_t peak_bytes() const;
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] std::size_t live_allocations() const;
+
+  void set_fault_plan(const FaultPlan& plan);
+
+ private:
+  struct Block {
+    std::size_t bytes{};
+  };
+
+  mutable std::mutex mutex_;
+  std::map<const void*, Block> blocks_;  ///< keyed by base pointer
+  std::size_t capacity_;
+  std::size_t used_{0};
+  std::size_t peak_{0};
+  FaultPlan fault_plan_{};
+};
+
+}  // namespace mcmm::gpusim

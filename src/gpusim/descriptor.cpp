@@ -1,0 +1,75 @@
+#include "gpusim/descriptor.hpp"
+
+namespace mcmm::gpusim {
+
+DeviceDescriptor mi250x_like() {
+  DeviceDescriptor d;
+  d.vendor = Vendor::AMD;
+  d.name = "Simulated AMD Instinct MI250X (1 GCD)";
+  d.compute_units = 110;
+  d.clock_ghz = 1.7;
+  d.memory_bytes = std::size_t{64} * 1024 * 1024 * 1024;
+  d.mem_bandwidth_gbps = 1638.0;  // half of the dual-GCD 3.2 TB/s
+  d.pcie_bandwidth_gbps = 36.0;   // Infinity Fabric host link
+  d.kernel_launch_latency_us = 6.0;
+  d.copy_latency_us = 8.0;
+  d.peak_tflops_fp64 = 23.9;
+  d.max_threads_per_block = 1024;
+  d.warp_size = 64;  // wavefront
+  return d;
+}
+
+DeviceDescriptor ponte_vecchio_like() {
+  DeviceDescriptor d;
+  d.vendor = Vendor::Intel;
+  d.name = "Simulated Intel Data Center GPU Max 1550 (1 stack)";
+  d.compute_units = 448;  // Xe cores across stacks / 2
+  d.clock_ghz = 1.6;
+  d.memory_bytes = std::size_t{64} * 1024 * 1024 * 1024;
+  d.mem_bandwidth_gbps = 1638.0;
+  d.pcie_bandwidth_gbps = 64.0;  // PCIe gen5 x16
+  d.kernel_launch_latency_us = 8.0;
+  d.copy_latency_us = 10.0;
+  d.peak_tflops_fp64 = 26.0;
+  d.max_threads_per_block = 1024;
+  d.warp_size = 32;  // sub-group
+  return d;
+}
+
+DeviceDescriptor h100_like() {
+  DeviceDescriptor d;
+  d.vendor = Vendor::NVIDIA;
+  d.name = "Simulated NVIDIA H100 SXM";
+  d.compute_units = 132;
+  d.clock_ghz = 1.8;
+  d.memory_bytes = std::size_t{80} * 1024 * 1024 * 1024;
+  d.mem_bandwidth_gbps = 3350.0;
+  d.pcie_bandwidth_gbps = 64.0;
+  d.kernel_launch_latency_us = 4.0;
+  d.copy_latency_us = 6.0;
+  d.peak_tflops_fp64 = 33.5;
+  d.max_threads_per_block = 1024;
+  d.warp_size = 32;
+  return d;
+}
+
+DeviceDescriptor descriptor_for(Vendor v) {
+  switch (v) {
+    case Vendor::AMD:
+      return mi250x_like();
+    case Vendor::Intel:
+      return ponte_vecchio_like();
+    case Vendor::NVIDIA:
+      return h100_like();
+  }
+  return h100_like();
+}
+
+DeviceDescriptor tiny_test_device(std::size_t memory_bytes) {
+  DeviceDescriptor d = h100_like();
+  d.name = "Simulated tiny test device";
+  d.memory_bytes = memory_bytes;
+  return d;
+}
+
+}  // namespace mcmm::gpusim

@@ -1,0 +1,44 @@
+#pragma once
+// Device descriptors for the three simulated HPC GPU platforms. The numbers
+// are modelled on the public spec sheets of the devices the paper names
+// (MI250X for Frontier, Ponte Vecchio for Aurora, and an H100-class NVIDIA
+// part); only *relative* magnitudes matter for the reproduced figures.
+
+#include <cstddef>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace mcmm::gpusim {
+
+struct DeviceDescriptor {
+  Vendor vendor{Vendor::NVIDIA};
+  std::string name;
+  int compute_units{};              ///< SMs / CUs / Xe cores
+  double clock_ghz{};
+  std::size_t memory_bytes{};
+  double mem_bandwidth_gbps{};      ///< device memory bandwidth, GB/s
+  double pcie_bandwidth_gbps{};     ///< host <-> device link, GB/s
+  double kernel_launch_latency_us{};
+  double copy_latency_us{};
+  double peak_tflops_fp64{};
+  std::uint32_t max_threads_per_block{1024};
+  std::uint32_t warp_size{32};
+};
+
+/// AMD Instinct MI250X-like descriptor (one GCD).
+[[nodiscard]] DeviceDescriptor mi250x_like();
+
+/// Intel Data Center GPU Max (Ponte Vecchio)-like descriptor.
+[[nodiscard]] DeviceDescriptor ponte_vecchio_like();
+
+/// NVIDIA H100 (SXM)-like descriptor.
+[[nodiscard]] DeviceDescriptor h100_like();
+
+/// The default simulated device of a vendor platform.
+[[nodiscard]] DeviceDescriptor descriptor_for(Vendor v);
+
+/// A deliberately small descriptor for memory-pressure tests.
+[[nodiscard]] DeviceDescriptor tiny_test_device(std::size_t memory_bytes);
+
+}  // namespace mcmm::gpusim

@@ -1,0 +1,71 @@
+#pragma once
+// A simulated GPU device: descriptor + memory + queues. The Platform holds
+// one device per vendor, standing in for the three-machine testbed the
+// paper's ecosystem spans.
+
+#include <memory>
+#include <vector>
+
+#include "gpusim/allocator.hpp"
+#include "gpusim/descriptor.hpp"
+#include "gpusim/queue.hpp"
+
+namespace mcmm::gpusim {
+
+class Device {
+ public:
+  explicit Device(DeviceDescriptor descriptor)
+      : descriptor_(std::move(descriptor)),
+        allocator_(descriptor_.memory_bytes),
+        default_queue_(std::make_unique<Queue>(*this)) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const DeviceDescriptor& descriptor() const noexcept {
+    return descriptor_;
+  }
+  [[nodiscard]] Vendor vendor() const noexcept { return descriptor_.vendor; }
+
+  [[nodiscard]] DeviceAllocator& allocator() noexcept { return allocator_; }
+  [[nodiscard]] const DeviceAllocator& allocator() const noexcept {
+    return allocator_;
+  }
+
+  /// Device-memory management (see DeviceAllocator for semantics).
+  [[nodiscard]] void* allocate(std::size_t bytes) {
+    return allocator_.allocate(bytes);
+  }
+  void deallocate(void* p) { allocator_.deallocate(p); }
+  [[nodiscard]] bool is_device_pointer(const void* p) const {
+    return allocator_.owns(p);
+  }
+
+  [[nodiscard]] Queue& default_queue() noexcept { return *default_queue_; }
+  [[nodiscard]] std::unique_ptr<Queue> create_queue() {
+    return std::make_unique<Queue>(*this);
+  }
+
+ private:
+  DeviceDescriptor descriptor_;
+  DeviceAllocator allocator_;
+  std::unique_ptr<Queue> default_queue_;
+};
+
+/// The simulated machine room: one device per vendor, lazily constructed.
+class Platform {
+ public:
+  [[nodiscard]] static Platform& instance();
+
+  [[nodiscard]] Device& device(Vendor v);
+
+  /// Replaces a vendor's device with a custom-descriptor one (tests use
+  /// this for tiny-memory devices); returns the new device.
+  Device& reset_device(Vendor v, const DeviceDescriptor& descriptor);
+
+ private:
+  Platform() = default;
+  std::unique_ptr<Device> devices_[3];
+};
+
+}  // namespace mcmm::gpusim

@@ -1,0 +1,83 @@
+#pragma once
+// Index-space vocabulary of the simulated GPU: 3-component extents, launch
+// configurations, and per-work-item coordinates (the common denominator of
+// CUDA/HIP grids, SYCL nd-ranges, and OpenMP league/team shapes).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mcmm::gpusim {
+
+struct Dim3 {
+  std::uint32_t x{1};
+  std::uint32_t y{1};
+  std::uint32_t z{1};
+
+  [[nodiscard]] constexpr std::uint64_t volume() const noexcept {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+
+  [[nodiscard]] friend constexpr bool operator==(const Dim3&,
+                                                 const Dim3&) = default;
+};
+
+/// Grid-of-blocks launch shape (CUDA terminology; other models map onto it).
+struct LaunchConfig {
+  Dim3 grid{};
+  Dim3 block{};
+
+  [[nodiscard]] constexpr std::uint64_t total_threads() const noexcept {
+    return grid.volume() * block.volume();
+  }
+};
+
+/// Coordinates handed to a kernel body for one work item.
+struct WorkItem {
+  Dim3 block_idx{};   ///< position of the block in the grid
+  Dim3 thread_idx{};  ///< position of the thread in the block
+  Dim3 grid_dim{};
+  Dim3 block_dim{};
+  std::uint64_t global_linear{};  ///< linearised global thread id
+
+  /// Global x-coordinate for the common 1-D case.
+  [[nodiscard]] constexpr std::uint64_t global_x() const noexcept {
+    return static_cast<std::uint64_t>(block_idx.x) * block_dim.x +
+           thread_idx.x;
+  }
+};
+
+/// Reconstructs the 3-D work-item coordinates from a linear id.
+[[nodiscard]] constexpr WorkItem work_item_from_linear(
+    const LaunchConfig& cfg, std::uint64_t linear) noexcept {
+  const std::uint64_t threads_per_block = cfg.block.volume();
+  const std::uint64_t block_linear = linear / threads_per_block;
+  const std::uint64_t thread_linear = linear % threads_per_block;
+
+  WorkItem item;
+  item.grid_dim = cfg.grid;
+  item.block_dim = cfg.block;
+  item.global_linear = linear;
+
+  item.block_idx.x = static_cast<std::uint32_t>(block_linear % cfg.grid.x);
+  const std::uint64_t block_rest = block_linear / cfg.grid.x;
+  item.block_idx.y = static_cast<std::uint32_t>(block_rest % cfg.grid.y);
+  item.block_idx.z = static_cast<std::uint32_t>(block_rest / cfg.grid.y);
+
+  item.thread_idx.x = static_cast<std::uint32_t>(thread_linear % cfg.block.x);
+  const std::uint64_t thread_rest = thread_linear / cfg.block.x;
+  item.thread_idx.y = static_cast<std::uint32_t>(thread_rest % cfg.block.y);
+  item.thread_idx.z = static_cast<std::uint32_t>(thread_rest / cfg.block.y);
+  return item;
+}
+
+/// 1-D helper: blocks covering `n` items with `block_size` threads each.
+[[nodiscard]] constexpr LaunchConfig launch_1d(std::uint64_t n,
+                                               std::uint32_t block_size) {
+  LaunchConfig cfg;
+  cfg.block.x = block_size;
+  cfg.grid.x = static_cast<std::uint32_t>((n + block_size - 1) / block_size);
+  if (cfg.grid.x == 0) cfg.grid.x = 1;
+  return cfg;
+}
+
+}  // namespace mcmm::gpusim

@@ -1,0 +1,46 @@
+#pragma once
+// Error taxonomy of the simulated GPU runtime.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace mcmm::gpusim {
+
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Device memory exhausted (or an injected allocation fault).
+class OutOfMemory : public SimError {
+ public:
+  OutOfMemory(std::size_t requested, std::size_t available)
+      : SimError("device out of memory: requested " +
+                 std::to_string(requested) + " bytes, " +
+                 std::to_string(available) + " available"),
+        requested_(requested),
+        available_(available) {}
+
+  [[nodiscard]] std::size_t requested() const noexcept { return requested_; }
+  [[nodiscard]] std::size_t available() const noexcept { return available_; }
+
+ private:
+  std::size_t requested_;
+  std::size_t available_;
+};
+
+/// A pointer handed to the runtime is not (or no longer) a live device
+/// allocation of this device, or the access would run past its end.
+class InvalidPointer : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+/// A launch configuration violates device limits.
+class InvalidLaunch : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+}  // namespace mcmm::gpusim

@@ -1,0 +1,96 @@
+#include "gpusim/queue.hpp"
+
+#include "gpusim/device.hpp"
+#include "gpusim/error.hpp"
+
+namespace mcmm::gpusim {
+
+Queue::Queue(Device& device)
+    : device_(&device), pool_(&ThreadPool::global()) {}
+
+void Queue::validate_launch(const LaunchConfig& cfg) const {
+  if (cfg.grid.volume() == 0 || cfg.block.volume() == 0) {
+    throw InvalidLaunch("launch with empty grid or block");
+  }
+  if (cfg.block.volume() > device_->descriptor().max_threads_per_block) {
+    throw InvalidLaunch(
+        "block of " + std::to_string(cfg.block.volume()) +
+        " threads exceeds device limit of " +
+        std::to_string(device_->descriptor().max_threads_per_block));
+  }
+}
+
+Event Queue::advance_kernel(const KernelCosts& costs) {
+  return advance(kernel_time_us(device_->descriptor(), profile_, costs));
+}
+
+Event Queue::advance(double duration_us) {
+  Event e;
+  e.sim_begin_us = sim_time_us_;
+  sim_time_us_ += duration_us;
+  e.sim_end_us = sim_time_us_;
+  return e;
+}
+
+Event Queue::memcpy(void* dst, const void* src, std::size_t bytes,
+                    CopyKind kind) {
+  const DeviceAllocator& alloc = device_->allocator();
+  switch (kind) {
+    case CopyKind::HostToDevice:
+      alloc.check_range(dst, bytes);
+      if (alloc.owns(src)) {
+        throw InvalidPointer("memcpy H2D: source is device memory");
+      }
+      break;
+    case CopyKind::DeviceToHost:
+      alloc.check_range(src, bytes);
+      if (alloc.owns(dst)) {
+        throw InvalidPointer("memcpy D2H: destination is device memory");
+      }
+      break;
+    case CopyKind::DeviceToDevice:
+      alloc.check_range(src, bytes);
+      alloc.check_range(dst, bytes);
+      break;
+  }
+  std::memcpy(dst, src, bytes);
+  const double us = kind == CopyKind::DeviceToDevice
+                        ? d2d_time_us(device_->descriptor(),
+                                      static_cast<double>(bytes))
+                        : copy_time_us(device_->descriptor(),
+                                       static_cast<double>(bytes));
+  return advance(us);
+}
+
+Event Queue::memset(void* dst, int value, std::size_t bytes) {
+  device_->allocator().check_range(dst, bytes);
+  std::memset(dst, value, bytes);
+  KernelCosts costs;
+  costs.bytes_written = static_cast<double>(bytes);
+  return advance_kernel(costs);
+}
+
+}  // namespace mcmm::gpusim
+
+namespace mcmm::gpusim {
+
+Platform& Platform::instance() {
+  static Platform platform;
+  return platform;
+}
+
+Device& Platform::device(Vendor v) {
+  const auto idx = static_cast<std::size_t>(v);
+  if (!devices_[idx]) {
+    devices_[idx] = std::make_unique<Device>(descriptor_for(v));
+  }
+  return *devices_[idx];
+}
+
+Device& Platform::reset_device(Vendor v, const DeviceDescriptor& descriptor) {
+  const auto idx = static_cast<std::size_t>(v);
+  devices_[idx] = std::make_unique<Device>(descriptor);
+  return *devices_[idx];
+}
+
+}  // namespace mcmm::gpusim

@@ -1,0 +1,101 @@
+#pragma once
+// In-order execution queue of a simulated device. Operations execute
+// eagerly in submission order (the semantics of a synchronized-on-every-op
+// stream); each operation advances the queue's simulated clock according to
+// the analytic cost model and returns timing via Event.
+
+#include <cstring>
+#include <functional>
+
+#include "gpusim/allocator.hpp"
+#include "gpusim/costs.hpp"
+#include "gpusim/dim3.hpp"
+#include "gpusim/thread_pool.hpp"
+
+namespace mcmm::gpusim {
+
+class Device;
+
+/// A completed operation's position on the simulated timeline.
+struct Event {
+  double sim_begin_us{0};
+  double sim_end_us{0};
+
+  [[nodiscard]] double duration_us() const noexcept {
+    return sim_end_us - sim_begin_us;
+  }
+};
+
+/// Direction of an explicit memcpy.
+enum class CopyKind { HostToDevice, DeviceToHost, DeviceToDevice };
+
+class Queue {
+ public:
+  /// Created via Device::create_queue() / Device::default_queue().
+  explicit Queue(Device& device);
+
+  Queue(const Queue&) = delete;
+  Queue& operator=(const Queue&) = delete;
+
+  [[nodiscard]] Device& device() noexcept { return *device_; }
+
+  /// Backend profile applied to subsequent kernel launches (set by the
+  /// programming-model layer to reflect its software route).
+  void set_backend_profile(BackendProfile profile) {
+    profile_ = std::move(profile);
+  }
+  [[nodiscard]] const BackendProfile& backend_profile() const noexcept {
+    return profile_;
+  }
+
+  /// Launches a kernel: body(item) runs once per work item, partitioned
+  /// over the worker pool. Validates the configuration against device
+  /// limits. Returns the simulated timing of the launch.
+  template <typename Body>
+  Event launch(const LaunchConfig& cfg, const KernelCosts& costs,
+               Body&& body) {
+    validate_launch(cfg);
+    const std::uint64_t total = cfg.total_threads();
+    const std::function<void(std::uint64_t, std::uint64_t)> chunk =
+        [&](std::uint64_t begin, std::uint64_t end) {
+          for (std::uint64_t i = begin; i < end; ++i) {
+            body(work_item_from_linear(cfg, i));
+          }
+        };
+    pool_->parallel_for_chunks(total, chunk);
+    return advance_kernel(costs);
+  }
+
+  /// Explicit memcpy with direction validation: device pointers must come
+  /// from this device's allocator, host pointers must not.
+  Event memcpy(void* dst, const void* src, std::size_t bytes, CopyKind kind);
+
+  /// memset on device memory.
+  Event memset(void* dst, int value, std::size_t bytes);
+
+  /// Records the current simulated time.
+  [[nodiscard]] Event record() const {
+    return Event{sim_time_us_, sim_time_us_};
+  }
+
+  /// Waits for all submitted work (a no-op under eager execution, kept for
+  /// API fidelity — model layers call it where real code would).
+  void synchronize() const noexcept {}
+
+  /// Total simulated time consumed by this queue, microseconds.
+  [[nodiscard]] double simulated_time_us() const noexcept {
+    return sim_time_us_;
+  }
+
+ private:
+  void validate_launch(const LaunchConfig& cfg) const;
+  Event advance_kernel(const KernelCosts& costs);
+  Event advance(double duration_us);
+
+  Device* device_;
+  ThreadPool* pool_;
+  BackendProfile profile_{};
+  double sim_time_us_{0};
+};
+
+}  // namespace mcmm::gpusim

@@ -1,0 +1,90 @@
+#include "gpusim/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mcmm::gpusim {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) {
+    workers = std::max(2u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = tasks_.back();
+      tasks_.pop_back();
+    }
+    std::exception_ptr error;
+    try {
+      (*task.body)(task.begin, task.end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::uint64_t n,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  if (n == 0) return;
+  const std::uint64_t workers = worker_count();
+  const std::uint64_t chunks = std::min<std::uint64_t>(workers, n);
+  const std::uint64_t chunk_size = (n + chunks - 1) / chunks;
+
+  // Run single-chunk batches inline: no synchronization needed.
+  if (chunks == 1) {
+    body(0, n);
+    return;
+  }
+
+  {
+    const std::lock_guard lock(mutex_);
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const std::uint64_t begin = c * chunk_size;
+      const std::uint64_t end = std::min(n, begin + chunk_size);
+      if (begin >= end) continue;
+      tasks_.push_back(Task{&body, begin, end});
+      ++remaining_;
+    }
+  }
+  work_ready_.notify_all();
+
+  std::unique_lock lock(mutex_);
+  work_done_.wait(lock, [this] { return remaining_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mcmm::gpusim

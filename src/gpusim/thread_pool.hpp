@@ -1,0 +1,58 @@
+#pragma once
+// A small fork-join thread pool used as the execution engine behind all
+// simulated kernels. Follows the classic static-partition data-parallel
+// pattern (one contiguous chunk per worker).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcmm::gpusim {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` persistent threads (0 = one per hardware thread,
+  /// minimum 2 so parallel paths are exercised even on 1-core hosts).
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Runs body(begin, end) on the workers over a static partition of
+  /// [0, n) and blocks until every chunk finished. Exceptions from chunks
+  /// are rethrown (first one wins).
+  void parallel_for_chunks(
+      std::uint64_t n,
+      const std::function<void(std::uint64_t, std::uint64_t)>& body);
+
+  /// The process-wide pool shared by all simulated devices.
+  [[nodiscard]] static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::uint64_t, std::uint64_t)>* body{};
+    std::uint64_t begin{};
+    std::uint64_t end{};
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<Task> tasks_;     ///< pending chunks of the current batch
+  std::size_t remaining_{0};    ///< chunks not yet finished
+  std::exception_ptr first_error_;
+  bool stop_{false};
+};
+
+}  // namespace mcmm::gpusim

@@ -1,0 +1,28 @@
+#include "models/alpakax/alpakax.hpp"
+
+namespace mcmm::alpakax {
+
+WorkDiv work_div_for(std::size_t n, std::size_t threads_per_block) {
+  WorkDiv wd;
+  wd.threads_per_block = threads_per_block;
+  wd.blocks = (n + threads_per_block - 1) / threads_per_block;
+  if (wd.blocks == 0) wd.blocks = 1;
+  return wd;
+}
+
+namespace detail {
+
+gpusim::BackendProfile tag_profile(std::string_view tag, bool experimental) {
+  if (experimental) {
+    // AccGpuSyclIntel: experimental since v0.9.0 (item 43).
+    return models::experimental_profile("Alpaka/" + std::string(tag));
+  }
+  // Mature Alpaka backends are thin template layers over the native
+  // runtimes (items 15, 29).
+  return models::stack_profiles(
+      models::layered_profile("Alpaka"),
+      models::native_profile(std::string(tag)));
+}
+
+}  // namespace detail
+}  // namespace mcmm::alpakax

@@ -1,0 +1,191 @@
+#pragma once
+// alpakax: an Alpaka-style embedding (paper Sec. 4, items 15, 29, 43).
+// Alpaka's signature idiom is the accelerator *tag type*: kernels and
+// buffers are templated on the accelerator, and switching hardware is a
+// template-parameter change. The tags here mirror the real ones —
+// AccGpuCudaRt (NVIDIA), AccGpuHipRt (AMD), AccGpuSyclIntel (Intel,
+// experimental since v0.9.0), AccCpuOmp (the OpenMP fallback that runs on
+// NVIDIA/AMD offload routes in Fig. 1's reading).
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+#include "core/error.hpp"
+#include "gpusim/costs.hpp"
+#include "gpusim/device.hpp"
+#include "models/profiles.hpp"
+
+namespace mcmm::alpakax {
+
+// --- Accelerator tags ---
+
+struct AccGpuCudaRt {
+  static constexpr Vendor vendor = Vendor::NVIDIA;
+  static constexpr std::string_view name = "AccGpuCudaRt";
+  static constexpr bool experimental = false;
+};
+
+struct AccGpuHipRt {
+  static constexpr Vendor vendor = Vendor::AMD;
+  static constexpr std::string_view name = "AccGpuHipRt";
+  static constexpr bool experimental = false;
+};
+
+struct AccGpuSyclIntel {
+  static constexpr Vendor vendor = Vendor::Intel;
+  static constexpr std::string_view name = "AccGpuSyclIntel";
+  static constexpr bool experimental = true;  // since v0.9.0 (item 43)
+};
+
+/// The OpenMP offload fallback; vendor chosen at runtime.
+struct AccOmp {
+  static constexpr std::string_view name = "AccOmp";
+  static constexpr bool experimental = false;
+};
+
+/// Work division: blocks x threads-per-block (alpaka's WorkDivMembers).
+struct WorkDiv {
+  std::size_t blocks{};
+  std::size_t threads_per_block{};
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return blocks * threads_per_block;
+  }
+};
+
+[[nodiscard]] WorkDiv work_div_for(std::size_t n,
+                                   std::size_t threads_per_block = 256);
+
+namespace detail {
+[[nodiscard]] gpusim::BackendProfile tag_profile(std::string_view tag,
+                                                 bool experimental);
+}
+
+/// A device handle + queue for an accelerator tag.
+template <typename TAcc>
+class Queue {
+ public:
+  Queue()
+      : device_(&gpusim::Platform::instance().device(TAcc::vendor)),
+        queue_(device_->create_queue()) {
+    queue_->set_backend_profile(
+        detail::tag_profile(TAcc::name, TAcc::experimental));
+  }
+
+  [[nodiscard]] static constexpr Vendor vendor() noexcept {
+    return TAcc::vendor;
+  }
+  [[nodiscard]] gpusim::Device& device() noexcept { return *device_; }
+  [[nodiscard]] gpusim::Queue& queue() noexcept { return *queue_; }
+  [[nodiscard]] double simulated_time_us() const noexcept {
+    return queue_->simulated_time_us();
+  }
+  void wait() noexcept { queue_->synchronize(); }
+
+ private:
+  gpusim::Device* device_;
+  std::unique_ptr<gpusim::Queue> queue_;
+};
+
+/// The OpenMP-offload fallback picks its platform at runtime (items 29 and
+/// 43: Alpaka "can fall back to an OpenMP backend").
+template <>
+class Queue<AccOmp> {
+ public:
+  explicit Queue(Vendor vendor)
+      : vendor_(vendor),
+        device_(&gpusim::Platform::instance().device(vendor)),
+        queue_(device_->create_queue()) {
+    queue_->set_backend_profile(models::stack_profiles(
+        models::layered_profile("Alpaka"),
+        models::directive_profile("OpenMP")));
+  }
+
+  [[nodiscard]] Vendor vendor() const noexcept { return vendor_; }
+  [[nodiscard]] gpusim::Device& device() noexcept { return *device_; }
+  [[nodiscard]] gpusim::Queue& queue() noexcept { return *queue_; }
+  [[nodiscard]] double simulated_time_us() const noexcept {
+    return queue_->simulated_time_us();
+  }
+  void wait() noexcept { queue_->synchronize(); }
+
+ private:
+  Vendor vendor_;
+  gpusim::Device* device_;
+  std::unique_ptr<gpusim::Queue> queue_;
+};
+
+/// A device buffer bound to an accelerator's device.
+template <typename T, typename TAcc>
+class Buf {
+ public:
+  Buf(Queue<TAcc>& queue, std::size_t count)
+      : device_(&queue.device()),
+        size_(count),
+        data_(static_cast<T*>(device_->allocate(count * sizeof(T)))) {}
+
+  ~Buf() {
+    if (data_ != nullptr) device_->deallocate(data_);
+  }
+
+  Buf(const Buf&) = delete;
+  Buf& operator=(const Buf&) = delete;
+  Buf(Buf&& other) noexcept
+      : device_(other.device_), size_(other.size_), data_(other.data_) {
+    other.data_ = nullptr;
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  gpusim::Device* device_;
+  std::size_t size_;
+  T* data_;
+};
+
+template <typename T, typename TAcc>
+[[nodiscard]] Buf<T, TAcc> alloc_buf(Queue<TAcc>& queue, std::size_t count) {
+  return Buf<T, TAcc>(queue, count);
+}
+
+template <typename T, typename TAcc>
+void memcpy_to_device(Queue<TAcc>& queue, Buf<T, TAcc>& dst, const T* src,
+                      std::size_t count) {
+  queue.queue().memcpy(dst.data(), src, count * sizeof(T),
+                       gpusim::CopyKind::HostToDevice);
+}
+
+template <typename T, typename TAcc>
+void memcpy_to_host(Queue<TAcc>& queue, T* dst, const Buf<T, TAcc>& src,
+                    std::size_t count) {
+  queue.queue().memcpy(dst, src.data(), count * sizeof(T),
+                       gpusim::CopyKind::DeviceToHost);
+}
+
+/// Per-thread accelerator context passed to kernels (thread index access,
+/// like alpaka's `acc` parameter).
+struct AccCtx {
+  std::size_t global_thread_idx{};
+  std::size_t total_threads{};
+};
+
+/// Executes `kernel(acc, args...)` once per thread of the work division
+/// (alpaka::exec analogue).
+template <typename TAcc, typename Kernel, typename... Args>
+void exec(Queue<TAcc>& queue, const WorkDiv& work_div,
+          const gpusim::KernelCosts& costs, Kernel&& kernel, Args&&... args) {
+  const std::size_t total = work_div.total();
+  const gpusim::LaunchConfig cfg = gpusim::launch_1d(
+      total, static_cast<std::uint32_t>(work_div.threads_per_block));
+  queue.queue().launch(cfg, costs, [&](const gpusim::WorkItem& item) {
+    const std::size_t i = item.global_x();
+    if (i < total) {
+      kernel(AccCtx{i, total}, args...);
+    }
+  });
+}
+
+}  // namespace mcmm::alpakax

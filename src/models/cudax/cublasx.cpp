@@ -1,0 +1,171 @@
+#include "models/cudax/cublasx.hpp"
+
+#include <set>
+
+namespace mcmm::cudax {
+
+/// A cuBLAS handle: the stream its kernels are enqueued on.
+struct cublasContext {
+  cudaStream_t stream{nullptr};
+};
+
+namespace {
+
+std::set<cublasContext*>& live_handles() {
+  static std::set<cublasContext*> handles;
+  return handles;
+}
+
+[[nodiscard]] bool valid(cublasHandle_t h) {
+  return h != nullptr && live_handles().contains(h);
+}
+
+[[nodiscard]] gpusim::KernelCosts axpy_costs(int n, std::size_t elem) {
+  gpusim::KernelCosts c;
+  c.bytes_read = 2.0 * n * elem;
+  c.bytes_written = 1.0 * n * elem;
+  c.flops = 2.0 * n;
+  return c;
+}
+
+}  // namespace
+
+cublasStatus_t cublasCreate(cublasHandle_t* handle) noexcept {
+  if (handle == nullptr) return cublasStatus_t::CUBLAS_STATUS_INVALID_VALUE;
+  auto* ctx = new cublasContext{};
+  live_handles().insert(ctx);
+  *handle = ctx;
+  return cublasStatus_t::CUBLAS_STATUS_SUCCESS;
+}
+
+cublasStatus_t cublasDestroy(cublasHandle_t handle) noexcept {
+  if (!valid(handle)) return cublasStatus_t::CUBLAS_STATUS_NOT_INITIALIZED;
+  live_handles().erase(handle);
+  delete handle;
+  return cublasStatus_t::CUBLAS_STATUS_SUCCESS;
+}
+
+cublasStatus_t cublasSetStream(cublasHandle_t handle,
+                               cudaStream_t stream) noexcept {
+  if (!valid(handle)) return cublasStatus_t::CUBLAS_STATUS_NOT_INITIALIZED;
+  handle->stream = stream;
+  return cublasStatus_t::CUBLAS_STATUS_SUCCESS;
+}
+
+namespace {
+
+template <typename T>
+cublasStatus_t axpy(cublasHandle_t handle, int n, const T* alpha, const T* x,
+                    int incx, T* y, int incy) {
+  if (!valid(handle)) return cublasStatus_t::CUBLAS_STATUS_NOT_INITIALIZED;
+  if (n < 0 || alpha == nullptr || incx == 0 || incy == 0) {
+    return cublasStatus_t::CUBLAS_STATUS_INVALID_VALUE;
+  }
+  const T a = *alpha;
+  const dim3 block{256, 1, 1};
+  const dim3 grid{static_cast<std::uint32_t>((n + 255) / 256), 1, 1};
+  const cudaError_t err = cudaLaunch(
+      grid, block, axpy_costs(n, sizeof(T)), handle->stream,
+      [a, x, incx, y, incy, n](const KernelCtx& ctx) {
+        const std::size_t i = ctx.global_x();
+        if (i < static_cast<std::size_t>(n)) {
+          y[i * incy] = a * x[i * incx] + y[i * incy];
+        }
+      });
+  return err == cudaError_t::cudaSuccess
+             ? cublasStatus_t::CUBLAS_STATUS_SUCCESS
+             : cublasStatus_t::CUBLAS_STATUS_EXECUTION_FAILED;
+}
+
+}  // namespace
+
+cublasStatus_t cublasSaxpy(cublasHandle_t handle, int n, const float* alpha,
+                           const float* x, int incx, float* y,
+                           int incy) noexcept {
+  return axpy(handle, n, alpha, x, incx, y, incy);
+}
+
+cublasStatus_t cublasDaxpy(cublasHandle_t handle, int n, const double* alpha,
+                           const double* x, int incx, double* y,
+                           int incy) noexcept {
+  return axpy(handle, n, alpha, x, incx, y, incy);
+}
+
+cublasStatus_t cublasDdot(cublasHandle_t handle, int n, const double* x,
+                          int incx, const double* y, int incy,
+                          double* result) noexcept {
+  if (!valid(handle)) return cublasStatus_t::CUBLAS_STATUS_NOT_INITIALIZED;
+  if (n < 0 || result == nullptr || incx == 0 || incy == 0) {
+    return cublasStatus_t::CUBLAS_STATUS_INVALID_VALUE;
+  }
+  constexpr std::uint32_t kChunks = 64;
+  double partials[kChunks] = {};
+  const std::size_t chunk =
+      (static_cast<std::size_t>(n) + kChunks - 1) / kChunks;
+  gpusim::KernelCosts costs;
+  costs.bytes_read = 2.0 * n * sizeof(double);
+  costs.flops = 2.0 * n;
+  const cudaError_t err = cudaLaunch(
+      dim3{kChunks, 1, 1}, dim3{1, 1, 1}, costs, handle->stream,
+      [x, incx, y, incy, n, chunk, &partials](const KernelCtx& ctx) {
+        const std::size_t c = ctx.global_x();
+        if (c >= kChunks) return;
+        const std::size_t begin = c * chunk;
+        const std::size_t end =
+            std::min(static_cast<std::size_t>(n), begin + chunk);
+        double acc = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          acc += x[i * incx] * y[i * incy];
+        }
+        partials[c] = acc;
+      });
+  if (err != cudaError_t::cudaSuccess) {
+    return cublasStatus_t::CUBLAS_STATUS_EXECUTION_FAILED;
+  }
+  double sum = 0.0;
+  for (const double p : partials) sum += p;
+  *result = sum;
+  return cublasStatus_t::CUBLAS_STATUS_SUCCESS;
+}
+
+cublasStatus_t cublasDgemm(cublasHandle_t handle, int m, int n, int k,
+                           const double* alpha, const double* A, int lda,
+                           const double* B, int ldb, const double* beta,
+                           double* C, int ldc) noexcept {
+  if (!valid(handle)) return cublasStatus_t::CUBLAS_STATUS_NOT_INITIALIZED;
+  if (m < 0 || n < 0 || k < 0 || alpha == nullptr || beta == nullptr ||
+      lda < m || ldb < k || ldc < m) {
+    return cublasStatus_t::CUBLAS_STATUS_INVALID_VALUE;
+  }
+  const double a = *alpha;
+  const double b = *beta;
+  gpusim::KernelCosts costs;
+  costs.bytes_read =
+      (static_cast<double>(m) * k + static_cast<double>(k) * n +
+       static_cast<double>(m) * n) *
+      sizeof(double);
+  costs.bytes_written = static_cast<double>(m) * n * sizeof(double);
+  costs.flops = 2.0 * m * n * k;
+  const std::size_t total = static_cast<std::size_t>(m) * n;
+  const dim3 block{256, 1, 1};
+  const dim3 grid{static_cast<std::uint32_t>((total + 255) / 256), 1, 1};
+  const cudaError_t err = cudaLaunch(
+      grid, block, costs, handle->stream,
+      [=](const KernelCtx& ctx) {
+        const std::size_t idx = ctx.global_x();
+        if (idx >= total) return;
+        const std::size_t col = idx / m;  // column-major
+        const std::size_t row = idx % m;
+        double acc = 0.0;
+        for (int kk = 0; kk < k; ++kk) {
+          acc += A[row + static_cast<std::size_t>(kk) * lda] *
+                 B[kk + col * ldb];
+        }
+        C[row + col * ldc] = a * acc + b * C[row + col * ldc];
+      });
+  return err == cudaError_t::cudaSuccess
+             ? cublasStatus_t::CUBLAS_STATUS_SUCCESS
+             : cublasStatus_t::CUBLAS_STATUS_EXECUTION_FAILED;
+}
+
+}  // namespace mcmm::cudax

@@ -1,0 +1,49 @@
+#pragma once
+// cublasx: a cuBLAS-style library embedding on top of the cudax runtime
+// (paper item 1: "the toolkit covers ... libraries"). Handle-based,
+// error-code API over device pointers; the subset implemented is the one
+// the paper's item 3 names for the HIP interface story (axpy, dot, gemm).
+
+#include <cstddef>
+
+#include "models/cudax/cudax.hpp"
+
+namespace mcmm::cudax {
+
+enum class cublasStatus_t {
+  CUBLAS_STATUS_SUCCESS = 0,
+  CUBLAS_STATUS_NOT_INITIALIZED,
+  CUBLAS_STATUS_INVALID_VALUE,
+  CUBLAS_STATUS_EXECUTION_FAILED,
+};
+
+struct cublasContext;
+using cublasHandle_t = cublasContext*;
+
+cublasStatus_t cublasCreate(cublasHandle_t* handle) noexcept;
+cublasStatus_t cublasDestroy(cublasHandle_t handle) noexcept;
+cublasStatus_t cublasSetStream(cublasHandle_t handle,
+                               cudaStream_t stream) noexcept;
+
+/// y = alpha * x + y (single precision).
+cublasStatus_t cublasSaxpy(cublasHandle_t handle, int n, const float* alpha,
+                           const float* x, int incx, float* y,
+                           int incy) noexcept;
+/// y = alpha * x + y (double precision).
+cublasStatus_t cublasDaxpy(cublasHandle_t handle, int n, const double* alpha,
+                           const double* x, int incx, double* y,
+                           int incy) noexcept;
+
+/// result = x . y (dot product, double precision).
+cublasStatus_t cublasDdot(cublasHandle_t handle, int n, const double* x,
+                          int incx, const double* y, int incy,
+                          double* result) noexcept;
+
+/// C = alpha * A * B + beta * C, all column-major m x k, k x n, m x n
+/// (no transposes — the subset the examples need).
+cublasStatus_t cublasDgemm(cublasHandle_t handle, int m, int n, int k,
+                           const double* alpha, const double* A, int lda,
+                           const double* B, int ldb, const double* beta,
+                           double* C, int ldc) noexcept;
+
+}  // namespace mcmm::cudax

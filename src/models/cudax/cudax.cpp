@@ -1,0 +1,189 @@
+#include "models/cudax/cudax.hpp"
+
+#include "models/profiles.hpp"
+
+namespace mcmm::cudax {
+namespace {
+
+/// The CUDA runtime drives the simulated NVIDIA device with the native
+/// profile.
+gpusim::Device& nvidia_device() {
+  gpusim::Device& dev = gpusim::Platform::instance().device(Vendor::NVIDIA);
+  return dev;
+}
+
+thread_local int g_current_device = 0;
+
+}  // namespace
+
+const char* cudaGetErrorString(cudaError_t err) noexcept {
+  switch (err) {
+    case cudaError_t::cudaSuccess:
+      return "no error";
+    case cudaError_t::cudaErrorMemoryAllocation:
+      return "out of memory";
+    case cudaError_t::cudaErrorInvalidValue:
+      return "invalid argument";
+    case cudaError_t::cudaErrorInvalidDevice:
+      return "invalid device ordinal";
+    case cudaError_t::cudaErrorInvalidDevicePointer:
+      return "invalid device pointer";
+    case cudaError_t::cudaErrorInvalidConfiguration:
+      return "invalid configuration argument";
+    case cudaError_t::cudaErrorUnknown:
+      return "unknown error";
+  }
+  return "unrecognized error code";
+}
+
+cudaError_t cudaGetDeviceCount(int* count) noexcept {
+  if (count == nullptr) return cudaError_t::cudaErrorInvalidValue;
+  *count = 1;
+  return cudaError_t::cudaSuccess;
+}
+
+cudaError_t cudaSetDevice(int device) noexcept {
+  if (device != 0) return cudaError_t::cudaErrorInvalidDevice;
+  g_current_device = device;
+  return cudaError_t::cudaSuccess;
+}
+
+cudaError_t cudaGetDevice(int* device) noexcept {
+  if (device == nullptr) return cudaError_t::cudaErrorInvalidValue;
+  *device = g_current_device;
+  return cudaError_t::cudaSuccess;
+}
+
+cudaError_t cudaDeviceSynchronize() noexcept {
+  nvidia_device().default_queue().synchronize();
+  return cudaError_t::cudaSuccess;
+}
+
+cudaError_t cudaMalloc(void** ptr, std::size_t bytes) noexcept {
+  if (ptr == nullptr) return cudaError_t::cudaErrorInvalidValue;
+  try {
+    *ptr = nvidia_device().allocate(bytes);
+    return cudaError_t::cudaSuccess;
+  } catch (const gpusim::OutOfMemory&) {
+    *ptr = nullptr;
+    return cudaError_t::cudaErrorMemoryAllocation;
+  }
+}
+
+cudaError_t cudaFree(void* ptr) noexcept {
+  if (ptr == nullptr) return cudaError_t::cudaSuccess;  // CUDA allows this
+  try {
+    nvidia_device().deallocate(ptr);
+    return cudaError_t::cudaSuccess;
+  } catch (const gpusim::InvalidPointer&) {
+    return cudaError_t::cudaErrorInvalidDevicePointer;
+  }
+}
+
+namespace {
+
+cudaError_t do_memcpy(gpusim::Queue& q, void* dst, const void* src,
+                      std::size_t bytes, cudaMemcpyKind kind) noexcept {
+  try {
+    switch (kind) {
+      case cudaMemcpyHostToDevice:
+        q.memcpy(dst, src, bytes, gpusim::CopyKind::HostToDevice);
+        break;
+      case cudaMemcpyDeviceToHost:
+        q.memcpy(dst, src, bytes, gpusim::CopyKind::DeviceToHost);
+        break;
+      case cudaMemcpyDeviceToDevice:
+        q.memcpy(dst, src, bytes, gpusim::CopyKind::DeviceToDevice);
+        break;
+    }
+    return cudaError_t::cudaSuccess;
+  } catch (const gpusim::InvalidPointer&) {
+    return cudaError_t::cudaErrorInvalidDevicePointer;
+  } catch (const gpusim::SimError&) {
+    return cudaError_t::cudaErrorUnknown;
+  }
+}
+
+}  // namespace
+
+cudaError_t cudaMemcpy(void* dst, const void* src, std::size_t bytes,
+                       cudaMemcpyKind kind) noexcept {
+  return do_memcpy(nvidia_device().default_queue(), dst, src, bytes, kind);
+}
+
+cudaError_t cudaMemcpyAsync(void* dst, const void* src, std::size_t bytes,
+                            cudaMemcpyKind kind,
+                            cudaStream_t stream) noexcept {
+  return do_memcpy(queue_of(stream), dst, src, bytes, kind);
+}
+
+cudaError_t cudaMemset(void* dst, int value, std::size_t bytes) noexcept {
+  try {
+    nvidia_device().default_queue().memset(dst, value, bytes);
+    return cudaError_t::cudaSuccess;
+  } catch (const gpusim::InvalidPointer&) {
+    return cudaError_t::cudaErrorInvalidDevicePointer;
+  }
+}
+
+cudaError_t cudaStreamCreate(cudaStream_t* stream) noexcept {
+  if (stream == nullptr) return cudaError_t::cudaErrorInvalidValue;
+  *stream = nvidia_device().create_queue().release();
+  (*stream)->set_backend_profile(models::native_profile("CUDA"));
+  return cudaError_t::cudaSuccess;
+}
+
+cudaError_t cudaStreamDestroy(cudaStream_t stream) noexcept {
+  if (stream == nullptr) return cudaError_t::cudaErrorInvalidValue;
+  delete stream;
+  return cudaError_t::cudaSuccess;
+}
+
+cudaError_t cudaStreamSynchronize(cudaStream_t stream) noexcept {
+  queue_of(stream).synchronize();
+  return cudaError_t::cudaSuccess;
+}
+
+cudaError_t cudaEventCreate(cudaEvent_t* event) noexcept {
+  if (event == nullptr) return cudaError_t::cudaErrorInvalidValue;
+  *event = new cudaEvent_impl{};
+  return cudaError_t::cudaSuccess;
+}
+
+cudaError_t cudaEventDestroy(cudaEvent_t event) noexcept {
+  if (event == nullptr) return cudaError_t::cudaErrorInvalidValue;
+  delete event;
+  return cudaError_t::cudaSuccess;
+}
+
+cudaError_t cudaEventRecord(cudaEvent_t event, cudaStream_t stream) noexcept {
+  if (event == nullptr) return cudaError_t::cudaErrorInvalidValue;
+  event->event = queue_of(stream).record();
+  event->recorded = true;
+  return cudaError_t::cudaSuccess;
+}
+
+cudaError_t cudaEventElapsedTime(float* ms, cudaEvent_t start,
+                                 cudaEvent_t stop) noexcept {
+  if (ms == nullptr || start == nullptr || stop == nullptr ||
+      !start->recorded || !stop->recorded) {
+    return cudaError_t::cudaErrorInvalidValue;
+  }
+  *ms = static_cast<float>(
+      (stop->event.sim_begin_us - start->event.sim_begin_us) / 1000.0);
+  return cudaError_t::cudaSuccess;
+}
+
+gpusim::Device& current_device() { return nvidia_device(); }
+
+gpusim::Queue& queue_of(cudaStream_t stream) {
+  if (stream != nullptr) return *stream;
+  gpusim::Queue& q = nvidia_device().default_queue();
+  // The default stream always runs the native CUDA profile.
+  if (q.backend_profile().label != "CUDA") {
+    q.set_backend_profile(models::native_profile("CUDA"));
+  }
+  return q;
+}
+
+}  // namespace mcmm::cudax

@@ -1,0 +1,146 @@
+#pragma once
+// cudax: a CUDA-runtime-style API embedding over the simulated NVIDIA
+// device (paper Sec. 4, item 1). Mirrors the error-code discipline, naming,
+// and launch semantics of the CUDA runtime API; the `<<<>>>` launch syntax
+// is replaced by cudaLaunch(grid, block, costs, kernel) — the one seam the
+// simulation needs (kernels declare their traffic for the timing model).
+
+#include <cstddef>
+#include <string>
+#include <tuple>
+#include <type_traits>
+
+#include "gpusim/costs.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/dim3.hpp"
+
+namespace mcmm::cudax {
+
+enum class cudaError_t {
+  cudaSuccess = 0,
+  cudaErrorMemoryAllocation,
+  cudaErrorInvalidValue,
+  cudaErrorInvalidDevice,
+  cudaErrorInvalidDevicePointer,
+  cudaErrorInvalidConfiguration,
+  cudaErrorUnknown,
+};
+
+using dim3 = gpusim::Dim3;
+
+enum cudaMemcpyKind {
+  cudaMemcpyHostToDevice,
+  cudaMemcpyDeviceToHost,
+  cudaMemcpyDeviceToDevice,
+};
+
+/// Streams are simulated queues; the default stream (nullptr) is the
+/// device's default queue.
+using cudaStream_t = gpusim::Queue*;
+
+/// Events capture positions on a stream's simulated timeline.
+struct cudaEvent_impl {
+  gpusim::Event event{};
+  bool recorded{false};
+};
+using cudaEvent_t = cudaEvent_impl*;
+
+/// Kernel bodies receive the CUDA built-in coordinates via this context.
+struct KernelCtx {
+  dim3 threadIdx;
+  dim3 blockIdx;
+  dim3 blockDim;
+  dim3 gridDim;
+
+  [[nodiscard]] std::size_t global_x() const noexcept {
+    return static_cast<std::size_t>(blockIdx.x) * blockDim.x + threadIdx.x;
+  }
+};
+
+[[nodiscard]] const char* cudaGetErrorString(cudaError_t err) noexcept;
+
+/// Device management. The simulated platform exposes exactly one NVIDIA
+/// device (ordinal 0).
+cudaError_t cudaGetDeviceCount(int* count) noexcept;
+cudaError_t cudaSetDevice(int device) noexcept;
+cudaError_t cudaGetDevice(int* device) noexcept;
+cudaError_t cudaDeviceSynchronize() noexcept;
+
+/// Memory management.
+cudaError_t cudaMalloc(void** ptr, std::size_t bytes) noexcept;
+cudaError_t cudaFree(void* ptr) noexcept;
+cudaError_t cudaMemcpy(void* dst, const void* src, std::size_t bytes,
+                       cudaMemcpyKind kind) noexcept;
+cudaError_t cudaMemcpyAsync(void* dst, const void* src, std::size_t bytes,
+                            cudaMemcpyKind kind, cudaStream_t stream) noexcept;
+cudaError_t cudaMemset(void* dst, int value, std::size_t bytes) noexcept;
+
+/// Streams and events.
+cudaError_t cudaStreamCreate(cudaStream_t* stream) noexcept;
+cudaError_t cudaStreamDestroy(cudaStream_t stream) noexcept;
+cudaError_t cudaStreamSynchronize(cudaStream_t stream) noexcept;
+cudaError_t cudaEventCreate(cudaEvent_t* event) noexcept;
+cudaError_t cudaEventDestroy(cudaEvent_t event) noexcept;
+cudaError_t cudaEventRecord(cudaEvent_t event, cudaStream_t stream) noexcept;
+/// Simulated milliseconds between two recorded events.
+cudaError_t cudaEventElapsedTime(float* ms, cudaEvent_t start,
+                                 cudaEvent_t stop) noexcept;
+
+/// Internal: the simulated device behind the CUDA runtime, and the queue a
+/// stream handle denotes. Exposed for layered models (HIP's CUDA backend,
+/// Kokkos' CUDA execution space) — mirroring how real stacks share the CUDA
+/// context.
+[[nodiscard]] gpusim::Device& current_device();
+[[nodiscard]] gpusim::Queue& queue_of(cudaStream_t stream);
+
+/// Kernel launch, replacing `kernel<<<grid, block, 0, stream>>>(args...)`.
+/// `kernel` is a callable `void(const KernelCtx&, Args...)`.
+template <typename Kernel, typename... Args>
+cudaError_t cudaLaunch(dim3 grid, dim3 block, const gpusim::KernelCosts& costs,
+                       cudaStream_t stream, Kernel&& kernel,
+                       Args&&... args) noexcept {
+  try {
+    gpusim::LaunchConfig cfg{grid, block};
+    queue_of(stream).launch(cfg, costs, [&](const gpusim::WorkItem& item) {
+      KernelCtx ctx{item.thread_idx, item.block_idx, item.block_dim,
+                    item.grid_dim};
+      kernel(ctx, args...);
+    });
+    return cudaError_t::cudaSuccess;
+  } catch (const gpusim::InvalidLaunch&) {
+    return cudaError_t::cudaErrorInvalidConfiguration;
+  } catch (const gpusim::SimError&) {
+    return cudaError_t::cudaErrorUnknown;
+  }
+}
+
+namespace detail {
+/// Guards the convenience overload against swallowing the explicit-costs
+/// call (first variadic argument being KernelCosts means the caller meant
+/// the full overload).
+template <typename... Args>
+inline constexpr bool first_arg_is_costs = [] {
+  if constexpr (sizeof...(Args) == 0) {
+    return false;
+  } else {
+    return std::is_same_v<
+        std::remove_cvref_t<std::tuple_element_t<0, std::tuple<Args...>>>,
+        gpusim::KernelCosts>;
+  }
+}();
+}  // namespace detail
+
+/// Default-stream, default-costs convenience overload. The constraint
+/// keeps the explicit-costs call (whose 3rd argument is KernelCosts) from
+/// recursively matching this overload.
+template <typename Kernel, typename... Args>
+  requires(!std::is_same_v<std::remove_cvref_t<Kernel>, gpusim::KernelCosts>)
+cudaError_t cudaLaunch(dim3 grid, dim3 block, Kernel&& kernel,
+                       Args&&... args) noexcept {
+  return cudaLaunch(grid, block, gpusim::KernelCosts{},
+                    static_cast<cudaStream_t>(nullptr),
+                    std::forward<Kernel>(kernel),
+                    std::forward<Args>(args)...);
+}
+
+}  // namespace mcmm::cudax

@@ -1,0 +1,138 @@
+#include "models/fortranx/fortranx.hpp"
+
+#include <algorithm>
+
+#include "models/hipx/hipx.hpp"
+
+namespace mcmm::fortranx {
+
+BindingLayer::BindingLayer(std::string name, Provider provider,
+                           std::string license,
+                           std::vector<BindingEntry> entries)
+    : name_(std::move(name)),
+      provider_(provider),
+      license_(std::move(license)),
+      entries_(std::move(entries)) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    index_.emplace(entries_[i].fortran_name, i);
+  }
+}
+
+const BindingEntry* BindingLayer::find(
+    const std::string& fortran_name) const {
+  const auto it = index_.find(fortran_name);
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+double BindingLayer::coverage(
+    const std::vector<std::string>& api_surface) const {
+  if (api_surface.empty()) return 1.0;
+  std::size_t covered = 0;
+  for (const std::string& symbol : api_surface) {
+    if (find(symbol) != nullptr) ++covered;
+  }
+  return static_cast<double>(covered) /
+         static_cast<double>(api_surface.size());
+}
+
+const BindingLayer& hipfort() {
+  static const BindingLayer layer(
+      "hipfort", Provider::OtherVendor, "MIT",
+      {
+          {"hipMalloc", "hipMalloc", 2, true},
+          {"hipFree", "hipFree", 1, true},
+          {"hipMemcpy", "hipMemcpy", 4, true},
+          {"hipMemset", "hipMemset", 3, true},
+          {"hipDeviceSynchronize", "hipDeviceSynchronize", 0, true},
+          {"hipGetDeviceCount", "hipGetDeviceCount", 1, true},
+          {"hipSetDevice", "hipSetDevice", 1, true},
+          {"hipStreamCreate", "hipStreamCreate", 1, true},
+          {"hipStreamDestroy", "hipStreamDestroy", 1, true},
+          {"hipStreamSynchronize", "hipStreamSynchronize", 1, true},
+          // ROCm library interfaces (item 4: "interfaces to ... HIP and
+          // ROCm libraries").
+          {"hipblasCreate", "hipblasCreate", 1, true},
+          {"hipblasDestroy", "hipblasDestroy", 1, true},
+          {"hipblasSaxpy", "hipblasSaxpy", 7, true},
+          {"hipblasDaxpy", "hipblasDaxpy", 7, true},
+          {"hipblasDdot", "hipblasDdot", 7, true},
+      });
+  return layer;
+}
+
+const BindingLayer& flcl() {
+  static const BindingLayer layer(
+      "Kokkos FLCL", Provider::Community, "BSD-3",
+      {
+          {"kokkos_initialize", "flcl_kokkos_initialize", 0, false},
+          {"kokkos_finalize", "flcl_kokkos_finalize", 0, false},
+          {"kokkos_allocate_view", "flcl_allocate_v1d", 3, false},
+          {"kokkos_deallocate_view", "flcl_deallocate_v1d", 1, false},
+          {"kokkos_deep_copy", "flcl_deep_copy", 2, false},
+          {"kokkos_parallel_for", "flcl_parallel_for", 3, false},
+          {"kokkos_parallel_reduce", "flcl_parallel_reduce", 4, false},
+      });
+  return layer;
+}
+
+const std::vector<std::string>& hip_api_surface() {
+  static const std::vector<std::string> surface = {
+      "hipMalloc",        "hipFree",
+      "hipMemcpy",        "hipMemset",
+      "hipDeviceSynchronize", "hipGetDeviceCount",
+      "hipSetDevice",     "hipStreamCreate",
+      "hipStreamDestroy", "hipStreamSynchronize",
+      // Not covered by hipfort in this model (kernel-side API):
+      "hipLaunchKernelGGL", "hipEventCreate", "hipEventRecord",
+  };
+  return surface;
+}
+
+int call_hipfort(const std::string& fortran_name, std::vector<CValue> args) {
+  const BindingEntry* entry = hipfort().find(fortran_name);
+  if (entry == nullptr) {
+    throw LookupError("hipfort has no interface named '" + fortran_name +
+                      "' (HIP offers no Fortran kernel language — item 4)");
+  }
+  if (static_cast<int>(args.size()) != entry->arity) {
+    throw Error("arity mismatch calling " + fortran_name + ": expected " +
+                std::to_string(entry->arity) + " arguments, got " +
+                std::to_string(args.size()));
+  }
+
+  using hipx::hipError_t;
+  if (fortran_name == "hipMalloc") {
+    return static_cast<int>(hipx::hipMalloc(
+        static_cast<void**>(args[0].ptr), args[1].size));
+  }
+  if (fortran_name == "hipFree") {
+    return static_cast<int>(hipx::hipFree(args[0].ptr));
+  }
+  if (fortran_name == "hipMemcpy") {
+    // args: dst, src, bytes, kind (kind passed via size field).
+    return static_cast<int>(hipx::hipMemcpy(
+        args[0].ptr, args[1].ptr, args[2].size,
+        static_cast<hipx::hipMemcpyKind>(args[3].size)));
+  }
+  if (fortran_name == "hipMemset") {
+    return static_cast<int>(hipx::hipMemset(
+        args[0].ptr, static_cast<int>(args[1].size), args[2].size));
+  }
+  if (fortran_name == "hipDeviceSynchronize") {
+    return static_cast<int>(hipx::hipDeviceSynchronize());
+  }
+  if (fortran_name == "hipGetDeviceCount") {
+    return static_cast<int>(
+        hipx::hipGetDeviceCount(static_cast<int*>(args[0].ptr)));
+  }
+  if (fortran_name == "hipSetDevice") {
+    return static_cast<int>(
+        hipx::hipSetDevice(static_cast<int>(args[0].size)));
+  }
+  // The remaining bound symbols exist in the interface table but have no
+  // dispatch in this executable subset.
+  throw Error("hipfort interface '" + fortran_name +
+              "' is declared but not dispatched in this subset");
+}
+
+}  // namespace mcmm::fortranx

@@ -1,0 +1,99 @@
+#pragma once
+// fortranx: the Fortran binding layers of Fig. 1's Fortran columns,
+// modelled as data plus an ISO_C_BINDING-style dispatch bridge.
+//
+// The paper's Fortran story is about *interface availability*: hipfort
+// (item 4) ships ready-made interfaces to the HIP API and ROCm libraries;
+// Kokkos' FLCL (item 14) hands views between Fortran and C++. This module
+// records those interface surfaces (names, arity, the C symbols they bind
+// to) and provides an executable bridge: calling a bound symbol through
+// the layer dispatches onto the corresponding C++ embedding — the way a
+// Fortran program reaches the device through ISO_C_BINDING.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/support.hpp"
+#include "core/types.hpp"
+
+namespace mcmm::fortranx {
+
+/// One bound procedure of a binding layer.
+struct BindingEntry {
+  std::string fortran_name;  ///< e.g. "hipMalloc" (Fortran interface name)
+  std::string c_symbol;      ///< bound C symbol
+  int arity{};               ///< number of dummy arguments
+  bool is_function{};        ///< function (returns status) vs subroutine
+};
+
+/// A Fortran binding layer (hipfort, FLCL, ...).
+class BindingLayer {
+ public:
+  BindingLayer(std::string name, Provider provider, std::string license,
+               std::vector<BindingEntry> entries);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Provider provider() const noexcept { return provider_; }
+  [[nodiscard]] const std::string& license() const noexcept {
+    return license_;
+  }
+  [[nodiscard]] const std::vector<BindingEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  [[nodiscard]] const BindingEntry* find(
+      const std::string& fortran_name) const;
+
+  /// Fraction of `api_surface` covered by this layer's bindings.
+  [[nodiscard]] double coverage(
+      const std::vector<std::string>& api_surface) const;
+
+ private:
+  std::string name_;
+  Provider provider_;
+  std::string license_;
+  std::vector<BindingEntry> entries_;
+  std::map<std::string, std::size_t> index_;
+};
+
+/// AMD's hipfort (item 4): MIT-licensed interfaces to the HIP API and
+/// ROCm libraries. "All interfaces implement C functionality"; there is
+/// no Fortran kernel language.
+[[nodiscard]] const BindingLayer& hipfort();
+
+/// Kokkos' Fortran Language Compatibility Layer (item 14).
+[[nodiscard]] const BindingLayer& flcl();
+
+/// The HIP C API surface used for coverage measurements.
+[[nodiscard]] const std::vector<std::string>& hip_api_surface();
+
+// ---------------------------------------------------------------------
+// Executable bridge: a tiny ISO_C_BINDING-style call interface. Values
+// are passed as an argument pack of raw addresses/sizes, the way a
+// Fortran compiler marshals `type(c_ptr)` and `integer(c_size_t)`.
+
+struct CValue {
+  enum class Kind { Pointer, Size, DoublePtr } kind{Kind::Pointer};
+  void* ptr{};
+  std::size_t size{};
+
+  [[nodiscard]] static CValue pointer(void* p) {
+    return CValue{Kind::Pointer, p, 0};
+  }
+  [[nodiscard]] static CValue bytes(std::size_t n) {
+    return CValue{Kind::Size, nullptr, n};
+  }
+};
+
+/// Invokes a hipfort-bound procedure by Fortran name; dispatches to the
+/// hipx embedding. Returns the C status code. Throws LookupError for
+/// names outside the binding surface and Error for arity mismatches —
+/// the errors a Fortran interface block would raise at compile time.
+[[nodiscard]] int call_hipfort(const std::string& fortran_name,
+                               std::vector<CValue> args);
+
+}  // namespace mcmm::fortranx

@@ -1,0 +1,222 @@
+#include "models/hipx/hipblasx.hpp"
+
+#include <set>
+
+#include "models/profiles.hpp"
+
+namespace mcmm::hipx {
+
+/// A hipBLAS handle. On the nvidia platform it owns a cuBLAS handle and
+/// delegates; on the amd platform it owns a native HIP stream.
+struct hipblasContext {
+  Platform platform{Platform::amd};
+  cudax::cublasHandle_t cublas{nullptr};  // nvidia route
+  hipStream_t stream{nullptr};            // amd route
+};
+
+namespace {
+
+std::set<hipblasContext*>& live_handles() {
+  static std::set<hipblasContext*> handles;
+  return handles;
+}
+
+[[nodiscard]] bool valid(hipblasHandle_t h) {
+  return h != nullptr && live_handles().contains(h);
+}
+
+[[nodiscard]] hipblasStatus_t from_cublas(cudax::cublasStatus_t s) {
+  switch (s) {
+    case cudax::cublasStatus_t::CUBLAS_STATUS_SUCCESS:
+      return hipblasStatus_t::HIPBLAS_STATUS_SUCCESS;
+    case cudax::cublasStatus_t::CUBLAS_STATUS_NOT_INITIALIZED:
+      return hipblasStatus_t::HIPBLAS_STATUS_NOT_INITIALIZED;
+    case cudax::cublasStatus_t::CUBLAS_STATUS_INVALID_VALUE:
+      return hipblasStatus_t::HIPBLAS_STATUS_INVALID_VALUE;
+    case cudax::cublasStatus_t::CUBLAS_STATUS_EXECUTION_FAILED:
+      return hipblasStatus_t::HIPBLAS_STATUS_EXECUTION_FAILED;
+  }
+  return hipblasStatus_t::HIPBLAS_STATUS_EXECUTION_FAILED;
+}
+
+template <typename T>
+hipblasStatus_t native_axpy(hipblasContext* h, int n, const T* alpha,
+                            const T* x, int incx, T* y, int incy) {
+  if (n < 0 || alpha == nullptr || incx == 0 || incy == 0) {
+    return hipblasStatus_t::HIPBLAS_STATUS_INVALID_VALUE;
+  }
+  const T a = *alpha;
+  gpusim::KernelCosts costs;
+  costs.bytes_read = 2.0 * n * sizeof(T);
+  costs.bytes_written = 1.0 * n * sizeof(T);
+  costs.flops = 2.0 * n;
+  const hipError_t err = hipLaunchKernelGGL(
+      [a, x, incx, y, incy, n](const KernelCtx& ctx) {
+        const std::size_t i = ctx.global_x();
+        if (i < static_cast<std::size_t>(n)) {
+          y[i * incy] = a * x[i * incx] + y[i * incy];
+        }
+      },
+      dim3{static_cast<std::uint32_t>((n + 255) / 256), 1, 1},
+      dim3{256, 1, 1}, costs, h->stream);
+  return err == hipError_t::hipSuccess
+             ? hipblasStatus_t::HIPBLAS_STATUS_SUCCESS
+             : hipblasStatus_t::HIPBLAS_STATUS_EXECUTION_FAILED;
+}
+
+}  // namespace
+
+hipblasStatus_t hipblasCreate(hipblasHandle_t* handle) noexcept {
+  if (handle == nullptr) {
+    return hipblasStatus_t::HIPBLAS_STATUS_INVALID_VALUE;
+  }
+  auto* ctx = new hipblasContext{};
+  ctx->platform = platform();
+  if (ctx->platform == Platform::nvidia) {
+    // hipBLAS on the nvidia platform is a wrapper over cuBLAS (item 3).
+    if (cudax::cublasCreate(&ctx->cublas) !=
+        cudax::cublasStatus_t::CUBLAS_STATUS_SUCCESS) {
+      delete ctx;
+      return hipblasStatus_t::HIPBLAS_STATUS_NOT_INITIALIZED;
+    }
+  } else {
+    if (hipStreamCreate(&ctx->stream) != hipError_t::hipSuccess) {
+      delete ctx;
+      return hipblasStatus_t::HIPBLAS_STATUS_NOT_INITIALIZED;
+    }
+  }
+  live_handles().insert(ctx);
+  *handle = ctx;
+  return hipblasStatus_t::HIPBLAS_STATUS_SUCCESS;
+}
+
+hipblasStatus_t hipblasDestroy(hipblasHandle_t handle) noexcept {
+  if (!valid(handle)) {
+    return hipblasStatus_t::HIPBLAS_STATUS_NOT_INITIALIZED;
+  }
+  if (handle->cublas != nullptr) (void)cudax::cublasDestroy(handle->cublas);
+  if (handle->stream != nullptr) (void)hipStreamDestroy(handle->stream);
+  live_handles().erase(handle);
+  delete handle;
+  return hipblasStatus_t::HIPBLAS_STATUS_SUCCESS;
+}
+
+bool hipblas_uses_cublas_backend(hipblasHandle_t h) noexcept {
+  return valid(h) && h->cublas != nullptr;
+}
+
+hipblasStatus_t hipblasSaxpy(hipblasHandle_t handle, int n,
+                             const float* alpha, const float* x, int incx,
+                             float* y, int incy) noexcept {
+  if (!valid(handle)) {
+    return hipblasStatus_t::HIPBLAS_STATUS_NOT_INITIALIZED;
+  }
+  if (handle->cublas != nullptr) {
+    return from_cublas(
+        cudax::cublasSaxpy(handle->cublas, n, alpha, x, incx, y, incy));
+  }
+  return native_axpy(handle, n, alpha, x, incx, y, incy);
+}
+
+hipblasStatus_t hipblasDaxpy(hipblasHandle_t handle, int n,
+                             const double* alpha, const double* x, int incx,
+                             double* y, int incy) noexcept {
+  if (!valid(handle)) {
+    return hipblasStatus_t::HIPBLAS_STATUS_NOT_INITIALIZED;
+  }
+  if (handle->cublas != nullptr) {
+    return from_cublas(
+        cudax::cublasDaxpy(handle->cublas, n, alpha, x, incx, y, incy));
+  }
+  return native_axpy(handle, n, alpha, x, incx, y, incy);
+}
+
+hipblasStatus_t hipblasDdot(hipblasHandle_t handle, int n, const double* x,
+                            int incx, const double* y, int incy,
+                            double* result) noexcept {
+  if (!valid(handle)) {
+    return hipblasStatus_t::HIPBLAS_STATUS_NOT_INITIALIZED;
+  }
+  if (handle->cublas != nullptr) {
+    return from_cublas(
+        cudax::cublasDdot(handle->cublas, n, x, incx, y, incy, result));
+  }
+  if (n < 0 || result == nullptr || incx == 0 || incy == 0) {
+    return hipblasStatus_t::HIPBLAS_STATUS_INVALID_VALUE;
+  }
+  constexpr std::uint32_t kChunks = 64;
+  double partials[kChunks] = {};
+  const std::size_t chunk =
+      (static_cast<std::size_t>(n) + kChunks - 1) / kChunks;
+  gpusim::KernelCosts costs;
+  costs.bytes_read = 2.0 * n * sizeof(double);
+  costs.flops = 2.0 * n;
+  const hipError_t err = hipLaunchKernelGGL(
+      [x, incx, y, incy, n, chunk, &partials](const KernelCtx& ctx) {
+        const std::size_t c = ctx.global_x();
+        if (c >= kChunks) return;
+        const std::size_t begin = c * chunk;
+        const std::size_t end =
+            std::min(static_cast<std::size_t>(n), begin + chunk);
+        double acc = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          acc += x[i * incx] * y[i * incy];
+        }
+        partials[c] = acc;
+      },
+      dim3{kChunks, 1, 1}, dim3{1, 1, 1}, costs, handle->stream);
+  if (err != hipError_t::hipSuccess) {
+    return hipblasStatus_t::HIPBLAS_STATUS_EXECUTION_FAILED;
+  }
+  double sum = 0.0;
+  for (const double p : partials) sum += p;
+  *result = sum;
+  return hipblasStatus_t::HIPBLAS_STATUS_SUCCESS;
+}
+
+hipblasStatus_t hipblasDgemm(hipblasHandle_t handle, int m, int n, int k,
+                             const double* alpha, const double* A, int lda,
+                             const double* B, int ldb, const double* beta,
+                             double* C, int ldc) noexcept {
+  if (!valid(handle)) {
+    return hipblasStatus_t::HIPBLAS_STATUS_NOT_INITIALIZED;
+  }
+  if (handle->cublas != nullptr) {
+    return from_cublas(cudax::cublasDgemm(handle->cublas, m, n, k, alpha, A,
+                                          lda, B, ldb, beta, C, ldc));
+  }
+  if (m < 0 || n < 0 || k < 0 || alpha == nullptr || beta == nullptr ||
+      lda < m || ldb < k || ldc < m) {
+    return hipblasStatus_t::HIPBLAS_STATUS_INVALID_VALUE;
+  }
+  const double a = *alpha;
+  const double b = *beta;
+  gpusim::KernelCosts costs;
+  costs.bytes_read =
+      (static_cast<double>(m) * k + static_cast<double>(k) * n +
+       static_cast<double>(m) * n) *
+      sizeof(double);
+  costs.bytes_written = static_cast<double>(m) * n * sizeof(double);
+  costs.flops = 2.0 * m * n * k;
+  const std::size_t total = static_cast<std::size_t>(m) * n;
+  const hipError_t err = hipLaunchKernelGGL(
+      [=](const KernelCtx& ctx) {
+        const std::size_t idx = ctx.global_x();
+        if (idx >= total) return;
+        const std::size_t col = idx / m;
+        const std::size_t row = idx % m;
+        double acc = 0.0;
+        for (int kk = 0; kk < k; ++kk) {
+          acc += A[row + static_cast<std::size_t>(kk) * lda] *
+                 B[kk + col * ldb];
+        }
+        C[row + col * ldc] = a * acc + b * C[row + col * ldc];
+      },
+      dim3{static_cast<std::uint32_t>((total + 255) / 256), 1, 1},
+      dim3{256, 1, 1}, costs, handle->stream);
+  return err == hipError_t::hipSuccess
+             ? hipblasStatus_t::HIPBLAS_STATUS_SUCCESS
+             : hipblasStatus_t::HIPBLAS_STATUS_EXECUTION_FAILED;
+}
+
+}  // namespace mcmm::hipx

@@ -1,0 +1,43 @@
+#pragma once
+// hipblasx: the hipBLAS-style interface layer (paper item 3: "HIP also
+// supports some CUDA libraries and creates interfaces to them, like
+// hipblasSaxpy() instead of cublasSaxpy()"). On the amd platform the
+// kernels run natively; on the nvidia platform calls delegate to cublasx,
+// exactly like real hipBLAS wraps cuBLAS.
+
+#include "models/cudax/cublasx.hpp"
+#include "models/hipx/hipx.hpp"
+
+namespace mcmm::hipx {
+
+enum class hipblasStatus_t {
+  HIPBLAS_STATUS_SUCCESS = 0,
+  HIPBLAS_STATUS_NOT_INITIALIZED,
+  HIPBLAS_STATUS_INVALID_VALUE,
+  HIPBLAS_STATUS_EXECUTION_FAILED,
+};
+
+struct hipblasContext;
+using hipblasHandle_t = hipblasContext*;
+
+hipblasStatus_t hipblasCreate(hipblasHandle_t* handle) noexcept;
+hipblasStatus_t hipblasDestroy(hipblasHandle_t handle) noexcept;
+
+hipblasStatus_t hipblasSaxpy(hipblasHandle_t handle, int n,
+                             const float* alpha, const float* x, int incx,
+                             float* y, int incy) noexcept;
+hipblasStatus_t hipblasDaxpy(hipblasHandle_t handle, int n,
+                             const double* alpha, const double* x, int incx,
+                             double* y, int incy) noexcept;
+hipblasStatus_t hipblasDdot(hipblasHandle_t handle, int n, const double* x,
+                            int incx, const double* y, int incy,
+                            double* result) noexcept;
+hipblasStatus_t hipblasDgemm(hipblasHandle_t handle, int m, int n, int k,
+                             const double* alpha, const double* A, int lda,
+                             const double* B, int ldb, const double* beta,
+                             double* C, int ldc) noexcept;
+
+/// True when this handle delegates to cuBLAS (the nvidia-platform route).
+[[nodiscard]] bool hipblas_uses_cublas_backend(hipblasHandle_t h) noexcept;
+
+}  // namespace mcmm::hipx

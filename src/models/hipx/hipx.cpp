@@ -1,0 +1,250 @@
+#include "models/hipx/hipx.hpp"
+
+#include <atomic>
+
+#include "models/profiles.hpp"
+
+namespace mcmm::hipx {
+namespace {
+
+std::atomic<Platform> g_platform{Platform::amd};
+std::atomic<bool> g_chipstar_enabled{false};
+
+gpusim::Device& amd_device() {
+  return gpusim::Platform::instance().device(Vendor::AMD);
+}
+
+gpusim::Device& intel_device() {
+  return gpusim::Platform::instance().device(Vendor::Intel);
+}
+
+/// The device behind the non-NVIDIA platforms.
+gpusim::Device& local_device() {
+  return g_platform.load() == Platform::intel_chipstar ? intel_device()
+                                                       : amd_device();
+}
+
+/// True when the chipStar route is selected but not opted into.
+[[nodiscard]] bool chipstar_blocked() {
+  return g_platform.load() == Platform::intel_chipstar &&
+         !g_chipstar_enabled.load();
+}
+
+[[nodiscard]] gpusim::BackendProfile local_profile() {
+  if (g_platform.load() == Platform::intel_chipstar) {
+    // Item 33: HIP mapped to OpenCL / Level Zero; young, experimental.
+    return models::experimental_profile("chipStar");
+  }
+  return models::native_profile("HIP");
+}
+
+[[nodiscard]] const char* local_profile_label() {
+  return g_platform.load() == Platform::intel_chipstar ? "chipStar" : "HIP";
+}
+
+[[nodiscard]] hipError_t from_cuda(cudax::cudaError_t err) noexcept {
+  switch (err) {
+    case cudax::cudaError_t::cudaSuccess:
+      return hipError_t::hipSuccess;
+    case cudax::cudaError_t::cudaErrorMemoryAllocation:
+      return hipError_t::hipErrorOutOfMemory;
+    case cudax::cudaError_t::cudaErrorInvalidValue:
+      return hipError_t::hipErrorInvalidValue;
+    case cudax::cudaError_t::cudaErrorInvalidDevice:
+      return hipError_t::hipErrorInvalidDevice;
+    case cudax::cudaError_t::cudaErrorInvalidDevicePointer:
+      return hipError_t::hipErrorInvalidDevicePointer;
+    case cudax::cudaError_t::cudaErrorInvalidConfiguration:
+      return hipError_t::hipErrorInvalidConfiguration;
+    case cudax::cudaError_t::cudaErrorUnknown:
+      return hipError_t::hipErrorUnknown;
+  }
+  return hipError_t::hipErrorUnknown;
+}
+
+}  // namespace
+
+void set_platform(Platform p) noexcept { g_platform.store(p); }
+Platform platform() noexcept { return g_platform.load(); }
+
+void enable_experimental_chipstar(bool enabled) noexcept {
+  g_chipstar_enabled.store(enabled);
+}
+bool chipstar_enabled() noexcept { return g_chipstar_enabled.load(); }
+
+const char* hipGetErrorString(hipError_t err) noexcept {
+  switch (err) {
+    case hipError_t::hipSuccess:
+      return "no error";
+    case hipError_t::hipErrorOutOfMemory:
+      return "out of memory";
+    case hipError_t::hipErrorInvalidValue:
+      return "invalid argument";
+    case hipError_t::hipErrorInvalidDevice:
+      return "invalid device ordinal";
+    case hipError_t::hipErrorInvalidDevicePointer:
+      return "invalid device pointer";
+    case hipError_t::hipErrorInvalidConfiguration:
+      return "invalid configuration";
+    case hipError_t::hipErrorUnknown:
+      return "unknown error";
+  }
+  return "unrecognized error code";
+}
+
+hipError_t hipGetDeviceCount(int* count) noexcept {
+  if (platform() == Platform::nvidia) {
+    return from_cuda(cudax::cudaGetDeviceCount(count));
+  }
+  if (count == nullptr) return hipError_t::hipErrorInvalidValue;
+  if (chipstar_blocked()) {
+    *count = 0;  // chipStar absent: no HIP devices visible on Intel
+    return hipError_t::hipSuccess;
+  }
+  *count = 1;
+  return hipError_t::hipSuccess;
+}
+
+hipError_t hipSetDevice(int device) noexcept {
+  if (platform() == Platform::nvidia) {
+    return from_cuda(cudax::cudaSetDevice(device));
+  }
+  if (chipstar_blocked()) return hipError_t::hipErrorInvalidDevice;
+  return device == 0 ? hipError_t::hipSuccess
+                     : hipError_t::hipErrorInvalidDevice;
+}
+
+hipError_t hipDeviceSynchronize() noexcept {
+  if (platform() == Platform::nvidia) {
+    return from_cuda(cudax::cudaDeviceSynchronize());
+  }
+  if (chipstar_blocked()) return hipError_t::hipErrorInvalidDevice;
+  local_device().default_queue().synchronize();
+  return hipError_t::hipSuccess;
+}
+
+hipError_t hipMalloc(void** ptr, std::size_t bytes) noexcept {
+  if (platform() == Platform::nvidia) {
+    return from_cuda(cudax::cudaMalloc(ptr, bytes));
+  }
+  if (ptr == nullptr) return hipError_t::hipErrorInvalidValue;
+  if (chipstar_blocked()) {
+    *ptr = nullptr;
+    return hipError_t::hipErrorInvalidDevice;
+  }
+  try {
+    *ptr = local_device().allocate(bytes);
+    return hipError_t::hipSuccess;
+  } catch (const gpusim::OutOfMemory&) {
+    *ptr = nullptr;
+    return hipError_t::hipErrorOutOfMemory;
+  }
+}
+
+hipError_t hipFree(void* ptr) noexcept {
+  if (platform() == Platform::nvidia) {
+    return from_cuda(cudax::cudaFree(ptr));
+  }
+  if (ptr == nullptr) return hipError_t::hipSuccess;
+  if (chipstar_blocked()) return hipError_t::hipErrorInvalidDevice;
+  try {
+    local_device().deallocate(ptr);
+    return hipError_t::hipSuccess;
+  } catch (const gpusim::InvalidPointer&) {
+    return hipError_t::hipErrorInvalidDevicePointer;
+  }
+}
+
+hipError_t hipMemcpy(void* dst, const void* src, std::size_t bytes,
+                     hipMemcpyKind kind) noexcept {
+  if (platform() == Platform::nvidia) {
+    return from_cuda(cudax::cudaMemcpy(
+        dst, src, bytes, static_cast<cudax::cudaMemcpyKind>(kind)));
+  }
+  if (chipstar_blocked()) return hipError_t::hipErrorInvalidDevice;
+  try {
+    gpusim::Queue& q = local_device().default_queue();
+    switch (kind) {
+      case hipMemcpyHostToDevice:
+        q.memcpy(dst, src, bytes, gpusim::CopyKind::HostToDevice);
+        break;
+      case hipMemcpyDeviceToHost:
+        q.memcpy(dst, src, bytes, gpusim::CopyKind::DeviceToHost);
+        break;
+      case hipMemcpyDeviceToDevice:
+        q.memcpy(dst, src, bytes, gpusim::CopyKind::DeviceToDevice);
+        break;
+    }
+    return hipError_t::hipSuccess;
+  } catch (const gpusim::InvalidPointer&) {
+    return hipError_t::hipErrorInvalidDevicePointer;
+  } catch (const gpusim::SimError&) {
+    return hipError_t::hipErrorUnknown;
+  }
+}
+
+hipError_t hipMemset(void* dst, int value, std::size_t bytes) noexcept {
+  if (platform() == Platform::nvidia) {
+    return from_cuda(cudax::cudaMemset(dst, value, bytes));
+  }
+  if (chipstar_blocked()) return hipError_t::hipErrorInvalidDevice;
+  try {
+    local_device().default_queue().memset(dst, value, bytes);
+    return hipError_t::hipSuccess;
+  } catch (const gpusim::InvalidPointer&) {
+    return hipError_t::hipErrorInvalidDevicePointer;
+  }
+}
+
+hipError_t hipStreamCreate(hipStream_t* stream) noexcept {
+  if (stream == nullptr) return hipError_t::hipErrorInvalidValue;
+  if (platform() == Platform::nvidia) {
+    cudax::cudaStream_t s = nullptr;
+    const hipError_t err = from_cuda(cudax::cudaStreamCreate(&s));
+    if (err != hipError_t::hipSuccess) return err;
+    // HIP's CUDA backend is a thin layer over the CUDA runtime.
+    s->set_backend_profile(models::layered_profile("HIP-on-CUDA"));
+    *stream = s;
+    return hipError_t::hipSuccess;
+  }
+  if (chipstar_blocked()) {
+    *stream = nullptr;
+    return hipError_t::hipErrorInvalidDevice;
+  }
+  *stream = local_device().create_queue().release();
+  (*stream)->set_backend_profile(local_profile());
+  return hipError_t::hipSuccess;
+}
+
+hipError_t hipStreamDestroy(hipStream_t stream) noexcept {
+  if (stream == nullptr) return hipError_t::hipErrorInvalidValue;
+  delete stream;
+  return hipError_t::hipSuccess;
+}
+
+hipError_t hipStreamSynchronize(hipStream_t stream) noexcept {
+  if (stream == nullptr && chipstar_blocked()) {
+    return hipError_t::hipErrorInvalidDevice;
+  }
+  queue_of(stream).synchronize();
+  return hipError_t::hipSuccess;
+}
+
+gpusim::Device& current_device() {
+  if (platform() == Platform::nvidia) return cudax::current_device();
+  return local_device();
+}
+
+gpusim::Queue& queue_of(hipStream_t stream) {
+  if (stream != nullptr) return *stream;
+  if (platform() == Platform::nvidia) {
+    return cudax::queue_of(nullptr);
+  }
+  gpusim::Queue& q = local_device().default_queue();
+  if (q.backend_profile().label != local_profile_label()) {
+    q.set_backend_profile(local_profile());
+  }
+  return q;
+}
+
+}  // namespace mcmm::hipx

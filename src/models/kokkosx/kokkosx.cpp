@@ -1,0 +1,65 @@
+#include "models/kokkosx/kokkosx.hpp"
+
+namespace mcmm::kokkosx {
+
+std::string_view to_string(ExecSpace s) noexcept {
+  switch (s) {
+    case ExecSpace::Cuda:
+      return "Cuda";
+    case ExecSpace::HIP:
+      return "HIP";
+    case ExecSpace::SYCL:
+      return "SYCL";
+    case ExecSpace::OpenMPTarget:
+      return "OpenMPTarget";
+  }
+  return "?";
+}
+
+bool exec_space_targets(ExecSpace s, Vendor v) noexcept {
+  switch (s) {
+    case ExecSpace::Cuda:
+      return v == Vendor::NVIDIA;  // item 13
+    case ExecSpace::HIP:
+      return v == Vendor::AMD;  // item 28
+    case ExecSpace::SYCL:
+      return v == Vendor::Intel;  // item 42 (experimental)
+    case ExecSpace::OpenMPTarget:
+      return v == Vendor::NVIDIA || v == Vendor::AMD;  // items 13, 28
+  }
+  return false;
+}
+
+Execution::Execution(ExecSpace space, Vendor vendor)
+    : space_(space), vendor_(vendor) {
+  if (!exec_space_targets(space, vendor)) {
+    throw UnsupportedCombination(
+        Combination{vendor, Model::Kokkos, Language::Cpp},
+        "Kokkos' " + std::string(to_string(space)) +
+            " backend cannot target " + std::string(mcmm::to_string(vendor)));
+  }
+  device_ = &gpusim::Platform::instance().device(vendor);
+  queue_ = device_->create_queue();
+  // Each backend inherits the character of the runtime it sits on.
+  switch (space) {
+    case ExecSpace::Cuda:
+      queue_->set_backend_profile(models::stack_profiles(
+          models::layered_profile("Kokkos"), models::native_profile("CUDA")));
+      break;
+    case ExecSpace::HIP:
+      queue_->set_backend_profile(models::stack_profiles(
+          models::layered_profile("Kokkos"), models::native_profile("HIP")));
+      break;
+    case ExecSpace::SYCL:
+      queue_->set_backend_profile(
+          models::experimental_profile("Kokkos-SYCL"));
+      break;
+    case ExecSpace::OpenMPTarget:
+      queue_->set_backend_profile(models::stack_profiles(
+          models::layered_profile("Kokkos"),
+          models::directive_profile("OpenMP")));
+      break;
+  }
+}
+
+}  // namespace mcmm::kokkosx

@@ -1,0 +1,259 @@
+#pragma once
+// kokkosx: a Kokkos-style embedding (paper Sec. 4, items 13, 28, 42).
+// Views + parallel_for / parallel_reduce / parallel_scan over execution
+// spaces. Each execution space mirrors a real Kokkos backend — Cuda (on
+// NVIDIA), HIP (on AMD), SYCL (on Intel, experimental: item 42), and
+// OpenMPTarget — and its queue stacks the Kokkos layer's profile on top of
+// the underlying runtime's, reproducing the layered software stack.
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "gpusim/costs.hpp"
+#include "gpusim/device.hpp"
+#include "models/profiles.hpp"
+
+namespace mcmm::kokkosx {
+
+enum class ExecSpace { Cuda, HIP, SYCL, OpenMPTarget };
+
+[[nodiscard]] std::string_view to_string(ExecSpace s) noexcept;
+
+/// Which vendors an execution space reaches (Fig. 1's Kokkos column).
+[[nodiscard]] bool exec_space_targets(ExecSpace s, Vendor v) noexcept;
+
+/// One initialized backend instance (Kokkos::initialize analogue, but
+/// scoped). Owns the queue all views/kernels of this space use.
+class Execution {
+ public:
+  /// Throws UnsupportedCombination when the space cannot reach the vendor
+  /// (e.g. ExecSpace::Cuda on AMD).
+  Execution(ExecSpace space, Vendor vendor);
+
+  [[nodiscard]] ExecSpace space() const noexcept { return space_; }
+  [[nodiscard]] Vendor vendor() const noexcept { return vendor_; }
+  [[nodiscard]] bool experimental() const noexcept {
+    return space_ == ExecSpace::SYCL;  // item 42: experimental backend
+  }
+
+  [[nodiscard]] gpusim::Device& device() noexcept { return *device_; }
+  [[nodiscard]] gpusim::Queue& queue() noexcept { return *queue_; }
+  [[nodiscard]] double simulated_time_us() const noexcept {
+    return queue_->simulated_time_us();
+  }
+  void fence() noexcept { queue_->synchronize(); }
+
+ private:
+  ExecSpace space_;
+  Vendor vendor_;
+  gpusim::Device* device_;
+  std::unique_ptr<gpusim::Queue> queue_;
+};
+
+/// A 1-D device view (Kokkos::View<T*>). Reference-counted like the real
+/// thing; deallocates when the last copy goes away.
+template <typename T>
+class View {
+ public:
+  View(Execution& exec, std::string label, std::size_t count)
+      : exec_(&exec),
+        label_(std::move(label)),
+        size_(count),
+        data_(static_cast<T*>(exec.device().allocate(count * sizeof(T))),
+              [dev = &exec.device()](T* p) { dev->deallocate(p); }) {}
+
+  [[nodiscard]] T* data() const noexcept { return data_.get(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] T& operator()(std::size_t i) const noexcept {
+    return data_.get()[i];
+  }
+  [[nodiscard]] long use_count() const noexcept { return data_.use_count(); }
+
+  [[nodiscard]] Execution& execution() const noexcept { return *exec_; }
+
+ private:
+  Execution* exec_;
+  std::string label_;
+  std::size_t size_;
+  std::shared_ptr<T> data_;
+};
+
+/// deep_copy between a host buffer and a view (Kokkos::deep_copy analogue).
+template <typename T>
+void deep_copy_to_device(View<T>& dst, const T* host_src) {
+  dst.execution().queue().memcpy(dst.data(), host_src,
+                                 dst.size() * sizeof(T),
+                                 gpusim::CopyKind::HostToDevice);
+}
+
+template <typename T>
+void deep_copy_to_host(T* host_dst, const View<T>& src) {
+  src.execution().queue().memcpy(host_dst, src.data(),
+                                 src.size() * sizeof(T),
+                                 gpusim::CopyKind::DeviceToHost);
+}
+
+/// Device-to-device deep copy between views of one execution space.
+template <typename T>
+void deep_copy(View<T>& dst, const View<T>& src) {
+  dst.execution().queue().memcpy(dst.data(), src.data(),
+                                 dst.size() * sizeof(T),
+                                 gpusim::CopyKind::DeviceToDevice);
+}
+
+struct RangePolicy {
+  std::size_t begin{};
+  std::size_t end{};
+};
+
+/// Kokkos::MDRangePolicy<Rank<2>> analogue: a rectangular 2-D iteration
+/// space.
+struct MDRangePolicy2D {
+  std::size_t begin0{};
+  std::size_t end0{};
+  std::size_t begin1{};
+  std::size_t end1{};
+
+  [[nodiscard]] std::size_t extent0() const noexcept {
+    return end0 - begin0;
+  }
+  [[nodiscard]] std::size_t extent1() const noexcept {
+    return end1 - begin1;
+  }
+};
+
+/// parallel_for over a 2-D MDRange; body(i, j).
+template <typename Body>
+void parallel_for(Execution& exec, const MDRangePolicy2D& policy,
+                  const gpusim::KernelCosts& costs, Body&& body) {
+  const std::size_t n0 = policy.extent0();
+  const std::size_t n1 = policy.extent1();
+  const std::size_t total = n0 * n1;
+  exec.queue().launch(gpusim::launch_1d(total, 256), costs,
+                      [&, n1, total](const gpusim::WorkItem& item) {
+                        const std::size_t flat = item.global_x();
+                        if (flat >= total) return;
+                        body(policy.begin0 + flat / n1,
+                             policy.begin1 + flat % n1);
+                      });
+}
+
+/// parallel_reduce over a 2-D MDRange; body(i, j, update).
+template <typename T, typename Body>
+void parallel_reduce(Execution& exec, const MDRangePolicy2D& policy,
+                     const gpusim::KernelCosts& costs, Body&& body,
+                     T& result) {
+  const std::size_t n1 = policy.extent1();
+  const std::size_t total = policy.extent0() * n1;
+  constexpr std::size_t kLeagues = 64;
+  std::vector<T> partials(kLeagues, T{});
+  const std::size_t chunk = (total + kLeagues - 1) / kLeagues;
+  exec.queue().launch(gpusim::launch_1d(kLeagues, 1), costs,
+                      [&, n1, total, chunk](const gpusim::WorkItem& item) {
+                        const std::size_t l = item.global_x();
+                        if (l >= kLeagues) return;
+                        const std::size_t b = l * chunk;
+                        const std::size_t e = std::min(total, b + chunk);
+                        T update{};
+                        for (std::size_t flat = b; flat < e; ++flat) {
+                          body(policy.begin0 + flat / n1,
+                               policy.begin1 + flat % n1, update);
+                        }
+                        partials[l] = update;
+                      });
+  T total_value{};
+  for (const T& p : partials) total_value += p;
+  result = total_value;
+}
+
+/// Kokkos::parallel_for over a 1-D range; body(i).
+template <typename Body>
+void parallel_for(Execution& exec, const RangePolicy& policy,
+                  const gpusim::KernelCosts& costs, Body&& body) {
+  const std::size_t n = policy.end - policy.begin;
+  const std::size_t begin = policy.begin;
+  exec.queue().launch(gpusim::launch_1d(n, 256), costs,
+                      [&](const gpusim::WorkItem& item) {
+                        const std::size_t i = item.global_x();
+                        if (i < n) body(begin + i);
+                      });
+}
+
+/// Kokkos::parallel_reduce; body(i, update) accumulates into update.
+template <typename T, typename Body>
+void parallel_reduce(Execution& exec, const RangePolicy& policy,
+                     const gpusim::KernelCosts& costs, Body&& body,
+                     T& result) {
+  const std::size_t n = policy.end - policy.begin;
+  const std::size_t begin = policy.begin;
+  constexpr std::size_t kLeagues = 64;
+  std::vector<T> partials(kLeagues, T{});
+  const std::size_t chunk = (n + kLeagues - 1) / kLeagues;
+  exec.queue().launch(gpusim::launch_1d(kLeagues, 1), costs,
+                      [&](const gpusim::WorkItem& item) {
+                        const std::size_t l = item.global_x();
+                        if (l >= kLeagues) return;
+                        const std::size_t b = l * chunk;
+                        const std::size_t e = std::min(n, b + chunk);
+                        T update{};
+                        for (std::size_t i = b; i < e; ++i) {
+                          body(begin + i, update);
+                        }
+                        partials[l] = update;
+                      });
+  T total{};
+  for (const T& p : partials) total += p;
+  result = total;
+}
+
+/// Kokkos::parallel_scan (inclusive); body(i, update, final) in the Kokkos
+/// two-pass idiom. Writes happen only in the final pass.
+template <typename T, typename Body>
+void parallel_scan(Execution& exec, const RangePolicy& policy,
+                   const gpusim::KernelCosts& costs, Body&& body) {
+  const std::size_t n = policy.end - policy.begin;
+  const std::size_t begin = policy.begin;
+  constexpr std::size_t kLeagues = 64;
+  std::vector<T> partials(kLeagues, T{});
+  const std::size_t chunk = (n + kLeagues - 1) / kLeagues;
+  // Pass 1: per-league sums (final = false).
+  exec.queue().launch(gpusim::launch_1d(kLeagues, 1), costs,
+                      [&](const gpusim::WorkItem& item) {
+                        const std::size_t l = item.global_x();
+                        if (l >= kLeagues) return;
+                        const std::size_t b = l * chunk;
+                        const std::size_t e = std::min(n, b + chunk);
+                        T update{};
+                        for (std::size_t i = b; i < e; ++i) {
+                          body(begin + i, update, false);
+                        }
+                        partials[l] = update;
+                      });
+  // Exclusive prefix over league sums.
+  std::vector<T> offsets(kLeagues, T{});
+  T running{};
+  for (std::size_t l = 0; l < kLeagues; ++l) {
+    offsets[l] = running;
+    running += partials[l];
+  }
+  // Pass 2: final scan with league offsets.
+  exec.queue().launch(gpusim::launch_1d(kLeagues, 1), costs,
+                      [&](const gpusim::WorkItem& item) {
+                        const std::size_t l = item.global_x();
+                        if (l >= kLeagues) return;
+                        const std::size_t b = l * chunk;
+                        const std::size_t e = std::min(n, b + chunk);
+                        T update = offsets[l];
+                        for (std::size_t i = b; i < e; ++i) {
+                          body(begin + i, update, true);
+                        }
+                      });
+}
+
+}  // namespace mcmm::kokkosx

@@ -1,0 +1,234 @@
+#include "models/ompx/ompx.hpp"
+
+#include <algorithm>
+
+#include "models/profiles.hpp"
+
+namespace mcmm::ompx {
+namespace {
+
+using enum Feature;
+
+[[nodiscard]] std::map<Compiler, CompilerInfo> build_compiler_table() {
+  std::map<Compiler, CompilerInfo> table;
+  // NVHPC: "only a subset of the entire OpenMP 5.0 standard" (item 9).
+  table[Compiler::NVHPC] = CompilerInfo{
+      "subset of OpenMP 5.0",
+      {TargetOffload, TeamsReduction, Collapse, TargetUpdate, LoopDirective},
+      {Vendor::NVIDIA}};
+  // GCC: "supports OpenMP 4.5 entirely, 5.x being implemented" (item 9);
+  // offloads to nvptx and amdgcn (items 9, 22).
+  table[Compiler::GCC] = CompilerInfo{
+      "OpenMP 4.5 complete, 5.x in progress",
+      {TargetOffload, TeamsReduction, Collapse, TargetUpdate},
+      {Vendor::NVIDIA, Vendor::AMD}};
+  // Clang: "4.5 and selected 5.0/5.1 features" (item 9).
+  table[Compiler::Clang] = CompilerInfo{
+      "OpenMP 4.5 plus selected 5.0/5.1",
+      {TargetOffload, TeamsReduction, Collapse, TargetUpdate,
+       UnifiedSharedMemory, Metadirective},
+      {Vendor::NVIDIA, Vendor::AMD}};
+  // HPE Cray PE: "a subset of OpenMP 5.0/5.1" on NVIDIA and AMD (items 9,
+  // 24).
+  table[Compiler::Cray] = CompilerInfo{
+      "subset of OpenMP 5.0/5.1",
+      {TargetOffload, TeamsReduction, Collapse, TargetUpdate, LoopDirective,
+       Metadirective},
+      {Vendor::NVIDIA, Vendor::AMD}};
+  // AOMP: "most OpenMP 4.5 and some 5.0" (item 24); also targets NVIDIA
+  // (item 9).
+  table[Compiler::AOMP] = CompilerInfo{
+      "most OpenMP 4.5, some 5.0",
+      {TargetOffload, TeamsReduction, Collapse, TargetUpdate,
+       UnifiedSharedMemory},
+      {Vendor::AMD, Vendor::NVIDIA}};
+  // Intel icpx: "all OpenMP 4.5 and most 5.0/5.1" (item 38).
+  table[Compiler::ICPX] = CompilerInfo{
+      "OpenMP 4.5 complete, most 5.0/5.1",
+      {TargetOffload, TeamsReduction, Collapse, TargetUpdate,
+       UnifiedSharedMemory, DeclareMapper, LoopDirective},
+      {Vendor::Intel}};
+  return table;
+}
+
+[[nodiscard]] gpusim::BackendProfile profile_for(Vendor vendor,
+                                                 Compiler compiler) {
+  std::string label = "OpenMP/" + std::string(to_string(compiler));
+  // Vendor compilers on their own platform are the best-tuned directive
+  // routes; cross-vendor community compilers pay slightly more.
+  const bool home =
+      (compiler == Compiler::NVHPC && vendor == Vendor::NVIDIA) ||
+      (compiler == Compiler::AOMP && vendor == Vendor::AMD) ||
+      (compiler == Compiler::ICPX && vendor == Vendor::Intel);
+  gpusim::BackendProfile p = models::directive_profile(std::move(label));
+  if (!home) {
+    p.bandwidth_efficiency *= 0.97;
+    p.extra_launch_latency_us += 1.0;
+  }
+  return p;
+}
+
+}  // namespace
+
+std::string_view to_string(Compiler c) noexcept {
+  switch (c) {
+    case Compiler::NVHPC:
+      return "NVHPC";
+    case Compiler::GCC:
+      return "GCC";
+    case Compiler::Clang:
+      return "Clang";
+    case Compiler::Cray:
+      return "Cray";
+    case Compiler::AOMP:
+      return "AOMP";
+    case Compiler::ICPX:
+      return "ICPX";
+  }
+  return "?";
+}
+
+std::string_view to_string(Feature f) noexcept {
+  switch (f) {
+    case Feature::TargetOffload:
+      return "target offload";
+    case Feature::TeamsReduction:
+      return "teams reduction";
+    case Feature::Collapse:
+      return "collapse";
+    case Feature::TargetUpdate:
+      return "target update";
+    case Feature::UnifiedSharedMemory:
+      return "unified shared memory";
+    case Feature::DeclareMapper:
+      return "declare mapper";
+    case Feature::LoopDirective:
+      return "loop directive";
+    case Feature::Metadirective:
+      return "metadirective";
+  }
+  return "?";
+}
+
+const CompilerInfo& compiler_info(Compiler c) {
+  static const std::map<Compiler, CompilerInfo> table = build_compiler_table();
+  return table.at(c);
+}
+
+TargetDevice::TargetDevice(Vendor vendor, Compiler compiler)
+    : vendor_(vendor), compiler_(compiler) {
+  const CompilerInfo& info = compiler_info(compiler);
+  if (!info.targets.contains(vendor)) {
+    throw UnsupportedCombination(
+        Combination{vendor, Model::OpenMP, Language::Cpp},
+        std::string(to_string(compiler)) + " cannot offload to " +
+            std::string(mcmm::to_string(vendor)) + " GPUs");
+  }
+  device_ = &gpusim::Platform::instance().device(vendor);
+  queue_ = device_->create_queue();
+  queue_->set_backend_profile(profile_for(vendor, compiler));
+}
+
+void TargetDevice::require(Feature f) const {
+  if (!has(f)) {
+    throw UnsupportedFeature(
+        std::string(to_string(f)),
+        std::string(to_string(compiler_)) + " implements only " +
+            compiler_info(compiler_).version_claim);
+  }
+}
+
+bool TargetDevice::has(Feature f) const noexcept {
+  return compiler_info(compiler_).features.contains(f);
+}
+
+void* omp_target_alloc(TargetDevice& dev, std::size_t bytes) {
+  try {
+    return dev.device().allocate(bytes);
+  } catch (const gpusim::OutOfMemory&) {
+    return nullptr;
+  }
+}
+
+void omp_target_free(TargetDevice& dev, void* ptr) {
+  if (ptr != nullptr) dev.device().deallocate(ptr);
+}
+
+int omp_target_memcpy(TargetDevice& dev, void* dst, const void* src,
+                      std::size_t bytes, bool dst_on_device,
+                      bool src_on_device) {
+  try {
+    if (dst_on_device && src_on_device) {
+      dev.queue().memcpy(dst, src, bytes, gpusim::CopyKind::DeviceToDevice);
+    } else if (dst_on_device) {
+      dev.queue().memcpy(dst, src, bytes, gpusim::CopyKind::HostToDevice);
+    } else if (src_on_device) {
+      dev.queue().memcpy(dst, src, bytes, gpusim::CopyKind::DeviceToHost);
+    } else {
+      std::memcpy(dst, src, bytes);
+    }
+    return 0;
+  } catch (const gpusim::SimError&) {
+    return 1;
+  }
+}
+
+bool omp_target_is_present(TargetDevice& dev, const void* ptr) {
+  return dev.device().is_device_pointer(ptr);
+}
+
+target_data::~target_data() {
+  // Copy-out 'from' mappings, then release device buffers. Destructors
+  // must not throw; mapping errors would have surfaced at map time.
+  for (auto& [host, mapping] : mappings_) {
+    if (mapping.copy_out) {
+      dev_->queue().memcpy(const_cast<void*>(host), mapping.device,
+                           mapping.bytes, gpusim::CopyKind::DeviceToHost);
+    }
+    dev_->device().deallocate(mapping.device);
+  }
+}
+
+void* target_data::map_impl(const void* host, std::size_t bytes, bool to,
+                            bool from) {
+  if (mappings_.contains(host)) {
+    throw gpusim::InvalidPointer("host pointer already mapped in this "
+                                 "target data region");
+  }
+  void* device = dev_->device().allocate(bytes);
+  if (to) {
+    dev_->queue().memcpy(device, host, bytes, gpusim::CopyKind::HostToDevice);
+  }
+  mappings_.emplace(host, Mapping{device, bytes, from});
+  return device;
+}
+
+void target_data::update_from(const void* host) {
+  dev_->require(Feature::TargetUpdate);
+  const auto it = mappings_.find(host);
+  if (it == mappings_.end()) {
+    throw gpusim::InvalidPointer("target update: pointer not mapped");
+  }
+  dev_->queue().memcpy(const_cast<void*>(host), it->second.device,
+                       it->second.bytes, gpusim::CopyKind::DeviceToHost);
+}
+
+void target_data::update_to(const void* host) {
+  dev_->require(Feature::TargetUpdate);
+  const auto it = mappings_.find(host);
+  if (it == mappings_.end()) {
+    throw gpusim::InvalidPointer("target update: pointer not mapped");
+  }
+  dev_->queue().memcpy(it->second.device, host, it->second.bytes,
+                       gpusim::CopyKind::HostToDevice);
+}
+
+void* target_data::device_ptr(const void* host) const {
+  const auto it = mappings_.find(host);
+  if (it == mappings_.end()) {
+    throw gpusim::InvalidPointer("use_device_ptr: pointer not mapped");
+  }
+  return it->second.device;
+}
+
+}  // namespace mcmm::ompx

@@ -1,0 +1,222 @@
+#pragma once
+// ompx: an OpenMP-target-offload-style embedding (paper Sec. 4, items 9,
+// 10, 24, 25, 38, 39). Directives become structured calls:
+//
+//   #pragma omp target teams distribute parallel for map(to: a[0:n])
+//   -> ompx::target_data data(dev); data.map_to(a, n);
+//      ompx::target_teams_distribute_parallel_for(dev, n, costs, body);
+//
+// The `Compiler` parameter reproduces the paper's core observation for
+// OpenMP: every compiler supports a *different subset* of the standard.
+// Using a feature a compiler lacks throws UnsupportedFeature, the
+// executable form of the paper's "only a subset of OpenMP 5.0" caveats.
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "gpusim/costs.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/dim3.hpp"
+
+namespace mcmm::ompx {
+
+enum class Compiler { NVHPC, GCC, Clang, Cray, AOMP, ICPX };
+
+/// OpenMP features whose support differs between the compilers the paper
+/// surveys.
+enum class Feature {
+  TargetOffload,        ///< basic `target` construct (4.0)
+  TeamsReduction,       ///< reductions across teams (4.5)
+  Collapse,             ///< collapse(n) on distribute-parallel-for (4.5)
+  TargetUpdate,         ///< `target update` midway data refresh (4.5)
+  UnifiedSharedMemory,  ///< `requires unified_shared_memory` (5.0)
+  DeclareMapper,        ///< `declare mapper` custom mappings (5.0)
+  LoopDirective,        ///< `loop` directive (5.0)
+  Metadirective,        ///< `metadirective` context selection (5.0)
+};
+
+[[nodiscard]] std::string_view to_string(Compiler c) noexcept;
+[[nodiscard]] std::string_view to_string(Feature f) noexcept;
+
+struct CompilerInfo {
+  std::string version_claim;  ///< e.g. "subset of OpenMP 5.0"
+  std::set<Feature> features;
+  std::set<Vendor> targets;
+};
+
+/// The survey table: what each compiler implements and which GPUs it can
+/// offload to (paper items 9/24/38 and the ECP BoF discussion).
+[[nodiscard]] const CompilerInfo& compiler_info(Compiler c);
+
+/// A GPU made addressable through one OpenMP compiler.
+class TargetDevice {
+ public:
+  /// Throws UnsupportedCombination when `compiler` cannot offload to
+  /// `vendor` (e.g. NVHPC to AMD, ICPX to NVIDIA).
+  TargetDevice(Vendor vendor, Compiler compiler);
+
+  [[nodiscard]] Vendor vendor() const noexcept { return vendor_; }
+  [[nodiscard]] Compiler compiler() const noexcept { return compiler_; }
+
+  /// Throws UnsupportedFeature when the compiler lacks the feature.
+  void require(Feature f) const;
+  [[nodiscard]] bool has(Feature f) const noexcept;
+
+  [[nodiscard]] gpusim::Device& device() noexcept { return *device_; }
+  [[nodiscard]] gpusim::Queue& queue() noexcept { return *queue_; }
+  [[nodiscard]] double simulated_time_us() const noexcept {
+    return queue_->simulated_time_us();
+  }
+
+ private:
+  Vendor vendor_;
+  Compiler compiler_;
+  gpusim::Device* device_;
+  std::unique_ptr<gpusim::Queue> queue_;
+};
+
+/// RAII data region: `#pragma omp target data map(...)`.
+class target_data {
+ public:
+  explicit target_data(TargetDevice& dev) : dev_(&dev) {}
+  ~target_data();
+
+  target_data(const target_data&) = delete;
+  target_data& operator=(const target_data&) = delete;
+
+  /// map(to: ptr[0:count]) — copies in now, device-only afterwards.
+  template <typename T>
+  T* map_to(const T* host, std::size_t count) {
+    return static_cast<T*>(map_impl(host, count * sizeof(T), true, false));
+  }
+  /// map(from: ptr[0:count]) — device buffer now, copy-out on scope exit.
+  template <typename T>
+  T* map_from(T* host, std::size_t count) {
+    return static_cast<T*>(map_impl(host, count * sizeof(T), false, true));
+  }
+  /// map(tofrom: ptr[0:count]).
+  template <typename T>
+  T* map_tofrom(T* host, std::size_t count) {
+    return static_cast<T*>(map_impl(host, count * sizeof(T), true, true));
+  }
+
+  /// `target update from(...)`: refresh host mid-region. Requires the
+  /// TargetUpdate feature.
+  void update_from(const void* host);
+  /// `target update to(...)`.
+  void update_to(const void* host);
+
+  /// Device pointer of a mapped host pointer (use_device_ptr clause).
+  [[nodiscard]] void* device_ptr(const void* host) const;
+
+ private:
+  void* map_impl(const void* host, std::size_t bytes, bool to, bool from);
+
+  struct Mapping {
+    void* device{};
+    std::size_t bytes{};
+    bool copy_out{};
+  };
+
+  TargetDevice* dev_;
+  std::map<const void*, Mapping> mappings_;  ///< keyed by host pointer
+};
+
+// --- OpenMP device memory routines (omp_target_alloc family, 4.5) ---
+
+/// omp_target_alloc analogue: raw device allocation outside any data
+/// region. Returns nullptr on failure, as the OpenMP routine does.
+[[nodiscard]] void* omp_target_alloc(TargetDevice& dev, std::size_t bytes);
+
+/// omp_target_free analogue. Freeing nullptr is a no-op.
+void omp_target_free(TargetDevice& dev, void* ptr);
+
+/// omp_target_memcpy analogue; returns 0 on success, non-zero on error.
+/// Directions are inferred from `dst_on_device` / `src_on_device`, like
+/// the device-number arguments of the real routine.
+[[nodiscard]] int omp_target_memcpy(TargetDevice& dev, void* dst,
+                                    const void* src, std::size_t bytes,
+                                    bool dst_on_device, bool src_on_device);
+
+/// omp_target_is_present analogue for raw allocations.
+[[nodiscard]] bool omp_target_is_present(TargetDevice& dev, const void* ptr);
+
+/// `#pragma omp target teams distribute parallel for` over [0, n).
+/// `body(i)` runs once per iteration on device pointers.
+template <typename Body>
+void target_teams_distribute_parallel_for(TargetDevice& dev, std::size_t n,
+                                          const gpusim::KernelCosts& costs,
+                                          Body&& body) {
+  dev.require(Feature::TargetOffload);
+  const gpusim::LaunchConfig cfg = gpusim::launch_1d(n, 256);
+  dev.queue().launch(cfg, costs, [&](const gpusim::WorkItem& item) {
+    const std::size_t i = item.global_x();
+    if (i < n) body(i);
+  });
+}
+
+/// Same construct with a `reduction(+: result)`-style clause. Requires the
+/// TeamsReduction feature. Deterministic chunked reduction.
+template <typename T, typename Body>
+T target_teams_reduce(TargetDevice& dev, std::size_t n, T init,
+                      const gpusim::KernelCosts& costs, Body&& body) {
+  dev.require(Feature::TargetOffload);
+  dev.require(Feature::TeamsReduction);
+  constexpr std::size_t kTeams = 64;
+  std::vector<T> partials(kTeams, init);
+  const std::size_t chunk = (n + kTeams - 1) / kTeams;
+  const gpusim::LaunchConfig cfg = gpusim::launch_1d(kTeams, 1);
+  dev.queue().launch(cfg, costs, [&](const gpusim::WorkItem& item) {
+    const std::size_t t = item.global_x();
+    if (t >= kTeams) return;
+    const std::size_t begin = t * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    T acc = init;
+    for (std::size_t i = begin; i < end; ++i) acc += body(i);
+    partials[t] = acc;
+  });
+  T result = init;
+  for (const T& p : partials) result += p;
+  return result;
+}
+
+/// `metadirective` analogue (5.0): context-dependent dispatch —
+///
+///   #pragma omp metadirective when(device={kind(gpu)}:
+///       target teams distribute parallel for) default(parallel for)
+///
+/// Runs `body` on the device when the compiler implements metadirective
+/// and a GPU context is present, otherwise on the host. Returns true when
+/// the device variant was chosen. Requires the Metadirective feature.
+template <typename Body>
+bool metadirective_target_or_host(TargetDevice& dev, std::size_t n,
+                                  const gpusim::KernelCosts& costs,
+                                  Body&& body) {
+  dev.require(Feature::Metadirective);
+  // The simulated context always has a GPU: the when-clause matches.
+  target_teams_distribute_parallel_for(dev, n, costs,
+                                       std::forward<Body>(body));
+  return true;
+}
+
+/// `collapse(2)` variant over an n x m iteration space. Requires Collapse.
+template <typename Body>
+void target_teams_distribute_parallel_for_collapse2(
+    TargetDevice& dev, std::size_t n, std::size_t m,
+    const gpusim::KernelCosts& costs, Body&& body) {
+  dev.require(Feature::TargetOffload);
+  dev.require(Feature::Collapse);
+  const std::size_t total = n * m;
+  const gpusim::LaunchConfig cfg = gpusim::launch_1d(total, 256);
+  dev.queue().launch(cfg, costs, [&](const gpusim::WorkItem& item) {
+    const std::size_t i = item.global_x();
+    if (i < total) body(i / m, i % m);
+  });
+}
+
+}  // namespace mcmm::ompx

@@ -1,0 +1,388 @@
+#include "models/pybindx/pybindx.hpp"
+
+#include <algorithm>
+
+#include "models/profiles.hpp"
+
+namespace mcmm::pybindx {
+namespace {
+
+[[nodiscard]] gpusim::BackendProfile profile_for(Package p) {
+  switch (p) {
+    case Package::CudaPython:
+      // Low-level vendor bindings — essentially native.
+      return models::native_profile("Python/cuda-python");
+    case Package::CuPy:
+      // Mature community layer over the CUDA toolkit.
+      return models::layered_profile("Python/CuPy");
+    case Package::Numba:
+      // JIT through decorators; an extra compilation hop.
+      return models::layered_profile("Python/Numba");
+    case Package::CuNumeric:
+      // Vendor, but routed through the Legate tasking layer.
+      return models::layered_profile("Python/cuNumeric");
+    case Package::CuPyROCm:
+      // Item 30: "CuPy experimentally supports AMD GPUs/ROCm".
+      return models::experimental_profile("Python/CuPy-ROCm");
+    case Package::PyHIP:
+      // Low-level bindings; thin but young.
+      return models::experimental_profile("Python/PyHIP");
+    case Package::Dpnp:
+      // Item 44: vendor packages, younger ('some support').
+      return models::layered_profile("Python/dpnp");
+    case Package::NumbaDpex:
+      return models::layered_profile("Python/numba-dpex");
+  }
+  throw PyError("unknown package");
+}
+
+template <typename T>
+void fill_typed(gpusim::Queue& q, void* data, std::size_t n, double value,
+                const gpusim::KernelCosts& costs) {
+  auto* p = static_cast<T*>(data);
+  q.launch(gpusim::launch_1d(n, 256), costs,
+           [p, n, value](const gpusim::WorkItem& item) {
+             const std::size_t i = item.global_x();
+             if (i < n) p[i] = static_cast<T>(value);
+           });
+}
+
+template <typename T>
+void iota_typed(gpusim::Queue& q, void* data, std::size_t n,
+                const gpusim::KernelCosts& costs) {
+  auto* p = static_cast<T*>(data);
+  q.launch(gpusim::launch_1d(n, 256), costs,
+           [p, n](const gpusim::WorkItem& item) {
+             const std::size_t i = item.global_x();
+             if (i < n) p[i] = static_cast<T>(i);
+           });
+}
+
+/// Reads element i of a dtype-erased array as double.
+[[nodiscard]] double load_as_double(const void* data, DType dtype,
+                                    std::size_t i) {
+  switch (dtype) {
+    case DType::Float32:
+      return static_cast<const float*>(data)[i];
+    case DType::Float64:
+      return static_cast<const double*>(data)[i];
+    case DType::Int32:
+      return static_cast<const std::int32_t*>(data)[i];
+  }
+  return 0.0;
+}
+
+void store_from_double(void* data, DType dtype, std::size_t i, double v) {
+  switch (dtype) {
+    case DType::Float32:
+      static_cast<float*>(data)[i] = static_cast<float>(v);
+      break;
+    case DType::Float64:
+      static_cast<double*>(data)[i] = v;
+      break;
+    case DType::Int32:
+      static_cast<std::int32_t*>(data)[i] = static_cast<std::int32_t>(v);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Package p) noexcept {
+  switch (p) {
+    case Package::CudaPython:
+      return "cuda-python";
+    case Package::CuPy:
+      return "CuPy";
+    case Package::Numba:
+      return "Numba";
+    case Package::CuNumeric:
+      return "cuNumeric";
+    case Package::CuPyROCm:
+      return "CuPy-ROCm";
+    case Package::PyHIP:
+      return "PyHIP";
+    case Package::Dpnp:
+      return "dpnp";
+    case Package::NumbaDpex:
+      return "numba-dpex";
+  }
+  return "?";
+}
+
+Vendor package_vendor(Package p) noexcept {
+  switch (p) {
+    case Package::CudaPython:
+    case Package::CuPy:
+    case Package::Numba:
+    case Package::CuNumeric:
+      return Vendor::NVIDIA;
+    case Package::CuPyROCm:
+    case Package::PyHIP:
+      return Vendor::AMD;
+    case Package::Dpnp:
+    case Package::NumbaDpex:
+      return Vendor::Intel;
+  }
+  return Vendor::NVIDIA;
+}
+
+bool package_vendor_provided(Package p) noexcept {
+  return p == Package::CudaPython || p == Package::CuNumeric ||
+         p == Package::Dpnp || p == Package::NumbaDpex;
+}
+
+std::string_view to_string(DType d) noexcept {
+  switch (d) {
+    case DType::Float32:
+      return "float32";
+    case DType::Float64:
+      return "float64";
+    case DType::Int32:
+      return "int32";
+  }
+  return "?";
+}
+
+std::size_t dtype_size(DType d) noexcept {
+  switch (d) {
+    case DType::Float32:
+      return 4;
+    case DType::Float64:
+      return 8;
+    case DType::Int32:
+      return 4;
+  }
+  return 8;
+}
+
+Module::Module(Package package)
+    : package_(package), vendor_(package_vendor(package)) {
+  device_ = &gpusim::Platform::instance().device(vendor_);
+  queue_ = std::shared_ptr<gpusim::Queue>(device_->create_queue().release());
+  queue_->set_backend_profile(profile_for(package));
+}
+
+DType Module::promote(DType a, DType b) noexcept {
+  if (a == DType::Float64 || b == DType::Float64) return DType::Float64;
+  if (a == DType::Float32 || b == DType::Float32) return DType::Float32;
+  return DType::Int32;
+}
+
+ndarray Module::make(std::size_t n, DType dtype) {
+  ndarray out;
+  void* raw = device_->allocate(n * dtype_size(dtype));
+  out.data_ = std::shared_ptr<void>(
+      raw, [dev = device_](void* p) { dev->deallocate(p); });
+  out.size_ = n;
+  out.dtype_ = dtype;
+  out.module_ = this;
+  return out;
+}
+
+void Module::check_same_size(const ndarray& a, const ndarray& b) const {
+  if (a.size() != b.size()) {
+    throw PyError("ValueError: operands could not be broadcast together "
+                  "with shapes (" +
+                  std::to_string(a.size()) + ",) (" +
+                  std::to_string(b.size()) + ",)");
+  }
+}
+
+void Module::check_owned(const ndarray& a) const {
+  if (!a.defined()) throw PyError("TypeError: operation on undefined array");
+  if (a.module_ != this) {
+    throw PyError("ValueError: array belongs to a different module/device "
+                  "(implicit cross-device transfer is not allowed)");
+  }
+}
+
+ndarray Module::zeros(std::size_t n, DType dtype) {
+  ndarray out = make(n, dtype);
+  gpusim::KernelCosts costs;
+  costs.bytes_written = static_cast<double>(n * dtype_size(dtype));
+  switch (dtype) {
+    case DType::Float32:
+      fill_typed<float>(*queue_, out.data_.get(), n, 0.0, costs);
+      break;
+    case DType::Float64:
+      fill_typed<double>(*queue_, out.data_.get(), n, 0.0, costs);
+      break;
+    case DType::Int32:
+      fill_typed<std::int32_t>(*queue_, out.data_.get(), n, 0.0, costs);
+      break;
+  }
+  return out;
+}
+
+ndarray Module::full(std::size_t n, double value, DType dtype) {
+  ndarray out = make(n, dtype);
+  gpusim::KernelCosts costs;
+  costs.bytes_written = static_cast<double>(n * dtype_size(dtype));
+  switch (dtype) {
+    case DType::Float32:
+      fill_typed<float>(*queue_, out.data_.get(), n, value, costs);
+      break;
+    case DType::Float64:
+      fill_typed<double>(*queue_, out.data_.get(), n, value, costs);
+      break;
+    case DType::Int32:
+      fill_typed<std::int32_t>(*queue_, out.data_.get(), n, value, costs);
+      break;
+  }
+  return out;
+}
+
+ndarray Module::asarray(const std::vector<double>& host) {
+  ndarray out = make(host.size(), DType::Float64);
+  queue_->memcpy(out.data_.get(), host.data(), host.size() * sizeof(double),
+                 gpusim::CopyKind::HostToDevice);
+  return out;
+}
+
+ndarray Module::arange(std::size_t n, DType dtype) {
+  ndarray out = make(n, dtype);
+  gpusim::KernelCosts costs;
+  costs.bytes_written = static_cast<double>(n * dtype_size(dtype));
+  switch (dtype) {
+    case DType::Float32:
+      iota_typed<float>(*queue_, out.data_.get(), n, costs);
+      break;
+    case DType::Float64:
+      iota_typed<double>(*queue_, out.data_.get(), n, costs);
+      break;
+    case DType::Int32:
+      iota_typed<std::int32_t>(*queue_, out.data_.get(), n, costs);
+      break;
+  }
+  return out;
+}
+
+ndarray Module::binary_op(const ndarray& a, const ndarray& b, BinOp op) {
+  check_owned(a);
+  check_owned(b);
+  check_same_size(a, b);
+  const DType out_dtype = promote(a.dtype(), b.dtype());
+  ndarray out = make(a.size(), out_dtype);
+  const std::size_t n = a.size();
+  gpusim::KernelCosts costs;
+  costs.bytes_read = static_cast<double>(
+      n * (dtype_size(a.dtype()) + dtype_size(b.dtype())));
+  costs.bytes_written = static_cast<double>(n * dtype_size(out_dtype));
+  costs.flops = static_cast<double>(n);
+  const void* pa = a.data_.get();
+  const void* pb = b.data_.get();
+  void* po = out.data_.get();
+  const DType da = a.dtype(), db = b.dtype();
+  queue_->launch(gpusim::launch_1d(n, 256), costs,
+                 [=](const gpusim::WorkItem& item) {
+                   const std::size_t i = item.global_x();
+                   if (i >= n) return;
+                   const double x = load_as_double(pa, da, i);
+                   const double y = load_as_double(pb, db, i);
+                   double r = 0.0;
+                   switch (op) {
+                     case BinOp::Add:
+                       r = x + y;
+                       break;
+                     case BinOp::Sub:
+                       r = x - y;
+                       break;
+                     case BinOp::Mul:
+                       r = x * y;
+                       break;
+                   }
+                   store_from_double(po, out_dtype, i, r);
+                 });
+  return out;
+}
+
+ndarray Module::add(const ndarray& a, const ndarray& b) {
+  return binary_op(a, b, BinOp::Add);
+}
+
+ndarray Module::subtract(const ndarray& a, const ndarray& b) {
+  return binary_op(a, b, BinOp::Sub);
+}
+
+ndarray Module::multiply(const ndarray& a, const ndarray& b) {
+  return binary_op(a, b, BinOp::Mul);
+}
+
+ndarray Module::multiply(const ndarray& a, double scalar) {
+  check_owned(a);
+  ndarray out = make(a.size(), a.dtype());
+  const std::size_t n = a.size();
+  gpusim::KernelCosts costs;
+  costs.bytes_read = static_cast<double>(n * dtype_size(a.dtype()));
+  costs.bytes_written = costs.bytes_read;
+  costs.flops = static_cast<double>(n);
+  const void* pa = a.data_.get();
+  void* po = out.data_.get();
+  const DType da = a.dtype();
+  queue_->launch(gpusim::launch_1d(n, 256), costs,
+                 [=](const gpusim::WorkItem& item) {
+                   const std::size_t i = item.global_x();
+                   if (i < n) {
+                     store_from_double(po, da, i,
+                                       load_as_double(pa, da, i) * scalar);
+                   }
+                 });
+  return out;
+}
+
+double Module::sum(const ndarray& a) {
+  check_owned(a);
+  const std::size_t n = a.size();
+  constexpr std::size_t kChunks = 64;
+  std::array<double, kChunks> partials{};
+  const std::size_t chunk = (n + kChunks - 1) / kChunks;
+  gpusim::KernelCosts costs;
+  costs.bytes_read = static_cast<double>(n * dtype_size(a.dtype()));
+  costs.flops = static_cast<double>(n);
+  const void* pa = a.data_.get();
+  const DType da = a.dtype();
+  queue_->launch(gpusim::launch_1d(kChunks, 1), costs,
+                 [&, pa, da, n, chunk](const gpusim::WorkItem& item) {
+                   const std::size_t c = item.global_x();
+                   if (c >= kChunks) return;
+                   const std::size_t begin = c * chunk;
+                   const std::size_t end = std::min(n, begin + chunk);
+                   double acc = 0.0;
+                   for (std::size_t i = begin; i < end; ++i) {
+                     acc += load_as_double(pa, da, i);
+                   }
+                   partials[c] = acc;
+                 });
+  double total = 0.0;
+  for (const double p : partials) total += p;
+  return total;
+}
+
+double Module::dot(const ndarray& a, const ndarray& b) {
+  check_owned(a);
+  check_owned(b);
+  check_same_size(a, b);
+  const ndarray products = multiply(a, b);
+  return sum(products);
+}
+
+std::vector<double> Module::asnumpy(const ndarray& a) {
+  check_owned(a);
+  std::vector<double> out(a.size());
+  if (a.dtype() == DType::Float64) {
+    queue_->memcpy(out.data(), a.data_.get(), a.size() * sizeof(double),
+                   gpusim::CopyKind::DeviceToHost);
+    return out;
+  }
+  // Converting download: stage the raw bytes, then widen on the host.
+  std::vector<std::byte> raw(a.size() * dtype_size(a.dtype()));
+  queue_->memcpy(raw.data(), a.data_.get(), raw.size(),
+                 gpusim::CopyKind::DeviceToHost);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = load_as_double(raw.data(), a.dtype(), i);
+  }
+  return out;
+}
+
+}  // namespace mcmm::pybindx

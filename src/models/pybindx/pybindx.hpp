@@ -1,0 +1,137 @@
+#pragma once
+// pybindx: the Python column of Fig. 1 (items 17, 30, 44) as an executable
+// embedding. Python GPU programming is NumPy-shaped: dynamically-typed
+// n-d arrays with whole-array operations dispatched to a device backend.
+// This module reproduces that shape in C++ — a dtype-erased `ndarray`
+// plus a `Module` object standing in for `import cupy as cp` — with one
+// Package per route the paper names:
+//
+//   CudaPython (NVIDIA, vendor)     CuPy (NVIDIA, community)
+//   Numba      (NVIDIA, community)  cuNumeric (NVIDIA, vendor)
+//   CuPyROCm   (AMD, experimental)  PyHIP (AMD, low-level bindings)
+//   dpnp       (Intel, vendor)      numba-dpex (Intel, vendor)
+//
+// Packages exist exactly where Fig. 1's Python cells are usable; their
+// profiles mirror the cells' maturity (AMD's routes are experimental, the
+// paper's 'limited support' rating).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "gpusim/costs.hpp"
+#include "gpusim/device.hpp"
+
+namespace mcmm::pybindx {
+
+enum class Package {
+  CudaPython,
+  CuPy,
+  Numba,
+  CuNumeric,
+  CuPyROCm,
+  PyHIP,
+  Dpnp,
+  NumbaDpex,
+};
+
+[[nodiscard]] std::string_view to_string(Package p) noexcept;
+
+/// Which vendor a package drives (Fig. 1's Python row).
+[[nodiscard]] Vendor package_vendor(Package p) noexcept;
+
+/// True for the vendor-provided packages (CUDA Python, cuNumeric, dpnp,
+/// numba-dpex).
+[[nodiscard]] bool package_vendor_provided(Package p) noexcept;
+
+/// Python's dynamic typing, reduced to the dtypes the examples need.
+enum class DType : std::uint8_t { Float32, Float64, Int32 };
+
+[[nodiscard]] std::string_view to_string(DType d) noexcept;
+[[nodiscard]] std::size_t dtype_size(DType d) noexcept;
+
+/// Raised where Python would raise TypeError/ValueError.
+class PyError : public Error {
+ public:
+  using Error::Error;
+};
+
+class Module;
+
+/// A device-resident, dtype-erased 1-D array (the NumPy/CuPy shape).
+class ndarray {
+ public:
+  ndarray() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] DType dtype() const noexcept { return dtype_; }
+  [[nodiscard]] bool defined() const noexcept { return data_ != nullptr; }
+
+ private:
+  friend class Module;
+  std::shared_ptr<void> data_;
+  std::size_t size_{};
+  DType dtype_{DType::Float64};
+  Module* module_{};
+};
+
+/// The imported package: factory and operations on ndarrays.
+class Module {
+ public:
+  /// `import <package>`. Throws UnsupportedCombination when the package's
+  /// platform is unavailable (there is none in Fig. 1's Python row — every
+  /// package has a platform — but PyHIP/Numba-ROCm maturities surface in
+  /// the profile).
+  explicit Module(Package package);
+
+  [[nodiscard]] Package package() const noexcept { return package_; }
+  [[nodiscard]] Vendor vendor() const noexcept { return vendor_; }
+  [[nodiscard]] const gpusim::BackendProfile& profile() const {
+    return queue_->backend_profile();
+  }
+
+  // --- array creation (cp.zeros, cp.asarray, ...) ---
+  [[nodiscard]] ndarray zeros(std::size_t n, DType dtype = DType::Float64);
+  [[nodiscard]] ndarray full(std::size_t n, double value,
+                             DType dtype = DType::Float64);
+  [[nodiscard]] ndarray asarray(const std::vector<double>& host);
+  [[nodiscard]] ndarray arange(std::size_t n, DType dtype = DType::Float64);
+
+  // --- elementwise ops (cp.add, cp.multiply, scalar broadcast) ---
+  [[nodiscard]] ndarray add(const ndarray& a, const ndarray& b);
+  [[nodiscard]] ndarray multiply(const ndarray& a, const ndarray& b);
+  [[nodiscard]] ndarray multiply(const ndarray& a, double scalar);
+  [[nodiscard]] ndarray subtract(const ndarray& a, const ndarray& b);
+
+  // --- reductions (cp.sum, cp.dot) ---
+  [[nodiscard]] double sum(const ndarray& a);
+  [[nodiscard]] double dot(const ndarray& a, const ndarray& b);
+
+  // --- transfer (cp.asnumpy) ---
+  [[nodiscard]] std::vector<double> asnumpy(const ndarray& a);
+
+  /// dtype promotion following NumPy: f64 > f32 > i32.
+  [[nodiscard]] static DType promote(DType a, DType b) noexcept;
+
+  [[nodiscard]] double simulated_time_us() const noexcept {
+    return queue_->simulated_time_us();
+  }
+
+ private:
+  [[nodiscard]] ndarray make(std::size_t n, DType dtype);
+  void check_same_size(const ndarray& a, const ndarray& b) const;
+  void check_owned(const ndarray& a) const;
+
+  enum class BinOp { Add, Sub, Mul };
+  [[nodiscard]] ndarray binary_op(const ndarray& a, const ndarray& b,
+                                  BinOp op);
+
+  Package package_;
+  Vendor vendor_;
+  gpusim::Device* device_;
+  std::shared_ptr<gpusim::Queue> queue_;
+};
+
+}  // namespace mcmm::pybindx

@@ -1,0 +1,155 @@
+#pragma once
+// syclx buffer/accessor layer: the second half of the SYCL programming
+// model (items 5, 21, 35). Buffers own data whose device copies are
+// managed implicitly; command groups request access through accessors and
+// the runtime performs the transfers — the "buffers and accessors" style
+// that distinguishes SYCL source from CUDA/HIP source.
+//
+// Semantics modelled: host data is copied in when a kernel first accesses
+// a buffer on the device, and written back when the buffer is destroyed
+// (or host_accessor is taken), as in SYCL's RAII data management.
+
+#include <cstring>
+#include <vector>
+
+#include "models/syclx/syclx.hpp"
+
+namespace mcmm::syclx {
+
+enum class access_mode { read, write, read_write };
+
+template <typename T>
+class buffer;
+
+/// Device-side view of a buffer inside a command group.
+template <typename T>
+class accessor {
+ public:
+  [[nodiscard]] T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] access_mode mode() const noexcept { return mode_; }
+
+ private:
+  template <typename U>
+  friend class buffer;
+  accessor(T* data, std::size_t size, access_mode mode)
+      : data_(data), size_(size), mode_(mode) {}
+
+  T* data_;
+  std::size_t size_;
+  access_mode mode_;
+};
+
+/// A SYCL-style buffer: wraps host memory, lazily materializes a device
+/// copy, writes back on destruction.
+template <typename T>
+class buffer {
+ public:
+  buffer(T* host_data, std::size_t count)
+      : host_(host_data), size_(count) {}
+
+  buffer(const buffer&) = delete;
+  buffer& operator=(const buffer&) = delete;
+
+  ~buffer() {
+    if (device_ != nullptr) {
+      if (device_dirty_) {
+        bound_queue_->memcpy(host_, device_, size_ * sizeof(T));
+      }
+      bound_queue_->free(device_);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Requests device access inside a command group (handler::get_access
+  /// analogue). Materializes/refreshes the device copy as the access mode
+  /// requires.
+  [[nodiscard]] accessor<T> get_access(queue& q, access_mode mode) {
+    materialize(q);
+    if (mode != access_mode::read) device_dirty_ = true;
+    return accessor<T>(device_, size_, mode);
+  }
+
+  /// Host access (sycl::host_accessor): synchronizes the host copy.
+  [[nodiscard]] T* get_host_access() {
+    if (device_ != nullptr && device_dirty_) {
+      bound_queue_->memcpy(host_, device_, size_ * sizeof(T));
+      device_dirty_ = false;
+      host_dirty_ = false;
+    }
+    host_dirty_ = true;  // host may now be written
+    return host_;
+  }
+
+  /// True when a device copy currently exists (introspection for tests).
+  [[nodiscard]] bool on_device() const noexcept { return device_ != nullptr; }
+
+ private:
+  void materialize(queue& q) {
+    if (device_ == nullptr) {
+      bound_queue_ = &q;
+      device_ = q.malloc_device<T>(size_);
+      q.memcpy(device_, host_, size_ * sizeof(T));
+      host_dirty_ = false;
+      return;
+    }
+    if (bound_queue_ != &q) {
+      throw UnsupportedCombination(
+          Combination{q.vendor(), Model::SYCL, Language::Cpp},
+          "buffer is bound to a different queue/device; SYCL would "
+          "migrate, this embedding rejects");
+    }
+    if (host_dirty_) {
+      q.memcpy(device_, host_, size_ * sizeof(T));
+      host_dirty_ = false;
+    }
+  }
+
+  T* host_;
+  std::size_t size_;
+  queue* bound_queue_{nullptr};
+  T* device_{nullptr};
+  bool device_dirty_{false};
+  bool host_dirty_{true};
+};
+
+/// Command-group handler: collects accessors and launches the kernel
+/// (sycl::handler analogue).
+class handler {
+ public:
+  explicit handler(queue& q) : queue_(&q) {}
+
+  template <typename T>
+  [[nodiscard]] accessor<T> get_access(buffer<T>& buf, access_mode mode) {
+    return buf.get_access(*queue_, mode);
+  }
+
+  template <typename Body>
+  void parallel_for(range r, const gpusim::KernelCosts& costs, Body&& body) {
+    event_ = queue_->parallel_for(r, costs, std::forward<Body>(body));
+  }
+
+  template <typename Body>
+  void parallel_for(range r, Body&& body) {
+    event_ = queue_->parallel_for(r, std::forward<Body>(body));
+  }
+
+  [[nodiscard]] event last_event() const noexcept { return event_; }
+
+ private:
+  queue* queue_;
+  event event_{};
+};
+
+/// queue::submit analogue as a free function (keeps queue itself USM-only).
+template <typename CommandGroup>
+event submit(queue& q, CommandGroup&& cg) {
+  handler h(q);
+  cg(h);
+  return h.last_event();
+}
+
+}  // namespace mcmm::syclx

@@ -1,0 +1,88 @@
+#include "models/syclx/syclx.hpp"
+
+#include "models/profiles.hpp"
+
+namespace mcmm::syclx {
+namespace {
+
+/// Which implementation reaches which vendor, and through what profile —
+/// the executable form of Fig. 1's SYCL column.
+[[nodiscard]] gpusim::BackendProfile profile_for(Vendor vendor,
+                                                 Implementation impl) {
+  const Combination combo{vendor, Model::SYCL, Language::Cpp};
+  switch (impl) {
+    case Implementation::DPCpp:
+      switch (vendor) {
+        case Vendor::Intel:
+          // SYCL via DPC++ is the native model on Intel (item 35).
+          return models::native_profile("DPC++/LevelZero");
+        case Vendor::NVIDIA:
+          // CUDA plugin (item 5).
+          return models::layered_profile("DPC++/CUDA-plugin");
+        case Vendor::AMD:
+          // ROCm plugin (item 21).
+          return models::layered_profile("DPC++/ROCm-plugin");
+      }
+      break;
+    case Implementation::OpenSYCL:
+      // Open SYCL reaches all three platforms through LLVM (items 5, 21,
+      // 35); community-maintained layered route.
+      switch (vendor) {
+        case Vendor::Intel:
+          return models::layered_profile("OpenSYCL/LevelZero");
+        case Vendor::NVIDIA:
+          return models::layered_profile("OpenSYCL/CUDA");
+        case Vendor::AMD:
+          return models::layered_profile("OpenSYCL/ROCm");
+      }
+      break;
+    case Implementation::ComputeCpp:
+      // Unsupported since September 2023 (items 5, 35).
+      throw UnsupportedCombination(
+          combo, "ComputeCpp is retired (unsupported since Sep 2023)");
+  }
+  throw UnsupportedCombination(combo, "unknown SYCL implementation");
+}
+
+}  // namespace
+
+std::string_view to_string(Implementation i) noexcept {
+  switch (i) {
+    case Implementation::DPCpp:
+      return "DPC++";
+    case Implementation::OpenSYCL:
+      return "Open SYCL";
+    case Implementation::ComputeCpp:
+      return "ComputeCpp";
+  }
+  return "?";
+}
+
+queue::queue(Vendor vendor, Implementation impl)
+    : vendor_(vendor), impl_(impl) {
+  const gpusim::BackendProfile profile = profile_for(vendor, impl);
+  device_ = &gpusim::Platform::instance().device(vendor);
+  queue_ = device_->create_queue();
+  queue_->set_backend_profile(profile);
+}
+
+event queue::memcpy(void* dst, const void* src, std::size_t bytes) {
+  const bool dst_dev = device_->is_device_pointer(dst);
+  const bool src_dev = device_->is_device_pointer(src);
+  if (dst_dev && src_dev) {
+    return event(
+        queue_->memcpy(dst, src, bytes, gpusim::CopyKind::DeviceToDevice));
+  }
+  if (dst_dev) {
+    return event(
+        queue_->memcpy(dst, src, bytes, gpusim::CopyKind::HostToDevice));
+  }
+  if (src_dev) {
+    return event(
+        queue_->memcpy(dst, src, bytes, gpusim::CopyKind::DeviceToHost));
+  }
+  std::memcpy(dst, src, bytes);  // host-to-host, permitted by SYCL USM
+  return event{};
+}
+
+}  // namespace mcmm::syclx

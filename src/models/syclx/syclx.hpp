@@ -1,0 +1,153 @@
+#pragma once
+// syclx: a SYCL-style API embedding (paper Sec. 4, items 5, 21, 35).
+// Queue-centric, exception-based, USM pointers, lambdas over an nd-range.
+// The `Implementation` parameter mirrors the real-world choice between
+// DPC++ (Intel's LLVM toolchain with CUDA/ROCm plugins), Open SYCL
+// (community, previously hipSYCL), and the retired ComputeCpp; support per
+// simulated vendor follows Fig. 1.
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <memory>
+
+#include "core/error.hpp"
+#include "gpusim/costs.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/dim3.hpp"
+
+namespace mcmm::syclx {
+
+enum class Implementation { DPCpp, OpenSYCL, ComputeCpp };
+
+[[nodiscard]] std::string_view to_string(Implementation i) noexcept;
+
+struct range {
+  std::size_t size{};
+};
+
+struct id {
+  std::size_t value{};
+  constexpr operator std::size_t() const noexcept { return value; }  // NOLINT
+};
+
+class event {
+ public:
+  event() = default;
+  explicit event(gpusim::Event e) : event_(e) {}
+  [[nodiscard]] double duration_us() const noexcept {
+    return event_.duration_us();
+  }
+  void wait() const noexcept {}
+
+ private:
+  gpusim::Event event_{};
+};
+
+/// A SYCL-style in-order queue bound to one simulated device through one
+/// implementation route.
+class queue {
+ public:
+  /// Throws UnsupportedCombination when the implementation cannot target
+  /// the vendor (e.g. any ComputeCpp queue — retired; see Fig. 1 notes).
+  explicit queue(Vendor vendor, Implementation impl = Implementation::DPCpp);
+
+  queue(const queue&) = delete;
+  queue& operator=(const queue&) = delete;
+  queue(queue&&) = default;
+
+  [[nodiscard]] Vendor vendor() const noexcept { return vendor_; }
+  [[nodiscard]] Implementation implementation() const noexcept {
+    return impl_;
+  }
+  [[nodiscard]] const gpusim::BackendProfile& backend_profile() const {
+    return queue_->backend_profile();
+  }
+
+  /// USM device allocation.
+  template <typename T>
+  [[nodiscard]] T* malloc_device(std::size_t count) {
+    return static_cast<T*>(device_->allocate(count * sizeof(T)));
+  }
+  void free(void* ptr) {
+    if (ptr != nullptr) device_->deallocate(ptr);
+  }
+
+  /// USM memcpy: direction inferred from pointer provenance, as in SYCL.
+  event memcpy(void* dst, const void* src, std::size_t bytes);
+
+  event fill_bytes(void* dst, int value, std::size_t bytes) {
+    return event(queue_->memset(dst, value, bytes));
+  }
+
+  /// parallel_for over a 1-D range; body receives the work-item id.
+  template <typename Body>
+  event parallel_for(range r, const gpusim::KernelCosts& costs, Body&& body) {
+    const gpusim::LaunchConfig cfg = gpusim::launch_1d(r.size, 256);
+    const std::size_t n = r.size;
+    return event(
+        queue_->launch(cfg, costs, [&](const gpusim::WorkItem& item) {
+          const std::size_t i = item.global_x();
+          if (i < n) body(id{i});
+        }));
+  }
+
+  template <typename Body>
+  event parallel_for(range r, Body&& body) {
+    return parallel_for(r, gpusim::KernelCosts{}, std::forward<Body>(body));
+  }
+
+  /// Reduction: result = reduce(init, combine, transform(i) for i in range),
+  /// the shape of sycl::reduction with a transform lambda. Deterministic
+  /// two-phase implementation (per-chunk partials, ordered combine).
+  template <typename T, typename Transform, typename Combine>
+  T reduce(range r, T init, const gpusim::KernelCosts& costs,
+           Transform&& transform, Combine&& combine);
+
+  void wait() const noexcept { queue_->synchronize(); }
+
+  /// Simulated time consumed by this queue, microseconds.
+  [[nodiscard]] double simulated_time_us() const noexcept {
+    return queue_->simulated_time_us();
+  }
+
+  [[nodiscard]] gpusim::Device& device() noexcept { return *device_; }
+
+ private:
+  Vendor vendor_{};
+  Implementation impl_{};
+  gpusim::Device* device_{};
+  std::unique_ptr<gpusim::Queue> queue_;
+};
+
+template <typename T, typename Transform, typename Combine>
+T queue::reduce(range r, T init, const gpusim::KernelCosts& costs,
+                Transform&& transform, Combine&& combine) {
+  constexpr std::size_t kChunks = 64;
+  const std::size_t n = r.size;
+  std::array<T, kChunks> partials;
+  std::array<bool, kChunks> used{};
+  partials.fill(init);
+  const std::size_t chunk = (n + kChunks - 1) / kChunks;
+  const gpusim::LaunchConfig cfg = gpusim::launch_1d(kChunks, 1);
+  queue_->launch(cfg, costs, [&](const gpusim::WorkItem& item) {
+    const std::size_t c = item.global_x();
+    if (c >= kChunks) return;
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) return;
+    T acc = transform(begin);
+    for (std::size_t i = begin + 1; i < end; ++i) {
+      acc = combine(acc, transform(i));
+    }
+    partials[c] = acc;
+    used[c] = true;
+  });
+  T result = init;
+  for (std::size_t c = 0; c < kChunks; ++c) {
+    if (used[c]) result = combine(result, partials[c]);
+  }
+  return result;
+}
+
+}  // namespace mcmm::syclx

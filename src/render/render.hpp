@@ -1,0 +1,45 @@
+#pragma once
+// Renderers regenerating the paper's Fig. 1 (and the Sec. 4 description
+// list) in several output formats — the reproduction of the author's
+// YAML -> HTML/TeX pipeline plus terminal-friendly forms.
+
+#include <string>
+
+#include "core/matrix.hpp"
+
+namespace mcmm::render {
+
+struct Options {
+  bool unicode = true;    ///< category symbols vs ASCII letters
+  bool legend = true;     ///< append the six-category legend
+  bool item_numbers = true;  ///< print Sec. 4 reference numbers in cells
+};
+
+/// Fig. 1 as a fixed-width text grid (the terminal rendition).
+[[nodiscard]] std::string figure1_text(const CompatibilityMatrix& m,
+                                       const Options& opts = {});
+
+/// Fig. 1 as a GitHub-flavoured Markdown table.
+[[nodiscard]] std::string figure1_markdown(const CompatibilityMatrix& m,
+                                           const Options& opts = {});
+
+/// Fig. 1 as a standalone HTML page (table + Sec. 4 descriptions, with
+/// anchor links between them like the paper's clickable references).
+[[nodiscard]] std::string figure1_html(const CompatibilityMatrix& m,
+                                       const Options& opts = {});
+
+/// Fig. 1 as a LaTeX tabular environment.
+[[nodiscard]] std::string figure1_latex(const CompatibilityMatrix& m,
+                                        const Options& opts = {});
+
+/// The full matrix as CSV (one row per cell; machine-readable form).
+[[nodiscard]] std::string matrix_csv(const CompatibilityMatrix& m);
+
+/// The six-category legend as text.
+[[nodiscard]] std::string legend_text(const Options& opts = {});
+
+/// One cell's symbol string ("●", "◑/△" for dual ratings, ...).
+[[nodiscard]] std::string cell_symbol(const SupportEntry& e,
+                                      const Options& opts = {});
+
+}  // namespace mcmm::render

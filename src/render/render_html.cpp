@@ -1,0 +1,134 @@
+// HTML rendition of Fig. 1 plus the Sec. 4 description list, with anchor
+// links in both directions (the paper: "both numbers can be clicked and
+// move between table and description").
+
+#include <sstream>
+
+#include "render/render.hpp"
+
+namespace mcmm::render {
+namespace {
+
+[[nodiscard]] std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string css_class(SupportCategory c) {
+  switch (c) {
+    case SupportCategory::Full:
+      return "full";
+    case SupportCategory::IndirectGood:
+      return "indirect";
+    case SupportCategory::Some:
+      return "some";
+    case SupportCategory::NonVendorGood:
+      return "nonvendor";
+    case SupportCategory::Limited:
+      return "limited";
+    case SupportCategory::None:
+      return "none";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string figure1_html(const CompatibilityMatrix& m, const Options& opts) {
+  std::ostringstream out;
+  out << "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n"
+      << "<title>GPU Programming Model / Vendor Compatibility</title>\n"
+      << "<style>\n"
+      << "table { border-collapse: collapse; }\n"
+      << "th, td { border: 1px solid #999; padding: 0.3em 0.6em; "
+         "text-align: center; }\n"
+      << "td.full { background: #2e7d32; color: white; }\n"
+      << "td.indirect { background: #66bb6a; }\n"
+      << "td.some { background: #ffe082; }\n"
+      << "td.nonvendor { background: #64b5f6; }\n"
+      << "td.limited { background: #ffab91; }\n"
+      << "td.none { background: #eeeeee; color: #888; }\n"
+      << "</style>\n</head>\n<body>\n"
+      << "<h1>GPU Programming Model vs. Vendor Compatibility</h1>\n";
+
+  out << "<table>\n<tr><th rowspan=\"2\">Vendor</th>";
+  for (const Model model : kFigureColumnOrder) {
+    if (model == Model::Python) {
+      out << "<th rowspan=\"2\">Python</th>";
+    } else {
+      out << "<th colspan=\"2\">" << to_string(model) << "</th>";
+    }
+  }
+  out << "</tr>\n<tr>";
+  for (const Model model : kFigureColumnOrder) {
+    if (model == Model::Python) continue;
+    out << "<th>C++</th><th>Fortran</th>";
+  }
+  out << "</tr>\n";
+
+  for (const Vendor v : kFigureRowOrder) {
+    out << "<tr><th>" << to_string(v) << "</th>";
+    for (const Model model : kFigureColumnOrder) {
+      const auto languages =
+          model == Model::Python
+              ? std::vector<Language>{Language::Python}
+              : std::vector<Language>{Language::Cpp, Language::Fortran};
+      for (const Language l : languages) {
+        const SupportEntry& e = m.at(v, model, l);
+        out << "<td class=\"" << css_class(e.primary().category)
+            << "\" title=\"" << escape(e.ratings[0].rationale) << "\">"
+            << cell_symbol(e, opts);
+        out << " <a href=\"#item-" << e.description_id << "\">["
+            << e.description_id << "]</a></td>";
+      }
+    }
+    out << "</tr>\n";
+  }
+  out << "</table>\n";
+
+  if (opts.legend) {
+    out << "<h2>Legend</h2>\n<ul>\n";
+    for (const SupportCategory c : kAllCategories) {
+      out << "<li>" << category_symbol(c) << " — " << category_name(c)
+          << "</li>\n";
+    }
+    out << "</ul>\n";
+  }
+
+  out << "<h2>Descriptions</h2>\n<dl>\n";
+  for (const Description* d : m.descriptions()) {
+    out << "<dt id=\"item-" << d->id << "\"><b>" << d->id << "</b> "
+        << escape(d->title) << "</dt>\n<dd>" << escape(d->text);
+    if (!d->references.empty()) {
+      out << "<br><i>References:</i> ";
+      for (std::size_t i = 0; i < d->references.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << escape(d->references[i]);
+      }
+    }
+    out << "</dd>\n";
+  }
+  out << "</dl>\n</body>\n</html>\n";
+  return out.str();
+}
+
+}  // namespace mcmm::render

@@ -1,0 +1,199 @@
+// Text, Markdown, and CSV renditions of Fig. 1.
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "render/render.hpp"
+
+namespace mcmm::render {
+namespace {
+
+/// Display width of a UTF-8 string: all code points used here are width 1.
+[[nodiscard]] std::size_t display_width(const std::string& s) {
+  std::size_t w = 0;
+  for (const char c : s) {
+    if ((static_cast<unsigned char>(c) & 0xC0) != 0x80) ++w;
+  }
+  return w;
+}
+
+[[nodiscard]] std::string pad_to(const std::string& s, std::size_t width) {
+  std::string out = s;
+  const std::size_t w = display_width(s);
+  if (w < width) out.append(width - w, ' ');
+  return out;
+}
+
+struct Column {
+  Model model;
+  Language language;
+};
+
+[[nodiscard]] std::vector<Column> figure_columns() {
+  std::vector<Column> cols;
+  for (const Model m : kFigureColumnOrder) {
+    if (m == Model::Python) {
+      cols.push_back(Column{m, Language::Python});
+    } else {
+      cols.push_back(Column{m, Language::Cpp});
+      cols.push_back(Column{m, Language::Fortran});
+    }
+  }
+  return cols;
+}
+
+[[nodiscard]] std::string symbol_for(const Rating& r, const Options& opts) {
+  return std::string(opts.unicode ? category_symbol(r.category)
+                                  : category_symbol_ascii(r.category));
+}
+
+}  // namespace
+
+std::string cell_symbol(const SupportEntry& e, const Options& opts) {
+  std::string out = symbol_for(e.ratings[0], opts);
+  if (e.ratings.size() > 1) {
+    out += "/";
+    out += symbol_for(e.ratings[1], opts);
+  }
+  if (opts.item_numbers) {
+    out += " ";
+    out += std::to_string(e.description_id);
+  }
+  return out;
+}
+
+std::string legend_text(const Options& opts) {
+  std::ostringstream out;
+  out << "Legend:\n";
+  for (const SupportCategory c : kAllCategories) {
+    out << "  "
+        << (opts.unicode ? category_symbol(c) : category_symbol_ascii(c))
+        << "  " << category_name(c) << "\n";
+  }
+  return out.str();
+}
+
+std::string figure1_text(const CompatibilityMatrix& m, const Options& opts) {
+  const std::vector<Column> cols = figure_columns();
+
+  // Column contents per vendor row.
+  std::vector<std::vector<std::string>> cells(kFigureRowOrder.size());
+  for (std::size_t r = 0; r < kFigureRowOrder.size(); ++r) {
+    for (const Column& col : cols) {
+      cells[r].push_back(cell_symbol(
+          m.at(kFigureRowOrder[r], col.model, col.language), opts));
+    }
+  }
+
+  // Width per column: max of language header and cell contents.
+  std::vector<std::size_t> widths(cols.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    widths[c] = display_width(std::string(to_string(cols[c].language)));
+    for (std::size_t r = 0; r < cells.size(); ++r) {
+      widths[c] = std::max(widths[c], display_width(cells[r][c]));
+    }
+  }
+  std::size_t vendor_width = 6;  // "Vendor"
+  for (const Vendor v : kFigureRowOrder) {
+    vendor_width =
+        std::max(vendor_width, display_width(std::string(to_string(v))));
+  }
+
+  std::ostringstream out;
+  // Header row 1: model names spanning their sub-columns.
+  out << pad_to("", vendor_width) << " |";
+  for (std::size_t c = 0; c < cols.size();) {
+    const Model model = cols[c].model;
+    std::size_t span_width = widths[c];
+    std::size_t span = 1;
+    if (model != Model::Python && c + 1 < cols.size() &&
+        cols[c + 1].model == model) {
+      span_width += 3 + widths[c + 1];  // " | " separator
+      span = 2;
+    }
+    out << " " << pad_to(std::string(to_string(model)), span_width) << " |";
+    c += span;
+  }
+  out << "\n";
+  // Header row 2: languages.
+  out << pad_to("Vendor", vendor_width) << " |";
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    out << " "
+        << pad_to(std::string(to_string(cols[c].language)), widths[c])
+        << " |";
+  }
+  out << "\n";
+  // Separator.
+  out << std::string(vendor_width, '-') << "-+";
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "+";
+  }
+  out << "\n";
+  // Data rows.
+  for (std::size_t r = 0; r < kFigureRowOrder.size(); ++r) {
+    out << pad_to(std::string(to_string(kFigureRowOrder[r])), vendor_width)
+        << " |";
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      out << " " << pad_to(cells[r][c], widths[c]) << " |";
+    }
+    out << "\n";
+  }
+  if (opts.legend) {
+    out << "\n" << legend_text(opts);
+  }
+  return out.str();
+}
+
+std::string figure1_markdown(const CompatibilityMatrix& m,
+                             const Options& opts) {
+  const std::vector<Column> cols = figure_columns();
+  std::ostringstream out;
+  out << "| Vendor |";
+  for (const Column& c : cols) {
+    out << " " << to_string(c.model);
+    if (c.model != Model::Python) out << " (" << to_string(c.language) << ")";
+    out << " |";
+  }
+  out << "\n|---|";
+  for (std::size_t c = 0; c < cols.size(); ++c) out << "---|";
+  out << "\n";
+  for (const Vendor v : kFigureRowOrder) {
+    out << "| " << to_string(v) << " |";
+    for (const Column& c : cols) {
+      out << " " << cell_symbol(m.at(v, c.model, c.language), opts) << " |";
+    }
+    out << "\n";
+  }
+  if (opts.legend) {
+    out << "\n";
+    for (const SupportCategory c : kAllCategories) {
+      out << "- "
+          << (opts.unicode ? category_symbol(c) : category_symbol_ascii(c))
+          << " — " << category_name(c) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string matrix_csv(const CompatibilityMatrix& m) {
+  std::ostringstream out;
+  out << "vendor,model,language,category,provider,category2,provider2,"
+         "description_id,routes\n";
+  for (const SupportEntry* e : m.entries()) {
+    out << to_string(e->combo.vendor) << ',' << to_string(e->combo.model)
+        << ',' << to_string(e->combo.language) << ','
+        << category_name(e->ratings[0].category) << ','
+        << to_string(e->ratings[0].provider) << ',';
+    if (e->ratings.size() > 1) {
+      out << category_name(e->ratings[1].category) << ','
+          << to_string(e->ratings[1].provider);
+    } else {
+      out << ',';
+    }
+    out << ',' << e->description_id << ',' << e->routes.size() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mcmm::render

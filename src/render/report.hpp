@@ -1,0 +1,27 @@
+#pragma once
+// Text reports for the paper's derived results: claim evaluation and the
+// category statistics behind the narrative.
+
+#include <string>
+
+#include "core/claims.hpp"
+#include "core/planner.hpp"
+#include "core/statistics.hpp"
+
+namespace mcmm::render {
+
+/// Pass/fail report over all paper claims.
+[[nodiscard]] std::string claims_report(const Claims& claims);
+
+/// Category histograms per vendor / language / model.
+[[nodiscard]] std::string statistics_report(const Statistics& stats);
+
+/// Human-readable route-planner output.
+[[nodiscard]] std::string plan_report(const std::vector<PlannedRoute>& plans);
+
+/// One description rendered as plain text (title, body, routes of its
+/// cells).
+[[nodiscard]] std::string description_text(const CompatibilityMatrix& m,
+                                           int description_id);
+
+}  // namespace mcmm::render

@@ -1,0 +1,88 @@
+// Intel "Application Migration Tool for OpenACC to OpenMP API" analogue.
+// Handles both directive text (#pragma acc ...) and the accx structured
+// embedding, mapping them to OpenMP equivalents (items 22, 23, 36, 37).
+
+#include "translate/rewriter.hpp"
+#include "translate/translate.hpp"
+
+namespace mcmm::translate {
+namespace {
+
+using detail::Blocker;
+using detail::Rule;
+
+const std::vector<Rule>& acc_rules() {
+  static const std::vector<Rule> rules = {
+      // Directive forms (longest first handled by the rewriter).
+      {"#pragma acc parallel loop reduction",
+       "#pragma omp target teams distribute parallel for reduction", ""},
+      {"#pragma acc parallel loop gang vector",
+       "#pragma omp target teams distribute parallel for", ""},
+      {"#pragma acc parallel loop",
+       "#pragma omp target teams distribute parallel for", ""},
+      {"#pragma acc kernels loop",
+       "#pragma omp target teams distribute parallel for",
+       "kernels-mode autoparallelization approximated by explicit "
+       "distribution"},
+      {"#pragma acc kernels", "#pragma omp target",
+       "kernels-mode autoparallelization approximated"},
+      {"#pragma acc data", "#pragma omp target data", ""},
+      {"#pragma acc enter data", "#pragma omp target enter data", ""},
+      {"#pragma acc exit data", "#pragma omp target exit data", ""},
+      {"#pragma acc update self", "#pragma omp target update from", ""},
+      {"#pragma acc update device", "#pragma omp target update to", ""},
+      {"#pragma acc wait", "#pragma omp taskwait", ""},
+      {"#pragma acc loop seq", "", "sequential loop: directive dropped"},
+      // Clause vocabulary (the open parenthesis is part of the pattern, so
+      // the original closing parenthesis completes the map() clause).
+      {"copyin(", "map(to: ", ""},
+      {"copyout(", "map(from: ", ""},
+      {"present(", "map(alloc: ",
+       "present-semantics approximated with alloc"},
+      {"num_gangs", "num_teams", ""},
+      {"vector_length", "thread_limit", ""},
+      {"gang", "distribute", ""},
+      // Embedding API forms (accx -> ompx).
+      {"accx::Accelerator", "ompx::TargetDevice", ""},
+      {"accx::data_region", "ompx::target_data", ""},
+      {"acc.parallel_loop_reduce", "ompx::target_teams_reduce",
+       "device argument moves to the front"},
+      {"acc.parallel_loop", "ompx::target_teams_distribute_parallel_for",
+       "device argument moves to the front"},
+      {"accx", "ompx", "mcmm embedding namespace"},
+  };
+  return rules;
+}
+
+const std::vector<Blocker>& acc_blockers() {
+  static const std::vector<Blocker> blockers = {
+      {"acc_get_device_type",
+       "OpenACC runtime API calls are not translated (manual port)"},
+      {"acc_set_device_num",
+       "OpenACC runtime API calls are not translated (manual port)"},
+      {"#pragma acc cache",
+       "cache directive: no OpenMP equivalent, review for shared-memory "
+       "use"},
+      {"#pragma acc atomic capture",
+       "atomic capture ordering differs; review manually"},
+      {"#pragma acc declare",
+       "declare directive: global data placement must be restructured"},
+      {"async(", "async clauses need explicit OpenMP task dependences"},
+  };
+  return blockers;
+}
+
+}  // namespace
+
+TranslationResult acc2omp(const std::string& acc_source) {
+  return detail::rewrite(acc_source, acc_rules(), acc_blockers());
+}
+
+CoverageReport acc2omp_coverage() {
+  CoverageReport report;
+  report.constructs_total = acc_rules().size() + acc_blockers().size();
+  report.constructs_converted = acc_rules().size();
+  return report;
+}
+
+}  // namespace mcmm::translate

@@ -1,0 +1,246 @@
+#include "translate/gpufort.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace mcmm::translate {
+namespace {
+
+[[nodiscard]] std::string lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+[[nodiscard]] std::string trimmed(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return {};
+  const std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+[[nodiscard]] std::string indent_of(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t");
+  return s.substr(0, b == std::string::npos ? 0 : b);
+}
+
+/// Replaces every case-insensitive occurrence of `from` in `line`.
+[[nodiscard]] std::string replace_ci(std::string line, const std::string& from,
+                                     const std::string& to) {
+  const std::string low_from = lowered(from);
+  std::string low = lowered(line);
+  std::size_t pos = 0;
+  while ((pos = low.find(low_from, pos)) != std::string::npos) {
+    line.replace(pos, from.size(), to);
+    low = lowered(line);
+    pos += to.size();
+  }
+  return line;
+}
+
+[[nodiscard]] bool contains_ci(const std::string& line,
+                               const std::string& needle) {
+  return lowered(line).find(lowered(needle)) != std::string::npos;
+}
+
+struct ChevronLaunch {
+  std::string kernel;
+  std::string config;  ///< "grid, block"
+  std::string args;
+};
+
+/// Parses `call name<<<grid, block>>>(args)`.
+[[nodiscard]] bool parse_chevron(const std::string& line,
+                                 ChevronLaunch& out) {
+  const std::string low = lowered(line);
+  const std::size_t call = low.find("call ");
+  const std::size_t open = low.find("<<<");
+  const std::size_t close = low.find(">>>");
+  if (call == std::string::npos || open == std::string::npos ||
+      close == std::string::npos || close < open) {
+    return false;
+  }
+  out.kernel = trimmed(line.substr(call + 5, open - call - 5));
+  out.config = trimmed(line.substr(open + 3, close - open - 3));
+  const std::size_t paren = line.find('(', close);
+  const std::size_t endparen = line.rfind(')');
+  if (paren == std::string::npos || endparen == std::string::npos ||
+      endparen < paren) {
+    out.args = "";
+  } else {
+    out.args = trimmed(line.substr(paren + 1, endparen - paren - 1));
+  }
+  return true;
+}
+
+void diagnose_blockers(const std::string& source,
+                       std::vector<Diagnostic>& diagnostics) {
+  const struct {
+    const char* token;
+    const char* message;
+  } blockers[] = {
+      {"cudaMallocManaged",
+       "managed memory is outside GPUFORT's covered functionality"},
+      {"!$cuf", "cuf-kernel directives are not translated"},
+      {"texture", "texture memory requires manual porting"},
+      {"shared ::", "dynamic shared memory is not translated"},
+      {"cudaStreamCreate", "streams are outside the covered subset"},
+  };
+  for (const auto& b : blockers) {
+    if (contains_ci(source, b.token)) {
+      diagnostics.push_back(
+          Diagnostic{Severity::Unconverted, b.token, b.message});
+    }
+  }
+}
+
+/// Extracts an attributes(global) subroutine block starting at `i`;
+/// returns the index just past `end subroutine` and appends the C++ stub.
+std::size_t extract_kernel(const std::vector<std::string>& lines,
+                           std::size_t i,
+                           std::vector<std::string>& kernels,
+                           std::vector<std::string>& out_lines) {
+  // Header: attributes(global) subroutine name(args)
+  const std::string& header = lines[i];
+  const std::string low = lowered(header);
+  const std::size_t sub = low.find("subroutine");
+  std::string name = "kernel";
+  std::string args;
+  if (sub != std::string::npos) {
+    const std::size_t paren = header.find('(', sub);
+    name = trimmed(header.substr(
+        sub + 10, paren == std::string::npos ? std::string::npos
+                                             : paren - sub - 10));
+    if (paren != std::string::npos) {
+      const std::size_t close = header.find(')', paren);
+      if (close != std::string::npos) {
+        args = trimmed(header.substr(paren + 1, close - paren - 1));
+      }
+    }
+  }
+  std::ostringstream stub;
+  stub << "// extracted from CUDA Fortran kernel '" << name << "'\n"
+       << "__global__ void " << name << "(/* " << args << " */) {\n";
+  std::size_t j = i + 1;
+  while (j < lines.size() && !contains_ci(lines[j], "end subroutine")) {
+    stub << "  // " << trimmed(lines[j]) << "\n";
+    ++j;
+  }
+  stub << "}\n";
+  kernels.push_back(stub.str());
+  out_lines.push_back("! kernel '" + name + "' extracted to HIP C++ (see " +
+                      name + ".hip.cpp); interface via hipfort");
+  return j + 1;  // past 'end subroutine'
+}
+
+}  // namespace
+
+GpufortResult gpufort(const std::string& source, GpufortMode mode) {
+  GpufortResult result;
+  diagnose_blockers(source, result.diagnostics);
+
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(source);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < lines.size();) {
+    const std::string& line = lines[i];
+    const std::string low = lowered(trimmed(line));
+
+    // use cudafor -> mode-specific module.
+    if (low == "use cudafor") {
+      out.push_back(indent_of(line) +
+                    (mode == GpufortMode::ToOpenMP ? "use omp_lib"
+                                                   : "use hipfort"));
+      ++i;
+      continue;
+    }
+
+    // Device kernels.
+    if (contains_ci(line, "attributes(global)")) {
+      if (mode == GpufortMode::ToHipfort) {
+        i = extract_kernel(lines, i, result.extracted_kernels, out);
+        continue;
+      }
+      // ToOpenMP: the kernel body becomes a plain subroutine; the launch
+      // sites get the directives.
+      out.push_back(replace_ci(line, "attributes(global) ", ""));
+      result.diagnostics.push_back(Diagnostic{
+          Severity::Info, "attributes(global)",
+          "kernel demoted to host subroutine; parallelism moves to the "
+          "OpenMP directives at the call sites"});
+      ++i;
+      continue;
+    }
+
+    // Chevron launches.
+    ChevronLaunch launch;
+    if (parse_chevron(line, launch)) {
+      const std::string pad = indent_of(line);
+      if (mode == GpufortMode::ToOpenMP) {
+        out.push_back(pad + "!$omp target teams distribute parallel do");
+        out.push_back(pad + "call " + launch.kernel + "(" + launch.args +
+                      ")");
+        out.push_back(pad + "!$omp end target teams distribute parallel do");
+      } else {
+        out.push_back(pad + "call hipLaunchKernel(c_funloc(" +
+                      launch.kernel + "), " + launch.config + ", " +
+                      launch.args + ")");
+      }
+      if (result.diagnostics.empty() ||
+          result.diagnostics.back().token != "<<<>>>") {
+        result.diagnostics.push_back(Diagnostic{
+            Severity::Info, "<<<>>>",
+            mode == GpufortMode::ToOpenMP
+                ? "chevron launch replaced by OpenMP target directives"
+                : "chevron launch replaced by hipLaunchKernel via hipfort"});
+      }
+      ++i;
+      continue;
+    }
+
+    // API calls and declarations.
+    std::string rewritten = line;
+    if (mode == GpufortMode::ToOpenMP) {
+      // Under OpenMP the explicit device management disappears into map
+      // clauses; keep the lines as comments for the human reviewer.
+      if (contains_ci(line, "cudaMalloc") || contains_ci(line, "cudaFree") ||
+          contains_ci(line, "cudaMemcpy")) {
+        out.push_back(indent_of(line) + "! gpufort: device data now " +
+                      "managed by OpenMP map clauses — was: " +
+                      trimmed(line));
+        ++i;
+        continue;
+      }
+      rewritten = replace_ci(rewritten, "cudaDeviceSynchronize()",
+                             "omp_target_sync()");
+      rewritten = replace_ci(rewritten, ", device ::", " ::");
+    } else {
+      rewritten = replace_ci(rewritten, "cudaMalloc", "hipMalloc");
+      rewritten = replace_ci(rewritten, "cudaMemcpyHostToDevice",
+                             "hipMemcpyHostToDevice");
+      rewritten = replace_ci(rewritten, "cudaMemcpyDeviceToHost",
+                             "hipMemcpyDeviceToHost");
+      rewritten = replace_ci(rewritten, "cudaMemcpy", "hipMemcpy");
+      rewritten = replace_ci(rewritten, "cudaFree", "hipFree");
+      rewritten = replace_ci(rewritten, "cudaDeviceSynchronize",
+                             "hipDeviceSynchronize");
+    }
+    out.push_back(rewritten);
+    ++i;
+  }
+
+  std::ostringstream joined;
+  for (const std::string& l : out) joined << l << "\n";
+  result.code = joined.str();
+  return result;
+}
+
+}  // namespace mcmm::translate

@@ -1,0 +1,153 @@
+#include "translate/rewriter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace mcmm::translate::detail {
+namespace {
+
+[[nodiscard]] bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Regions of the source that must not be rewritten: string/char literals
+/// and comments.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> skip_regions(
+    const std::string& s) {
+  std::vector<std::pair<std::size_t, std::size_t>> regions;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] == '"' || s[i] == '\'') {
+      const char quote = s[i];
+      const std::size_t begin = i++;
+      while (i < s.size() && s[i] != quote) {
+        if (s[i] == '\\') ++i;
+        ++i;
+      }
+      regions.emplace_back(begin, std::min(i + 1, s.size()));
+      ++i;
+    } else if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      const std::size_t begin = i;
+      while (i < s.size() && s[i] != '\n') ++i;
+      regions.emplace_back(begin, i);
+    } else if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      const std::size_t begin = i;
+      i += 2;
+      while (i + 1 < s.size() && !(s[i] == '*' && s[i + 1] == '/')) ++i;
+      i = std::min(i + 2, s.size());
+      regions.emplace_back(begin, i);
+    } else {
+      ++i;
+    }
+  }
+  return regions;
+}
+
+[[nodiscard]] bool in_regions(
+    const std::vector<std::pair<std::size_t, std::size_t>>& regions,
+    std::size_t pos) {
+  for (const auto& [b, e] : regions) {
+    if (pos >= b && pos < e) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+namespace {
+
+/// Boundary checks only apply on sides where the pattern itself is an
+/// identifier character — "copyin(" and "#pragma acc ..." patterns carry
+/// their own right/left delimiters.
+[[nodiscard]] bool needs_left_boundary(const std::string& token) {
+  return !token.empty() && ident_char(token.front());
+}
+[[nodiscard]] bool needs_right_boundary(const std::string& token) {
+  return !token.empty() && ident_char(token.back());
+}
+
+}  // namespace
+
+bool contains_token(const std::string& source, const std::string& token) {
+  const auto regions = skip_regions(source);
+  std::size_t pos = source.find(token);
+  while (pos != std::string::npos) {
+    const bool left_ok = !needs_left_boundary(token) || pos == 0 ||
+                         !ident_char(source[pos - 1]);
+    const bool right_ok = !needs_right_boundary(token) ||
+                          pos + token.size() >= source.size() ||
+                          !ident_char(source[pos + token.size()]);
+    if (left_ok && right_ok && !in_regions(regions, pos)) return true;
+    pos = source.find(token, pos + 1);
+  }
+  return false;
+}
+
+TranslationResult rewrite(const std::string& source,
+                          const std::vector<Rule>& rules,
+                          const std::vector<Blocker>& blockers) {
+  TranslationResult result;
+
+  // Longest-from first so e.g. cudaMemcpyAsync wins over cudaMemcpy.
+  std::vector<const Rule*> ordered;
+  ordered.reserve(rules.size());
+  for (const Rule& r : rules) ordered.push_back(&r);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Rule* a, const Rule* b) {
+              return a->from.size() > b->from.size();
+            });
+
+  std::set<std::string> fired;
+  std::string out;
+  out.reserve(source.size());
+  const auto regions = skip_regions(source);
+
+  std::size_t i = 0;
+  while (i < source.size()) {
+    if (in_regions(regions, i)) {
+      out += source[i++];
+      continue;
+    }
+    const Rule* matched = nullptr;
+    for (const Rule* r : ordered) {
+      if (needs_left_boundary(r->from) && i > 0 &&
+          ident_char(source[i - 1])) {
+        continue;
+      }
+      if (source.compare(i, r->from.size(), r->from) == 0) {
+        const std::size_t end = i + r->from.size();
+        if (!needs_right_boundary(r->from) || end >= source.size() ||
+            !ident_char(source[end])) {
+          matched = r;
+          break;
+        }
+      }
+    }
+    if (matched != nullptr) {
+      out += matched->to;
+      i += matched->from.size();
+      if (fired.insert(matched->from).second) {
+        result.diagnostics.push_back(Diagnostic{
+            Severity::Info, matched->from,
+            matched->note.empty()
+                ? "converted to " + matched->to
+                : matched->note});
+      }
+      continue;
+    }
+    out += source[i++];
+  }
+
+  for (const Blocker& b : blockers) {
+    if (contains_token(source, b.token)) {
+      result.diagnostics.push_back(
+          Diagnostic{Severity::Unconverted, b.token, b.message});
+    }
+  }
+
+  result.code = std::move(out);
+  return result;
+}
+
+}  // namespace mcmm::translate::detail

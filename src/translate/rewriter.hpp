@@ -1,0 +1,39 @@
+#pragma once
+// Shared token-rewriting machinery for the translators: ordered
+// identifier-boundary replacements with diagnostics, skipping string
+// literals and comments (the level of care hipify-perl applies).
+
+#include <string>
+#include <vector>
+
+#include "translate/translate.hpp"
+
+namespace mcmm::translate::detail {
+
+struct Rule {
+  std::string from;
+  std::string to;
+  /// Optional note attached as an Info diagnostic when the rule fires.
+  std::string note;
+};
+
+/// A token that cannot be translated automatically; its presence yields an
+/// Unconverted diagnostic (the construct is left in place).
+struct Blocker {
+  std::string token;
+  std::string message;
+};
+
+/// Applies `rules` (longest-from first) at identifier boundaries outside
+/// string literals and comments; records a diagnostic per distinct fired
+/// rule and per found blocker.
+[[nodiscard]] TranslationResult rewrite(const std::string& source,
+                                        const std::vector<Rule>& rules,
+                                        const std::vector<Blocker>& blockers);
+
+/// True when source contains `token` at identifier boundaries (outside
+/// strings/comments).
+[[nodiscard]] bool contains_token(const std::string& source,
+                                  const std::string& token);
+
+}  // namespace mcmm::translate::detail

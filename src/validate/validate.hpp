@@ -1,0 +1,65 @@
+#pragma once
+// validate: miniature validation & verification suites in the spirit of
+// the ECP SOLLVE OpenMP V&V suite and the OpenACC V&V suite the paper
+// cites ([8], [9], [50], [51]). Each suite runs a battery of
+// feature-directed functional tests through the directive embeddings and
+// produces the feature x compiler compliance matrix that the 2022 ECP
+// Community BoF table (paper item 9's reference [7]) reports.
+
+#include <string>
+#include <vector>
+
+#include "models/accx/accx.hpp"
+#include "models/ompx/ompx.hpp"
+
+namespace mcmm::validate {
+
+enum class Verdict {
+  Pass,         ///< feature claimed and functionally correct
+  Fail,         ///< feature claimed but produced a wrong result
+  Unsupported,  ///< compiler does not claim the feature (clean reject)
+};
+
+[[nodiscard]] std::string_view to_string(Verdict v) noexcept;
+
+struct CaseResult {
+  std::string name;        ///< e.g. "teams reduction correctness"
+  ompx::Feature feature{}; ///< the OpenMP feature exercised
+  Verdict verdict{};
+  std::string detail;
+};
+
+/// Runs the OpenMP feature battery on (vendor, compiler). A combination
+/// the compiler cannot target at all throws UnsupportedCombination — the
+/// caller decides whether that is an error (the V&V suites simply do not
+/// list such columns).
+[[nodiscard]] std::vector<CaseResult> run_openmp_suite(
+    Vendor vendor, ompx::Compiler compiler);
+
+struct AccCaseResult {
+  std::string name;
+  Verdict verdict{};
+  std::string detail;
+};
+
+/// Runs the OpenACC battery on (vendor, compiler).
+[[nodiscard]] std::vector<AccCaseResult> run_openacc_suite(
+    Vendor vendor, accx::Compiler compiler);
+
+/// One row of the compliance matrix: compiler + per-feature verdicts.
+struct ComplianceRow {
+  ompx::Compiler compiler{};
+  Vendor vendor{};
+  int passed{};
+  int failed{};
+  int unsupported{};
+};
+
+/// The feature x compiler compliance matrix over every (compiler, vendor)
+/// pairing that exists, formatted like the ECP BoF support table.
+[[nodiscard]] std::string openmp_compliance_table();
+
+/// Aggregated rows (used by tests).
+[[nodiscard]] std::vector<ComplianceRow> openmp_compliance_rows();
+
+}  // namespace mcmm::validate

@@ -1,0 +1,104 @@
+#include "yamlx/device_yaml.hpp"
+
+#include <set>
+
+#include "yamlx/emit.hpp"
+#include "yamlx/parse.hpp"
+
+namespace mcmm::yamlx {
+namespace {
+
+[[nodiscard]] std::string format_double(double v) {
+  std::string s = std::to_string(v);
+  // Trim trailing zeros but keep one decimal.
+  const std::size_t dot = s.find('.');
+  std::size_t end = s.find_last_not_of('0');
+  if (end == dot) ++end;
+  return s.substr(0, end + 1);
+}
+
+}  // namespace
+
+Node descriptor_to_yaml(const gpusim::DeviceDescriptor& d) {
+  Node n = Node::mapping();
+  n.set("vendor", Node::scalar(std::string(to_string(d.vendor))));
+  n.set("name", Node::scalar(d.name));
+  n.set("compute_units", Node::scalar(std::to_string(d.compute_units)));
+  n.set("clock_ghz", Node::scalar(format_double(d.clock_ghz)));
+  n.set("memory_bytes", Node::scalar(std::to_string(d.memory_bytes)));
+  n.set("mem_bandwidth_gbps",
+        Node::scalar(format_double(d.mem_bandwidth_gbps)));
+  n.set("pcie_bandwidth_gbps",
+        Node::scalar(format_double(d.pcie_bandwidth_gbps)));
+  n.set("kernel_launch_latency_us",
+        Node::scalar(format_double(d.kernel_launch_latency_us)));
+  n.set("copy_latency_us", Node::scalar(format_double(d.copy_latency_us)));
+  n.set("peak_tflops_fp64", Node::scalar(format_double(d.peak_tflops_fp64)));
+  n.set("max_threads_per_block",
+        Node::scalar(std::to_string(d.max_threads_per_block)));
+  n.set("warp_size", Node::scalar(std::to_string(d.warp_size)));
+  return n;
+}
+
+gpusim::DeviceDescriptor descriptor_from_yaml(const Node& n) {
+  static const std::set<std::string> known_keys = {
+      "vendor",          "name",
+      "compute_units",   "clock_ghz",
+      "memory_bytes",    "mem_bandwidth_gbps",
+      "pcie_bandwidth_gbps", "kernel_launch_latency_us",
+      "copy_latency_us", "peak_tflops_fp64",
+      "max_threads_per_block", "warp_size",
+  };
+  for (const auto& [key, value] : n.as_mapping()) {
+    if (!known_keys.contains(key)) {
+      throw TypeError("unknown device-descriptor key '" + key + "'");
+    }
+  }
+
+  const auto vendor = parse_vendor(n.at("vendor").as_string());
+  if (!vendor) {
+    throw TypeError("bad vendor: " + n.at("vendor").as_string());
+  }
+  gpusim::DeviceDescriptor d = gpusim::descriptor_for(*vendor);
+
+  if (const Node* v = n.find("name")) d.name = v->as_string();
+  if (const Node* v = n.find("compute_units")) {
+    d.compute_units = static_cast<int>(v->as_int());
+  }
+  if (const Node* v = n.find("clock_ghz")) d.clock_ghz = v->as_double();
+  if (const Node* v = n.find("memory_bytes")) {
+    d.memory_bytes = static_cast<std::size_t>(v->as_int());
+  }
+  if (const Node* v = n.find("mem_bandwidth_gbps")) {
+    d.mem_bandwidth_gbps = v->as_double();
+  }
+  if (const Node* v = n.find("pcie_bandwidth_gbps")) {
+    d.pcie_bandwidth_gbps = v->as_double();
+  }
+  if (const Node* v = n.find("kernel_launch_latency_us")) {
+    d.kernel_launch_latency_us = v->as_double();
+  }
+  if (const Node* v = n.find("copy_latency_us")) {
+    d.copy_latency_us = v->as_double();
+  }
+  if (const Node* v = n.find("peak_tflops_fp64")) {
+    d.peak_tflops_fp64 = v->as_double();
+  }
+  if (const Node* v = n.find("max_threads_per_block")) {
+    d.max_threads_per_block = static_cast<std::uint32_t>(v->as_int());
+  }
+  if (const Node* v = n.find("warp_size")) {
+    d.warp_size = static_cast<std::uint32_t>(v->as_int());
+  }
+  return d;
+}
+
+std::string descriptor_to_yaml_text(const gpusim::DeviceDescriptor& d) {
+  return emit(descriptor_to_yaml(d));
+}
+
+gpusim::DeviceDescriptor descriptor_from_yaml_text(const std::string& text) {
+  return descriptor_from_yaml(parse(text));
+}
+
+}  // namespace mcmm::yamlx

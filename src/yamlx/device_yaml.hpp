@@ -1,0 +1,26 @@
+#pragma once
+// YAML binding for simulated-device descriptors: lets users define their
+// own GPU configurations (a future-generation part, a laptop iGPU, ...)
+// and run the whole benchmark suite against them — the "living overview"
+// applied to hardware that does not exist yet.
+
+#include <string>
+
+#include "gpusim/descriptor.hpp"
+#include "yamlx/node.hpp"
+
+namespace mcmm::yamlx {
+
+/// Serializes a descriptor to a YAML node tree.
+[[nodiscard]] Node descriptor_to_yaml(const gpusim::DeviceDescriptor& d);
+
+/// Rebuilds a descriptor. Unknown keys throw TypeError (catching typos in
+/// hand-written configs); missing keys fall back to the vendor preset.
+[[nodiscard]] gpusim::DeviceDescriptor descriptor_from_yaml(const Node& n);
+
+[[nodiscard]] std::string descriptor_to_yaml_text(
+    const gpusim::DeviceDescriptor& d);
+[[nodiscard]] gpusim::DeviceDescriptor descriptor_from_yaml_text(
+    const std::string& text);
+
+}  // namespace mcmm::yamlx

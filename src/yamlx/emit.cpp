@@ -1,0 +1,149 @@
+#include "yamlx/emit.hpp"
+
+#include <cctype>
+
+namespace mcmm::yamlx {
+namespace {
+
+[[nodiscard]] std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+[[nodiscard]] std::string scalar_token(const std::string& s) {
+  return plain_safe(s) ? s : quoted(s);
+}
+
+void emit_node(const Node& n, std::string& out, int indent);
+
+void emit_children(const Node& n, std::string& out, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  if (n.is_mapping()) {
+    for (const auto& [key, value] : n.as_mapping()) {
+      out += pad;
+      out += scalar_token(key);
+      out += ':';
+      if (value.is_scalar()) {
+        out += ' ';
+        out += scalar_token(value.as_string());
+        out += '\n';
+      } else if (value.size() == 0) {
+        // Empty containers degrade to an empty scalar on re-parse; emit a
+        // blank value to keep the document in-subset.
+        out += '\n';
+      } else {
+        out += '\n';
+        emit_children(value, out, indent + 2);
+      }
+    }
+  } else if (n.is_sequence()) {
+    for (const Node& item : n.as_sequence()) {
+      out += pad;
+      out += "- ";
+      if (item.is_scalar()) {
+        out += scalar_token(item.as_string());
+        out += '\n';
+      } else if (item.is_mapping() && item.size() > 0) {
+        // Inline the first mapping entry after the dash.
+        bool first = true;
+        for (const auto& [key, value] : item.as_mapping()) {
+          if (first) {
+            out += scalar_token(key);
+            out += ':';
+            if (value.is_scalar()) {
+              out += ' ';
+              out += scalar_token(value.as_string());
+              out += '\n';
+            } else if (value.size() == 0) {
+              out += '\n';
+            } else {
+              out += '\n';
+              emit_children(value, out, indent + 4);
+            }
+            first = false;
+            continue;
+          }
+          const std::string pad2(static_cast<std::size_t>(indent + 2), ' ');
+          out += pad2;
+          out += scalar_token(key);
+          out += ':';
+          if (value.is_scalar()) {
+            out += ' ';
+            out += scalar_token(value.as_string());
+            out += '\n';
+          } else if (value.size() == 0) {
+            out += '\n';
+          } else {
+            out += '\n';
+            emit_children(value, out, indent + 4);
+          }
+        }
+      } else if (item.is_sequence() && item.size() > 0) {
+        out += '\n';
+        emit_children(item, out, indent + 2);
+      } else {
+        out += '\n';
+      }
+    }
+  }
+}
+
+void emit_node(const Node& n, std::string& out, int indent) {
+  if (n.is_scalar()) {
+    out += scalar_token(n.as_string());
+    out += '\n';
+    return;
+  }
+  emit_children(n, out, indent);
+}
+
+}  // namespace
+
+bool plain_safe(const std::string& s) {
+  if (s.empty()) return false;
+  if (std::isspace(static_cast<unsigned char>(s.front())) != 0 ||
+      std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    return false;
+  }
+  const char first = s.front();
+  if (first == '-' || first == '?' || first == '&' || first == '*' ||
+      first == '!' || first == '|' || first == '>' || first == '\'' ||
+      first == '"' || first == '%' || first == '@' || first == '[' ||
+      first == '{' || first == '#') {
+    return false;
+  }
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\n' || c == '\t') return false;
+    if (c == ':' && (i + 1 == s.size() || s[i + 1] == ' ')) return false;
+    if (c == '#' && i > 0 && s[i - 1] == ' ') return false;
+  }
+  return true;
+}
+
+std::string emit(const Node& node) {
+  std::string out;
+  emit_node(node, out, 0);
+  return out;
+}
+
+}  // namespace mcmm::yamlx

@@ -1,0 +1,18 @@
+#pragma once
+// Deterministic emitter for the yamlx YAML subset. emit(parse(emit(n)))
+// == emit(n) for every node tree (round-trip property, tested).
+
+#include <string>
+
+#include "yamlx/node.hpp"
+
+namespace mcmm::yamlx {
+
+/// Serializes a node tree as a YAML document (two-space indentation,
+/// insertion order preserved, scalars quoted only when necessary).
+[[nodiscard]] std::string emit(const Node& node);
+
+/// True when a scalar can be emitted without quotes.
+[[nodiscard]] bool plain_safe(const std::string& s);
+
+}  // namespace mcmm::yamlx

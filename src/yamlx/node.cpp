@@ -1,0 +1,98 @@
+#include "yamlx/node.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace mcmm::yamlx {
+
+const std::string& Node::as_string() const {
+  if (!is_scalar()) throw TypeError("node is not a scalar");
+  return std::get<std::string>(value_);
+}
+
+std::int64_t Node::as_int() const {
+  const std::string& s = as_string();
+  std::int64_t out{};
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw TypeError("scalar '" + s + "' is not an integer");
+  }
+  return out;
+}
+
+double Node::as_double() const {
+  const std::string& s = as_string();
+  std::size_t pos = 0;
+  double out{};
+  try {
+    out = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    throw TypeError("scalar '" + s + "' is not a number");
+  }
+  if (pos != s.size()) throw TypeError("scalar '" + s + "' is not a number");
+  return out;
+}
+
+bool Node::as_bool() const {
+  std::string s = as_string();
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (s == "true" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "no" || s == "off") return false;
+  throw TypeError("scalar '" + as_string() + "' is not a boolean");
+}
+
+const Sequence& Node::as_sequence() const {
+  if (!is_sequence()) throw TypeError("node is not a sequence");
+  return std::get<Sequence>(value_);
+}
+
+Sequence& Node::as_sequence() {
+  if (!is_sequence()) throw TypeError("node is not a sequence");
+  return std::get<Sequence>(value_);
+}
+
+const Mapping& Node::as_mapping() const {
+  if (!is_mapping()) throw TypeError("node is not a mapping");
+  return std::get<Mapping>(value_);
+}
+
+Mapping& Node::as_mapping() {
+  if (!is_mapping()) throw TypeError("node is not a mapping");
+  return std::get<Mapping>(value_);
+}
+
+const Node* Node::find(std::string_view key) const {
+  for (const auto& [k, v] : as_mapping()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Node& Node::at(std::string_view key) const {
+  const Node* n = find(key);
+  if (n == nullptr) throw TypeError("missing key '" + std::string(key) + "'");
+  return *n;
+}
+
+void Node::push_back(Node n) { as_sequence().push_back(std::move(n)); }
+
+void Node::set(std::string key, Node n) {
+  for (auto& [k, v] : as_mapping()) {
+    if (k == key) {
+      v = std::move(n);
+      return;
+    }
+  }
+  as_mapping().emplace_back(std::move(key), std::move(n));
+}
+
+std::size_t Node::size() const {
+  if (is_sequence()) return as_sequence().size();
+  if (is_mapping()) return as_mapping().size();
+  return as_string().size();
+}
+
+}  // namespace mcmm::yamlx

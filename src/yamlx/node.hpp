@@ -1,0 +1,99 @@
+#pragma once
+// yamlx: a small, self-contained YAML-subset document model. The paper's
+// underlying dataset is maintained "in YAML form with conversion to HTML and
+// TeX" (Acknowledgments); this module reproduces that pipeline without an
+// external dependency.
+//
+// Supported subset: block mappings, block sequences, plain / single- /
+// double-quoted scalars, comments, blank lines, nested structures.
+// Not supported (throws ParseError): anchors, aliases, tags, flow
+// collections, multi-document streams, block scalars.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace mcmm::yamlx {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, int line)
+      : std::runtime_error("yaml parse error at line " + std::to_string(line) +
+                           ": " + message),
+        line_(line) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+class TypeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Node;
+
+/// Mapping preserves insertion order (like the author's YAML source, where
+/// column/row order is meaningful).
+using Mapping = std::vector<std::pair<std::string, Node>>;
+using Sequence = std::vector<Node>;
+
+class Node {
+ public:
+  Node() : value_(std::string{}) {}
+  explicit Node(std::string scalar) : value_(std::move(scalar)) {}
+  explicit Node(Sequence seq) : value_(std::move(seq)) {}
+  explicit Node(Mapping map) : value_(std::move(map)) {}
+
+  [[nodiscard]] static Node scalar(std::string s) { return Node(std::move(s)); }
+  [[nodiscard]] static Node sequence() { return Node(Sequence{}); }
+  [[nodiscard]] static Node mapping() { return Node(Mapping{}); }
+
+  [[nodiscard]] bool is_scalar() const noexcept {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_sequence() const noexcept {
+    return std::holds_alternative<Sequence>(value_);
+  }
+  [[nodiscard]] bool is_mapping() const noexcept {
+    return std::holds_alternative<Mapping>(value_);
+  }
+
+  /// Scalar accessors; throw TypeError on kind mismatch.
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] bool as_bool() const;
+
+  [[nodiscard]] const Sequence& as_sequence() const;
+  [[nodiscard]] Sequence& as_sequence();
+  [[nodiscard]] const Mapping& as_mapping() const;
+  [[nodiscard]] Mapping& as_mapping();
+
+  /// Mapping lookup; nullptr when the key is absent. Throws TypeError when
+  /// the node is not a mapping.
+  [[nodiscard]] const Node* find(std::string_view key) const;
+  /// Mapping lookup; throws TypeError when absent.
+  [[nodiscard]] const Node& at(std::string_view key) const;
+
+  /// Appends to a sequence / mapping (builder style).
+  void push_back(Node n);
+  void set(std::string key, Node n);
+
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] bool operator==(const Node& other) const = default;
+
+ private:
+  std::variant<std::string, Sequence, Mapping> value_;
+};
+
+}  // namespace mcmm::yamlx

@@ -1,0 +1,14 @@
+#pragma once
+// Parser for the yamlx YAML subset (see node.hpp for the supported grammar).
+
+#include <string_view>
+
+#include "yamlx/node.hpp"
+
+namespace mcmm::yamlx {
+
+/// Parses a complete document. Throws ParseError with a line number on any
+/// construct outside the supported subset.
+[[nodiscard]] Node parse(std::string_view text);
+
+}  // namespace mcmm::yamlx

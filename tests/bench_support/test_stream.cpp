@@ -1,0 +1,194 @@
+// BabelStream suite tests: correctness of every model implementation and
+// the performance-shape properties the bench figures rely on.
+
+#include "bench_support/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "models/stdparx/stdparx.hpp"
+
+namespace mcmm::bench {
+namespace {
+
+constexpr std::size_t kN = 64 * 1024;
+constexpr int kReps = 3;
+
+TEST(StreamBytes, MatchBabelStreamAccounting) {
+  EXPECT_DOUBLE_EQ(stream_bytes(StreamKernel::Copy, 100), 1600.0);
+  EXPECT_DOUBLE_EQ(stream_bytes(StreamKernel::Mul, 100), 1600.0);
+  EXPECT_DOUBLE_EQ(stream_bytes(StreamKernel::Add, 100), 2400.0);
+  EXPECT_DOUBLE_EQ(stream_bytes(StreamKernel::Triad, 100), 2400.0);
+  EXPECT_DOUBLE_EQ(stream_bytes(StreamKernel::Dot, 100), 1600.0);
+}
+
+TEST(StreamVerify, AcceptsCorrectEvolution) {
+  double va = kInitA, vb = kInitB, vc = kInitC;
+  for (int r = 0; r < 4; ++r) {
+    vc = va;
+    vb = kScalar * vc;
+    vc = va + vb;
+    va = vb + kScalar * vc;
+  }
+  const std::vector<double> a(100, va), b(100, vb), c(100, vc);
+  EXPECT_TRUE(verify_stream(a, b, c, va * vb * 100, 100, 4));
+  EXPECT_FALSE(verify_stream(a, b, c, 0.0, 100, 4));
+  std::vector<double> bad = a;
+  bad[50] = 1e9;
+  EXPECT_FALSE(verify_stream(bad, b, c, va * vb * 100, 100, 4));
+}
+
+class StreamPerVendor : public ::testing::TestWithParam<Vendor> {};
+
+TEST_P(StreamPerVendor, AllRoutesVerify) {
+  for (auto& bench : stream_benchmarks_for(GetParam())) {
+    const auto results = run_stream(*bench, kN, kReps);
+    ASSERT_EQ(results.size(), 5u) << bench->label();
+    for (const StreamResult& r : results) {
+      EXPECT_TRUE(r.verified)
+          << bench->label() << " " << to_string(r.kernel);
+      EXPECT_GT(r.bandwidth_gbps, 0.0) << bench->label();
+      EXPECT_GT(r.best_time_us, 0.0) << bench->label();
+      EXPECT_EQ(r.vendor, GetParam());
+    }
+  }
+}
+
+TEST_P(StreamPerVendor, AtLeastFourRoutesPerVendor) {
+  // Fig. 1: every vendor is reachable through multiple models in C++.
+  EXPECT_GE(stream_benchmarks_for(GetParam()).size(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Vendors, StreamPerVendor,
+                         ::testing::ValuesIn(kAllVendors),
+                         [](const ::testing::TestParamInfo<Vendor>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Stream, NativeModelFastestOnItsPlatform) {
+  // The headline performance shape: the native model attains the highest
+  // Triad bandwidth on its home platform.
+  const std::map<Vendor, std::string> native_label{
+      {Vendor::NVIDIA, "CUDA"},
+      {Vendor::AMD, "HIP"},
+      {Vendor::Intel, "SYCL(DPC++)"},
+  };
+  for (const Vendor v : kAllVendors) {
+    double native_bw = 0.0;
+    double best_other = 0.0;
+    std::string best_other_label;
+    for (auto& bench : stream_benchmarks_for(v)) {
+      const auto results = run_stream(*bench, kN, kReps);
+      for (const StreamResult& r : results) {
+        if (r.kernel != StreamKernel::Triad) continue;
+        if (r.label == native_label.at(v)) {
+          native_bw = r.bandwidth_gbps;
+        } else if (r.bandwidth_gbps > best_other) {
+          best_other = r.bandwidth_gbps;
+          best_other_label = r.label;
+        }
+      }
+    }
+    EXPECT_GT(native_bw, best_other)
+        << to_string(v) << ": native should beat " << best_other_label;
+  }
+}
+
+TEST(Stream, PortabilityLayerWithinTenPercentOfNative) {
+  // BabelStream literature: mature portability layers land within ~10 % of
+  // native. Kokkos(Cuda) vs CUDA on the simulated NVIDIA device. Needs a
+  // BabelStream-realistic array size so launch latency is amortized.
+  constexpr std::size_t kLargeN = 1 << 22;
+  double native = 0.0, kokkos = 0.0;
+  for (auto& bench : stream_benchmarks_for(Vendor::NVIDIA)) {
+    const auto results = run_stream(*bench, kLargeN, 2);
+    for (const StreamResult& r : results) {
+      if (r.kernel != StreamKernel::Triad) continue;
+      if (r.label == "CUDA") native = r.bandwidth_gbps;
+      if (r.label == "Kokkos(Cuda)") kokkos = r.bandwidth_gbps;
+    }
+  }
+  ASSERT_GT(native, 0.0);
+  ASSERT_GT(kokkos, 0.0);
+  EXPECT_GT(kokkos, 0.9 * native);
+  EXPECT_LE(kokkos, native);
+}
+
+TEST(Stream, ExperimentalRoutesClearlyBehindNative) {
+  // Kokkos' experimental SYCL backend on Intel must trail DPC++ visibly.
+  double native = 0.0, experimental = 0.0;
+  for (auto& bench : stream_benchmarks_for(Vendor::Intel)) {
+    const auto results = run_stream(*bench, kN, kReps);
+    for (const StreamResult& r : results) {
+      if (r.kernel != StreamKernel::Triad) continue;
+      if (r.label == "SYCL(DPC++)") native = r.bandwidth_gbps;
+      if (r.label == "Kokkos(SYCL)") experimental = r.bandwidth_gbps;
+    }
+  }
+  ASSERT_GT(native, 0.0);
+  ASSERT_GT(experimental, 0.0);
+  EXPECT_LT(experimental, 0.9 * native);
+}
+
+TEST(Stream, RocStdparAppearsOnlyWhenEnabled) {
+  stdparx::enable_experimental_roc_stdpar(false);
+  auto without = stream_benchmarks_for(Vendor::AMD);
+  stdparx::enable_experimental_roc_stdpar(true);
+  auto with = stream_benchmarks_for(Vendor::AMD);
+  stdparx::enable_experimental_roc_stdpar(false);
+  EXPECT_EQ(with.size(), without.size() + 1);
+}
+
+TEST(Stream, NvidiaDeviceHasHighestCopyBandwidth) {
+  // Descriptor-level: the H100-like device leads in attainable bandwidth.
+  std::map<Vendor, double> best;
+  for (const Vendor v : kAllVendors) {
+    auto benches = stream_benchmarks_for(v);
+    ASSERT_FALSE(benches.empty());
+    const auto results = run_stream(*benches.front(), kN, kReps);
+    for (const StreamResult& r : results) {
+      if (r.kernel == StreamKernel::Copy) {
+        best[v] = std::max(best[v], r.bandwidth_gbps);
+      }
+    }
+  }
+  EXPECT_GT(best[Vendor::NVIDIA], best[Vendor::AMD]);
+  EXPECT_GT(best[Vendor::NVIDIA], best[Vendor::Intel]);
+}
+
+TEST(Stream, FormattersIncludeAllRows) {
+  auto benches = stream_benchmarks_for(Vendor::Intel);
+  std::vector<StreamResult> all;
+  for (auto& bench : benches) {
+    const auto results = run_stream(*bench, 4096, 2);
+    all.insert(all.end(), results.begin(), results.end());
+  }
+  const std::string table = format_stream_table(all);
+  const std::string csv = format_stream_csv(all);
+  for (const StreamResult& r : all) {
+    EXPECT_NE(table.find(r.label), std::string::npos);
+    EXPECT_NE(csv.find(r.label), std::string::npos);
+  }
+  // CSV has a header plus one line per result.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            all.size() + 1);
+}
+
+TEST(Stream, BandwidthScalesReasonablyWithProblemSize) {
+  // Larger arrays amortize launch latency: bandwidth grows monotonically
+  // toward the device limit.
+  auto benches = stream_benchmarks_for(Vendor::NVIDIA);
+  StreamBenchmark* cuda = benches.front().get();
+  double prev = 0.0;
+  for (const std::size_t n : {1u << 12, 1u << 15, 1u << 18}) {
+    const auto results = run_stream(*cuda, n, 2);
+    const double bw = results[0].bandwidth_gbps;  // Copy
+    EXPECT_GT(bw, prev) << n;
+    prev = bw;
+  }
+}
+
+}  // namespace
+}  // namespace mcmm::bench

@@ -1,0 +1,92 @@
+// Tests of the living-overview diff facility.
+
+#include "core/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+
+namespace mcmm {
+namespace {
+
+TEST(Diff, IdenticalSnapshotsAreEmpty) {
+  const CompatibilityMatrix a = data::build_paper_matrix();
+  const CompatibilityMatrix b = data::build_paper_matrix();
+  const MatrixDiff d = diff_matrices(a, b);
+  EXPECT_TRUE(d.empty());
+  EXPECT_NE(format_diff(d).find("No changes"), std::string::npos);
+}
+
+CompatibilityMatrix snapshot_with_amd_stdpar_promoted() {
+  // The change the paper anticipates: roc-stdpar becomes a vendor-
+  // supported production route, lifting AMD / Standard / C++ from
+  // 'limited' to 'some support'.
+  CompatibilityMatrix m;
+  const CompatibilityMatrix& base = data::paper_matrix();
+  for (const Description* d : base.descriptions()) m.add_description(*d);
+  for (const SupportEntry* e : base.entries()) {
+    SupportEntry copy = *e;
+    if (copy.combo ==
+        Combination{Vendor::AMD, Model::Standard, Language::Cpp}) {
+      copy.ratings = {Rating{SupportCategory::Some,
+                             Provider::PlatformVendor,
+                             "roc-stdpar graduated to production"}};
+      Route graduated;
+      graduated.name = "roc-stdpar (upstream LLVM)";
+      graduated.kind = RouteKind::Compiler;
+      graduated.provider = Provider::PlatformVendor;
+      graduated.maturity = Maturity::Production;
+      graduated.toolchain = "clang++";
+      copy.routes.push_back(graduated);
+    }
+    m.add_entry(copy);
+  }
+  m.validate();
+  return m;
+}
+
+TEST(Diff, DetectsRatingImprovement) {
+  const CompatibilityMatrix& before = data::paper_matrix();
+  const CompatibilityMatrix after = snapshot_with_amd_stdpar_promoted();
+  const MatrixDiff d = diff_matrices(before, after);
+  ASSERT_EQ(d.rating_changes.size(), 1u);
+  EXPECT_EQ(d.rating_changes[0].combo,
+            (Combination{Vendor::AMD, Model::Standard, Language::Cpp}));
+  EXPECT_EQ(d.rating_changes[0].before, SupportCategory::Limited);
+  EXPECT_EQ(d.rating_changes[0].after, SupportCategory::Some);
+  EXPECT_GT(d.rating_changes[0].delta(), 0);
+  EXPECT_EQ(d.improvements(), 1);
+  EXPECT_EQ(d.regressions(), 0);
+}
+
+TEST(Diff, DetectsRouteAddition) {
+  const CompatibilityMatrix after = snapshot_with_amd_stdpar_promoted();
+  const MatrixDiff d = diff_matrices(data::paper_matrix(), after);
+  ASSERT_EQ(d.route_changes.size(), 1u);
+  EXPECT_TRUE(d.route_changes[0].added);
+  EXPECT_EQ(d.route_changes[0].route_name, "roc-stdpar (upstream LLVM)");
+}
+
+TEST(Diff, ReverseDiffShowsRegression) {
+  const CompatibilityMatrix after = snapshot_with_amd_stdpar_promoted();
+  const MatrixDiff d = diff_matrices(after, data::paper_matrix());
+  EXPECT_EQ(d.improvements(), 0);
+  EXPECT_EQ(d.regressions(), 1);
+  ASSERT_EQ(d.route_changes.size(), 1u);
+  EXPECT_FALSE(d.route_changes[0].added);
+}
+
+TEST(Diff, FormatNamesTheCellAndDirection) {
+  const CompatibilityMatrix after = snapshot_with_amd_stdpar_promoted();
+  const std::string text =
+      format_diff(diff_matrices(data::paper_matrix(), after));
+  EXPECT_NE(text.find("AMD / Standard / C++"), std::string::npos);
+  EXPECT_NE(text.find("(improved)"), std::string::npos);
+  EXPECT_NE(text.find("+ AMD / Standard / C++: roc-stdpar"),
+            std::string::npos);
+  EXPECT_NE(text.find("1 improvement(s), 0 regression(s)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcmm

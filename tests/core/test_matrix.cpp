@@ -1,0 +1,168 @@
+#include "core/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace mcmm {
+namespace {
+
+SupportEntry minimal_entry(Vendor v, Model m, Language l, int desc_id,
+                           SupportCategory cat = SupportCategory::None,
+                           Provider p = Provider::Nobody) {
+  SupportEntry e;
+  e.combo = Combination{v, m, l};
+  e.ratings.push_back(Rating{cat, p, "test"});
+  e.description_id = desc_id;
+  if (usable(cat)) {
+    Route r;
+    r.name = "test route";
+    e.routes.push_back(r);
+  }
+  return e;
+}
+
+TEST(Matrix, RejectsDuplicateEntries) {
+  CompatibilityMatrix m;
+  m.add_entry(minimal_entry(Vendor::AMD, Model::HIP, Language::Cpp, 1));
+  EXPECT_THROW(
+      m.add_entry(minimal_entry(Vendor::AMD, Model::HIP, Language::Cpp, 1)),
+      IntegrityError);
+}
+
+TEST(Matrix, RejectsInapplicableLanguage) {
+  CompatibilityMatrix m;
+  EXPECT_THROW(
+      m.add_entry(minimal_entry(Vendor::AMD, Model::Python, Language::Cpp, 1)),
+      IntegrityError);
+  EXPECT_THROW(
+      m.add_entry(minimal_entry(Vendor::AMD, Model::HIP, Language::Python, 1)),
+      IntegrityError);
+}
+
+TEST(Matrix, RejectsEntryWithoutRatings) {
+  CompatibilityMatrix m;
+  SupportEntry e;
+  e.combo = Combination{Vendor::AMD, Model::HIP, Language::Cpp};
+  e.description_id = 1;
+  EXPECT_THROW(m.add_entry(e), IntegrityError);
+}
+
+TEST(Matrix, RejectsMoreThanTwoRatings) {
+  CompatibilityMatrix m;
+  SupportEntry e = minimal_entry(Vendor::AMD, Model::HIP, Language::Cpp, 1);
+  e.ratings.push_back(Rating{SupportCategory::Limited, Provider::Community, ""});
+  e.ratings.push_back(Rating{SupportCategory::Limited, Provider::Community, ""});
+  EXPECT_THROW(m.add_entry(e), IntegrityError);
+}
+
+TEST(Matrix, RejectsDuplicateDescriptions) {
+  CompatibilityMatrix m;
+  m.add_description(Description{1, "t", "x", {}});
+  EXPECT_THROW(m.add_description(Description{1, "t2", "y", {}}),
+               IntegrityError);
+}
+
+TEST(Matrix, RejectsNonPositiveDescriptionId) {
+  CompatibilityMatrix m;
+  EXPECT_THROW(m.add_description(Description{0, "t", "x", {}}),
+               IntegrityError);
+  EXPECT_THROW(m.add_description(Description{-3, "t", "x", {}}),
+               IntegrityError);
+}
+
+TEST(Matrix, ValidateRejectsWrongCellCount) {
+  CompatibilityMatrix m;
+  m.add_description(Description{1, "t", "x", {}});
+  m.add_entry(minimal_entry(Vendor::AMD, Model::HIP, Language::Cpp, 1));
+  EXPECT_THROW(m.validate(), IntegrityError);
+}
+
+TEST(Matrix, AtThrowsForMissingCell) {
+  CompatibilityMatrix m;
+  EXPECT_THROW(
+      (void)m.at(Combination{Vendor::AMD, Model::HIP, Language::Cpp}),
+      LookupError);
+}
+
+TEST(Matrix, FindReturnsNullForMissingCell) {
+  CompatibilityMatrix m;
+  EXPECT_EQ(m.find(Combination{Vendor::AMD, Model::HIP, Language::Cpp}),
+            nullptr);
+}
+
+TEST(Matrix, DescriptionThrowsForMissingId) {
+  CompatibilityMatrix m;
+  EXPECT_THROW((void)m.description(7), LookupError);
+}
+
+TEST(Matrix, LookupAfterInsert) {
+  CompatibilityMatrix m;
+  m.add_entry(minimal_entry(Vendor::Intel, Model::SYCL, Language::Cpp, 3,
+                            SupportCategory::Full, Provider::PlatformVendor));
+  const SupportEntry& e =
+      m.at(Vendor::Intel, Model::SYCL, Language::Cpp);
+  EXPECT_EQ(e.description_id, 3);
+  EXPECT_EQ(e.primary().category, SupportCategory::Full);
+  EXPECT_NE(m.find(e.combo), nullptr);
+}
+
+TEST(Matrix, EntriesSortedInFigureOrder) {
+  CompatibilityMatrix m;
+  m.add_entry(minimal_entry(Vendor::Intel, Model::SYCL, Language::Cpp, 1));
+  m.add_entry(minimal_entry(Vendor::NVIDIA, Model::CUDA, Language::Cpp, 1));
+  m.add_entry(minimal_entry(Vendor::AMD, Model::HIP, Language::Cpp, 1));
+  const auto entries = m.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // Figure row order: NVIDIA, AMD, Intel.
+  EXPECT_EQ(entries[0]->combo.vendor, Vendor::NVIDIA);
+  EXPECT_EQ(entries[1]->combo.vendor, Vendor::AMD);
+  EXPECT_EQ(entries[2]->combo.vendor, Vendor::Intel);
+}
+
+TEST(Matrix, EnforcesVendorTierProviderConsistency) {
+  // "some support" is a vendor category; a community provider must be
+  // rejected by validate().
+  CompatibilityMatrix m;
+  m.add_description(Description{1, "t", "x", {}});
+  SupportEntry e = minimal_entry(Vendor::AMD, Model::HIP, Language::Cpp, 1,
+                                 SupportCategory::Some, Provider::Community);
+  m.add_entry(e);
+  EXPECT_THROW(m.validate(), IntegrityError);
+}
+
+TEST(Matrix, BestCategoryPicksStrongerRating) {
+  SupportEntry e;
+  e.combo = Combination{Vendor::Intel, Model::CUDA, Language::Cpp};
+  e.ratings.push_back(
+      Rating{SupportCategory::Limited, Provider::Community, ""});
+  e.ratings.push_back(
+      Rating{SupportCategory::IndirectGood, Provider::PlatformVendor, ""});
+  EXPECT_EQ(e.best_category(), SupportCategory::IndirectGood);
+  EXPECT_TRUE(e.usable());
+}
+
+TEST(Matrix, BestRouteRank) {
+  SupportEntry e;
+  Route weak;
+  weak.maturity = Maturity::Retired;
+  Route strong;
+  strong.maturity = Maturity::Production;
+  strong.provider = Provider::PlatformVendor;
+  e.routes = {weak, strong};
+  EXPECT_EQ(e.best_route_rank(), route_rank(strong));
+}
+
+TEST(Matrix, WhereFilters) {
+  CompatibilityMatrix m;
+  m.add_entry(minimal_entry(Vendor::AMD, Model::HIP, Language::Cpp, 1,
+                            SupportCategory::Full, Provider::PlatformVendor));
+  m.add_entry(minimal_entry(Vendor::AMD, Model::SYCL, Language::Cpp, 1));
+  const auto usable_cells =
+      m.where([](const SupportEntry& e) { return e.usable(); });
+  ASSERT_EQ(usable_cells.size(), 1u);
+  EXPECT_EQ(usable_cells[0]->combo.model, Model::HIP);
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,83 @@
+#include "core/route.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcmm {
+namespace {
+
+Route make_route(Maturity mat, Provider p, RouteKind k) {
+  Route r;
+  r.name = "r";
+  r.maturity = mat;
+  r.provider = p;
+  r.kind = k;
+  return r;
+}
+
+TEST(Route, MaturityDominatesRank) {
+  // A production community compiler outranks an experimental vendor one.
+  const Route prod = make_route(Maturity::Production, Provider::Community,
+                                RouteKind::Compiler);
+  const Route exp = make_route(Maturity::Experimental,
+                               Provider::PlatformVendor, RouteKind::Compiler);
+  EXPECT_GT(route_rank(prod), route_rank(exp));
+}
+
+TEST(Route, VendorBreaksTiesAtSameMaturity) {
+  const Route vendor = make_route(Maturity::Stable, Provider::PlatformVendor,
+                                  RouteKind::Compiler);
+  const Route community =
+      make_route(Maturity::Stable, Provider::Community, RouteKind::Compiler);
+  EXPECT_GT(route_rank(vendor), route_rank(community));
+}
+
+TEST(Route, CompilerBeatsTranslatorAtSameMaturityAndProvider) {
+  const Route compiler = make_route(Maturity::Stable, Provider::Community,
+                                    RouteKind::Compiler);
+  const Route translator = make_route(Maturity::Stable, Provider::Community,
+                                      RouteKind::Translator);
+  EXPECT_GT(route_rank(compiler), route_rank(translator));
+}
+
+TEST(Route, RetiredRanksLowest) {
+  const Route retired = make_route(Maturity::Retired, Provider::PlatformVendor,
+                                   RouteKind::Compiler);
+  for (const Maturity m :
+       {Maturity::Production, Maturity::Stable, Maturity::Experimental,
+        Maturity::Unmaintained}) {
+    const Route other = make_route(m, Provider::Community, RouteKind::Translator);
+    EXPECT_GT(route_rank(other), route_rank(retired))
+        << to_string(m) << " should outrank retired";
+  }
+}
+
+TEST(Route, UnmaintainedBelowExperimental) {
+  const Route unmaintained = make_route(
+      Maturity::Unmaintained, Provider::PlatformVendor, RouteKind::Compiler);
+  const Route experimental = make_route(Maturity::Experimental,
+                                        Provider::Community,
+                                        RouteKind::Translator);
+  EXPECT_GT(route_rank(experimental), route_rank(unmaintained));
+}
+
+TEST(Route, ToStringCoverage) {
+  EXPECT_EQ(to_string(RouteKind::Compiler), "compiler");
+  EXPECT_EQ(to_string(RouteKind::Translator), "translator");
+  EXPECT_EQ(to_string(RouteKind::Bindings), "bindings");
+  EXPECT_EQ(to_string(RouteKind::Library), "library");
+  EXPECT_EQ(to_string(RouteKind::Runtime), "runtime");
+  EXPECT_EQ(to_string(Maturity::Production), "production");
+  EXPECT_EQ(to_string(Maturity::Retired), "retired");
+}
+
+TEST(Route, Equality) {
+  Route a = make_route(Maturity::Stable, Provider::Community,
+                       RouteKind::Compiler);
+  Route b = a;
+  EXPECT_EQ(a, b);
+  b.flags.push_back("-O3");
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mcmm

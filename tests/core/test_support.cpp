@@ -1,0 +1,105 @@
+#include "core/support.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mcmm {
+namespace {
+
+TEST(Support, CategoryNamesMatchPaper) {
+  EXPECT_EQ(category_name(SupportCategory::Full), "full support");
+  EXPECT_EQ(category_name(SupportCategory::IndirectGood),
+            "indirect good support");
+  EXPECT_EQ(category_name(SupportCategory::Some), "some support");
+  EXPECT_EQ(category_name(SupportCategory::NonVendorGood),
+            "non-vendor good support");
+  EXPECT_EQ(category_name(SupportCategory::Limited), "limited support");
+  EXPECT_EQ(category_name(SupportCategory::None), "no support");
+}
+
+TEST(Support, SixCategories) {
+  EXPECT_EQ(kAllCategories.size(), 6u);
+  std::set<SupportCategory> unique(kAllCategories.begin(),
+                                   kAllCategories.end());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(Support, SymbolsAreUniquePerCategory) {
+  std::set<std::string_view> symbols;
+  std::set<std::string_view> ascii;
+  for (const SupportCategory c : kAllCategories) {
+    EXPECT_TRUE(symbols.insert(category_symbol(c)).second);
+    EXPECT_TRUE(ascii.insert(category_symbol_ascii(c)).second);
+  }
+}
+
+TEST(Support, ScoreOrdering) {
+  EXPECT_GT(score(SupportCategory::Full), score(SupportCategory::IndirectGood));
+  EXPECT_GT(score(SupportCategory::IndirectGood),
+            score(SupportCategory::Some));
+  // Some and NonVendorGood are the deliberate tie (see support.hpp).
+  EXPECT_EQ(score(SupportCategory::Some), score(SupportCategory::NonVendorGood));
+  EXPECT_GT(score(SupportCategory::Some), score(SupportCategory::Limited));
+  EXPECT_GT(score(SupportCategory::Limited), score(SupportCategory::None));
+  EXPECT_EQ(score(SupportCategory::None), 0);
+}
+
+TEST(Support, UsablePredicate) {
+  for (const SupportCategory c : kAllCategories) {
+    EXPECT_EQ(usable(c), c != SupportCategory::None);
+  }
+}
+
+TEST(Support, ComprehensivePredicate) {
+  EXPECT_TRUE(comprehensive(SupportCategory::Full));
+  EXPECT_TRUE(comprehensive(SupportCategory::IndirectGood));
+  EXPECT_TRUE(comprehensive(SupportCategory::NonVendorGood));
+  EXPECT_FALSE(comprehensive(SupportCategory::Some));
+  EXPECT_FALSE(comprehensive(SupportCategory::Limited));
+  EXPECT_FALSE(comprehensive(SupportCategory::None));
+}
+
+TEST(Support, VendorProvidedPredicate) {
+  EXPECT_TRUE(vendor_provided(SupportCategory::Full));
+  EXPECT_TRUE(vendor_provided(SupportCategory::IndirectGood));
+  EXPECT_TRUE(vendor_provided(SupportCategory::Some));
+  EXPECT_FALSE(vendor_provided(SupportCategory::NonVendorGood));
+  EXPECT_FALSE(vendor_provided(SupportCategory::Limited));
+  EXPECT_FALSE(vendor_provided(SupportCategory::None));
+}
+
+TEST(Support, CategoryParseRoundTrip) {
+  for (const SupportCategory c : kAllCategories) {
+    const auto parsed = parse_category(category_name(c));
+    ASSERT_TRUE(parsed.has_value()) << category_name(c);
+    EXPECT_EQ(*parsed, c);
+  }
+}
+
+TEST(Support, CategoryParseShortForms) {
+  EXPECT_EQ(parse_category("full"), SupportCategory::Full);
+  EXPECT_EQ(parse_category("limited"), SupportCategory::Limited);
+  EXPECT_EQ(parse_category("nonvendor"), SupportCategory::NonVendorGood);
+  EXPECT_FALSE(parse_category("great").has_value());
+}
+
+TEST(Support, ProviderParseRoundTrip) {
+  for (const Provider p : {Provider::PlatformVendor, Provider::OtherVendor,
+                           Provider::Community, Provider::Nobody}) {
+    const auto parsed = parse_provider(to_string(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+}
+
+TEST(Support, RatingEquality) {
+  const Rating a{SupportCategory::Full, Provider::PlatformVendor, "x"};
+  const Rating b{SupportCategory::Full, Provider::PlatformVendor, "x"};
+  const Rating c{SupportCategory::Full, Provider::Community, "x"};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,137 @@
+#include "core/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mcmm {
+namespace {
+
+TEST(Types, VendorRoundTrip) {
+  for (const Vendor v : kAllVendors) {
+    const auto parsed = parse_vendor(to_string(v));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+TEST(Types, ModelRoundTrip) {
+  for (const Model m : kAllModels) {
+    const auto parsed = parse_model(to_string(m));
+    ASSERT_TRUE(parsed.has_value()) << to_string(m);
+    EXPECT_EQ(*parsed, m);
+  }
+}
+
+TEST(Types, LanguageRoundTrip) {
+  for (const Language l : {Language::Cpp, Language::Fortran, Language::Python}) {
+    const auto parsed = parse_language(to_string(l));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, l);
+  }
+}
+
+TEST(Types, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_vendor("nvidia"), Vendor::NVIDIA);
+  EXPECT_EQ(parse_vendor("NVIDIA"), Vendor::NVIDIA);
+  EXPECT_EQ(parse_model("sycl"), Model::SYCL);
+  EXPECT_EQ(parse_model("OPENACC"), Model::OpenACC);
+  EXPECT_EQ(parse_language("CPP"), Language::Cpp);
+}
+
+TEST(Types, ParseAliases) {
+  EXPECT_EQ(parse_model("stdpar"), Model::Standard);
+  EXPECT_EQ(parse_model("pstl"), Model::Standard);
+  EXPECT_EQ(parse_model("omp"), Model::OpenMP);
+  EXPECT_EQ(parse_model("acc"), Model::OpenACC);
+  EXPECT_EQ(parse_language("f90"), Language::Fortran);
+}
+
+TEST(Types, ParseRejectsUnknown) {
+  EXPECT_FALSE(parse_vendor("ARM").has_value());
+  EXPECT_FALSE(parse_model("Raja").has_value());
+  EXPECT_FALSE(parse_language("Rust").has_value());
+}
+
+TEST(Types, LanguageAppliesMatchesFigureStructure) {
+  for (const Model m : kAllModels) {
+    if (m == Model::Python) {
+      EXPECT_TRUE(language_applies(m, Language::Python));
+      EXPECT_FALSE(language_applies(m, Language::Cpp));
+      EXPECT_FALSE(language_applies(m, Language::Fortran));
+    } else {
+      EXPECT_TRUE(language_applies(m, Language::Cpp));
+      EXPECT_TRUE(language_applies(m, Language::Fortran));
+      EXPECT_FALSE(language_applies(m, Language::Python));
+    }
+  }
+}
+
+TEST(Types, FigureHas51Cells) {
+  int cells = 0;
+  for (const Vendor v : kAllVendors) {
+    for (const Model m : kAllModels) {
+      for (const Language l :
+           {Language::Cpp, Language::Fortran, Language::Python}) {
+        if (language_applies(m, l)) {
+          (void)v;
+          ++cells;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(cells, kCombinationCount);
+}
+
+TEST(Types, CombinationIndexIsABijection) {
+  std::set<int> seen;
+  for (const Vendor v : kAllVendors) {
+    for (const Model m : kAllModels) {
+      for (const Language l :
+           {Language::Cpp, Language::Fortran, Language::Python}) {
+        if (!language_applies(m, l)) continue;
+        const int idx = combination_index(Combination{v, m, l});
+        EXPECT_GE(idx, 0);
+        EXPECT_LT(idx, kCombinationCount);
+        EXPECT_TRUE(seen.insert(idx).second)
+            << "duplicate index " << idx << " for "
+            << to_string(Combination{v, m, l});
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kCombinationCount));
+}
+
+TEST(Types, CombinationIndexFollowsFigureOrder) {
+  // First cell of the figure: NVIDIA / CUDA / C++.
+  EXPECT_EQ(combination_index(
+                Combination{Vendor::NVIDIA, Model::CUDA, Language::Cpp}),
+            0);
+  // Fortran sub-column directly follows the C++ sub-column.
+  EXPECT_EQ(combination_index(
+                Combination{Vendor::NVIDIA, Model::CUDA, Language::Fortran}),
+            1);
+  // Python is the last column of a row.
+  EXPECT_EQ(combination_index(
+                Combination{Vendor::NVIDIA, Model::Python, Language::Python}),
+            16);
+  // Second row starts with AMD.
+  EXPECT_EQ(combination_index(
+                Combination{Vendor::AMD, Model::CUDA, Language::Cpp}),
+            17);
+}
+
+TEST(Types, CombinationToString) {
+  EXPECT_EQ(to_string(Combination{Vendor::AMD, Model::HIP, Language::Cpp}),
+            "AMD / HIP / C++");
+}
+
+TEST(Types, CombinationOrdering) {
+  const Combination a{Vendor::AMD, Model::CUDA, Language::Cpp};
+  const Combination b{Vendor::AMD, Model::CUDA, Language::Fortran};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, a);
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,50 @@
+#include "data/excluded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/types.hpp"
+
+namespace mcmm::data {
+namespace {
+
+TEST(ExcludedModels, PaperListsSix) {
+  EXPECT_EQ(excluded_models().size(), 6u);
+}
+
+TEST(ExcludedModels, NamesMatchSection5) {
+  std::vector<std::string> names;
+  for (const ExcludedModel& m : excluded_models()) names.push_back(m.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"RAJA", "OpenCL", "HPX",
+                                             "C++AMP", "libtorch",
+                                             "libompx"}));
+}
+
+TEST(ExcludedModels, OnlyCppAmpIsDeprecated) {
+  for (const ExcludedModel& m : excluded_models()) {
+    EXPECT_EQ(m.deprecated, m.name == "C++AMP") << m.name;
+  }
+}
+
+TEST(ExcludedModels, EveryEntryHasAReason) {
+  for (const ExcludedModel& m : excluded_models()) {
+    EXPECT_GT(m.reason.size(), 10u) << m.name;
+  }
+}
+
+TEST(ExcludedModels, NoneOverlapWithIncludedModels) {
+  for (const ExcludedModel& m : excluded_models()) {
+    EXPECT_FALSE(parse_model(m.name).has_value())
+        << m.name << " must not be an included model";
+  }
+}
+
+TEST(ExcludedModels, NoteMentionsEveryModel) {
+  const std::string note = excluded_models_note();
+  for (const ExcludedModel& m : excluded_models()) {
+    EXPECT_NE(note.find(m.name), std::string::npos) << m.name;
+  }
+  EXPECT_NE(note.find("Sec. 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcmm::data

@@ -1,0 +1,174 @@
+// Per-cell rating checks: a parameterized sweep over all 51 cells plus the
+// specific ratings the paper's text pins down.
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+
+namespace mcmm {
+namespace {
+
+using data::paper_matrix;
+
+std::vector<Combination> all_combinations() {
+  std::vector<Combination> out;
+  for (const Vendor v : kAllVendors) {
+    for (const Model m : kAllModels) {
+      for (const Language l :
+           {Language::Cpp, Language::Fortran, Language::Python}) {
+        if (language_applies(m, l)) out.push_back(Combination{v, m, l});
+      }
+    }
+  }
+  return out;
+}
+
+class AllCellsTest : public ::testing::TestWithParam<Combination> {};
+
+TEST_P(AllCellsTest, CellExists) {
+  EXPECT_NE(paper_matrix().find(GetParam()), nullptr)
+      << to_string(GetParam());
+}
+
+TEST_P(AllCellsTest, RatingInvariantsHold) {
+  const SupportEntry& e = paper_matrix().at(GetParam());
+  ASSERT_FALSE(e.ratings.empty());
+  ASSERT_LE(e.ratings.size(), 2u);
+  for (const Rating& r : e.ratings) {
+    EXPECT_FALSE(r.rationale.empty()) << to_string(e.combo);
+    if (vendor_provided(r.category)) {
+      EXPECT_EQ(r.provider, Provider::PlatformVendor) << to_string(e.combo);
+    }
+    if (r.category == SupportCategory::None) {
+      EXPECT_EQ(r.provider, Provider::Nobody) << to_string(e.combo);
+    }
+  }
+}
+
+TEST_P(AllCellsTest, DualRatingsAreOrderedStrongestFirst) {
+  const SupportEntry& e = paper_matrix().at(GetParam());
+  if (e.ratings.size() == 2) {
+    EXPECT_GE(score(e.ratings[0].category), score(e.ratings[1].category))
+        << to_string(e.combo);
+  }
+}
+
+TEST_P(AllCellsTest, DescriptionIdInRange) {
+  const SupportEntry& e = paper_matrix().at(GetParam());
+  EXPECT_GE(e.description_id, 1);
+  EXPECT_LE(e.description_id, kDescriptionCount);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure1, AllCellsTest, ::testing::ValuesIn(all_combinations()),
+    [](const ::testing::TestParamInfo<Combination>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// --- Specific cells the paper text determines unambiguously. ---
+
+struct ExpectedRating {
+  Vendor vendor;
+  Model model;
+  Language language;
+  SupportCategory category;
+  Provider provider;
+};
+
+class ExpectedRatingTest : public ::testing::TestWithParam<ExpectedRating> {};
+
+TEST_P(ExpectedRatingTest, PrimaryRatingMatches) {
+  const ExpectedRating& exp = GetParam();
+  const SupportEntry& e = paper_matrix().at(
+      Combination{exp.vendor, exp.model, exp.language});
+  EXPECT_EQ(e.primary().category, exp.category) << to_string(e.combo);
+  EXPECT_EQ(e.primary().provider, exp.provider) << to_string(e.combo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperPinnedCells, ExpectedRatingTest,
+    ::testing::Values(
+        // The three native models on their home platform are full support.
+        ExpectedRating{Vendor::NVIDIA, Model::CUDA, Language::Cpp,
+                       SupportCategory::Full, Provider::PlatformVendor},
+        ExpectedRating{Vendor::AMD, Model::HIP, Language::Cpp,
+                       SupportCategory::Full, Provider::PlatformVendor},
+        ExpectedRating{Vendor::Intel, Model::SYCL, Language::Cpp,
+                       SupportCategory::Full, Provider::PlatformVendor},
+        // Sec. 5: OpenACC C++ on NVIDIA rated complete...
+        ExpectedRating{Vendor::NVIDIA, Model::OpenACC, Language::Cpp,
+                       SupportCategory::Full, Provider::PlatformVendor},
+        // ... while OpenMP C++ on NVIDIA is 'some support'.
+        ExpectedRating{Vendor::NVIDIA, Model::OpenMP, Language::Cpp,
+                       SupportCategory::Some, Provider::PlatformVendor},
+        // HIPIFY makes CUDA-on-AMD 'indirect good support'.
+        ExpectedRating{Vendor::AMD, Model::CUDA, Language::Cpp,
+                       SupportCategory::IndirectGood,
+                       Provider::PlatformVendor},
+        // Intel's OpenMP C++/Fortran are the vendor's key models.
+        ExpectedRating{Vendor::Intel, Model::OpenMP, Language::Cpp,
+                       SupportCategory::Full, Provider::PlatformVendor},
+        ExpectedRating{Vendor::Intel, Model::OpenMP, Language::Fortran,
+                       SupportCategory::Full, Provider::PlatformVendor},
+        // AMD stdpar C++: no production vendor solution -> limited.
+        ExpectedRating{Vendor::AMD, Model::Standard, Language::Cpp,
+                       SupportCategory::Limited, Provider::PlatformVendor},
+        // AMD stdpar Fortran: nothing at all.
+        ExpectedRating{Vendor::AMD, Model::Standard, Language::Fortran,
+                       SupportCategory::None, Provider::Nobody},
+        // SYCL Fortran: nothing anywhere.
+        ExpectedRating{Vendor::NVIDIA, Model::SYCL, Language::Fortran,
+                       SupportCategory::None, Provider::Nobody},
+        ExpectedRating{Vendor::AMD, Model::SYCL, Language::Fortran,
+                       SupportCategory::None, Provider::Nobody},
+        ExpectedRating{Vendor::Intel, Model::SYCL, Language::Fortran,
+                       SupportCategory::None, Provider::Nobody},
+        // Intel HIP Fortran and CUDA Fortran: none.
+        ExpectedRating{Vendor::Intel, Model::HIP, Language::Fortran,
+                       SupportCategory::None, Provider::Nobody},
+        ExpectedRating{Vendor::Intel, Model::CUDA, Language::Fortran,
+                       SupportCategory::None, Provider::Nobody},
+        // NVIDIA standard parallelism is vendor-complete in both languages.
+        ExpectedRating{Vendor::NVIDIA, Model::Standard, Language::Cpp,
+                       SupportCategory::Full, Provider::PlatformVendor},
+        ExpectedRating{Vendor::NVIDIA, Model::Standard, Language::Fortran,
+                       SupportCategory::Full, Provider::PlatformVendor}));
+
+TEST(Ratings, DualRatedPythonOnNvidia) {
+  const SupportEntry& e = paper_matrix().at(
+      Combination{Vendor::NVIDIA, Model::Python, Language::Python});
+  ASSERT_EQ(e.ratings.size(), 2u);
+  EXPECT_EQ(e.ratings[0].category, SupportCategory::Full);
+  EXPECT_EQ(e.ratings[0].provider, Provider::PlatformVendor);
+  EXPECT_EQ(e.ratings[1].category, SupportCategory::NonVendorGood);
+  EXPECT_EQ(e.ratings[1].provider, Provider::Community);
+}
+
+TEST(Ratings, DualRatedCudaOnIntel) {
+  const SupportEntry& e = paper_matrix().at(
+      Combination{Vendor::Intel, Model::CUDA, Language::Cpp});
+  ASSERT_EQ(e.ratings.size(), 2u);
+  EXPECT_EQ(e.ratings[0].category, SupportCategory::IndirectGood);
+  EXPECT_EQ(e.ratings[1].category, SupportCategory::Limited);
+  EXPECT_EQ(e.ratings[1].provider, Provider::Community);
+}
+
+TEST(Ratings, HipFortranDiffersBetweenAmdAndNvidia) {
+  // Same description (item 4), but on AMD hipfort is vendor-provided
+  // ('some') while on NVIDIA it is a foreign-vendor route ('limited').
+  const SupportEntry& amd = paper_matrix().at(
+      Combination{Vendor::AMD, Model::HIP, Language::Fortran});
+  const SupportEntry& nv = paper_matrix().at(
+      Combination{Vendor::NVIDIA, Model::HIP, Language::Fortran});
+  EXPECT_EQ(amd.description_id, 4);
+  EXPECT_EQ(nv.description_id, 4);
+  EXPECT_EQ(amd.primary().category, SupportCategory::Some);
+  EXPECT_EQ(nv.primary().category, SupportCategory::Limited);
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,140 @@
+#include "gpusim/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mcmm::gpusim {
+namespace {
+
+TEST(Allocator, AllocateAndFree) {
+  DeviceAllocator a(1024);
+  void* p = a.allocate(256);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(a.used_bytes(), 256u);
+  EXPECT_EQ(a.live_allocations(), 1u);
+  a.deallocate(p);
+  EXPECT_EQ(a.used_bytes(), 0u);
+  EXPECT_EQ(a.live_allocations(), 0u);
+}
+
+TEST(Allocator, CapacityEnforced) {
+  DeviceAllocator a(1024);
+  void* p = a.allocate(1000);
+  EXPECT_THROW((void)a.allocate(100), OutOfMemory);
+  a.deallocate(p);
+  // Memory freed -> allocation succeeds now.
+  void* q = a.allocate(100);
+  a.deallocate(q);
+}
+
+TEST(Allocator, OutOfMemoryReportsSizes) {
+  DeviceAllocator a(512);
+  try {
+    (void)a.allocate(1024);
+    FAIL() << "expected OutOfMemory";
+  } catch (const OutOfMemory& e) {
+    EXPECT_EQ(e.requested(), 1024u);
+    EXPECT_EQ(e.available(), 512u);
+  }
+}
+
+TEST(Allocator, ExactFitSucceeds) {
+  DeviceAllocator a(512);
+  void* p = a.allocate(512);
+  EXPECT_EQ(a.used_bytes(), 512u);
+  a.deallocate(p);
+}
+
+TEST(Allocator, ZeroByteAllocationGetsUniquePointer) {
+  DeviceAllocator a(1024);
+  void* p = a.allocate(0);
+  void* q = a.allocate(0);
+  EXPECT_NE(p, nullptr);
+  EXPECT_NE(p, q);
+  a.deallocate(p);
+  a.deallocate(q);
+}
+
+TEST(Allocator, DoubleFreeThrows) {
+  DeviceAllocator a(1024);
+  void* p = a.allocate(16);
+  a.deallocate(p);
+  EXPECT_THROW(a.deallocate(p), InvalidPointer);
+}
+
+TEST(Allocator, ForeignPointerFreeThrows) {
+  DeviceAllocator a(1024);
+  int local = 0;
+  EXPECT_THROW(a.deallocate(&local), InvalidPointer);
+}
+
+TEST(Allocator, OwnsInteriorPointers) {
+  DeviceAllocator a(1024);
+  auto* p = static_cast<std::byte*>(a.allocate(64));
+  EXPECT_TRUE(a.owns(p));
+  EXPECT_TRUE(a.owns(p + 32));
+  EXPECT_TRUE(a.owns(p + 63));
+  EXPECT_FALSE(a.owns(p + 64));
+  int local = 0;
+  EXPECT_FALSE(a.owns(&local));
+  a.deallocate(p);
+  EXPECT_FALSE(a.owns(p));
+}
+
+TEST(Allocator, CheckRangeAcceptsSubranges) {
+  DeviceAllocator a(1024);
+  auto* p = static_cast<std::byte*>(a.allocate(64));
+  EXPECT_NO_THROW(a.check_range(p, 64));
+  EXPECT_NO_THROW(a.check_range(p + 16, 48));
+  EXPECT_NO_THROW(a.check_range(p + 63, 1));
+  a.deallocate(p);
+}
+
+TEST(Allocator, CheckRangeRejectsOverruns) {
+  DeviceAllocator a(1024);
+  auto* p = static_cast<std::byte*>(a.allocate(64));
+  EXPECT_THROW(a.check_range(p, 65), InvalidPointer);
+  EXPECT_THROW(a.check_range(p + 32, 33), InvalidPointer);
+  int local = 0;
+  EXPECT_THROW(a.check_range(&local, 1), InvalidPointer);
+  a.deallocate(p);
+}
+
+TEST(Allocator, PeakTracksHighWater) {
+  DeviceAllocator a(1024);
+  void* p = a.allocate(400);
+  void* q = a.allocate(300);
+  a.deallocate(p);
+  void* r = a.allocate(100);
+  EXPECT_EQ(a.peak_bytes(), 700u);
+  EXPECT_EQ(a.used_bytes(), 400u);
+  a.deallocate(q);
+  a.deallocate(r);
+}
+
+TEST(Allocator, FaultInjectionFailsNthAllocation) {
+  DeviceAllocator a(1 << 20);
+  a.set_fault_plan(FaultPlan{2});  // third allocation from now fails
+  void* p = a.allocate(16);
+  void* q = a.allocate(16);
+  EXPECT_THROW((void)a.allocate(16), OutOfMemory);
+  // Fault is one-shot.
+  void* r = a.allocate(16);
+  a.deallocate(p);
+  a.deallocate(q);
+  a.deallocate(r);
+}
+
+TEST(Allocator, ManySmallAllocations) {
+  DeviceAllocator a(1 << 20);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 1000; ++i) ptrs.push_back(a.allocate(64));
+  EXPECT_EQ(a.live_allocations(), 1000u);
+  EXPECT_EQ(a.used_bytes(), 64000u);
+  for (void* p : ptrs) a.deallocate(p);
+  EXPECT_EQ(a.used_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace mcmm::gpusim

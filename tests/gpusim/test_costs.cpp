@@ -1,0 +1,107 @@
+// Property tests of the analytic timing model (the Abl-2 design choice).
+
+#include "gpusim/costs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcmm::gpusim {
+namespace {
+
+TEST(Costs, KernelTimeIncludesLaunchLatency) {
+  const DeviceDescriptor dev = h100_like();
+  const double t = kernel_time_us(dev, BackendProfile{}, KernelCosts{});
+  EXPECT_DOUBLE_EQ(t, dev.kernel_launch_latency_us);
+}
+
+TEST(Costs, MemoryBoundKernelScalesWithBytes) {
+  const DeviceDescriptor dev = h100_like();
+  KernelCosts small;
+  small.bytes_read = 1e6;
+  KernelCosts big;
+  big.bytes_read = 1e9;
+  const double ts = kernel_time_us(dev, BackendProfile{}, small);
+  const double tb = kernel_time_us(dev, BackendProfile{}, big);
+  EXPECT_GT(tb, ts);
+  // Asymptotically linear: 1000x the bytes ~ 1000x the transfer part.
+  const double transfer_small = ts - dev.kernel_launch_latency_us;
+  const double transfer_big = tb - dev.kernel_launch_latency_us;
+  EXPECT_NEAR(transfer_big / transfer_small, 1000.0, 1.0);
+}
+
+TEST(Costs, ComputeBoundKernelUsesFlops) {
+  const DeviceDescriptor dev = h100_like();
+  KernelCosts costs;
+  costs.flops = 1e12;  // 1 TFLOP on a ~33 TFLOP/s device ~ 30 ms
+  const double t = kernel_time_us(dev, BackendProfile{}, costs);
+  EXPECT_GT(t, 25e3);
+  EXPECT_LT(t, 40e3);
+}
+
+TEST(Costs, RooflineMaxOfMemoryAndCompute) {
+  const DeviceDescriptor dev = h100_like();
+  KernelCosts costs;
+  costs.bytes_read = 1e9;
+  costs.flops = 1.0;  // negligible
+  const double mem_only = kernel_time_us(dev, BackendProfile{}, costs);
+  costs.flops = 1e14;  // dominates
+  const double compute_bound = kernel_time_us(dev, BackendProfile{}, costs);
+  EXPECT_GT(compute_bound, mem_only);
+}
+
+TEST(Costs, BandwidthEfficiencySlowsKernels) {
+  const DeviceDescriptor dev = mi250x_like();
+  KernelCosts costs;
+  costs.bytes_read = 1e9;
+  BackendProfile native;
+  BackendProfile layered;
+  layered.bandwidth_efficiency = 0.5;
+  const double tn = kernel_time_us(dev, native, costs);
+  const double tl = kernel_time_us(dev, layered, costs);
+  EXPECT_GT(tl, tn);
+  // Transfer part doubles at half efficiency.
+  EXPECT_NEAR((tl - dev.kernel_launch_latency_us) /
+                  (tn - dev.kernel_launch_latency_us),
+              2.0, 0.01);
+}
+
+TEST(Costs, ExtraLaunchLatencyAdds) {
+  const DeviceDescriptor dev = ponte_vecchio_like();
+  BackendProfile p;
+  p.extra_launch_latency_us = 5.0;
+  const double t = kernel_time_us(dev, p, KernelCosts{});
+  EXPECT_DOUBLE_EQ(t, dev.kernel_launch_latency_us + 5.0);
+}
+
+TEST(Costs, CopyTimeHasLatencyFloor) {
+  const DeviceDescriptor dev = h100_like();
+  EXPECT_DOUBLE_EQ(copy_time_us(dev, 0.0), dev.copy_latency_us);
+  EXPECT_GT(copy_time_us(dev, 1e9), dev.copy_latency_us);
+}
+
+TEST(Costs, D2DFasterThanPcieForLargeCopies) {
+  const DeviceDescriptor dev = h100_like();
+  // On-device copies move at DRAM speed, PCIe copies at link speed.
+  EXPECT_LT(d2d_time_us(dev, 1e9), copy_time_us(dev, 1e9));
+}
+
+TEST(Costs, StreamEfficiencyIsRealistic) {
+  EXPECT_GT(kStreamEfficiency, 0.8);
+  EXPECT_LT(kStreamEfficiency, 1.0);
+}
+
+TEST(Costs, AttainableBandwidthOrderingMatchesDescriptors) {
+  // A pure-copy kernel must run fastest on the device with the highest
+  // bandwidth (NVIDIA H100-like in our presets).
+  KernelCosts costs;
+  costs.bytes_read = 5e8;
+  costs.bytes_written = 5e8;
+  const double t_nv = kernel_time_us(h100_like(), BackendProfile{}, costs);
+  const double t_amd = kernel_time_us(mi250x_like(), BackendProfile{}, costs);
+  const double t_intel =
+      kernel_time_us(ponte_vecchio_like(), BackendProfile{}, costs);
+  EXPECT_LT(t_nv, t_amd);
+  EXPECT_LT(t_nv, t_intel);
+}
+
+}  // namespace
+}  // namespace mcmm::gpusim

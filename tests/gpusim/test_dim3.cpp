@@ -1,0 +1,74 @@
+#include "gpusim/dim3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+namespace mcmm::gpusim {
+namespace {
+
+TEST(Dim3, VolumeDefaultsToOne) {
+  EXPECT_EQ(Dim3{}.volume(), 1u);
+  EXPECT_EQ((Dim3{4, 3, 2}).volume(), 24u);
+}
+
+TEST(Dim3, Launch1dCoversN) {
+  for (const std::uint64_t n : {1ull, 255ull, 256ull, 257ull, 100000ull}) {
+    const LaunchConfig cfg = launch_1d(n, 256);
+    EXPECT_GE(cfg.total_threads(), n) << n;
+    EXPECT_LT(cfg.total_threads(), n + 256) << n;
+  }
+}
+
+TEST(Dim3, Launch1dZeroItemsStillHasOneBlock) {
+  const LaunchConfig cfg = launch_1d(0, 128);
+  EXPECT_EQ(cfg.grid.x, 1u);
+  EXPECT_EQ(cfg.total_threads(), 128u);
+}
+
+TEST(Dim3, WorkItemFromLinearIsBijective) {
+  LaunchConfig cfg;
+  cfg.grid = {3, 2, 4};
+  cfg.block = {5, 2, 3};
+  std::set<std::tuple<unsigned, unsigned, unsigned, unsigned, unsigned,
+                      unsigned>>
+      seen;
+  for (std::uint64_t i = 0; i < cfg.total_threads(); ++i) {
+    const WorkItem w = work_item_from_linear(cfg, i);
+    EXPECT_EQ(w.global_linear, i);
+    EXPECT_LT(w.block_idx.x, cfg.grid.x);
+    EXPECT_LT(w.block_idx.y, cfg.grid.y);
+    EXPECT_LT(w.block_idx.z, cfg.grid.z);
+    EXPECT_LT(w.thread_idx.x, cfg.block.x);
+    EXPECT_LT(w.thread_idx.y, cfg.block.y);
+    EXPECT_LT(w.thread_idx.z, cfg.block.z);
+    EXPECT_TRUE(seen.insert({w.block_idx.x, w.block_idx.y, w.block_idx.z,
+                             w.thread_idx.x, w.thread_idx.y, w.thread_idx.z})
+                    .second);
+  }
+  EXPECT_EQ(seen.size(), cfg.total_threads());
+}
+
+TEST(Dim3, GlobalXMatchesCudaConvention) {
+  LaunchConfig cfg;
+  cfg.grid = {4, 1, 1};
+  cfg.block = {32, 1, 1};
+  // Work item 70 = block 2, thread 6 -> global x = 2*32+6 = 70.
+  const WorkItem w = work_item_from_linear(cfg, 70);
+  EXPECT_EQ(w.block_idx.x, 2u);
+  EXPECT_EQ(w.thread_idx.x, 6u);
+  EXPECT_EQ(w.global_x(), 70u);
+}
+
+TEST(Dim3, GridAndBlockDimsArePropagated) {
+  LaunchConfig cfg;
+  cfg.grid = {7, 3, 1};
+  cfg.block = {16, 4, 1};
+  const WorkItem w = work_item_from_linear(cfg, 0);
+  EXPECT_EQ(w.grid_dim, cfg.grid);
+  EXPECT_EQ(w.block_dim, cfg.block);
+}
+
+}  // namespace
+}  // namespace mcmm::gpusim

@@ -1,0 +1,113 @@
+#include "gpusim/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mcmm::gpusim {
+namespace {
+
+TEST(ThreadPool, HasAtLeastTwoWorkers) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 2u);
+}
+
+TEST(ThreadPool, ExplicitWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPool, CoversWholeRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::uint64_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for_chunks(n, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for_chunks(0, [&](std::uint64_t, std::uint64_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleItemRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for_chunks(1, [&](std::uint64_t b, std::uint64_t e) {
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 1u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, SumReduction) {
+  ThreadPool pool(4);
+  constexpr std::uint64_t n = 1 << 16;
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for_chunks(n, [&](std::uint64_t b, std::uint64_t e) {
+    std::uint64_t local = 0;
+    for (std::uint64_t i = b; i < e; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for_chunks(100,
+                               [](std::uint64_t b, std::uint64_t) {
+                                 if (b == 0) {
+                                   throw std::runtime_error("chunk failed");
+                                 }
+                               }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_chunks(
+                   100,
+                   [](std::uint64_t, std::uint64_t) {
+                     throw std::runtime_error("fail");
+                   }),
+               std::runtime_error);
+  // The pool must still work afterwards, with no stale error.
+  std::atomic<int> count{0};
+  pool.parallel_for_chunks(100, [&](std::uint64_t b, std::uint64_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ManyConsecutiveBatches) {
+  ThreadPool pool(3);
+  std::uint64_t total = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallel_for_chunks(500, [&](std::uint64_t b, std::uint64_t e) {
+      sum.fetch_add(e - b);
+    });
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 200u * 500u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+}  // namespace
+}  // namespace mcmm::gpusim

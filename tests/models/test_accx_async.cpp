@@ -1,0 +1,71 @@
+// Tests of OpenACC async queues (`async(n)` / `wait(n)`).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "models/accx/accx.hpp"
+
+namespace mcmm::accx {
+namespace {
+
+TEST(AccxAsync, AsyncQueuesHaveSeparateTimelines) {
+  Accelerator acc(Vendor::NVIDIA, Compiler::NVHPC);
+  gpusim::KernelCosts costs;
+  costs.bytes_read = 1e8;
+  acc.parallel_loop_async(1, 1024, costs, [](std::size_t) {});
+  acc.parallel_loop_async(1, 1024, costs, [](std::size_t) {});
+  acc.parallel_loop_async(2, 1024, costs, [](std::size_t) {});
+  EXPECT_GT(acc.async_time_us(1), acc.async_time_us(2));
+  EXPECT_GT(acc.async_time_us(2), 0.0);
+  // The synchronous queue is untouched by async work.
+  EXPECT_DOUBLE_EQ(acc.simulated_time_us(), 0.0);
+}
+
+TEST(AccxAsync, ResultsVisibleAfterWait) {
+  Accelerator acc(Vendor::AMD, Compiler::GCC);
+  constexpr std::size_t n = 512;
+  std::vector<double> host(n, 1.0);
+  {
+    data_region data(acc);
+    double* d = data.copy(host.data(), n);
+    acc.parallel_loop_async(3, n, gpusim::KernelCosts{},
+                            [d](std::size_t i) { d[i] += 4.0; });
+    acc.wait(3);
+  }
+  for (const double v : host) ASSERT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(AccxAsync, WaitOnUnknownQueueIsNoop) {
+  Accelerator acc(Vendor::NVIDIA, Compiler::NVHPC);
+  acc.wait(99);  // must not throw
+  acc.wait_all();
+}
+
+TEST(AccxAsync, AsyncWorksThroughClaccLowering) {
+  Accelerator acc(Vendor::AMD, Compiler::Clacc);
+  ASSERT_TRUE(acc.lowers_to_openmp());
+  constexpr std::size_t n = 128;
+  std::vector<int> host(n, 0);
+  {
+    data_region data(acc);
+    int* d = data.copy(host.data(), n);
+    acc.parallel_loop_async(1, n, gpusim::KernelCosts{},
+                            [d](std::size_t i) { d[i] = 7; });
+    acc.wait_all();
+  }
+  for (const int v : host) ASSERT_EQ(v, 7);
+}
+
+TEST(AccxAsync, AsyncQueueInheritsRouteProfile) {
+  Accelerator acc(Vendor::NVIDIA, Compiler::NVHPC);
+  gpusim::KernelCosts costs;
+  costs.bytes_read = 1e9;
+  acc.parallel_loop(1024, costs, [](std::size_t) {});
+  acc.parallel_loop_async(1, 1024, costs, [](std::size_t) {});
+  // Same profile -> same simulated duration for the same work.
+  EXPECT_DOUBLE_EQ(acc.simulated_time_us(), acc.async_time_us(1));
+}
+
+}  // namespace
+}  // namespace mcmm::accx

@@ -1,0 +1,119 @@
+#include "models/alpakax/alpakax.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace mcmm::alpakax {
+namespace {
+
+TEST(Alpakax, TagsBindVendorsAtCompileTime) {
+  static_assert(AccGpuCudaRt::vendor == Vendor::NVIDIA);
+  static_assert(AccGpuHipRt::vendor == Vendor::AMD);
+  static_assert(AccGpuSyclIntel::vendor == Vendor::Intel);
+  static_assert(!AccGpuCudaRt::experimental);
+  static_assert(AccGpuSyclIntel::experimental);
+}
+
+TEST(Alpakax, WorkDivCoversN) {
+  const WorkDiv wd = work_div_for(1000, 256);
+  EXPECT_EQ(wd.blocks, 4u);
+  EXPECT_EQ(wd.total(), 1024u);
+  const WorkDiv zero = work_div_for(0);
+  EXPECT_EQ(zero.blocks, 1u);
+}
+
+/// The alpaka idiom: one templated kernel, compiled for every accelerator.
+struct ScaleAddKernel {
+  template <typename TCtx>
+  void operator()(const TCtx& ctx, double* y, const double* x, double a,
+                  std::size_t n) const {
+    const std::size_t i = ctx.global_thread_idx;
+    if (i < n) y[i] = a * x[i] + y[i];
+  }
+};
+
+template <typename TAcc>
+void run_scale_add() {
+  Queue<TAcc> queue;
+  constexpr std::size_t n = 3000;
+  auto x = alloc_buf<double>(queue, n);
+  auto y = alloc_buf<double>(queue, n);
+  std::vector<double> hx(n, 2.0), hy(n, 1.0);
+  memcpy_to_device(queue, x, hx.data(), n);
+  memcpy_to_device(queue, y, hy.data(), n);
+  exec(queue, work_div_for(n), gpusim::KernelCosts{}, ScaleAddKernel{},
+       y.data(), static_cast<const double*>(x.data()), 3.0, n);
+  std::vector<double> out(n);
+  memcpy_to_host(queue, out.data(), y, n);
+  for (const double v : out) ASSERT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(Alpakax, SameKernelOnCudaTag) { run_scale_add<AccGpuCudaRt>(); }
+TEST(Alpakax, SameKernelOnHipTag) { run_scale_add<AccGpuHipRt>(); }
+TEST(Alpakax, SameKernelOnSyclTag) { run_scale_add<AccGpuSyclIntel>(); }
+
+TEST(Alpakax, QueueVendorsMatchTags) {
+  Queue<AccGpuCudaRt> cuda;
+  EXPECT_EQ(cuda.device().vendor(), Vendor::NVIDIA);
+  Queue<AccGpuHipRt> hip;
+  EXPECT_EQ(hip.device().vendor(), Vendor::AMD);
+  Queue<AccGpuSyclIntel> sycl;
+  EXPECT_EQ(sycl.device().vendor(), Vendor::Intel);
+}
+
+TEST(Alpakax, SyclTagPaysExperimentalOverhead) {
+  Queue<AccGpuCudaRt> cuda;
+  Queue<AccGpuSyclIntel> sycl;
+  EXPECT_GT(cuda.queue().backend_profile().bandwidth_efficiency,
+            sycl.queue().backend_profile().bandwidth_efficiency);
+}
+
+TEST(Alpakax, OmpFallbackRunsOnAllVendors) {
+  // Items 29/43: Alpaka can fall back to an OpenMP backend.
+  for (const Vendor v : kAllVendors) {
+    Queue<AccOmp> queue(v);
+    EXPECT_EQ(queue.vendor(), v);
+    constexpr std::size_t n = 500;
+    auto buf = alloc_buf<int>(queue, n);
+    std::vector<int> host(n, 0);
+    memcpy_to_device(queue, buf, host.data(), n);
+    exec(queue, work_div_for(n), gpusim::KernelCosts{},
+         [](const AccCtx& ctx, int* p, std::size_t count) {
+           if (ctx.global_thread_idx < count) {
+             p[ctx.global_thread_idx] = static_cast<int>(ctx.global_thread_idx);
+           }
+         },
+         buf.data(), n);
+    memcpy_to_host(queue, host.data(), buf, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(host[i], static_cast<int>(i));
+    }
+  }
+}
+
+TEST(Alpakax, BufferMoveTransfersOwnership) {
+  Queue<AccGpuCudaRt> queue;
+  const std::size_t before = queue.device().allocator().live_allocations();
+  {
+    auto a = alloc_buf<double>(queue, 64);
+    auto b = std::move(a);
+    EXPECT_EQ(queue.device().allocator().live_allocations(), before + 1);
+    EXPECT_NE(b.data(), nullptr);
+  }
+  EXPECT_EQ(queue.device().allocator().live_allocations(), before);
+}
+
+TEST(Alpakax, SimulatedTimeAdvances) {
+  Queue<AccGpuHipRt> queue;
+  const double t0 = queue.simulated_time_us();
+  gpusim::KernelCosts costs;
+  costs.bytes_written = 1e8;
+  exec(queue, work_div_for(1024), costs,
+       [](const AccCtx&, int) {}, 0);
+  EXPECT_GT(queue.simulated_time_us(), t0);
+}
+
+}  // namespace
+}  // namespace mcmm::alpakax

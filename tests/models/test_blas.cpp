@@ -1,0 +1,276 @@
+// Tests of the cuBLAS-style and hipBLAS-style library embeddings (paper
+// item 3: HIP creates interfaces to CUDA libraries; hipblasSaxpy for
+// cublasSaxpy).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "models/cudax/cublasx.hpp"
+#include "models/hipx/hipblasx.hpp"
+
+namespace mcmm {
+namespace {
+
+using cudax::cublasStatus_t;
+using hipx::hipblasStatus_t;
+
+class CublasTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(cudax::cublasCreate(&handle_),
+              cublasStatus_t::CUBLAS_STATUS_SUCCESS);
+  }
+  void TearDown() override {
+    EXPECT_EQ(cudax::cublasDestroy(handle_),
+              cublasStatus_t::CUBLAS_STATUS_SUCCESS);
+  }
+
+  template <typename T>
+  T* device_upload(const std::vector<T>& host) {
+    void* d = nullptr;
+    EXPECT_EQ(cudax::cudaMalloc(&d, host.size() * sizeof(T)),
+              cudax::cudaError_t::cudaSuccess);
+    EXPECT_EQ(cudax::cudaMemcpy(d, host.data(), host.size() * sizeof(T),
+                                cudax::cudaMemcpyHostToDevice),
+              cudax::cudaError_t::cudaSuccess);
+    return static_cast<T*>(d);
+  }
+
+  template <typename T>
+  std::vector<T> device_download(const T* d, std::size_t n) {
+    std::vector<T> host(n);
+    EXPECT_EQ(cudax::cudaMemcpy(host.data(), d, n * sizeof(T),
+                                cudax::cudaMemcpyDeviceToHost),
+              cudax::cudaError_t::cudaSuccess);
+    return host;
+  }
+
+  cudax::cublasHandle_t handle_{};
+};
+
+TEST_F(CublasTest, Saxpy) {
+  constexpr int n = 1000;
+  std::vector<float> x(n, 2.0f), y(n, 1.0f);
+  float* dx = device_upload(x);
+  float* dy = device_upload(y);
+  const float alpha = 3.0f;
+  ASSERT_EQ(cudax::cublasSaxpy(handle_, n, &alpha, dx, 1, dy, 1),
+            cublasStatus_t::CUBLAS_STATUS_SUCCESS);
+  for (const float v : device_download(dy, n)) ASSERT_FLOAT_EQ(v, 7.0f);
+  (void)cudax::cudaFree(dx);
+  (void)cudax::cudaFree(dy);
+}
+
+TEST_F(CublasTest, DaxpyWithStrides) {
+  constexpr int n = 10;
+  std::vector<double> x(2 * n, 1.0), y(2 * n, 0.0);
+  double* dx = device_upload(x);
+  double* dy = device_upload(y);
+  const double alpha = 5.0;
+  ASSERT_EQ(cudax::cublasDaxpy(handle_, n, &alpha, dx, 2, dy, 2),
+            cublasStatus_t::CUBLAS_STATUS_SUCCESS);
+  const auto out = device_download(dy, 2 * n);
+  for (int i = 0; i < 2 * n; ++i) {
+    ASSERT_DOUBLE_EQ(out[i], i % 2 == 0 ? 5.0 : 0.0) << i;
+  }
+  (void)cudax::cudaFree(dx);
+  (void)cudax::cudaFree(dy);
+}
+
+TEST_F(CublasTest, Ddot) {
+  constexpr int n = 12345;
+  std::vector<double> x(n, 0.5), y(n, 4.0);
+  double* dx = device_upload(x);
+  double* dy = device_upload(y);
+  double result = 0.0;
+  ASSERT_EQ(cudax::cublasDdot(handle_, n, dx, 1, dy, 1, &result),
+            cublasStatus_t::CUBLAS_STATUS_SUCCESS);
+  EXPECT_DOUBLE_EQ(result, 2.0 * n);
+  (void)cudax::cudaFree(dx);
+  (void)cudax::cudaFree(dy);
+}
+
+TEST_F(CublasTest, DgemmIdentity) {
+  // C = A * I must reproduce A (column-major).
+  constexpr int m = 7, k = 7, n = 7;
+  std::vector<double> a(m * k);
+  for (int i = 0; i < m * k; ++i) a[i] = i * 0.25;
+  std::vector<double> identity(k * n, 0.0);
+  for (int i = 0; i < k; ++i) identity[i + i * k] = 1.0;
+  std::vector<double> c(m * n, -1.0);
+  double* da = device_upload(a);
+  double* db = device_upload(identity);
+  double* dc = device_upload(c);
+  const double alpha = 1.0, beta = 0.0;
+  ASSERT_EQ(cudax::cublasDgemm(handle_, m, n, k, &alpha, da, m, db, k,
+                               &beta, dc, m),
+            cublasStatus_t::CUBLAS_STATUS_SUCCESS);
+  const auto out = device_download(dc, m * n);
+  for (int i = 0; i < m * n; ++i) ASSERT_DOUBLE_EQ(out[i], a[i]) << i;
+  (void)cudax::cudaFree(da);
+  (void)cudax::cudaFree(db);
+  (void)cudax::cudaFree(dc);
+}
+
+TEST_F(CublasTest, DgemmSmallKnownAnswer) {
+  // A = [1 2; 3 4] (column-major: 1,3,2,4), B = [5 6; 7 8] -> AB =
+  // [19 22; 43 50].
+  const std::vector<double> a{1, 3, 2, 4};
+  const std::vector<double> b{5, 7, 6, 8};
+  std::vector<double> c(4, 0.0);
+  double* da = device_upload(a);
+  double* db = device_upload(b);
+  double* dc = device_upload(c);
+  const double alpha = 1.0, beta = 0.0;
+  ASSERT_EQ(cudax::cublasDgemm(handle_, 2, 2, 2, &alpha, da, 2, db, 2,
+                               &beta, dc, 2),
+            cublasStatus_t::CUBLAS_STATUS_SUCCESS);
+  const auto out = device_download(dc, 4);
+  EXPECT_DOUBLE_EQ(out[0], 19.0);
+  EXPECT_DOUBLE_EQ(out[1], 43.0);
+  EXPECT_DOUBLE_EQ(out[2], 22.0);
+  EXPECT_DOUBLE_EQ(out[3], 50.0);
+  (void)cudax::cudaFree(da);
+  (void)cudax::cudaFree(db);
+  (void)cudax::cudaFree(dc);
+}
+
+TEST(Cublas, InvalidHandleRejected) {
+  const float alpha = 1.0f;
+  EXPECT_EQ(cudax::cublasSaxpy(nullptr, 1, &alpha, nullptr, 1, nullptr, 1),
+            cublasStatus_t::CUBLAS_STATUS_NOT_INITIALIZED);
+  EXPECT_EQ(cudax::cublasDestroy(nullptr),
+            cublasStatus_t::CUBLAS_STATUS_NOT_INITIALIZED);
+}
+
+TEST(Cublas, UseAfterDestroyRejected) {
+  cudax::cublasHandle_t h = nullptr;
+  ASSERT_EQ(cudax::cublasCreate(&h), cublasStatus_t::CUBLAS_STATUS_SUCCESS);
+  ASSERT_EQ(cudax::cublasDestroy(h),
+            cublasStatus_t::CUBLAS_STATUS_SUCCESS);
+  const float alpha = 1.0f;
+  EXPECT_EQ(cudax::cublasSaxpy(h, 1, &alpha, nullptr, 1, nullptr, 1),
+            cublasStatus_t::CUBLAS_STATUS_NOT_INITIALIZED);
+}
+
+TEST(Cublas, InvalidValuesRejected) {
+  cudax::cublasHandle_t h = nullptr;
+  ASSERT_EQ(cudax::cublasCreate(&h), cublasStatus_t::CUBLAS_STATUS_SUCCESS);
+  EXPECT_EQ(cudax::cublasSaxpy(h, 4, nullptr, nullptr, 1, nullptr, 1),
+            cublasStatus_t::CUBLAS_STATUS_INVALID_VALUE);
+  const float alpha = 1.0f;
+  EXPECT_EQ(cudax::cublasSaxpy(h, 4, &alpha, nullptr, 0, nullptr, 1),
+            cublasStatus_t::CUBLAS_STATUS_INVALID_VALUE);
+  ASSERT_EQ(cudax::cublasDestroy(h),
+            cublasStatus_t::CUBLAS_STATUS_SUCCESS);
+}
+
+// ------------------------------------------------------------- hipBLAS --
+
+class HipblasPlatformTest : public ::testing::TestWithParam<hipx::Platform> {
+ protected:
+  void SetUp() override {
+    saved_ = hipx::platform();
+    hipx::set_platform(GetParam());
+    ASSERT_EQ(hipx::hipblasCreate(&handle_),
+              hipblasStatus_t::HIPBLAS_STATUS_SUCCESS);
+  }
+  void TearDown() override {
+    EXPECT_EQ(hipx::hipblasDestroy(handle_),
+              hipblasStatus_t::HIPBLAS_STATUS_SUCCESS);
+    hipx::set_platform(saved_);
+  }
+
+  hipx::hipblasHandle_t handle_{};
+  hipx::Platform saved_{};
+};
+
+TEST_P(HipblasPlatformTest, BackendMatchesPlatform) {
+  // On the nvidia platform hipBLAS wraps cuBLAS (item 3's interface
+  // story); on amd it runs natively.
+  EXPECT_EQ(hipx::hipblas_uses_cublas_backend(handle_),
+            GetParam() == hipx::Platform::nvidia);
+}
+
+TEST_P(HipblasPlatformTest, SaxpySameSourceBothPlatforms) {
+  constexpr int n = 500;
+  std::vector<float> x(n, 2.0f), y(n, 1.0f);
+  float *dx = nullptr, *dy = nullptr;
+  ASSERT_EQ(hipx::hipMalloc(reinterpret_cast<void**>(&dx),
+                            n * sizeof(float)),
+            hipx::hipError_t::hipSuccess);
+  ASSERT_EQ(hipx::hipMalloc(reinterpret_cast<void**>(&dy),
+                            n * sizeof(float)),
+            hipx::hipError_t::hipSuccess);
+  ASSERT_EQ(hipx::hipMemcpy(dx, x.data(), n * sizeof(float),
+                            hipx::hipMemcpyHostToDevice),
+            hipx::hipError_t::hipSuccess);
+  ASSERT_EQ(hipx::hipMemcpy(dy, y.data(), n * sizeof(float),
+                            hipx::hipMemcpyHostToDevice),
+            hipx::hipError_t::hipSuccess);
+  const float alpha = 3.0f;
+  ASSERT_EQ(hipx::hipblasSaxpy(handle_, n, &alpha, dx, 1, dy, 1),
+            hipblasStatus_t::HIPBLAS_STATUS_SUCCESS);
+  ASSERT_EQ(hipx::hipMemcpy(y.data(), dy, n * sizeof(float),
+                            hipx::hipMemcpyDeviceToHost),
+            hipx::hipError_t::hipSuccess);
+  for (const float v : y) ASSERT_FLOAT_EQ(v, 7.0f);
+  (void)hipx::hipFree(dx);
+  (void)hipx::hipFree(dy);
+}
+
+TEST_P(HipblasPlatformTest, DdotAndDgemm) {
+  constexpr int n = 2048;
+  std::vector<double> x(n, 1.5), y(n, 2.0);
+  double *dx = nullptr, *dy = nullptr;
+  ASSERT_EQ(hipx::hipMalloc(reinterpret_cast<void**>(&dx),
+                            n * sizeof(double)),
+            hipx::hipError_t::hipSuccess);
+  ASSERT_EQ(hipx::hipMalloc(reinterpret_cast<void**>(&dy),
+                            n * sizeof(double)),
+            hipx::hipError_t::hipSuccess);
+  ASSERT_EQ(hipx::hipMemcpy(dx, x.data(), n * sizeof(double),
+                            hipx::hipMemcpyHostToDevice),
+            hipx::hipError_t::hipSuccess);
+  ASSERT_EQ(hipx::hipMemcpy(dy, y.data(), n * sizeof(double),
+                            hipx::hipMemcpyHostToDevice),
+            hipx::hipError_t::hipSuccess);
+  double dot = 0.0;
+  ASSERT_EQ(hipx::hipblasDdot(handle_, n, dx, 1, dy, 1, &dot),
+            hipblasStatus_t::HIPBLAS_STATUS_SUCCESS);
+  EXPECT_DOUBLE_EQ(dot, 3.0 * n);
+
+  // 2x2 gemm on the same platform.
+  const std::vector<double> a{1, 3, 2, 4};
+  const std::vector<double> b{5, 7, 6, 8};
+  std::vector<double> c(4, 0.0);
+  double *da = nullptr, *db = nullptr, *dc = nullptr;
+  ASSERT_EQ(hipx::hipMalloc(reinterpret_cast<void**>(&da), 4 * 8),
+            hipx::hipError_t::hipSuccess);
+  ASSERT_EQ(hipx::hipMalloc(reinterpret_cast<void**>(&db), 4 * 8),
+            hipx::hipError_t::hipSuccess);
+  ASSERT_EQ(hipx::hipMalloc(reinterpret_cast<void**>(&dc), 4 * 8),
+            hipx::hipError_t::hipSuccess);
+  (void)hipx::hipMemcpy(da, a.data(), 32, hipx::hipMemcpyHostToDevice);
+  (void)hipx::hipMemcpy(db, b.data(), 32, hipx::hipMemcpyHostToDevice);
+  (void)hipx::hipMemcpy(dc, c.data(), 32, hipx::hipMemcpyHostToDevice);
+  const double alpha = 1.0, beta = 0.0;
+  ASSERT_EQ(hipx::hipblasDgemm(handle_, 2, 2, 2, &alpha, da, 2, db, 2,
+                               &beta, dc, 2),
+            hipblasStatus_t::HIPBLAS_STATUS_SUCCESS);
+  (void)hipx::hipMemcpy(c.data(), dc, 32, hipx::hipMemcpyDeviceToHost);
+  EXPECT_DOUBLE_EQ(c[0], 19.0);
+  EXPECT_DOUBLE_EQ(c[3], 50.0);
+  for (double* p : {dx, dy, da, db, dc}) (void)hipx::hipFree(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Platforms, HipblasPlatformTest,
+    ::testing::Values(hipx::Platform::amd, hipx::Platform::nvidia),
+    [](const ::testing::TestParamInfo<hipx::Platform>& info) {
+      return info.param == hipx::Platform::amd ? "amd" : "nvidia";
+    });
+
+}  // namespace
+}  // namespace mcmm

@@ -1,0 +1,222 @@
+#include "models/cudax/cudax.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace mcmm::cudax {
+namespace {
+
+using enum cudaError_t;
+
+TEST(Cudax, DeviceManagement) {
+  int count = -1;
+  EXPECT_EQ(cudaGetDeviceCount(&count), cudaSuccess);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(cudaSetDevice(0), cudaSuccess);
+  EXPECT_EQ(cudaSetDevice(1), cudaErrorInvalidDevice);
+  int device = -1;
+  EXPECT_EQ(cudaGetDevice(&device), cudaSuccess);
+  EXPECT_EQ(device, 0);
+  EXPECT_EQ(cudaGetDeviceCount(nullptr), cudaErrorInvalidValue);
+}
+
+TEST(Cudax, TargetsSimulatedNvidiaDevice) {
+  EXPECT_EQ(current_device().vendor(), Vendor::NVIDIA);
+}
+
+TEST(Cudax, MallocFreeRoundTrip) {
+  void* p = nullptr;
+  EXPECT_EQ(cudaMalloc(&p, 4096), cudaSuccess);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(current_device().is_device_pointer(p));
+  EXPECT_EQ(cudaFree(p), cudaSuccess);
+  EXPECT_FALSE(current_device().is_device_pointer(p));
+}
+
+TEST(Cudax, FreeNullptrIsAllowed) {
+  EXPECT_EQ(cudaFree(nullptr), cudaSuccess);
+}
+
+TEST(Cudax, DoubleFreeReturnsError) {
+  void* p = nullptr;
+  ASSERT_EQ(cudaMalloc(&p, 64), cudaSuccess);
+  EXPECT_EQ(cudaFree(p), cudaSuccess);
+  EXPECT_EQ(cudaFree(p), cudaErrorInvalidDevicePointer);
+}
+
+TEST(Cudax, MemcpyRoundTrip) {
+  std::vector<double> host(512);
+  std::iota(host.begin(), host.end(), 1.0);
+  void* d = nullptr;
+  ASSERT_EQ(cudaMalloc(&d, host.size() * sizeof(double)), cudaSuccess);
+  EXPECT_EQ(cudaMemcpy(d, host.data(), host.size() * sizeof(double),
+                       cudaMemcpyHostToDevice),
+            cudaSuccess);
+  std::vector<double> back(512, 0.0);
+  EXPECT_EQ(cudaMemcpy(back.data(), d, back.size() * sizeof(double),
+                       cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  EXPECT_EQ(back, host);
+  EXPECT_EQ(cudaFree(d), cudaSuccess);
+}
+
+TEST(Cudax, MemcpyWrongDirectionFails) {
+  std::vector<char> host(64);
+  void* d = nullptr;
+  ASSERT_EQ(cudaMalloc(&d, 64), cudaSuccess);
+  EXPECT_EQ(cudaMemcpy(host.data(), host.data(), 64, cudaMemcpyDeviceToHost),
+            cudaErrorInvalidDevicePointer);
+  EXPECT_EQ(cudaFree(d), cudaSuccess);
+}
+
+TEST(Cudax, MemsetFillsDeviceMemory) {
+  void* d = nullptr;
+  ASSERT_EQ(cudaMalloc(&d, 128), cudaSuccess);
+  EXPECT_EQ(cudaMemset(d, 0x5A, 128), cudaSuccess);
+  std::vector<unsigned char> back(128);
+  ASSERT_EQ(cudaMemcpy(back.data(), d, 128, cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  for (const unsigned char c : back) EXPECT_EQ(c, 0x5A);
+  EXPECT_EQ(cudaFree(d), cudaSuccess);
+}
+
+TEST(Cudax, SaxpyKernel) {
+  constexpr std::size_t n = 10000;
+  std::vector<float> x(n, 2.0f);
+  std::vector<float> y(n, 3.0f);
+  float *dx = nullptr, *dy = nullptr;
+  ASSERT_EQ(cudaMalloc(reinterpret_cast<void**>(&dx), n * sizeof(float)),
+            cudaSuccess);
+  ASSERT_EQ(cudaMalloc(reinterpret_cast<void**>(&dy), n * sizeof(float)),
+            cudaSuccess);
+  ASSERT_EQ(cudaMemcpy(dx, x.data(), n * sizeof(float),
+                       cudaMemcpyHostToDevice),
+            cudaSuccess);
+  ASSERT_EQ(cudaMemcpy(dy, y.data(), n * sizeof(float),
+                       cudaMemcpyHostToDevice),
+            cudaSuccess);
+
+  // The CUDA-idiomatic kernel: ctx plays the role of the built-ins.
+  const auto saxpy = [](const KernelCtx& ctx, float a, const float* px,
+                        float* py, std::size_t count) {
+    const std::size_t i = ctx.global_x();
+    if (i < count) py[i] = a * px[i] + py[i];
+  };
+  const dim3 block{256, 1, 1};
+  const dim3 grid{static_cast<std::uint32_t>((n + 255) / 256), 1, 1};
+  EXPECT_EQ(cudaLaunch(grid, block, saxpy, 2.0f,
+                       static_cast<const float*>(dx), dy, n),
+            cudaSuccess);
+
+  ASSERT_EQ(cudaMemcpy(y.data(), dy, n * sizeof(float),
+                       cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  for (const float v : y) ASSERT_FLOAT_EQ(v, 7.0f);
+  EXPECT_EQ(cudaFree(dx), cudaSuccess);
+  EXPECT_EQ(cudaFree(dy), cudaSuccess);
+}
+
+TEST(Cudax, TwoDimensionalKernelTransposesAMatrix) {
+  constexpr std::size_t rows = 48, cols = 31;
+  std::vector<float> in(rows * cols), out(rows * cols, -1.0f);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<float>(i);
+  }
+  float *din = nullptr, *dout = nullptr;
+  ASSERT_EQ(cudaMalloc(reinterpret_cast<void**>(&din),
+                       in.size() * sizeof(float)),
+            cudaSuccess);
+  ASSERT_EQ(cudaMalloc(reinterpret_cast<void**>(&dout),
+                       out.size() * sizeof(float)),
+            cudaSuccess);
+  ASSERT_EQ(cudaMemcpy(din, in.data(), in.size() * sizeof(float),
+                       cudaMemcpyHostToDevice),
+            cudaSuccess);
+
+  // 2-D grid/block, CUDA style: x covers columns, y covers rows.
+  const dim3 block{16, 16, 1};
+  const dim3 grid{static_cast<std::uint32_t>((cols + 15) / 16),
+                  static_cast<std::uint32_t>((rows + 15) / 16), 1};
+  const auto transpose = [](const KernelCtx& ctx, const float* src,
+                            float* dst, std::size_t r, std::size_t c) {
+    const std::size_t col = ctx.blockIdx.x * ctx.blockDim.x + ctx.threadIdx.x;
+    const std::size_t row = ctx.blockIdx.y * ctx.blockDim.y + ctx.threadIdx.y;
+    if (row < r && col < c) dst[col * r + row] = src[row * c + col];
+  };
+  ASSERT_EQ(cudaLaunch(grid, block, transpose,
+                       static_cast<const float*>(din), dout, rows, cols),
+            cudaSuccess);
+
+  ASSERT_EQ(cudaMemcpy(out.data(), dout, out.size() * sizeof(float),
+                       cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  for (std::size_t row = 0; row < rows; ++row) {
+    for (std::size_t col = 0; col < cols; ++col) {
+      ASSERT_FLOAT_EQ(out[col * rows + row], in[row * cols + col])
+          << row << "," << col;
+    }
+  }
+  EXPECT_EQ(cudaFree(din), cudaSuccess);
+  EXPECT_EQ(cudaFree(dout), cudaSuccess);
+}
+
+TEST(Cudax, OversizedBlockIsInvalidConfiguration) {
+  const dim3 grid{1, 1, 1};
+  const dim3 block{4096, 1, 1};
+  EXPECT_EQ(cudaLaunch(grid, block, [](const KernelCtx&) {}),
+            cudaErrorInvalidConfiguration);
+}
+
+TEST(Cudax, StreamsAndEventsMeasureSimulatedTime) {
+  cudaStream_t stream = nullptr;
+  ASSERT_EQ(cudaStreamCreate(&stream), cudaSuccess);
+  cudaEvent_t start = nullptr, stop = nullptr;
+  ASSERT_EQ(cudaEventCreate(&start), cudaSuccess);
+  ASSERT_EQ(cudaEventCreate(&stop), cudaSuccess);
+
+  ASSERT_EQ(cudaEventRecord(start, stream), cudaSuccess);
+  gpusim::KernelCosts costs;
+  costs.bytes_read = 1e9;
+  EXPECT_EQ(cudaLaunch(dim3{64, 1, 1}, dim3{256, 1, 1}, costs, stream,
+                       [](const KernelCtx&) {}),
+            cudaSuccess);
+  ASSERT_EQ(cudaEventRecord(stop, stream), cudaSuccess);
+
+  float ms = 0.0f;
+  ASSERT_EQ(cudaEventElapsedTime(&ms, start, stop), cudaSuccess);
+  EXPECT_GT(ms, 0.0f);
+
+  EXPECT_EQ(cudaStreamSynchronize(stream), cudaSuccess);
+  EXPECT_EQ(cudaEventDestroy(start), cudaSuccess);
+  EXPECT_EQ(cudaEventDestroy(stop), cudaSuccess);
+  EXPECT_EQ(cudaStreamDestroy(stream), cudaSuccess);
+}
+
+TEST(Cudax, ElapsedTimeNeedsRecordedEvents) {
+  cudaEvent_t a = nullptr, b = nullptr;
+  ASSERT_EQ(cudaEventCreate(&a), cudaSuccess);
+  ASSERT_EQ(cudaEventCreate(&b), cudaSuccess);
+  float ms = 0.0f;
+  EXPECT_EQ(cudaEventElapsedTime(&ms, a, b), cudaErrorInvalidValue);
+  EXPECT_EQ(cudaEventDestroy(a), cudaSuccess);
+  EXPECT_EQ(cudaEventDestroy(b), cudaSuccess);
+}
+
+TEST(Cudax, ErrorStringsAreDescriptive) {
+  EXPECT_STREQ(cudaGetErrorString(cudaSuccess), "no error");
+  EXPECT_STREQ(cudaGetErrorString(cudaErrorMemoryAllocation),
+               "out of memory");
+}
+
+TEST(Cudax, OutOfMemoryReturnsErrorCode) {
+  void* p = nullptr;
+  // More than the 80 GB H100-like capacity.
+  EXPECT_EQ(cudaMalloc(&p, std::size_t{200} * 1024 * 1024 * 1024),
+            cudaErrorMemoryAllocation);
+  EXPECT_EQ(p, nullptr);
+}
+
+}  // namespace
+}  // namespace mcmm::cudax

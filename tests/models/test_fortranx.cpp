@@ -1,0 +1,134 @@
+// Tests of the Fortran binding-layer model: hipfort's interface surface
+// (item 4) and FLCL (item 14), including the executable ISO_C_BINDING-style
+// bridge driving the simulated AMD device.
+
+#include "models/fortranx/fortranx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "models/hipx/hipx.hpp"
+
+namespace mcmm::fortranx {
+namespace {
+
+TEST(Fortranx, HipfortMetadataMatchesPaper) {
+  const BindingLayer& layer = hipfort();
+  EXPECT_EQ(layer.name(), "hipfort");
+  EXPECT_EQ(layer.license(), "MIT");  // item 4: "MIT-licensed"
+  EXPECT_EQ(layer.provider(), Provider::OtherVendor);
+  EXPECT_GE(layer.entries().size(), 10u);
+}
+
+TEST(Fortranx, HipfortBindsTheHipCApi) {
+  const BindingLayer& layer = hipfort();
+  for (const char* name : {"hipMalloc", "hipFree", "hipMemcpy",
+                           "hipDeviceSynchronize", "hipblasDaxpy"}) {
+    EXPECT_NE(layer.find(name), nullptr) << name;
+  }
+}
+
+TEST(Fortranx, HipfortHasNoKernelLanguage) {
+  // Item 4: "CUDA-like Fortran extensions, for example to write kernels,
+  // are [not] available" — the launch API is absent from the surface.
+  EXPECT_EQ(hipfort().find("hipLaunchKernelGGL"), nullptr);
+  EXPECT_EQ(hipfort().find("attributes_global"), nullptr);
+}
+
+TEST(Fortranx, HipfortCoversMostButNotAllOfTheApi) {
+  const double cov = hipfort().coverage(hip_api_surface());
+  EXPECT_GT(cov, 0.7);  // "an extensive set of ready-made interfaces"
+  EXPECT_LT(cov, 1.0);  // ... but no kernel-side functionality
+}
+
+TEST(Fortranx, FlclIsTheKokkosLayer) {
+  const BindingLayer& layer = flcl();
+  EXPECT_EQ(layer.provider(), Provider::Community);
+  EXPECT_NE(layer.find("kokkos_parallel_for"), nullptr);
+  EXPECT_NE(layer.find("kokkos_deep_copy"), nullptr);
+  EXPECT_EQ(layer.find("hipMalloc"), nullptr);
+}
+
+TEST(Fortranx, CallBridgeRoundTrip) {
+  // A "Fortran program" driving the simulated AMD GPU purely through
+  // hipfort interfaces.
+  hipx::set_platform(hipx::Platform::amd);
+  void* device_ptr = nullptr;
+  EXPECT_EQ(call_hipfort("hipMalloc", {CValue::pointer(&device_ptr),
+                                       CValue::bytes(256 * sizeof(double))}),
+            0);
+  ASSERT_NE(device_ptr, nullptr);
+
+  std::vector<double> host(256, 7.0);
+  EXPECT_EQ(call_hipfort("hipMemcpy",
+                         {CValue::pointer(device_ptr),
+                          CValue::pointer(host.data()),
+                          CValue::bytes(256 * sizeof(double)),
+                          CValue::bytes(hipx::hipMemcpyHostToDevice)}),
+            0);
+  std::vector<double> back(256, 0.0);
+  EXPECT_EQ(call_hipfort("hipMemcpy",
+                         {CValue::pointer(back.data()),
+                          CValue::pointer(device_ptr),
+                          CValue::bytes(256 * sizeof(double)),
+                          CValue::bytes(hipx::hipMemcpyDeviceToHost)}),
+            0);
+  EXPECT_EQ(back, host);
+  EXPECT_EQ(call_hipfort("hipDeviceSynchronize", {}), 0);
+  EXPECT_EQ(call_hipfort("hipFree", {CValue::pointer(device_ptr)}), 0);
+}
+
+TEST(Fortranx, CallBridgeMemset) {
+  hipx::set_platform(hipx::Platform::amd);
+  void* p = nullptr;
+  ASSERT_EQ(call_hipfort("hipMalloc",
+                         {CValue::pointer(&p), CValue::bytes(64)}),
+            0);
+  EXPECT_EQ(call_hipfort("hipMemset", {CValue::pointer(p), CValue::bytes(0),
+                                       CValue::bytes(64)}),
+            0);
+  EXPECT_EQ(call_hipfort("hipFree", {CValue::pointer(p)}), 0);
+}
+
+TEST(Fortranx, CallBridgeReportsErrorsAsStatusCodes) {
+  hipx::set_platform(hipx::Platform::amd);
+  int dummy = 0;
+  // Double free comes back as a non-zero status, like the Fortran
+  // interface would deliver it.
+  void* p = nullptr;
+  ASSERT_EQ(call_hipfort("hipMalloc",
+                         {CValue::pointer(&p), CValue::bytes(16)}),
+            0);
+  EXPECT_EQ(call_hipfort("hipFree", {CValue::pointer(p)}), 0);
+  EXPECT_NE(call_hipfort("hipFree", {CValue::pointer(p)}), 0);
+  EXPECT_EQ(call_hipfort("hipGetDeviceCount", {CValue::pointer(&dummy)}), 0);
+  EXPECT_EQ(dummy, 1);
+}
+
+TEST(Fortranx, UnknownInterfaceThrows) {
+  EXPECT_THROW((void)call_hipfort("hipLaunchKernelGGL", {}), LookupError);
+  EXPECT_THROW((void)call_hipfort("cudaMalloc", {}), LookupError);
+}
+
+TEST(Fortranx, ArityMismatchThrows) {
+  EXPECT_THROW((void)call_hipfort("hipMalloc", {CValue::bytes(16)}), Error);
+  EXPECT_THROW(
+      (void)call_hipfort("hipDeviceSynchronize", {CValue::bytes(1)}), Error);
+}
+
+TEST(Fortranx, DeclaredButUndispatchedInterfaceThrows) {
+  // hipblasSaxpy is in the interface table but outside the executable
+  // subset of the bridge.
+  EXPECT_THROW((void)call_hipfort(
+                   "hipblasSaxpy",
+                   std::vector<CValue>(7, CValue::bytes(0))),
+               Error);
+}
+
+TEST(Fortranx, CoverageOfEmptySurfaceIsOne) {
+  EXPECT_DOUBLE_EQ(hipfort().coverage({}), 1.0);
+}
+
+}  // namespace
+}  // namespace mcmm::fortranx

@@ -1,0 +1,163 @@
+// Tests of the Python-column embedding (items 17, 30, 44): NumPy-shaped
+// dynamic arrays per package, dtype promotion, Python-style errors, and
+// the package/vendor mapping of Fig. 1's Python row.
+
+#include "models/pybindx/pybindx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mcmm::pybindx {
+namespace {
+
+TEST(Pybindx, PackageVendorRow) {
+  EXPECT_EQ(package_vendor(Package::CudaPython), Vendor::NVIDIA);
+  EXPECT_EQ(package_vendor(Package::CuPy), Vendor::NVIDIA);
+  EXPECT_EQ(package_vendor(Package::CuPyROCm), Vendor::AMD);
+  EXPECT_EQ(package_vendor(Package::PyHIP), Vendor::AMD);
+  EXPECT_EQ(package_vendor(Package::Dpnp), Vendor::Intel);
+  EXPECT_EQ(package_vendor(Package::NumbaDpex), Vendor::Intel);
+}
+
+TEST(Pybindx, VendorProvidedPackagesMatchPaper) {
+  // Item 17: CUDA Python and cuNumeric are NVIDIA's own; item 44: the
+  // Intel trio is vendor-provided; item 30: AMD has no official package.
+  EXPECT_TRUE(package_vendor_provided(Package::CudaPython));
+  EXPECT_TRUE(package_vendor_provided(Package::CuNumeric));
+  EXPECT_TRUE(package_vendor_provided(Package::Dpnp));
+  EXPECT_FALSE(package_vendor_provided(Package::CuPy));
+  EXPECT_FALSE(package_vendor_provided(Package::CuPyROCm));
+  EXPECT_FALSE(package_vendor_provided(Package::PyHIP));
+}
+
+TEST(Pybindx, AmdRoutesAreExperimental) {
+  // The AMD Python cell is rated 'limited'; its packages run at
+  // experimental efficiency.
+  Module cupy(Package::CuPy);
+  Module rocm(Package::CuPyROCm);
+  EXPECT_GT(cupy.profile().bandwidth_efficiency,
+            rocm.profile().bandwidth_efficiency);
+}
+
+class PackageTest : public ::testing::TestWithParam<Package> {};
+
+TEST_P(PackageTest, NumpyStyleWorkflow) {
+  Module np(GetParam());
+  EXPECT_EQ(np.vendor(), package_vendor(GetParam()));
+
+  const ndarray x = np.full(1000, 2.0);
+  const ndarray y = np.full(1000, 3.0);
+  const ndarray z = np.add(np.multiply(x, 2.0), y);  // z = 2x + y = 7
+  const std::vector<double> host = np.asnumpy(z);
+  for (const double v : host) ASSERT_DOUBLE_EQ(v, 7.0);
+  EXPECT_DOUBLE_EQ(np.sum(z), 7000.0);
+  EXPECT_DOUBLE_EQ(np.dot(x, y), 6000.0);
+}
+
+TEST_P(PackageTest, ArangeAndAsarray) {
+  Module np(GetParam());
+  const ndarray r = np.arange(100);
+  EXPECT_DOUBLE_EQ(np.sum(r), 99.0 * 100.0 / 2.0);
+
+  std::vector<double> host(50);
+  std::iota(host.begin(), host.end(), 1.0);
+  const ndarray a = np.asarray(host);
+  EXPECT_EQ(np.asnumpy(a), host);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure1PythonRow, PackageTest,
+    ::testing::Values(Package::CudaPython, Package::CuPy, Package::Numba,
+                      Package::CuNumeric, Package::CuPyROCm, Package::PyHIP,
+                      Package::Dpnp, Package::NumbaDpex),
+    [](const ::testing::TestParamInfo<Package>& info) {
+      std::string name(to_string(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Pybindx, DtypePromotionFollowsNumpy) {
+  EXPECT_EQ(Module::promote(DType::Int32, DType::Int32), DType::Int32);
+  EXPECT_EQ(Module::promote(DType::Int32, DType::Float32), DType::Float32);
+  EXPECT_EQ(Module::promote(DType::Float32, DType::Float64),
+            DType::Float64);
+  EXPECT_EQ(Module::promote(DType::Int32, DType::Float64), DType::Float64);
+}
+
+TEST(Pybindx, MixedDtypeArithmeticPromotes) {
+  Module np(Package::CuPy);
+  const ndarray i = np.full(10, 3.0, DType::Int32);
+  const ndarray f = np.full(10, 0.5, DType::Float64);
+  const ndarray r = np.add(i, f);
+  EXPECT_EQ(r.dtype(), DType::Float64);
+  for (const double v : np.asnumpy(r)) ASSERT_DOUBLE_EQ(v, 3.5);
+}
+
+TEST(Pybindx, Int32ArithmeticTruncates) {
+  Module np(Package::Dpnp);
+  const ndarray a = np.full(4, 7.0, DType::Int32);
+  const ndarray b = np.full(4, 2.0, DType::Int32);
+  const ndarray r = np.multiply(a, b);
+  EXPECT_EQ(r.dtype(), DType::Int32);
+  for (const double v : np.asnumpy(r)) ASSERT_DOUBLE_EQ(v, 14.0);
+}
+
+TEST(Pybindx, Float32Roundtrip) {
+  Module np(Package::CuPy);
+  const ndarray a = np.full(16, 1.5, DType::Float32);
+  const std::vector<double> host = np.asnumpy(a);
+  for (const double v : host) ASSERT_DOUBLE_EQ(v, 1.5);
+}
+
+TEST(Pybindx, ShapeMismatchRaisesValueError) {
+  Module np(Package::CuPy);
+  const ndarray a = np.zeros(10);
+  const ndarray b = np.zeros(11);
+  try {
+    (void)np.add(a, b);
+    FAIL() << "expected PyError";
+  } catch (const PyError& e) {
+    EXPECT_NE(std::string(e.what()).find("broadcast"), std::string::npos);
+  }
+}
+
+TEST(Pybindx, UndefinedArrayRaisesTypeError) {
+  Module np(Package::CuPy);
+  const ndarray undefined;
+  EXPECT_THROW((void)np.sum(undefined), PyError);
+}
+
+TEST(Pybindx, CrossModuleArraysRejected) {
+  // An array created by dpnp (Intel device) handed to CuPy (NVIDIA) is a
+  // cross-device bug Python users hit; the embedding raises, like CuPy.
+  Module dpnp(Package::Dpnp);
+  Module cupy(Package::CuPy);
+  const ndarray intel_array = dpnp.zeros(8);
+  EXPECT_THROW((void)cupy.sum(intel_array), PyError);
+}
+
+TEST(Pybindx, ArraysAreReferenceCountedOnDevice) {
+  Module np(Package::CuPy);
+  gpusim::Device& dev = gpusim::Platform::instance().device(Vendor::NVIDIA);
+  const std::size_t before = dev.allocator().live_allocations();
+  {
+    const ndarray a = np.zeros(100);
+    const ndarray alias = a;  // NOLINT(performance-unnecessary-copy-initialization)
+    EXPECT_EQ(dev.allocator().live_allocations(), before + 1);
+  }
+  EXPECT_EQ(dev.allocator().live_allocations(), before);
+}
+
+TEST(Pybindx, SimulatedTimeAdvances) {
+  Module np(Package::PyHIP);
+  const double t0 = np.simulated_time_us();
+  const ndarray a = np.full(1 << 16, 1.0);
+  (void)np.sum(a);
+  EXPECT_GT(np.simulated_time_us(), t0);
+}
+
+}  // namespace
+}  // namespace mcmm::pybindx

@@ -1,0 +1,141 @@
+// Tests of the SYCL buffer/accessor layer: implicit data movement,
+// write-back on destruction, host accessors, and cross-queue rejection.
+
+#include "models/syclx/buffers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace mcmm::syclx {
+namespace {
+
+TEST(SyclBuffers, BufferStartsOnHost) {
+  std::vector<double> host(64, 1.0);
+  buffer<double> buf(host.data(), host.size());
+  EXPECT_FALSE(buf.on_device());
+  EXPECT_EQ(buf.size(), 64u);
+}
+
+TEST(SyclBuffers, KernelThroughCommandGroup) {
+  queue q(Vendor::Intel, Implementation::DPCpp);
+  std::vector<double> host(128, 2.0);
+  {
+    buffer<double> buf(host.data(), host.size());
+    submit(q, [&](handler& h) {
+      auto acc = h.get_access(buf, access_mode::read_write);
+      h.parallel_for(range{buf.size()},
+                     [acc](id i) { acc[i] = acc[i] * 3.0; });
+    });
+    EXPECT_TRUE(buf.on_device());
+    // Host copy not yet updated (write-back happens at buffer scope end).
+    EXPECT_DOUBLE_EQ(host[0], 2.0);
+  }
+  // Destruction wrote back.
+  for (const double v : host) ASSERT_DOUBLE_EQ(v, 6.0);
+}
+
+TEST(SyclBuffers, VectorAddTwoInputBuffers) {
+  queue q(Vendor::NVIDIA, Implementation::DPCpp);
+  constexpr std::size_t n = 1000;
+  std::vector<double> a(n, 1.5), b(n, 2.5), c(n, 0.0);
+  {
+    buffer<double> ba(a.data(), n);
+    buffer<double> bb(b.data(), n);
+    buffer<double> bc(c.data(), n);
+    submit(q, [&](handler& h) {
+      auto ra = h.get_access(ba, access_mode::read);
+      auto rb = h.get_access(bb, access_mode::read);
+      auto wc = h.get_access(bc, access_mode::write);
+      h.parallel_for(range{n}, [=](id i) { wc[i] = ra[i] + rb[i]; });
+    });
+  }
+  for (const double v : c) ASSERT_DOUBLE_EQ(v, 4.0);
+  // Read-only buffers must not have altered their host data.
+  EXPECT_DOUBLE_EQ(a[0], 1.5);
+  EXPECT_DOUBLE_EQ(b[0], 2.5);
+}
+
+TEST(SyclBuffers, ReadOnlyAccessSkipsWriteBack) {
+  queue q(Vendor::AMD, Implementation::OpenSYCL);
+  std::vector<double> host(32, 9.0);
+  {
+    buffer<double> buf(host.data(), host.size());
+    double sum = 0.0;
+    submit(q, [&](handler& h) {
+      auto acc = h.get_access(buf, access_mode::read);
+      h.parallel_for(range{1}, [acc, &sum](id) {
+        double local = 0.0;
+        for (std::size_t i = 0; i < acc.size(); ++i) local += acc[i];
+        sum = local;
+      });
+    });
+    EXPECT_DOUBLE_EQ(sum, 32 * 9.0);
+    host.assign(32, -1.0);  // mutate host under the buffer
+  }
+  // No write-back: host keeps the mutation.
+  for (const double v : host) ASSERT_DOUBLE_EQ(v, -1.0);
+}
+
+TEST(SyclBuffers, HostAccessorSynchronizes) {
+  queue q(Vendor::Intel, Implementation::DPCpp);
+  std::vector<double> host(16, 1.0);
+  buffer<double> buf(host.data(), host.size());
+  submit(q, [&](handler& h) {
+    auto acc = h.get_access(buf, access_mode::read_write);
+    h.parallel_for(range{16}, [acc](id i) { acc[i] += 10.0; });
+  });
+  double* synced = buf.get_host_access();
+  for (std::size_t i = 0; i < 16; ++i) ASSERT_DOUBLE_EQ(synced[i], 11.0);
+}
+
+TEST(SyclBuffers, HostWriteAfterHostAccessReachesDevice) {
+  queue q(Vendor::Intel, Implementation::DPCpp);
+  std::vector<double> host(8, 1.0);
+  buffer<double> buf(host.data(), host.size());
+  // First kernel materializes the buffer.
+  submit(q, [&](handler& h) {
+    auto acc = h.get_access(buf, access_mode::read);
+    h.parallel_for(range{1}, [acc](id) {});
+  });
+  // Host mutation through the host accessor...
+  double* p = buf.get_host_access();
+  p[0] = 42.0;
+  // ...must be visible to the next kernel.
+  double seen = 0.0;
+  submit(q, [&](handler& h) {
+    auto acc = h.get_access(buf, access_mode::read);
+    h.parallel_for(range{1}, [acc, &seen](id) { seen = acc[0]; });
+  });
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(SyclBuffers, CrossQueueUseRejected) {
+  queue intel(Vendor::Intel, Implementation::DPCpp);
+  queue nvidia(Vendor::NVIDIA, Implementation::DPCpp);
+  std::vector<double> host(8, 0.0);
+  buffer<double> buf(host.data(), host.size());
+  (void)buf.get_access(intel, access_mode::read);
+  EXPECT_THROW((void)buf.get_access(nvidia, access_mode::read),
+               UnsupportedCombination);
+}
+
+TEST(SyclBuffers, ChainedKernelsSeeEachOthersWrites) {
+  queue q(Vendor::Intel, Implementation::DPCpp);
+  constexpr std::size_t n = 100;
+  std::vector<double> host(n, 1.0);
+  {
+    buffer<double> buf(host.data(), n);
+    for (int round = 0; round < 3; ++round) {
+      submit(q, [&](handler& h) {
+        auto acc = h.get_access(buf, access_mode::read_write);
+        h.parallel_for(range{n}, [acc](id i) { acc[i] *= 2.0; });
+      });
+    }
+  }
+  for (const double v : host) ASSERT_DOUBLE_EQ(v, 8.0);
+}
+
+}  // namespace
+}  // namespace mcmm::syclx

@@ -1,0 +1,157 @@
+// Renderer tests: the regenerated Fig. 1 must contain all 51 cells, the
+// right symbols, and survive structural checks in every format.
+
+#include "render/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+
+namespace mcmm::render {
+namespace {
+
+const CompatibilityMatrix& matrix() { return data::paper_matrix(); }
+
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(RenderText, ContainsAllVendorsAndModels) {
+  const std::string t = figure1_text(matrix());
+  for (const Vendor v : kAllVendors) {
+    EXPECT_NE(t.find(to_string(v)), std::string::npos) << to_string(v);
+  }
+  for (const Model m : kAllModels) {
+    EXPECT_NE(t.find(to_string(m)), std::string::npos) << to_string(m);
+  }
+}
+
+TEST(RenderText, HasThreeDataRowsAndLegend) {
+  const std::string t = figure1_text(matrix());
+  EXPECT_EQ(count_occurrences(t, "\nNVIDIA"), 1u);
+  EXPECT_EQ(count_occurrences(t, "\nAMD"), 1u);
+  EXPECT_EQ(count_occurrences(t, "\nIntel"), 1u);
+  EXPECT_NE(t.find("Legend:"), std::string::npos);
+  EXPECT_NE(t.find("full support"), std::string::npos);
+  EXPECT_NE(t.find("no support"), std::string::npos);
+}
+
+TEST(RenderText, AsciiModeHasNoUnicode) {
+  Options opts;
+  opts.unicode = false;
+  const std::string t = figure1_text(matrix(), opts);
+  for (const char c : t) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0u);
+    EXPECT_LT(static_cast<unsigned char>(c), 128u) << "non-ASCII in output";
+  }
+}
+
+TEST(RenderText, RowsAlignInAsciiMode) {
+  Options opts;
+  opts.unicode = false;
+  opts.legend = false;
+  const std::string t = figure1_text(matrix(), opts);
+  std::vector<std::size_t> lengths;
+  std::istringstream in(t);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lengths.push_back(line.size());
+  }
+  ASSERT_GE(lengths.size(), 5u);  // 2 headers + separator + 3 rows
+  // All data/header lines share one width (the separator row may differ by
+  // trailing '+' placement, so compare headers and data rows only).
+  EXPECT_EQ(lengths[0], lengths[1]);
+  EXPECT_EQ(lengths[3], lengths[4]);
+  EXPECT_EQ(lengths[1], lengths[3]);
+}
+
+TEST(RenderText, ItemNumbersCanBeDisabled) {
+  Options opts;
+  opts.item_numbers = false;
+  opts.legend = false;
+  const std::string t = figure1_text(matrix(), opts);
+  // Without item numbers there must be no digits in the table at all.
+  for (const char c : t) {
+    EXPECT_FALSE(c >= '0' && c <= '9') << "digit in table: " << t;
+  }
+}
+
+TEST(RenderText, CellSymbolDualRating) {
+  Options opts;
+  const SupportEntry& dual =
+      matrix().at(Vendor::Intel, Model::CUDA, Language::Cpp);
+  const std::string s = cell_symbol(dual, opts);
+  EXPECT_NE(s.find('/'), std::string::npos);
+  EXPECT_NE(s.find("31"), std::string::npos);
+}
+
+TEST(RenderMarkdown, TableShape) {
+  const std::string t = figure1_markdown(matrix());
+  // 17 columns + vendor column -> 18 ('|'-separated) fields, 19 pipes.
+  std::istringstream in(t);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(count_occurrences(header, "|"), 19u);
+  // 3 data rows starting with vendor names.
+  EXPECT_NE(t.find("| NVIDIA |"), std::string::npos);
+  EXPECT_NE(t.find("| AMD |"), std::string::npos);
+  EXPECT_NE(t.find("| Intel |"), std::string::npos);
+}
+
+TEST(RenderHtml, StructuralChecks) {
+  const std::string t = figure1_html(matrix());
+  EXPECT_NE(t.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(t.find("</html>"), std::string::npos);
+  // 51 cells -> 51 anchor links into the description list.
+  EXPECT_EQ(count_occurrences(t, "<a href=\"#item-"), 51u);
+  // 44 description anchors.
+  EXPECT_EQ(count_occurrences(t, "<dt id=\"item-"), 44u);
+  // Cells carry rating CSS classes.
+  EXPECT_GT(count_occurrences(t, "td class=\"full\""), 0u);
+  EXPECT_GT(count_occurrences(t, "td class=\"none\""), 0u);
+}
+
+TEST(RenderHtml, EscapesEntities) {
+  const std::string t = figure1_html(matrix());
+  // Description texts contain no raw '<' from the dataset; the generated
+  // text must not contain un-escaped quotes inside title attributes.
+  EXPECT_EQ(t.find("title=\"\"\""), std::string::npos);
+}
+
+TEST(RenderLatex, StructuralChecks) {
+  const std::string t = figure1_latex(matrix());
+  EXPECT_NE(t.find("\\begin{tabular}"), std::string::npos);
+  EXPECT_NE(t.find("\\end{tabular}"), std::string::npos);
+  EXPECT_NE(t.find("\\toprule"), std::string::npos);
+  EXPECT_NE(t.find("\\bottomrule"), std::string::npos);
+  // 3 vendor rows, each ending in \\.
+  EXPECT_GE(count_occurrences(t, "\\\\"), 5u);
+  // Superscript item numbers present.
+  EXPECT_NE(t.find("\\textsuperscript{1}"), std::string::npos);
+}
+
+TEST(RenderCsv, OneRowPerCell) {
+  const std::string t = matrix_csv(matrix());
+  EXPECT_EQ(count_occurrences(t, "\n"), 52u);  // header + 51 cells
+  EXPECT_NE(t.find("NVIDIA,CUDA,C++,full support,platform vendor"),
+            std::string::npos);
+  EXPECT_NE(t.find("Intel,CUDA,C++,indirect good support,platform vendor,"
+                   "limited support,community"),
+            std::string::npos);
+}
+
+TEST(RenderLegend, SixEntries) {
+  const std::string t = legend_text();
+  for (const SupportCategory c : kAllCategories) {
+    EXPECT_NE(t.find(category_name(c)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mcmm::render

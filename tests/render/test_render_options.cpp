@@ -1,0 +1,130 @@
+// Renderer option-combination sweeps and escaping edge cases.
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "render/render.hpp"
+
+namespace mcmm::render {
+namespace {
+
+const CompatibilityMatrix& matrix() { return data::paper_matrix(); }
+
+struct OptionCombo {
+  bool unicode;
+  bool legend;
+  bool item_numbers;
+};
+
+class OptionSweep : public ::testing::TestWithParam<OptionCombo> {};
+
+TEST_P(OptionSweep, TextRendererHonoursEveryCombination) {
+  Options opts;
+  opts.unicode = GetParam().unicode;
+  opts.legend = GetParam().legend;
+  opts.item_numbers = GetParam().item_numbers;
+  const std::string t = figure1_text(matrix(), opts);
+  ASSERT_FALSE(t.empty());
+  EXPECT_EQ(t.find("Legend:") != std::string::npos, opts.legend);
+  if (!opts.unicode) {
+    for (const char c : t) {
+      ASSERT_LT(static_cast<unsigned char>(c), 128u);
+    }
+  } else {
+    EXPECT_NE(t.find("●"), std::string::npos);
+  }
+  // Item numbers: "44" (the Python/Intel item) appears iff enabled.
+  EXPECT_EQ(t.find(" 44") != std::string::npos, opts.item_numbers);
+}
+
+TEST_P(OptionSweep, MarkdownRendererHonoursEveryCombination) {
+  Options opts;
+  opts.unicode = GetParam().unicode;
+  opts.legend = GetParam().legend;
+  opts.item_numbers = GetParam().item_numbers;
+  const std::string t = figure1_markdown(matrix(), opts);
+  EXPECT_EQ(t.find("full support") != std::string::npos, opts.legend);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, OptionSweep,
+    ::testing::Values(OptionCombo{true, true, true},
+                      OptionCombo{true, true, false},
+                      OptionCombo{true, false, true},
+                      OptionCombo{true, false, false},
+                      OptionCombo{false, true, true},
+                      OptionCombo{false, true, false},
+                      OptionCombo{false, false, true},
+                      OptionCombo{false, false, false}),
+    [](const ::testing::TestParamInfo<OptionCombo>& info) {
+      std::string name;
+      name += info.param.unicode ? "uni" : "ascii";
+      name += info.param.legend ? "_legend" : "_nolegend";
+      name += info.param.item_numbers ? "_nums" : "_nonums";
+      return name;
+    });
+
+TEST(RenderEscaping, HtmlEscapesSpecialCharacters) {
+  // Build a matrix with hostile strings and ensure the HTML stays sane.
+  CompatibilityMatrix m;
+  m.add_description(Description{
+      1, "NVIDIA <script> & \"quotes\"",
+      "text with <tags> & ampersands and \"double quotes\" inside", {}});
+  int id = 1;
+  for (const Vendor v : kAllVendors) {
+    for (const Model model : kAllModels) {
+      for (const Language l :
+           {Language::Cpp, Language::Fortran, Language::Python}) {
+        if (!language_applies(model, l)) continue;
+        SupportEntry e;
+        e.combo = Combination{v, model, l};
+        e.description_id = 1;
+        e.ratings.push_back(Rating{SupportCategory::None, Provider::Nobody,
+                                   "a <b> & \"c\""});
+        m.add_entry(e);
+        ++id;
+      }
+    }
+  }
+  const std::string html = figure1_html(m);
+  EXPECT_EQ(html.find("<script>"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+  EXPECT_NE(html.find("&quot;"), std::string::npos);
+  EXPECT_NE(html.find("&amp;"), std::string::npos);
+}
+
+TEST(RenderEscaping, LatexEscapesSpecialCharacters) {
+  // The LaTeX legend must escape its category names safely; feed the
+  // renderer the real matrix and check no bare specials leak from known
+  // content.
+  const std::string tex = figure1_latex(matrix());
+  // No stray unescaped '&' outside tabular alignment: every line's '&'
+  // count must be consistent with the 18 columns (17 separators + text).
+  std::istringstream in(tex);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\\\\") == std::string::npos) continue;  // not a row
+    // Header rows use \multicolumn spans; check the three data rows.
+    const bool data_row = line.rfind("NVIDIA", 0) == 0 ||
+                          line.rfind("AMD", 0) == 0 ||
+                          line.rfind("Intel", 0) == 0;
+    if (!data_row) continue;
+    const auto count = std::count(line.begin(), line.end(), '&');
+    EXPECT_EQ(count, 17) << line;
+  }
+}
+
+TEST(RenderCsvEscaping, NoFieldContainsUnquotedComma) {
+  const std::string csv = matrix_csv(matrix());
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);  // header
+  const auto expected =
+      std::count(line.begin(), line.end(), ',');
+  while (std::getline(in, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), expected) << line;
+  }
+}
+
+}  // namespace
+}  // namespace mcmm::render

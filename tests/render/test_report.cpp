@@ -1,0 +1,65 @@
+#include "render/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+
+namespace mcmm::render {
+namespace {
+
+const CompatibilityMatrix& matrix() { return data::paper_matrix(); }
+
+TEST(Report, ClaimsReportAllPass) {
+  const Claims claims(matrix());
+  const std::string t = claims_report(claims);
+  EXPECT_EQ(t.find("[FAIL]"), std::string::npos) << t;
+  EXPECT_NE(t.find("[PASS] openmp-everywhere"), std::string::npos);
+  EXPECT_NE(t.find("claims hold"), std::string::npos);
+}
+
+TEST(Report, StatisticsReportMentionsAllDimensions) {
+  const Statistics stats(matrix());
+  const std::string t = statistics_report(stats);
+  EXPECT_NE(t.find("NVIDIA"), std::string::npos);
+  EXPECT_NE(t.find("coverage="), std::string::npos);
+  EXPECT_NE(t.find("Fortran"), std::string::npos);
+  EXPECT_NE(t.find("Kokkos"), std::string::npos);
+  EXPECT_NE(t.find("42/51 combinations usable"), std::string::npos);
+  EXPECT_NE(t.find("2 dual-rated cells"), std::string::npos);
+  EXPECT_NE(t.find("Primary-rating providers:"), std::string::npos);
+}
+
+TEST(Report, PlanReportEmpty) {
+  const std::string t = plan_report({});
+  EXPECT_NE(t.find("No programming model"), std::string::npos);
+}
+
+TEST(Report, PlanReportListsRoutes) {
+  const RoutePlanner planner(matrix());
+  PlannerQuery q;
+  q.language = Language::Fortran;
+  q.must_run_on = {Vendor::AMD, Vendor::Intel, Vendor::NVIDIA};
+  q.minimum_category = SupportCategory::Some;
+  q.require_vendor_support = true;
+  const std::string t = plan_report(planner.plan(q));
+  EXPECT_NE(t.find("OpenMP"), std::string::npos);
+  EXPECT_NE(t.find("ifx"), std::string::npos);       // Intel route
+  EXPECT_NE(t.find("nvfortran"), std::string::npos); // NVIDIA route
+}
+
+TEST(Report, DescriptionTextIncludesRoutesAndCells) {
+  const std::string t = description_text(matrix(), 4);
+  EXPECT_NE(t.find("hipfort"), std::string::npos);
+  EXPECT_NE(t.find("NVIDIA / HIP / Fortran"), std::string::npos);
+  EXPECT_NE(t.find("AMD / HIP / Fortran"), std::string::npos);
+}
+
+TEST(Report, DescriptionTextForAll44Items) {
+  for (int id = 1; id <= 44; ++id) {
+    const std::string t = description_text(matrix(), id);
+    EXPECT_GT(t.size(), 50u) << "description " << id;
+  }
+}
+
+}  // namespace
+}  // namespace mcmm::render

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "translate/translate.hpp"
+
+namespace mcmm::translate {
+namespace {
+
+TEST(Acc2Omp, ParallelLoopDirective) {
+  const TranslationResult r = acc2omp("#pragma acc parallel loop\n");
+  EXPECT_NE(
+      r.code.find("#pragma omp target teams distribute parallel for"),
+      std::string::npos);
+}
+
+TEST(Acc2Omp, ReductionClausePreserved) {
+  const TranslationResult r =
+      acc2omp("#pragma acc parallel loop reduction(+:sum)\n");
+  EXPECT_NE(r.code.find("#pragma omp target teams distribute parallel for "
+                        "reduction(+:sum)"),
+            std::string::npos);
+}
+
+TEST(Acc2Omp, DataDirectivesAndClauses) {
+  const TranslationResult r =
+      acc2omp("#pragma acc data copyin(a[0:n]) copyout(c[0:n])\n");
+  EXPECT_NE(r.code.find("#pragma omp target data"), std::string::npos);
+  EXPECT_NE(r.code.find("map(to: a[0:n])"), std::string::npos);
+  EXPECT_NE(r.code.find("map(from: c[0:n])"), std::string::npos);
+}
+
+TEST(Acc2Omp, EnterExitData) {
+  const TranslationResult r = acc2omp(
+      "#pragma acc enter data copyin(x[0:n])\n"
+      "#pragma acc exit data copyout(x[0:n])\n");
+  EXPECT_NE(r.code.find("#pragma omp target enter data"), std::string::npos);
+  EXPECT_NE(r.code.find("#pragma omp target exit data"), std::string::npos);
+}
+
+TEST(Acc2Omp, UpdateDirectives) {
+  const TranslationResult r = acc2omp(
+      "#pragma acc update self(x[0:n])\n"
+      "#pragma acc update device(x[0:n])\n");
+  EXPECT_NE(r.code.find("#pragma omp target update from(x[0:n])"),
+            std::string::npos);
+  EXPECT_NE(r.code.find("#pragma omp target update to(x[0:n])"),
+            std::string::npos);
+}
+
+TEST(Acc2Omp, GangVectorVocabulary) {
+  const TranslationResult r =
+      acc2omp("#pragma acc parallel loop num_gangs(128) vector_length(256)\n");
+  EXPECT_NE(r.code.find("num_teams(128)"), std::string::npos);
+  EXPECT_NE(r.code.find("thread_limit(256)"), std::string::npos);
+}
+
+TEST(Acc2Omp, EmbeddingApiIsRewritten) {
+  const TranslationResult r = acc2omp(
+      "accx::Accelerator acc(vendor, compiler);\n"
+      "accx::data_region data(acc);\n"
+      "acc.parallel_loop(n, costs, body);\n");
+  EXPECT_NE(r.code.find("ompx::TargetDevice"), std::string::npos);
+  EXPECT_NE(r.code.find("ompx::target_data"), std::string::npos);
+  EXPECT_NE(r.code.find("ompx::target_teams_distribute_parallel_for"),
+            std::string::npos);
+}
+
+TEST(Acc2Omp, RuntimeApiIsFlagged) {
+  const TranslationResult r =
+      acc2omp("int t = acc_get_device_type();\n");
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Acc2Omp, AsyncClausesAreFlagged) {
+  const TranslationResult r =
+      acc2omp("#pragma acc parallel loop async(1)\n");
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Acc2Omp, CacheDirectiveFlagged) {
+  const TranslationResult r = acc2omp("#pragma acc cache(a[0:64])\n");
+  EXPECT_FALSE(r.clean());
+  EXPECT_NE(r.code.find("#pragma acc cache"), std::string::npos)
+      << "unconvertible directive must stay in place";
+}
+
+TEST(Acc2Omp, MixedRealWorldSnippet) {
+  const std::string source =
+      "void stream_triad(double* a, const double* b, const double* c,\n"
+      "                  double scalar, int n) {\n"
+      "#pragma acc data copyin(b[0:n], c[0:n]) copyout(a[0:n])\n"
+      "  {\n"
+      "#pragma acc parallel loop\n"
+      "    for (int i = 0; i < n; ++i) a[i] = b[i] + scalar * c[i];\n"
+      "  }\n"
+      "}\n";
+  const TranslationResult r = acc2omp(source);
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.code.find("#pragma acc"), std::string::npos);
+  EXPECT_NE(r.code.find("for (int i = 0; i < n; ++i)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcmm::translate

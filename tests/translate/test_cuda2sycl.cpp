@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "translate/translate.hpp"
+
+namespace mcmm::translate {
+namespace {
+
+TEST(Cuda2Sycl, MemoryBecomesUsm) {
+  const TranslationResult r = cuda2sycl(
+      "cudaMalloc(&p, n);\n"
+      "cudaMemcpy(d, h, n, cudaMemcpyHostToDevice);\n"
+      "cudaFree(p);\n");
+  EXPECT_NE(r.code.find("q.malloc_device"), std::string::npos);
+  EXPECT_NE(r.code.find("q.memcpy(d, h, n, /*host-to-device*/);"),
+            std::string::npos);
+  EXPECT_NE(r.code.find("q.free(p);"), std::string::npos);
+}
+
+TEST(Cuda2Sycl, SynchronizationBecomesWait) {
+  const TranslationResult r = cuda2sycl("cudaDeviceSynchronize();");
+  EXPECT_NE(r.code.find("q.wait();"), std::string::npos);
+}
+
+TEST(Cuda2Sycl, LaunchBecomesParallelFor) {
+  const TranslationResult r =
+      cuda2sycl("cudax::cudaLaunch(grid, block, kernel, a);");
+  EXPECT_NE(r.code.find("syclx::q.parallel_for"), std::string::npos);
+}
+
+TEST(Cuda2Sycl, WarpIntrinsicsAreFlagged) {
+  const TranslationResult r = cuda2sycl(
+      "float v = __shfl_down_sync(mask, x, 1);\n"
+      "__syncwarp();\n");
+  EXPECT_FALSE(r.clean());
+  EXPECT_EQ(r.unconverted_count(), 2u);
+  bool mentions_subgroup = false;
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.message.find("sub-group") != std::string::npos) {
+      mentions_subgroup = true;
+    }
+  }
+  EXPECT_TRUE(mentions_subgroup);
+}
+
+TEST(Cuda2Sycl, BlasIsFlaggedNotSilentlyDropped) {
+  const TranslationResult r = cuda2sycl("cublasSgemm(h, a, b, c);");
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Cuda2Sycl, MoreManualWorkThanHipify) {
+  // The paper's framing: HIP is CUDA-shaped, SYCL is "an entirely
+  // different programming model". The translators reflect this: the same
+  // warp-level CUDA code converts cleanly under hipify but not under
+  // cuda2sycl.
+  const std::string source =
+      "cudaMalloc(&p, n);\n"
+      "float v = __shfl_down_sync(mask, x, 1);\n";
+  EXPECT_TRUE(hipify(source).clean());
+  EXPECT_FALSE(cuda2sycl(source).clean());
+}
+
+TEST(Cuda2Sycl, AtomicsAreFlaggedForReview) {
+  const TranslationResult r = cuda2sycl("atomicAdd(&x, 1.0f);");
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Cuda2Sycl, CoverageBelowHipify) {
+  EXPECT_LT(cuda2sycl_coverage().ratio(), hipify_coverage().ratio());
+}
+
+}  // namespace
+}  // namespace mcmm::translate

@@ -1,0 +1,135 @@
+#include "translate/gpufort.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcmm::translate {
+namespace {
+
+const std::string kCufSource = R"(program saxpy_test
+  use cudafor
+  implicit none
+  real, device :: d_x(N), d_y(N)
+  integer :: istat
+  istat = cudaMalloc(d_x, N)
+  istat = cudaMemcpy(d_x, x, N, cudaMemcpyHostToDevice)
+  call saxpy<<<grid, tBlock>>>(a, d_x, d_y, N)
+  istat = cudaDeviceSynchronize()
+  istat = cudaMemcpy(y, d_y, N, cudaMemcpyDeviceToHost)
+  istat = cudaFree(d_x)
+end program
+
+attributes(global) subroutine saxpy(a, x, y, n)
+  real, value :: a
+  real :: x(*), y(*)
+  integer, value :: n
+  i = (blockIdx%x - 1) * blockDim%x + threadIdx%x
+  if (i <= n) y(i) = a * x(i) + y(i)
+end subroutine
+)";
+
+TEST(Gpufort, ToOpenMPReplacesModuleAndLaunch) {
+  const GpufortResult r = gpufort(kCufSource, GpufortMode::ToOpenMP);
+  EXPECT_NE(r.code.find("use omp_lib"), std::string::npos);
+  EXPECT_EQ(r.code.find("use cudafor"), std::string::npos);
+  EXPECT_NE(r.code.find("!$omp target teams distribute parallel do"),
+            std::string::npos);
+  EXPECT_NE(r.code.find("call saxpy(a, d_x, d_y, N)"), std::string::npos);
+  EXPECT_EQ(r.code.find("<<<"), std::string::npos);
+}
+
+TEST(Gpufort, ToOpenMPCommentsOutExplicitMemoryManagement) {
+  const GpufortResult r = gpufort(kCufSource, GpufortMode::ToOpenMP);
+  EXPECT_NE(r.code.find("! gpufort: device data now managed by OpenMP"),
+            std::string::npos);
+  // Any surviving mention of the CUDA memory API must sit on a Fortran
+  // comment line ('!'), never as an executable statement.
+  std::istringstream in(r.code);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("cudaMalloc") != std::string::npos ||
+        line.find("cudaMemcpy") != std::string::npos ||
+        line.find("cudaFree") != std::string::npos) {
+      const std::size_t first = line.find_first_not_of(" \t");
+      ASSERT_NE(first, std::string::npos);
+      EXPECT_EQ(line[first], '!') << line;
+    }
+  }
+}
+
+TEST(Gpufort, ToOpenMPDemotesKernelToHostSubroutine) {
+  const GpufortResult r = gpufort(kCufSource, GpufortMode::ToOpenMP);
+  EXPECT_EQ(r.code.find("attributes(global)"), std::string::npos);
+  EXPECT_NE(r.code.find("subroutine saxpy(a, x, y, n)"), std::string::npos);
+  EXPECT_TRUE(r.extracted_kernels.empty());
+}
+
+TEST(Gpufort, ToOpenMPStripsDeviceAttribute) {
+  const GpufortResult r = gpufort(kCufSource, GpufortMode::ToOpenMP);
+  EXPECT_EQ(r.code.find(", device ::"), std::string::npos);
+}
+
+TEST(Gpufort, ToHipfortRenamesApiAndModule) {
+  const GpufortResult r = gpufort(kCufSource, GpufortMode::ToHipfort);
+  EXPECT_NE(r.code.find("use hipfort"), std::string::npos);
+  EXPECT_NE(r.code.find("istat = hipMalloc(d_x, N)"), std::string::npos);
+  EXPECT_NE(r.code.find("hipMemcpyHostToDevice"), std::string::npos);
+  EXPECT_NE(r.code.find("hipDeviceSynchronize"), std::string::npos);
+  EXPECT_NE(r.code.find("istat = hipFree(d_x)"), std::string::npos);
+  EXPECT_EQ(r.code.find("cudaMalloc"), std::string::npos);
+}
+
+TEST(Gpufort, ToHipfortExtractsKernels) {
+  const GpufortResult r = gpufort(kCufSource, GpufortMode::ToHipfort);
+  ASSERT_EQ(r.extracted_kernels.size(), 1u);
+  EXPECT_NE(r.extracted_kernels[0].find("__global__ void saxpy"),
+            std::string::npos);
+  // The Fortran source keeps a marker comment, not the kernel body.
+  EXPECT_NE(r.code.find("! kernel 'saxpy' extracted to HIP C++"),
+            std::string::npos);
+  EXPECT_EQ(r.code.find("attributes(global)"), std::string::npos);
+}
+
+TEST(Gpufort, ToHipfortRewritesLaunchToHipLaunchKernel) {
+  const GpufortResult r = gpufort(kCufSource, GpufortMode::ToHipfort);
+  EXPECT_NE(r.code.find("call hipLaunchKernel(c_funloc(saxpy), grid, "
+                        "tBlock, a, d_x, d_y, N)"),
+            std::string::npos);
+}
+
+TEST(Gpufort, CleanSourceIsClean) {
+  EXPECT_TRUE(gpufort(kCufSource, GpufortMode::ToOpenMP).clean());
+  EXPECT_TRUE(gpufort(kCufSource, GpufortMode::ToHipfort).clean());
+}
+
+TEST(Gpufort, DiagnosesUncoveredFunctionality) {
+  // "The covered functionality is driven by use-case requirements."
+  const std::string bad =
+      "use cudafor\n"
+      "istat = cudaMallocManaged(p, n)\n"
+      "!$cuf kernel do <<<*, *>>>\n";
+  const GpufortResult r = gpufort(bad, GpufortMode::ToHipfort);
+  EXPECT_FALSE(r.clean());
+  EXPECT_GE(r.diagnostics.size(), 2u);
+}
+
+TEST(Gpufort, StreamsAreOutsideTheSubset) {
+  const GpufortResult r = gpufort("istat = cudaStreamCreate(s)\n",
+                                  GpufortMode::ToHipfort);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Gpufort, CaseInsensitiveFortran) {
+  const GpufortResult r = gpufort(
+      "USE CUDAFOR\nISTAT = CUDAMALLOC(D_X, N)\n", GpufortMode::ToHipfort);
+  EXPECT_NE(r.code.find("use hipfort"), std::string::npos);
+  EXPECT_NE(r.code.find("hipMalloc"), std::string::npos);
+}
+
+TEST(Gpufort, EmptySource) {
+  const GpufortResult r = gpufort("", GpufortMode::ToOpenMP);
+  EXPECT_TRUE(r.code.empty());
+  EXPECT_TRUE(r.clean());
+}
+
+}  // namespace
+}  // namespace mcmm::translate

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "translate/translate.hpp"
+
+namespace mcmm::translate {
+namespace {
+
+TEST(Hipify, RenamesRuntimeApi) {
+  const TranslationResult r = hipify(
+      "cudaMalloc(&p, n);\n"
+      "cudaMemcpy(d, h, n, cudaMemcpyHostToDevice);\n"
+      "cudaDeviceSynchronize();\n"
+      "cudaFree(p);\n");
+  EXPECT_NE(r.code.find("hipMalloc(&p, n);"), std::string::npos);
+  EXPECT_NE(r.code.find("hipMemcpy(d, h, n, hipMemcpyHostToDevice);"),
+            std::string::npos);
+  EXPECT_NE(r.code.find("hipDeviceSynchronize();"), std::string::npos);
+  EXPECT_NE(r.code.find("hipFree(p);"), std::string::npos);
+  EXPECT_EQ(r.code.find("cuda"), std::string::npos);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Hipify, AsyncVariantWinsOverPrefix) {
+  // Longest-match: cudaMemcpyAsync must not become hipMemcpyAsync via
+  // cudaMemcpy + "Async".
+  const TranslationResult r = hipify("cudaMemcpyAsync(d, h, n, k, s);");
+  EXPECT_NE(r.code.find("hipMemcpyAsync"), std::string::npos);
+}
+
+TEST(Hipify, LibraryCallsBecomeHipLibraries) {
+  // The paper, item 3: hipblasSaxpy() instead of cublasSaxpy().
+  const TranslationResult r = hipify("cublasSaxpy(handle, n, &a, x, 1, y, 1);");
+  EXPECT_NE(r.code.find("hipblasSaxpy"), std::string::npos);
+}
+
+TEST(Hipify, LeavesStringsAndCommentsAlone) {
+  const TranslationResult r = hipify(
+      "// cudaMalloc in a comment stays\n"
+      "const char* s = \"cudaMalloc\";\n"
+      "cudaMalloc(&p, n);\n");
+  EXPECT_NE(r.code.find("// cudaMalloc in a comment stays"),
+            std::string::npos);
+  EXPECT_NE(r.code.find("\"cudaMalloc\""), std::string::npos);
+  EXPECT_NE(r.code.find("hipMalloc(&p, n);"), std::string::npos);
+}
+
+TEST(Hipify, DoesNotTouchIdentifierSubstrings) {
+  const TranslationResult r = hipify("int my_cudaMalloc_count = 0;");
+  EXPECT_EQ(r.code, "int my_cudaMalloc_count = 0;");
+}
+
+TEST(Hipify, FlagsUnconvertibleConstructs) {
+  const TranslationResult r = hipify(
+      "cudaMallocManaged(&p, n);\n"
+      "cooperative_groups::this_grid().sync();\n");
+  EXPECT_FALSE(r.clean());
+  EXPECT_EQ(r.unconverted_count(), 2u);
+}
+
+TEST(Hipify, ErrorEnumMapping) {
+  const TranslationResult r =
+      hipify("if (err == cudaErrorMemoryAllocation) return;");
+  EXPECT_NE(r.code.find("hipErrorOutOfMemory"), std::string::npos);
+}
+
+TEST(Hipify, EmbeddingNamespaceAndLaunch) {
+  const TranslationResult r = hipify(
+      "cudax::cudaLaunch(grid, block, kernel, a, b);\n");
+  EXPECT_NE(r.code.find("hipx::hipLaunchKernelGGL"), std::string::npos);
+}
+
+TEST(Hipify, EmptyInput) {
+  const TranslationResult r = hipify("");
+  EXPECT_TRUE(r.code.empty());
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Hipify, DiagnosticsNameFiredRules) {
+  const TranslationResult r = hipify("cudaMalloc(&p, n);");
+  ASSERT_FALSE(r.diagnostics.empty());
+  EXPECT_EQ(r.diagnostics[0].token, "cudaMalloc");
+  EXPECT_EQ(r.diagnostics[0].severity, Severity::Info);
+}
+
+TEST(Hipify, CoverageIsHigh) {
+  // HIPIFY is the mature near-1:1 route (rated 'indirect good support').
+  EXPECT_GT(hipify_coverage().ratio(), 0.8);
+}
+
+}  // namespace
+}  // namespace mcmm::translate

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "translate/rewriter.hpp"
+
+namespace mcmm::translate::detail {
+namespace {
+
+TEST(Rewriter, SimpleReplacement) {
+  const TranslationResult r =
+      rewrite("foo(x); foo(y);", {{"foo", "bar", ""}}, {});
+  EXPECT_EQ(r.code, "bar(x); bar(y);");
+  // One diagnostic per distinct rule, not per occurrence.
+  EXPECT_EQ(r.diagnostics.size(), 1u);
+}
+
+TEST(Rewriter, LongestMatchWins) {
+  const TranslationResult r = rewrite(
+      "fooBar(); foo();",
+      {{"foo", "X", ""}, {"fooBar", "Y", ""}}, {});
+  EXPECT_EQ(r.code, "Y(); X();");
+}
+
+TEST(Rewriter, IdentifierBoundariesRespected) {
+  const TranslationResult r =
+      rewrite("myfoo foo foo2 _foo", {{"foo", "bar", ""}}, {});
+  EXPECT_EQ(r.code, "myfoo bar foo2 _foo");
+}
+
+TEST(Rewriter, SkipsLineComments) {
+  const TranslationResult r =
+      rewrite("// foo here\nfoo();", {{"foo", "bar", ""}}, {});
+  EXPECT_EQ(r.code, "// foo here\nbar();");
+}
+
+TEST(Rewriter, SkipsBlockComments) {
+  const TranslationResult r =
+      rewrite("/* foo */ foo(); /* more foo */", {{"foo", "bar", ""}}, {});
+  EXPECT_EQ(r.code, "/* foo */ bar(); /* more foo */");
+}
+
+TEST(Rewriter, SkipsStringAndCharLiterals) {
+  const TranslationResult r = rewrite(
+      "s = \"foo\"; c = 'f'; foo();", {{"foo", "bar", ""}}, {});
+  EXPECT_EQ(r.code, "s = \"foo\"; c = 'f'; bar();");
+}
+
+TEST(Rewriter, EscapedQuotesInsideStrings) {
+  const TranslationResult r = rewrite(
+      "s = \"a \\\" foo\"; foo();", {{"foo", "bar", ""}}, {});
+  EXPECT_EQ(r.code, "s = \"a \\\" foo\"; bar();");
+}
+
+TEST(Rewriter, BlockersReportButKeepCode) {
+  const TranslationResult r =
+      rewrite("dangerous();", {}, {{"dangerous", "needs manual work"}});
+  EXPECT_EQ(r.code, "dangerous();");
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].severity, Severity::Unconverted);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Rewriter, BlockerInCommentDoesNotFire) {
+  const TranslationResult r =
+      rewrite("// dangerous\nok();", {}, {{"dangerous", "x"}});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Rewriter, ContainsToken) {
+  EXPECT_TRUE(contains_token("a foo b", "foo"));
+  EXPECT_FALSE(contains_token("a myfoo b", "foo"));
+  EXPECT_FALSE(contains_token("\"foo\"", "foo"));
+  EXPECT_FALSE(contains_token("// foo", "foo"));
+  EXPECT_TRUE(contains_token("foo", "foo"));
+}
+
+TEST(Rewriter, PragmaRulesWithSpaces) {
+  // Multi-word 'from' strings (directives) work because matching is
+  // positional, not tokenizing.
+  const TranslationResult r = rewrite(
+      "#pragma acc parallel loop\nbody();",
+      {{"#pragma acc parallel loop", "#pragma omp target", ""}}, {});
+  EXPECT_EQ(r.code, "#pragma omp target\nbody();");
+}
+
+TEST(Rewriter, UnterminatedStringDoesNotCrash) {
+  const TranslationResult r =
+      rewrite("s = \"unterminated foo", {{"foo", "bar", ""}}, {});
+  EXPECT_EQ(r.code, "s = \"unterminated foo");
+}
+
+}  // namespace
+}  // namespace mcmm::translate::detail

@@ -1,0 +1,105 @@
+// Tests of the V&V mini-suites (the SOLLVE / OpenACC V&V analogues).
+
+#include "validate/validate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcmm::validate {
+namespace {
+
+using ompx::Compiler;
+using ompx::Feature;
+
+TEST(OmpSuite, NoFunctionalFailuresAnywhere) {
+  // Every claimed feature must pass its functional check on every
+  // (compiler, vendor) pairing the compiler targets.
+  for (const ComplianceRow& row : openmp_compliance_rows()) {
+    EXPECT_EQ(row.failed, 0)
+        << ompx::to_string(row.compiler) << "/" << to_string(row.vendor);
+    EXPECT_EQ(row.passed + row.failed + row.unsupported, 8);
+  }
+}
+
+TEST(OmpSuite, SuiteHasEightCases) {
+  const auto results = run_openmp_suite(Vendor::NVIDIA, Compiler::NVHPC);
+  EXPECT_EQ(results.size(), 8u);
+}
+
+TEST(OmpSuite, NvhpcShowsItsSubsetGaps) {
+  // NVHPC claims only a subset of 5.0 (item 9): USM, declare mapper, and
+  // metadirective come back 'unsupported'.
+  const auto results = run_openmp_suite(Vendor::NVIDIA, Compiler::NVHPC);
+  for (const CaseResult& r : results) {
+    if (r.feature == Feature::UnifiedSharedMemory ||
+        r.feature == Feature::DeclareMapper ||
+        r.feature == Feature::Metadirective) {
+      EXPECT_EQ(r.verdict, Verdict::Unsupported) << r.name;
+      EXPECT_NE(r.detail.find("NVHPC"), std::string::npos);
+    }
+  }
+}
+
+TEST(OmpSuite, IcpxPassesMostFeatures) {
+  // Intel claims all 4.5 and most 5.0/5.1 (item 38).
+  int pass = 0;
+  for (const CaseResult& r :
+       run_openmp_suite(Vendor::Intel, Compiler::ICPX)) {
+    if (r.verdict == Verdict::Pass) ++pass;
+  }
+  EXPECT_EQ(pass, 7);  // everything but metadirective
+}
+
+TEST(OmpSuite, GccIs45Complete) {
+  // GCC: OpenMP 4.5 complete, no 5.0 features yet (item 9).
+  const auto results = run_openmp_suite(Vendor::AMD, Compiler::GCC);
+  for (const CaseResult& r : results) {
+    const bool is45 =
+        r.feature == Feature::TargetOffload ||
+        r.feature == Feature::TeamsReduction ||
+        r.feature == Feature::Collapse || r.feature == Feature::TargetUpdate;
+    EXPECT_EQ(r.verdict, is45 ? Verdict::Pass : Verdict::Unsupported)
+        << r.name;
+  }
+}
+
+TEST(OmpSuite, InvalidPairingThrows) {
+  EXPECT_THROW((void)run_openmp_suite(Vendor::Intel, Compiler::NVHPC),
+               UnsupportedCombination);
+}
+
+TEST(OmpSuite, ComplianceRowsCoverTenPairings) {
+  // NVHPC(1) + GCC(2) + Clang(2) + Cray(2) + AOMP(2) + ICPX(1) = 10.
+  EXPECT_EQ(openmp_compliance_rows().size(), 10u);
+}
+
+TEST(OmpSuite, ComplianceTableShape) {
+  const std::string table = openmp_compliance_table();
+  EXPECT_NE(table.find("NVHPC/NVIDIA"), std::string::npos);
+  EXPECT_NE(table.find("AOMP/AMD"), std::string::npos);
+  EXPECT_NE(table.find("ICPX/Intel"), std::string::npos);
+  EXPECT_EQ(table.find("ICPX/NVIDIA"), std::string::npos);
+  EXPECT_NE(table.find("unsupported"), std::string::npos);
+  EXPECT_EQ(table.find("FAIL"), std::string::npos);
+}
+
+TEST(AccSuite, AllPassOnSupportedPairings) {
+  for (const auto& [vendor, compiler] :
+       {std::pair{Vendor::NVIDIA, accx::Compiler::NVHPC},
+        std::pair{Vendor::AMD, accx::Compiler::GCC},
+        std::pair{Vendor::AMD, accx::Compiler::Clacc}}) {
+    const auto results = run_openacc_suite(vendor, compiler);
+    EXPECT_EQ(results.size(), 3u);
+    for (const AccCaseResult& r : results) {
+      EXPECT_EQ(r.verdict, Verdict::Pass)
+          << r.name << " on " << to_string(vendor);
+    }
+  }
+}
+
+TEST(AccSuite, IntelThrows) {
+  EXPECT_THROW((void)run_openacc_suite(Vendor::Intel, accx::Compiler::GCC),
+               UnsupportedCombination);
+}
+
+}  // namespace
+}  // namespace mcmm::validate

@@ -1,0 +1,75 @@
+#include "yamlx/device_yaml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+
+namespace mcmm::yamlx {
+namespace {
+
+TEST(DeviceYaml, RoundTripPreservesAllPresets) {
+  for (const Vendor v : kAllVendors) {
+    const gpusim::DeviceDescriptor original = gpusim::descriptor_for(v);
+    const gpusim::DeviceDescriptor round =
+        descriptor_from_yaml_text(descriptor_to_yaml_text(original));
+    EXPECT_EQ(round.vendor, original.vendor);
+    EXPECT_EQ(round.name, original.name);
+    EXPECT_EQ(round.compute_units, original.compute_units);
+    EXPECT_DOUBLE_EQ(round.clock_ghz, original.clock_ghz);
+    EXPECT_EQ(round.memory_bytes, original.memory_bytes);
+    EXPECT_DOUBLE_EQ(round.mem_bandwidth_gbps, original.mem_bandwidth_gbps);
+    EXPECT_DOUBLE_EQ(round.kernel_launch_latency_us,
+                     original.kernel_launch_latency_us);
+    EXPECT_EQ(round.warp_size, original.warp_size);
+  }
+}
+
+TEST(DeviceYaml, HandWrittenConfigWithDefaults) {
+  // A minimal config: unspecified keys fall back to the vendor preset.
+  const gpusim::DeviceDescriptor d = descriptor_from_yaml_text(
+      "vendor: AMD\n"
+      "name: hypothetical MI400\n"
+      "mem_bandwidth_gbps: 6000\n");
+  EXPECT_EQ(d.vendor, Vendor::AMD);
+  EXPECT_EQ(d.name, "hypothetical MI400");
+  EXPECT_DOUBLE_EQ(d.mem_bandwidth_gbps, 6000.0);
+  // Defaults from the MI250X-like preset.
+  EXPECT_EQ(d.warp_size, 64u);
+  EXPECT_EQ(d.memory_bytes, gpusim::mi250x_like().memory_bytes);
+}
+
+TEST(DeviceYaml, UnknownKeyIsATypo) {
+  EXPECT_THROW((void)descriptor_from_yaml_text(
+                   "vendor: AMD\nmem_bandwith_gbps: 6000\n"),
+               TypeError);
+}
+
+TEST(DeviceYaml, BadVendorThrows) {
+  EXPECT_THROW((void)descriptor_from_yaml_text("vendor: Imagination\n"),
+               TypeError);
+}
+
+TEST(DeviceYaml, MissingVendorThrows) {
+  EXPECT_THROW((void)descriptor_from_yaml_text("name: no vendor\n"),
+               TypeError);
+}
+
+TEST(DeviceYaml, CustomDeviceDrivesTheSimulator) {
+  // The point of the feature: benchmark a GPU that does not exist yet.
+  const gpusim::DeviceDescriptor next_gen = descriptor_from_yaml_text(
+      "vendor: NVIDIA\n"
+      "name: hypothetical R100\n"
+      "mem_bandwidth_gbps: 8000\n"
+      "kernel_launch_latency_us: 2\n");
+  gpusim::Device dev(next_gen);
+  gpusim::KernelCosts costs;
+  costs.bytes_read = 1e9;
+  const gpusim::Event e = dev.default_queue().launch(
+      gpusim::launch_1d(1024, 256), costs, [](const gpusim::WorkItem&) {});
+  // ~8 TB/s at 88 % stream efficiency: 1 GB in ~142 us + 2 us launch.
+  EXPECT_GT(e.duration_us(), 130.0);
+  EXPECT_LT(e.duration_us(), 160.0);
+}
+
+}  // namespace
+}  // namespace mcmm::yamlx

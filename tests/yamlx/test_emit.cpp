@@ -1,0 +1,122 @@
+// Emitter tests including the parse/emit round-trip property over generated
+// node trees.
+
+#include "yamlx/emit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "yamlx/parse.hpp"
+
+namespace mcmm::yamlx {
+namespace {
+
+TEST(Emit, ScalarDocument) {
+  EXPECT_EQ(emit(Node::scalar("hello")), "hello\n");
+}
+
+TEST(Emit, QuotesWhenNecessary) {
+  EXPECT_EQ(emit(Node::scalar("a: b")), "\"a: b\"\n");
+  EXPECT_EQ(emit(Node::scalar("#x")), "\"#x\"\n");
+  EXPECT_EQ(emit(Node::scalar("- dash")), "\"- dash\"\n");
+  EXPECT_EQ(emit(Node::scalar("")), "\"\"\n");
+  EXPECT_EQ(emit(Node::scalar(" pad")), "\" pad\"\n");
+}
+
+TEST(Emit, PlainSafePredicates) {
+  EXPECT_TRUE(plain_safe("simple"));
+  EXPECT_TRUE(plain_safe("a#b"));       // hash not after space
+  EXPECT_TRUE(plain_safe("http://x"));  // colon not before space/end
+  EXPECT_FALSE(plain_safe("ends:"));
+  EXPECT_FALSE(plain_safe("a #comment"));
+  EXPECT_FALSE(plain_safe("line\nbreak"));
+}
+
+TEST(Emit, MappingOutput) {
+  Node m = Node::mapping();
+  m.set("a", Node::scalar("1"));
+  m.set("b", Node::scalar("two words"));
+  EXPECT_EQ(emit(m), "a: 1\nb: two words\n");
+}
+
+TEST(Emit, SequenceOutput) {
+  Node s = Node::sequence();
+  s.push_back(Node::scalar("x"));
+  s.push_back(Node::scalar("y"));
+  EXPECT_EQ(emit(s), "- x\n- y\n");
+}
+
+TEST(Emit, NestedStructures) {
+  Node root = Node::mapping();
+  Node inner = Node::mapping();
+  inner.set("k", Node::scalar("v"));
+  root.set("outer", std::move(inner));
+  EXPECT_EQ(emit(root), "outer:\n  k: v\n");
+}
+
+TEST(Emit, SequenceOfMappingsInlinesFirstKey) {
+  Node root = Node::mapping();
+  Node seq = Node::sequence();
+  Node item = Node::mapping();
+  item.set("name", Node::scalar("n"));
+  item.set("value", Node::scalar("v"));
+  seq.push_back(std::move(item));
+  root.set("items", std::move(seq));
+  EXPECT_EQ(emit(root), "items:\n  - name: n\n    value: v\n");
+}
+
+// --- Round-trip property ---
+
+Node sample_tree(int variant) {
+  Node root = Node::mapping();
+  root.set("title", Node::scalar("doc " + std::to_string(variant)));
+  root.set("tricky", Node::scalar("needs: quoting #" + std::to_string(variant)));
+  Node seq = Node::sequence();
+  for (int i = 0; i < variant + 1; ++i) {
+    Node item = Node::mapping();
+    item.set("id", Node::scalar(std::to_string(i)));
+    item.set("label", Node::scalar("item " + std::to_string(i)));
+    Node tags = Node::sequence();
+    tags.push_back(Node::scalar("tag-a"));
+    tags.push_back(Node::scalar("x: y"));
+    item.set("tags", std::move(tags));
+    Node nested = Node::mapping();
+    nested.set("depth", Node::scalar("2"));
+    item.set("nested", std::move(nested));
+    seq.push_back(std::move(item));
+  }
+  root.set("items", std::move(seq));
+  return root;
+}
+
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripTest, ParseOfEmitYieldsSameTree) {
+  const Node original = sample_tree(GetParam());
+  const std::string text = emit(original);
+  const Node reparsed = parse(text);
+  EXPECT_EQ(reparsed, original) << text;
+}
+
+TEST_P(RoundTripTest, EmitIsIdempotent) {
+  const Node original = sample_tree(GetParam());
+  const std::string once = emit(original);
+  const std::string twice = emit(parse(once));
+  EXPECT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, RoundTripTest, ::testing::Range(0, 8));
+
+TEST(Emit, RoundTripSpecialScalars) {
+  for (const std::string s :
+       {"plain", "with spaces", "it's", "\"quoted\"", "multi\nline",
+        "trailing ", "-starts-with-dash", "ends:", "# hash",
+        "tab\there"}) {
+    Node m = Node::mapping();
+    m.set("k", Node::scalar(s));
+    const Node round = parse(emit(m));
+    EXPECT_EQ(round.at("k").as_string(), s) << "scalar: " << s;
+  }
+}
+
+}  // namespace
+}  // namespace mcmm::yamlx

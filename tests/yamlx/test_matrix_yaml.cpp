@@ -1,0 +1,92 @@
+// Full-pipeline test: the paper dataset survives the YAML round trip — the
+// reproduction of the author's YAML source-data workflow.
+
+#include "yamlx/matrix_yaml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/claims.hpp"
+#include "core/error.hpp"
+#include "data/dataset.hpp"
+
+namespace mcmm::yamlx {
+namespace {
+
+TEST(MatrixYaml, RoundTripPreservesEverything) {
+  const CompatibilityMatrix& original = data::paper_matrix();
+  const std::string text = matrix_to_yaml_text(original);
+  const CompatibilityMatrix round = matrix_from_yaml_text(text);
+
+  ASSERT_EQ(round.entry_count(), original.entry_count());
+  ASSERT_EQ(round.description_count(), original.description_count());
+  for (const SupportEntry* e : original.entries()) {
+    const SupportEntry* r = round.find(e->combo);
+    ASSERT_NE(r, nullptr) << to_string(e->combo);
+    EXPECT_EQ(r->ratings, e->ratings) << to_string(e->combo);
+    EXPECT_EQ(r->routes, e->routes) << to_string(e->combo);
+    EXPECT_EQ(r->description_id, e->description_id);
+    EXPECT_EQ(r->inferred, e->inferred);
+  }
+  for (const Description* d : original.descriptions()) {
+    const Description& r = round.description(d->id);
+    EXPECT_EQ(r.title, d->title);
+    EXPECT_EQ(r.text, d->text);
+    EXPECT_EQ(r.references, d->references);
+  }
+}
+
+TEST(MatrixYaml, EmittedTextIsStable) {
+  const std::string once = matrix_to_yaml_text(data::paper_matrix());
+  const std::string twice =
+      matrix_to_yaml_text(matrix_from_yaml_text(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(MatrixYaml, ClaimsHoldOnRoundTrippedMatrix) {
+  const CompatibilityMatrix round =
+      matrix_from_yaml_text(matrix_to_yaml_text(data::paper_matrix()));
+  for (const ClaimResult& r : Claims(round).evaluate_all()) {
+    EXPECT_TRUE(r.holds) << r.id;
+  }
+}
+
+TEST(MatrixYaml, RejectsBadCategory) {
+  std::string text = matrix_to_yaml_text(data::paper_matrix());
+  const std::string needle = "category: full support";
+  text.replace(text.find(needle), needle.size(), "category: superb");
+  EXPECT_THROW((void)matrix_from_yaml_text(text), TypeError);
+}
+
+TEST(MatrixYaml, RejectsBadVendor) {
+  std::string text = matrix_to_yaml_text(data::paper_matrix());
+  const std::string needle = "vendor: NVIDIA";
+  text.replace(text.find(needle), needle.size(), "vendor: ARM");
+  EXPECT_THROW((void)matrix_from_yaml_text(text), TypeError);
+}
+
+TEST(MatrixYaml, ValidationCatchesRemovedCell) {
+  // Drop one cell from the YAML and the rebuilt matrix must fail
+  // validation (wrong cell count).
+  Node root = matrix_to_yaml(data::paper_matrix());
+  Node& cells = const_cast<Node&>(root.at("cells"));
+  cells.as_sequence().pop_back();
+  EXPECT_THROW((void)matrix_from_yaml(root), IntegrityError);
+}
+
+TEST(MatrixYaml, YamlTextLooksReasonable) {
+  const std::string text = matrix_to_yaml_text(data::paper_matrix());
+  EXPECT_NE(text.find("descriptions:"), std::string::npos);
+  EXPECT_NE(text.find("cells:"), std::string::npos);
+  EXPECT_NE(text.find("vendor: NVIDIA"), std::string::npos);
+  EXPECT_NE(text.find("category: full support"), std::string::npos);
+  // 51 cells -> 51 vendor lines.
+  std::size_t count = 0;
+  for (std::size_t pos = text.find("- vendor:"); pos != std::string::npos;
+       pos = text.find("- vendor:", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 51u);
+}
+
+}  // namespace
+}  // namespace mcmm::yamlx

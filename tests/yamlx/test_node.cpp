@@ -1,0 +1,87 @@
+#include "yamlx/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcmm::yamlx {
+namespace {
+
+TEST(Node, DefaultIsEmptyScalar) {
+  const Node n;
+  EXPECT_TRUE(n.is_scalar());
+  EXPECT_EQ(n.as_string(), "");
+}
+
+TEST(Node, ScalarAccessors) {
+  EXPECT_EQ(Node::scalar("42").as_int(), 42);
+  EXPECT_EQ(Node::scalar("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(Node::scalar("2.5").as_double(), 2.5);
+  EXPECT_TRUE(Node::scalar("true").as_bool());
+  EXPECT_TRUE(Node::scalar("Yes").as_bool());
+  EXPECT_FALSE(Node::scalar("off").as_bool());
+}
+
+TEST(Node, ScalarAccessorErrors) {
+  EXPECT_THROW((void)Node::scalar("x").as_int(), TypeError);
+  EXPECT_THROW((void)Node::scalar("1.5").as_int(), TypeError);
+  EXPECT_THROW((void)Node::scalar("abc").as_double(), TypeError);
+  EXPECT_THROW((void)Node::scalar("2.5x").as_double(), TypeError);
+  EXPECT_THROW((void)Node::scalar("maybe").as_bool(), TypeError);
+}
+
+TEST(Node, KindMismatchThrows) {
+  const Node s = Node::scalar("x");
+  EXPECT_THROW((void)s.as_sequence(), TypeError);
+  EXPECT_THROW((void)s.as_mapping(), TypeError);
+  const Node m = Node::mapping();
+  EXPECT_THROW((void)m.as_string(), TypeError);
+}
+
+TEST(Node, MappingPreservesInsertionOrder) {
+  Node m = Node::mapping();
+  m.set("zebra", Node::scalar("1"));
+  m.set("alpha", Node::scalar("2"));
+  m.set("mid", Node::scalar("3"));
+  const Mapping& entries = m.as_mapping();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, "zebra");
+  EXPECT_EQ(entries[1].first, "alpha");
+  EXPECT_EQ(entries[2].first, "mid");
+}
+
+TEST(Node, SetOverwritesExistingKey) {
+  Node m = Node::mapping();
+  m.set("k", Node::scalar("1"));
+  m.set("k", Node::scalar("2"));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at("k").as_string(), "2");
+}
+
+TEST(Node, FindAndAt) {
+  Node m = Node::mapping();
+  m.set("k", Node::scalar("v"));
+  EXPECT_NE(m.find("k"), nullptr);
+  EXPECT_EQ(m.find("missing"), nullptr);
+  EXPECT_EQ(m.at("k").as_string(), "v");
+  EXPECT_THROW((void)m.at("missing"), TypeError);
+}
+
+TEST(Node, SequenceBuilder) {
+  Node s = Node::sequence();
+  s.push_back(Node::scalar("a"));
+  s.push_back(Node::scalar("b"));
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.as_sequence()[1].as_string(), "b");
+}
+
+TEST(Node, Equality) {
+  Node a = Node::mapping();
+  a.set("k", Node::scalar("v"));
+  Node b = Node::mapping();
+  b.set("k", Node::scalar("v"));
+  EXPECT_EQ(a, b);
+  b.set("k2", Node::scalar("v2"));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mcmm::yamlx

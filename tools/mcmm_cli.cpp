@@ -1,0 +1,217 @@
+// mcmm: the command-line front door to the compatibility knowledge base —
+// the "concise table and detailed comments" of the paper as a tool.
+//
+//   mcmm table [text|markdown|html|latex|csv]   print Fig. 1
+//   mcmm describe <item|vendor model language>  one Sec. 4 description
+//   mcmm advise <language> [vendors...] [--vendor-only] [--min tier]
+//   mcmm claims                                 evaluate the paper claims
+//   mcmm stats                                  category statistics
+//   mcmm excluded                               Sec. 5 excluded models
+//   mcmm export <dir>                           YAML + rendered artifacts
+//   mcmm diff <before.yaml> <after.yaml>        snapshot changelog
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/claims.hpp"
+#include "core/diff.hpp"
+#include "core/error.hpp"
+#include "core/planner.hpp"
+#include "core/statistics.hpp"
+#include "data/dataset.hpp"
+#include "data/excluded.hpp"
+#include "render/render.hpp"
+#include "render/report.hpp"
+#include "yamlx/matrix_yaml.hpp"
+
+namespace {
+
+using namespace mcmm;
+
+int usage() {
+  std::cout <<
+      R"(usage: mcmm <command> [args]
+
+commands:
+  table [text|markdown|html|latex|csv]   print the overview table (Fig. 1)
+  describe <item-number>                 print one Sec. 4 description
+  describe <vendor> <model> <language>   look up a cell's description
+  advise <language> [vendors...] [--vendor-only] [--min <tier>]
+                                         rank programming-model routes
+  claims                                 evaluate the paper's claims
+  stats                                  category statistics
+  excluded                               models the paper excluded and why
+  export <directory>                     write YAML/HTML/LaTeX/MD/CSV
+  diff <before.yaml> <after.yaml>        changelog between two snapshots
+)";
+  return 2;
+}
+
+int cmd_table(const std::vector<std::string>& args) {
+  const CompatibilityMatrix& m = data::paper_matrix();
+  const std::string format = args.empty() ? "text" : args[0];
+  if (format == "text") {
+    std::cout << render::figure1_text(m);
+  } else if (format == "markdown" || format == "md") {
+    std::cout << render::figure1_markdown(m);
+  } else if (format == "html") {
+    std::cout << render::figure1_html(m);
+  } else if (format == "latex" || format == "tex") {
+    std::cout << render::figure1_latex(m);
+  } else if (format == "csv") {
+    std::cout << render::matrix_csv(m);
+  } else {
+    std::cerr << "unknown format: " << format << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_describe(const std::vector<std::string>& args) {
+  const CompatibilityMatrix& m = data::paper_matrix();
+  if (args.size() == 1) {
+    try {
+      const int id = std::stoi(args[0]);
+      std::cout << render::description_text(m, id);
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (args.size() == 3) {
+    const auto vendor = parse_vendor(args[0]);
+    const auto model = parse_model(args[1]);
+    const auto language = parse_language(args[2]);
+    if (!vendor || !model || !language) {
+      std::cerr << "cannot parse combination\n";
+      return 2;
+    }
+    const SupportEntry* cell =
+        m.find(Combination{*vendor, *model, *language});
+    if (cell == nullptr) {
+      std::cerr << "no such cell (does the language apply to the model?)\n";
+      return 1;
+    }
+    std::cout << render::description_text(m, cell->description_id);
+    return 0;
+  }
+  return usage();
+}
+
+int cmd_advise(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  PlannerQuery q;
+  const auto language = parse_language(args[0]);
+  if (!language) {
+    std::cerr << "unknown language: " << args[0] << "\n";
+    return 2;
+  }
+  q.language = *language;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--vendor-only") {
+      q.require_vendor_support = true;
+    } else if (args[i] == "--no-translators") {
+      q.allow_translators = false;
+    } else if (args[i] == "--min" && i + 1 < args.size()) {
+      const auto tier = parse_category(args[++i]);
+      if (!tier) {
+        std::cerr << "unknown tier: " << args[i] << "\n";
+        return 2;
+      }
+      q.minimum_category = *tier;
+    } else if (const auto vendor = parse_vendor(args[i])) {
+      q.must_run_on.push_back(*vendor);
+    } else {
+      std::cerr << "unknown argument: " << args[i] << "\n";
+      return 2;
+    }
+  }
+  const RoutePlanner planner(data::paper_matrix());
+  const auto plans = planner.plan(q);
+  std::cout << render::plan_report(plans);
+  return plans.empty() ? 1 : 0;
+}
+
+int cmd_claims() {
+  const Claims claims(data::paper_matrix());
+  std::cout << render::claims_report(claims);
+  for (const ClaimResult& r : claims.evaluate_all()) {
+    if (!r.holds) return 1;
+  }
+  return 0;
+}
+
+int cmd_stats() {
+  const Statistics stats(data::paper_matrix());
+  std::cout << render::statistics_report(stats);
+  return 0;
+}
+
+int cmd_excluded() {
+  std::cout << data::excluded_models_note();
+  return 0;
+}
+
+int cmd_export(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string dir = args[0];
+  const CompatibilityMatrix& m = data::paper_matrix();
+  const auto write = [&](const std::string& name,
+                         const std::string& content) {
+    std::ofstream out(dir + "/" + name);
+    if (!out) {
+      std::cerr << "cannot write " << dir << "/" << name << "\n";
+      std::exit(1);
+    }
+    out << content;
+    std::cout << "wrote " << dir << "/" << name << "\n";
+  };
+  write("gpu_compat.yaml", yamlx::matrix_to_yaml_text(m));
+  write("figure1.html", render::figure1_html(m));
+  write("figure1.tex", render::figure1_latex(m));
+  write("figure1.md", render::figure1_markdown(m));
+  write("figure1.csv", render::matrix_csv(m));
+  return 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const auto load = [](const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw Error("cannot read " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return yamlx::matrix_from_yaml_text(buffer.str());
+  };
+  try {
+    const CompatibilityMatrix before = load(args[0]);
+    const CompatibilityMatrix after = load(args[1]);
+    const MatrixDiff d = diff_matrices(before, after);
+    std::cout << format_diff(d);
+    return d.empty() ? 0 : 3;  // 3 = differences found (like diff(1) = 1)
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "table") return cmd_table(args);
+  if (command == "describe") return cmd_describe(args);
+  if (command == "advise") return cmd_advise(args);
+  if (command == "claims") return cmd_claims();
+  if (command == "stats") return cmd_stats();
+  if (command == "excluded") return cmd_excluded();
+  if (command == "export") return cmd_export(args);
+  if (command == "diff") return cmd_diff(args);
+  return usage();
+}
