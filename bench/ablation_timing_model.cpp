@@ -2,7 +2,14 @@
 // simulated kernel time must decompose into launch latency + traffic /
 // effective bandwidth, and the simulated bandwidth must converge to the
 // descriptor's stream limit as sizes grow.
+//
+// Each row also reports the *host* wall time of the launch next to the
+// simulated time: the two axes are independent (simulated time comes from
+// the analytic model, host time from the execution engine), and printing
+// both makes that visible — a faster engine must leave the sim column
+// untouched.
 
+#include <chrono>
 #include <cmath>
 #include <iomanip>
 #include <iostream>
@@ -13,6 +20,7 @@
 int main() {
   using namespace mcmm;
   using namespace mcmm::gpusim;
+  using SteadyClock = std::chrono::steady_clock;
 
   std::cout << "=== Abl-2: analytic timing model validation ===\n\n";
   std::cout << std::fixed << std::setprecision(3);
@@ -24,19 +32,23 @@ int main() {
     Queue& q = dev.default_queue();
 
     std::cout << "--- " << desc.name << " ---\n";
-    std::cout << "size_bytes,sim_time_us,model_time_us,attained_gbps,"
-                 "limit_gbps\n";
+    std::cout << "size_bytes,sim_time_us,model_time_us,host_time_us,"
+                 "attained_gbps,limit_gbps\n";
     for (double bytes = 1e4; bytes <= 1e10; bytes *= 100) {
       KernelCosts costs;
       costs.bytes_read = bytes / 2;
       costs.bytes_written = bytes / 2;
+      const auto t0 = SteadyClock::now();
       const Event e = q.launch(launch_1d(64, 64), costs,
                                [](const WorkItem&) {});
+      const double host_us =
+          std::chrono::duration<double, std::micro>(SteadyClock::now() - t0)
+              .count();
       const double model = kernel_time_us(desc, q.backend_profile(), costs);
       const double attained = bytes / (e.duration_us() * 1e3);
       const double limit = desc.mem_bandwidth_gbps * kStreamEfficiency;
       std::cout << bytes << ',' << e.duration_us() << ',' << model << ','
-                << attained << ',' << limit << "\n";
+                << host_us << ',' << attained << ',' << limit << "\n";
       // The queue must charge exactly the model's time.
       ok = ok && std::fabs(e.duration_us() - model) < 1e-9;
       // Attained bandwidth never exceeds the stream limit.
@@ -44,14 +56,18 @@ int main() {
     }
 
     // Latency floor: an empty kernel costs exactly the launch latency.
+    const auto t0 = SteadyClock::now();
     const Event empty = q.launch(launch_1d(1, 1), KernelCosts{},
                                  [](const WorkItem&) {});
+    const double empty_host_us =
+        std::chrono::duration<double, std::micro>(SteadyClock::now() - t0)
+            .count();
     ok = ok &&
          std::fabs(empty.duration_us() - desc.kernel_launch_latency_us) <
              1e-9;
     std::cout << "empty-kernel latency: " << empty.duration_us()
-              << " us (descriptor: " << desc.kernel_launch_latency_us
-              << ")\n\n";
+              << " us simulated (descriptor: " << desc.kernel_launch_latency_us
+              << "), " << empty_host_us << " us host\n\n";
   }
 
   std::cout << (ok ? "PASS" : "FAIL")

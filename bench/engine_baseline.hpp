@@ -1,0 +1,183 @@
+#pragma once
+// A faithful in-process replica of the seed execution engine, kept so the
+// perf harness can A/B the rebuilt engine against its predecessor inside
+// one binary (no cross-run noise, no git checkout). Reproduces the seed's
+// host-side costs exactly:
+//
+//   - mutex + condition_variable fork-join with a shared task vector
+//     (one lock round-trip to enqueue, one per chunk completion, one to
+//     join) and a shared remaining_/first_error_ per-pool state;
+//   - std::function chunk bodies constructed per launch;
+//   - per-element work_item_from_linear div/mod decomposition;
+//   - the seed's single-chunk inline shortcut and its degenerate-chunk
+//     skip (begin >= end chunks are dropped);
+//   - the seed kernel_time_us arithmetic with no zero-cost fast path.
+//
+// This is benchmark scaffolding, not production code: nothing outside the
+// harness should include it.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gpusim/costs.hpp"
+#include "gpusim/descriptor.hpp"
+#include "gpusim/dim3.hpp"
+
+namespace mcmm::bench::baseline {
+
+class SeedThreadPool {
+ public:
+  explicit SeedThreadPool(unsigned workers = 0) {
+    if (workers == 0) {
+      workers = std::max(2u, std::thread::hardware_concurrency());
+    }
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~SeedThreadPool() {
+    {
+      const std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  SeedThreadPool(const SeedThreadPool&) = delete;
+  SeedThreadPool& operator=(const SeedThreadPool&) = delete;
+
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  void parallel_for_chunks(
+      std::uint64_t n,
+      const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+    if (n == 0) return;
+    const std::uint64_t workers = worker_count();
+    const std::uint64_t chunks = std::min<std::uint64_t>(workers, n);
+    const std::uint64_t chunk_size = (n + chunks - 1) / chunks;
+
+    if (chunks == 1) {
+      body(0, n);
+      return;
+    }
+
+    {
+      const std::lock_guard lock(mutex_);
+      for (std::uint64_t c = 0; c < chunks; ++c) {
+        const std::uint64_t begin = c * chunk_size;
+        const std::uint64_t end = std::min(n, begin + chunk_size);
+        if (begin >= end) continue;
+        tasks_.push_back(Task{&body, begin, end});
+        ++remaining_;
+      }
+    }
+    work_ready_.notify_all();
+
+    std::unique_lock lock(mutex_);
+    work_done_.wait(lock, [this] { return remaining_ == 0; });
+    if (first_error_) {
+      const std::exception_ptr error = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  struct Task {
+    const std::function<void(std::uint64_t, std::uint64_t)>* body{};
+    std::uint64_t begin{};
+    std::uint64_t end{};
+  };
+
+  void worker_loop() {
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock lock(mutex_);
+        work_ready_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = tasks_.back();
+        tasks_.pop_back();
+      }
+      std::exception_ptr error;
+      try {
+        (*task.body)(task.begin, task.end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        const std::lock_guard lock(mutex_);
+        if (error && !first_error_) first_error_ = error;
+        if (--remaining_ == 0) work_done_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<Task> tasks_;
+  std::size_t remaining_{0};
+  std::exception_ptr first_error_;
+  bool stop_{false};
+};
+
+/// The seed kernel_time_us: always runs the divides, no zero-cost branch.
+[[nodiscard]] inline double seed_kernel_time_us(
+    const gpusim::DeviceDescriptor& dev, const gpusim::BackendProfile& profile,
+    const gpusim::KernelCosts& costs) {
+  const double bw_gbps = dev.mem_bandwidth_gbps * gpusim::kStreamEfficiency *
+                         profile.bandwidth_efficiency;
+  const double mem_us = costs.total_bytes() / (bw_gbps * 1e3);
+  const double flops_per_us =
+      dev.peak_tflops_fp64 * 1e6 * profile.compute_efficiency;
+  const double compute_us =
+      flops_per_us > 0 ? costs.flops / flops_per_us : 0.0;
+  return dev.kernel_launch_latency_us + profile.extra_launch_latency_us +
+         std::max(mem_us, compute_us);
+}
+
+/// A seed Queue stand-in: just the launch host path and the simulated
+/// clock (the parts the harness times). Memory stays caller-managed.
+class SeedQueue {
+ public:
+  SeedQueue(const gpusim::DeviceDescriptor& descriptor, SeedThreadPool& pool)
+      : descriptor_(&descriptor), pool_(&pool) {}
+
+  template <typename Body>
+  double launch(const gpusim::LaunchConfig& cfg,
+                const gpusim::KernelCosts& costs, Body&& body) {
+    const std::uint64_t total = cfg.total_threads();
+    const std::function<void(std::uint64_t, std::uint64_t)> chunk =
+        [&](std::uint64_t begin, std::uint64_t end) {
+          for (std::uint64_t i = begin; i < end; ++i) {
+            body(gpusim::work_item_from_linear(cfg, i));
+          }
+        };
+    pool_->parallel_for_chunks(total, chunk);
+    sim_time_us_ += seed_kernel_time_us(*descriptor_, profile_, costs);
+    return sim_time_us_;
+  }
+
+  [[nodiscard]] double simulated_time_us() const noexcept {
+    return sim_time_us_;
+  }
+
+ private:
+  const gpusim::DeviceDescriptor* descriptor_;
+  SeedThreadPool* pool_;
+  gpusim::BackendProfile profile_{};
+  double sim_time_us_{0};
+};
+
+}  // namespace mcmm::bench::baseline

@@ -2,13 +2,31 @@
 // cost of the simulator's primitives (allocator, launch machinery, queue
 // ops, translators, renderers). These measure the *host* cost of the
 // simulation — complementary to the simulated-time figures.
+//
+// The binary also carries the engine A/B harness: it re-runs the key
+// launch paths against an in-process replica of the seed execution engine
+// (bench/engine_baseline.hpp) and writes machine-readable speedup numbers
+// to BENCH_gpusim.json. Flags (stripped before google-benchmark sees
+// argv):
+//
+//   --engine-json=PATH       output path (default: BENCH_gpusim.json)
+//   --engine-triad-log2n=K   Triad problem size 2^K (default: 24)
+//   --engine-reps=R          repetitions per Triad measurement (default: 3)
+//   --engine-only            run only the A/B harness, skip google-benchmark
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "bench_support/stream.hpp"
 #include "data/dataset.hpp"
+#include "engine_baseline.hpp"
 #include "gpusim/device.hpp"
 #include "render/render.hpp"
 #include "translate/translate.hpp"
@@ -121,6 +139,246 @@ void BM_StreamTriadFullCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_StreamTriadFullCycle)->Range(1 << 12, 1 << 18);
 
+// ---------------------------------------------------------------------------
+// Engine A/B harness: rebuilt engine vs the seed replica, one process.
+// ---------------------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct EngineReport {
+  // Per-launch host overhead, empty kernel, N=1 (nanoseconds).
+  double launch_overhead_ns_engine{0};
+  double launch_overhead_ns_seed{0};
+  // BabelStream Triad host wall-clock per repetition (milliseconds).
+  std::uint64_t triad_n{0};
+  int triad_reps{0};
+  double triad_ms_engine{0};
+  double triad_ms_seed{0};
+  // Dynamic vs static self-scheduling on 64 deliberately-uneven chunks.
+  double uneven_ms_static{0};
+  double uneven_ms_dynamic{0};
+  bool sim_time_identical{false};
+  bool results_identical{false};
+};
+
+[[nodiscard]] EngineReport run_engine_harness(std::uint64_t triad_n,
+                                              int triad_reps) {
+  EngineReport rep;
+  rep.triad_n = triad_n;
+  rep.triad_reps = triad_reps;
+
+  const gpusim::DeviceDescriptor descriptor =
+      gpusim::tiny_test_device(std::size_t{1} << 20);
+
+  // --- Launch overhead: empty kernel, N=1, per-launch nanoseconds. ---
+  constexpr int kLaunches = 200000;
+  {
+    gpusim::Device dev(descriptor);
+    gpusim::Queue& q = dev.default_queue();
+    bench::baseline::SeedThreadPool seed_pool;
+    bench::baseline::SeedQueue seed_q(descriptor, seed_pool);
+    const gpusim::LaunchConfig cfg = gpusim::launch_1d(1, 1);
+    const gpusim::KernelCosts empty{};
+    const auto body = [](const gpusim::WorkItem&) {};
+    // Warm-up, then measure; seed replica first so the rebuilt engine
+    // cannot benefit from cache warm-up order.
+    for (int i = 0; i < 1000; ++i) {
+      seed_q.launch(cfg, empty, body);
+      q.launch(cfg, empty, body);
+    }
+    auto t0 = Clock::now();
+    for (int i = 0; i < kLaunches; ++i) seed_q.launch(cfg, empty, body);
+    rep.launch_overhead_ns_seed = seconds_since(t0) * 1e9 / kLaunches;
+    t0 = Clock::now();
+    for (int i = 0; i < kLaunches; ++i) q.launch(cfg, empty, body);
+    rep.launch_overhead_ns_engine = seconds_since(t0) * 1e9 / kLaunches;
+    // Both engines must advance the simulated clock identically — the
+    // rebuilt engine's fast paths are host-side only.
+    rep.sim_time_identical =
+        q.simulated_time_us() == seed_q.simulated_time_us();
+  }
+
+  // --- BabelStream Triad: a[i] = b[i] + scalar * c[i], host wall time. ---
+  {
+    const std::uint64_t n = triad_n;
+    std::vector<double> a(n, 0.0), b(n, 1.5), c(n, 2.25);
+    std::vector<double> a_seed(n, 0.0);
+    constexpr double kScalar = 0.4;
+    gpusim::KernelCosts costs;
+    costs.bytes_read = 2.0 * static_cast<double>(n) * sizeof(double);
+    costs.bytes_written = static_cast<double>(n) * sizeof(double);
+    costs.flops = 2.0 * static_cast<double>(n);
+    const gpusim::LaunchConfig cfg = gpusim::launch_1d(n, 256);
+
+    gpusim::Device dev(descriptor);
+    gpusim::Queue& q = dev.default_queue();
+    bench::baseline::SeedThreadPool seed_pool;
+    bench::baseline::SeedQueue seed_q(descriptor, seed_pool);
+
+    double* pa = a.data();
+    double* pa_seed = a_seed.data();
+    const double* pb = b.data();
+    const double* pc = c.data();
+    const auto triad = [=](const gpusim::WorkItem& item) {
+      const std::uint64_t i = item.global_x();
+      if (i < n) pa[i] = pb[i] + kScalar * pc[i];
+    };
+    const auto triad_seed = [=](const gpusim::WorkItem& item) {
+      const std::uint64_t i = item.global_x();
+      if (i < n) pa_seed[i] = pb[i] + kScalar * pc[i];
+    };
+
+    seed_q.launch(cfg, costs, triad_seed);  // warm-up + correctness input
+    q.launch(cfg, costs, triad);
+    rep.results_identical =
+        std::memcmp(pa, pa_seed, n * sizeof(double)) == 0;
+
+    auto t0 = Clock::now();
+    for (int r = 0; r < triad_reps; ++r) seed_q.launch(cfg, costs, triad_seed);
+    rep.triad_ms_seed = seconds_since(t0) * 1e3 / triad_reps;
+    t0 = Clock::now();
+    for (int r = 0; r < triad_reps; ++r) q.launch(cfg, costs, triad);
+    rep.triad_ms_engine = seconds_since(t0) * 1e3 / triad_reps;
+  }
+
+  // --- Static vs dynamic self-scheduling on uneven chunks: the model
+  // layers' reduction shape (few fat work items, one much fatter). ---
+  {
+    gpusim::Device dev(descriptor);
+    gpusim::Queue& q = dev.default_queue();
+    constexpr std::uint64_t kItems = 64;
+    const gpusim::LaunchConfig cfg = gpusim::launch_1d(kItems, 1);
+    volatile double sink = 0;
+    const auto uneven = [&sink](const gpusim::WorkItem& item) {
+      const std::uint64_t i = item.global_x();
+      if (i >= kItems) return;
+      const std::uint64_t reps = (i == 0) ? 1 << 20 : 1 << 12;
+      double acc = 0;
+      for (std::uint64_t r = 0; r < reps; ++r) acc += 1e-9 * r;
+      sink = sink + acc;
+    };
+    constexpr int kRounds = 20;
+    for (int i = 0; i < 2; ++i) q.launch(cfg, gpusim::KernelCosts{}, uneven);
+    auto t0 = Clock::now();
+    for (int i = 0; i < kRounds; ++i) {
+      q.launch(cfg, gpusim::KernelCosts{}, uneven,
+               gpusim::LaunchPolicy{gpusim::Schedule::Static, 0});
+    }
+    rep.uneven_ms_static = seconds_since(t0) * 1e3 / kRounds;
+    t0 = Clock::now();
+    for (int i = 0; i < kRounds; ++i) {
+      q.launch(cfg, gpusim::KernelCosts{}, uneven,
+               gpusim::LaunchPolicy{gpusim::Schedule::Dynamic, 1});
+    }
+    rep.uneven_ms_dynamic = seconds_since(t0) * 1e3 / kRounds;
+  }
+
+  return rep;
+}
+
+[[nodiscard]] bool write_engine_json(const EngineReport& r,
+                                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const double launch_speedup =
+      r.launch_overhead_ns_engine > 0
+          ? r.launch_overhead_ns_seed / r.launch_overhead_ns_engine
+          : 0.0;
+  const double triad_speedup =
+      r.triad_ms_engine > 0 ? r.triad_ms_seed / r.triad_ms_engine : 0.0;
+  out << "{\n"
+      << "  \"schema\": \"mcmm-engine-bench-v1\",\n"
+      << "  \"workers\": " << gpusim::ThreadPool::global().worker_count()
+      << ",\n"
+      << "  \"launch_overhead\": {\n"
+      << "    \"kernel\": \"empty, N=1\",\n"
+      << "    \"engine_ns\": " << r.launch_overhead_ns_engine << ",\n"
+      << "    \"seed_baseline_ns\": " << r.launch_overhead_ns_seed << ",\n"
+      << "    \"speedup\": " << launch_speedup << "\n"
+      << "  },\n"
+      << "  \"triad\": {\n"
+      << "    \"kernel\": \"a[i] = b[i] + scalar * c[i]\",\n"
+      << "    \"n\": " << r.triad_n << ",\n"
+      << "    \"reps\": " << r.triad_reps << ",\n"
+      << "    \"engine_ms\": " << r.triad_ms_engine << ",\n"
+      << "    \"seed_baseline_ms\": " << r.triad_ms_seed << ",\n"
+      << "    \"speedup\": " << triad_speedup << "\n"
+      << "  },\n"
+      << "  \"uneven_chunks\": {\n"
+      << "    \"kernel\": \"64 work items, item 0 is 256x heavier\",\n"
+      << "    \"static_ms\": " << r.uneven_ms_static << ",\n"
+      << "    \"dynamic_ms\": " << r.uneven_ms_dynamic << "\n"
+      << "  },\n"
+      << "  \"sim_time_identical\": "
+      << (r.sim_time_identical ? "true" : "false") << ",\n"
+      << "  \"results_identical\": "
+      << (r.results_identical ? "true" : "false") << "\n"
+      << "}\n";
+  std::printf(
+      "engine A/B: launch %.2f ns vs seed %.2f ns (%.1fx); "
+      "triad(n=%llu) %.2f ms vs seed %.2f ms (%.1fx); "
+      "uneven static %.2f ms vs dynamic %.2f ms; sim_time_identical=%s\n",
+      r.launch_overhead_ns_engine, r.launch_overhead_ns_seed, launch_speedup,
+      static_cast<unsigned long long>(r.triad_n), r.triad_ms_engine,
+      r.triad_ms_seed, triad_speedup, r.uneven_ms_static, r.uneven_ms_dynamic,
+      r.sim_time_identical ? "true" : "false");
+  std::printf("engine A/B report written to %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_gpusim.json";
+  int triad_log2n = 24;
+  int triad_reps = 3;
+  bool engine_only = false;
+
+  // Strip --engine-* flags; forward the rest to google-benchmark.
+  std::vector<char*> fwd;
+  fwd.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--engine-json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--engine-json="));
+    } else if (arg.rfind("--engine-triad-log2n=", 0) == 0) {
+      triad_log2n = std::stoi(arg.substr(std::strlen("--engine-triad-log2n=")));
+    } else if (arg.rfind("--engine-reps=", 0) == 0) {
+      triad_reps = std::stoi(arg.substr(std::strlen("--engine-reps=")));
+    } else if (arg == "--engine-only") {
+      engine_only = true;
+    } else {
+      fwd.push_back(argv[i]);
+    }
+  }
+  if (triad_log2n < 1 || triad_log2n > 28) {
+    std::fprintf(stderr, "error: --engine-triad-log2n must be in [1, 28]\n");
+    return 1;
+  }
+  if (triad_reps < 1) {
+    std::fprintf(stderr, "error: --engine-reps must be >= 1\n");
+    return 1;
+  }
+
+  if (!engine_only) {
+    int fwd_argc = static_cast<int>(fwd.size());
+    benchmark::Initialize(&fwd_argc, fwd.data());
+    if (benchmark::ReportUnrecognizedArguments(fwd_argc, fwd.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+
+  const EngineReport report =
+      run_engine_harness(std::uint64_t{1} << triad_log2n, triad_reps);
+  if (!write_engine_json(report, json_path)) return 1;
+  return (report.sim_time_identical && report.results_identical) ? 0 : 2;
+}

@@ -44,6 +44,12 @@ inline constexpr double kStreamEfficiency = 0.88;
 [[nodiscard]] inline double kernel_time_us(const DeviceDescriptor& dev,
                                            const BackendProfile& profile,
                                            const KernelCosts& costs) {
+  if (costs.bytes_read == 0 && costs.bytes_written == 0 && costs.flops == 0) {
+    // Zero-cost kernels pay only the launch latency. Bit-identical to the
+    // general formula (0/x == +0.0) but skips two FP divides — this is the
+    // per-launch hot path of every empty or latency-bound kernel.
+    return dev.kernel_launch_latency_us + profile.extra_launch_latency_us;
+  }
   const double bw_gbps =
       dev.mem_bandwidth_gbps * kStreamEfficiency * profile.bandwidth_efficiency;
   const double mem_us = costs.total_bytes() / (bw_gbps * 1e3);  // GB/s -> B/us

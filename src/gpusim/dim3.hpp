@@ -70,6 +70,37 @@ struct WorkItem {
   return item;
 }
 
+/// The work item at linear id 0 (no div/mod — all indices are zero).
+[[nodiscard]] constexpr WorkItem first_work_item(
+    const LaunchConfig& cfg) noexcept {
+  WorkItem item;
+  item.block_idx = {0, 0, 0};
+  item.thread_idx = {0, 0, 0};
+  item.grid_dim = cfg.grid;
+  item.block_dim = cfg.block;
+  return item;
+}
+
+/// Advances `item` to the next linear id by incremental carry. Equivalent
+/// to `work_item_from_linear(cfg, item.global_linear + 1)` but costs a few
+/// increments instead of a chain of six 64-bit div/mod — the hot-loop form
+/// used by the kernel dispatcher.
+constexpr void advance_work_item(const LaunchConfig& cfg,
+                                 WorkItem& item) noexcept {
+  ++item.global_linear;
+  if (++item.thread_idx.x < cfg.block.x) return;
+  item.thread_idx.x = 0;
+  if (++item.thread_idx.y < cfg.block.y) return;
+  item.thread_idx.y = 0;
+  if (++item.thread_idx.z < cfg.block.z) return;
+  item.thread_idx.z = 0;
+  if (++item.block_idx.x < cfg.grid.x) return;
+  item.block_idx.x = 0;
+  if (++item.block_idx.y < cfg.grid.y) return;
+  item.block_idx.y = 0;
+  ++item.block_idx.z;
+}
+
 /// 1-D helper: blocks covering `n` items with `block_size` threads each.
 [[nodiscard]] constexpr LaunchConfig launch_1d(std::uint64_t n,
                                                std::uint32_t block_size) {

@@ -4,32 +4,56 @@
 #include "gpusim/error.hpp"
 
 namespace mcmm::gpusim {
+namespace {
+
+/// Copies and fills at or above this size are striped over the pool (the
+/// BabelStream init/read paths move hundreds of MiB through them); smaller
+/// ones stay serial — the fork-join round trip would dominate.
+constexpr std::size_t kParallelBytesThreshold = std::size_t{1} << 22;
+
+struct CopyCtx {
+  unsigned char* dst;
+  const unsigned char* src;
+};
+
+void copy_chunk(void* ctx, std::uint64_t begin, std::uint64_t end) {
+  auto* c = static_cast<CopyCtx*>(ctx);
+  std::memcpy(c->dst + begin, c->src + begin, end - begin);
+}
+
+struct FillCtx {
+  unsigned char* dst;
+  int value;
+};
+
+void fill_chunk(void* ctx, std::uint64_t begin, std::uint64_t end) {
+  auto* f = static_cast<FillCtx*>(ctx);
+  std::memset(f->dst + begin, f->value, end - begin);
+}
+
+/// Striping a memory-bound loop pays only when distinct cores sit behind
+/// the workers; on an oversubscribed single-core host it just adds context
+/// switches, so the copy stays serial there.
+bool parallel_copies_profitable(const ThreadPool& pool) {
+  static const bool multi_core = std::thread::hardware_concurrency() > 1;
+  return multi_core && pool.worker_count() > 1;
+}
+
+}  // namespace
 
 Queue::Queue(Device& device)
-    : device_(&device), pool_(&ThreadPool::global()) {}
+    : device_(&device),
+      descriptor_(&device.descriptor()),
+      pool_(&ThreadPool::global()),
+      max_threads_per_block_(device.descriptor().max_threads_per_block) {}
 
-void Queue::validate_launch(const LaunchConfig& cfg) const {
+void Queue::fail_launch(const LaunchConfig& cfg) const {
   if (cfg.grid.volume() == 0 || cfg.block.volume() == 0) {
     throw InvalidLaunch("launch with empty grid or block");
   }
-  if (cfg.block.volume() > device_->descriptor().max_threads_per_block) {
-    throw InvalidLaunch(
-        "block of " + std::to_string(cfg.block.volume()) +
-        " threads exceeds device limit of " +
-        std::to_string(device_->descriptor().max_threads_per_block));
-  }
-}
-
-Event Queue::advance_kernel(const KernelCosts& costs) {
-  return advance(kernel_time_us(device_->descriptor(), profile_, costs));
-}
-
-Event Queue::advance(double duration_us) {
-  Event e;
-  e.sim_begin_us = sim_time_us_;
-  sim_time_us_ += duration_us;
-  e.sim_end_us = sim_time_us_;
-  return e;
+  throw InvalidLaunch("block of " + std::to_string(cfg.block.volume()) +
+                      " threads exceeds device limit of " +
+                      std::to_string(max_threads_per_block_));
 }
 
 Event Queue::memcpy(void* dst, const void* src, std::size_t bytes,
@@ -53,7 +77,13 @@ Event Queue::memcpy(void* dst, const void* src, std::size_t bytes,
       alloc.check_range(dst, bytes);
       break;
   }
-  std::memcpy(dst, src, bytes);
+  if (bytes >= kParallelBytesThreshold && parallel_copies_profitable(*pool_)) {
+    CopyCtx ctx{static_cast<unsigned char*>(dst),
+                static_cast<const unsigned char*>(src)};
+    pool_->run_batch(bytes, &copy_chunk, &ctx);
+  } else {
+    std::memcpy(dst, src, bytes);
+  }
   const double us = kind == CopyKind::DeviceToDevice
                         ? d2d_time_us(device_->descriptor(),
                                       static_cast<double>(bytes))
@@ -64,7 +94,12 @@ Event Queue::memcpy(void* dst, const void* src, std::size_t bytes,
 
 Event Queue::memset(void* dst, int value, std::size_t bytes) {
   device_->allocator().check_range(dst, bytes);
-  std::memset(dst, value, bytes);
+  if (bytes >= kParallelBytesThreshold && parallel_copies_profitable(*pool_)) {
+    FillCtx ctx{static_cast<unsigned char*>(dst), value};
+    pool_->run_batch(bytes, &fill_chunk, &ctx);
+  } else {
+    std::memset(dst, value, bytes);
+  }
   KernelCosts costs;
   costs.bytes_written = static_cast<double>(bytes);
   return advance_kernel(costs);

@@ -3,9 +3,14 @@
 // eagerly in submission order (the semantics of a synchronized-on-every-op
 // stream); each operation advances the queue's simulated clock according to
 // the analytic cost model and returns timing via Event.
+//
+// Kernel dispatch is allocation-free: the body is handed to the fork-join
+// engine as a function pointer + stack context (no std::function), and the
+// 3-D work-item coordinates are advanced by incremental carry instead of a
+// per-element div/mod chain.
 
 #include <cstring>
-#include <functional>
+#include <type_traits>
 
 #include "gpusim/allocator.hpp"
 #include "gpusim/costs.hpp"
@@ -28,6 +33,17 @@ struct Event {
 
 /// Direction of an explicit memcpy.
 enum class CopyKind { HostToDevice, DeviceToHost, DeviceToDevice };
+
+/// Host-side scheduling of a launch (how the work-item range is handed to
+/// the pool's threads). Purely an execution knob: it never changes the
+/// simulated time or the set of work items executed. Dynamic scheduling
+/// pays a little ticket traffic to keep imbalanced kernels (reductions
+/// with few fat work items, stencils with ragged rows) off the critical
+/// path of the slowest static chunk.
+struct LaunchPolicy {
+  Schedule schedule{Schedule::Static};
+  std::uint64_t grain{0};  ///< dynamic sub-range size; 0 = engine default
+};
 
 class Queue {
  public:
@@ -52,25 +68,25 @@ class Queue {
   /// over the worker pool. Validates the configuration against device
   /// limits. Returns the simulated timing of the launch.
   template <typename Body>
-  Event launch(const LaunchConfig& cfg, const KernelCosts& costs,
-               Body&& body) {
-    validate_launch(cfg);
+  Event launch(const LaunchConfig& cfg, const KernelCosts& costs, Body&& body,
+               LaunchPolicy policy = {}) {
     const std::uint64_t total = cfg.total_threads();
-    const std::function<void(std::uint64_t, std::uint64_t)> chunk =
-        [&](std::uint64_t begin, std::uint64_t end) {
-          for (std::uint64_t i = begin; i < end; ++i) {
-            body(work_item_from_linear(cfg, i));
-          }
-        };
-    pool_->parallel_for_chunks(total, chunk);
+    if (total == 0 || cfg.block.volume() > max_threads_per_block_) {
+      fail_launch(cfg);  // [[noreturn]]: empty shape or block over limit
+    }
+    using Thunk = LaunchThunk<std::remove_reference_t<Body>>;
+    Thunk thunk{cfg, std::addressof(body)};
+    pool_->run_batch(total, &Thunk::run, &thunk, policy.schedule,
+                     policy.grain);
     return advance_kernel(costs);
   }
 
   /// Explicit memcpy with direction validation: device pointers must come
-  /// from this device's allocator, host pointers must not.
+  /// from this device's allocator, host pointers must not. Large copies
+  /// are striped over the worker pool.
   Event memcpy(void* dst, const void* src, std::size_t bytes, CopyKind kind);
 
-  /// memset on device memory.
+  /// memset on device memory (striped over the pool above a threshold).
   Event memset(void* dst, int value, std::size_t bytes);
 
   /// Records the current simulated time.
@@ -78,8 +94,10 @@ class Queue {
     return Event{sim_time_us_, sim_time_us_};
   }
 
-  /// Waits for all submitted work (a no-op under eager execution, kept for
-  /// API fidelity — model layers call it where real code would).
+  /// Barrier. Deliberately a no-op: the queue is eager and in-order, and
+  /// the fork-join engine joins every launch before it returns, so all
+  /// submitted work is already complete here. Kept because real code
+  /// synchronizes at these points and the model layers mirror that shape.
   void synchronize() const noexcept {}
 
   /// Total simulated time consumed by this queue, microseconds.
@@ -88,12 +106,45 @@ class Queue {
   }
 
  private:
-  void validate_launch(const LaunchConfig& cfg) const;
-  Event advance_kernel(const KernelCosts& costs);
-  Event advance(double duration_us);
+  /// Stack-allocated bridge from the typed kernel body to the engine's
+  /// type-erased ChunkFn. The body pointer refers to the caller's frame;
+  /// the engine joins before launch() returns, so it never dangles.
+  template <typename Body>
+  struct LaunchThunk {
+    LaunchConfig cfg;
+    Body* body;
+
+    static void run(void* ctx, std::uint64_t begin, std::uint64_t end) {
+      auto* self = static_cast<LaunchThunk*>(ctx);
+      Body& body = *self->body;
+      WorkItem item = begin == 0 ? first_work_item(self->cfg)
+                                 : work_item_from_linear(self->cfg, begin);
+      for (std::uint64_t i = begin;;) {
+        body(item);
+        if (++i == end) break;
+        advance_work_item(self->cfg, item);
+      }
+    }
+  };
+
+  [[noreturn]] void fail_launch(const LaunchConfig& cfg) const;
+
+  Event advance_kernel(const KernelCosts& costs) {
+    return advance(kernel_time_us(*descriptor_, profile_, costs));
+  }
+
+  Event advance(double duration_us) {
+    Event e;
+    e.sim_begin_us = sim_time_us_;
+    sim_time_us_ += duration_us;
+    e.sim_end_us = sim_time_us_;
+    return e;
+  }
 
   Device* device_;
+  const DeviceDescriptor* descriptor_;  ///< cached: hot path, Device opaque
   ThreadPool* pool_;
+  std::uint64_t max_threads_per_block_;
   BackendProfile profile_{};
   double sim_time_us_{0};
 };

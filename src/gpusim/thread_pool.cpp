@@ -3,6 +3,52 @@
 #include <algorithm>
 
 namespace mcmm::gpusim {
+namespace {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Brief spins before parking. Kept small: the host may be oversubscribed
+// (the simulator runs more workers than cores on small machines), where
+// long spins only steal cycles from the thread being waited on.
+constexpr int kSpinIters = 64;
+
+}  // namespace
+
+/// One in-flight fork-join batch, living on the submitter's stack.
+struct ThreadPool::Batch {
+  ChunkFn fn{};
+  void* ctx{};
+  std::uint64_t n{};
+  std::uint64_t chunk_count{};
+  std::uint64_t base{};  ///< static: floor chunk size; dynamic: grain
+  std::uint64_t rem{};   ///< static: first `rem` chunks get one extra index
+  Schedule schedule{Schedule::Static};
+  std::atomic<std::uint64_t> next{0};       ///< chunk ticket dispenser
+  std::atomic<std::uint64_t> remaining{0};  ///< chunks not yet finished
+  std::atomic<bool> has_error{false};
+  std::exception_ptr error;  ///< written by the has_error winner only
+
+  /// Bounds of chunk `c`. Static chunks tile [0, n) exactly: the first
+  /// `rem` chunks carry one extra index, so no chunk is ever empty.
+  void bounds(std::uint64_t c, std::uint64_t& begin,
+              std::uint64_t& end) const noexcept {
+    if (schedule == Schedule::Static) {
+      begin = c * base + std::min(c, rem);
+      end = begin + base + (c < rem ? 1 : 0);
+    } else {
+      begin = c * base;
+      end = std::min(n, begin + base);
+    }
+  }
+};
 
 ThreadPool::ThreadPool(unsigned workers) {
   if (workers == 0) {
@@ -15,70 +61,146 @@ ThreadPool::ThreadPool(unsigned workers) {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    const std::lock_guard lock(mutex_);
-    stop_ = true;
-  }
-  work_ready_.notify_all();
+  stop_.store(true, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
   for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::execute(Batch& batch) {
+  bool did_work = false;
+  for (;;) {
+    const std::uint64_t c = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= batch.chunk_count) return did_work;
+    did_work = true;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    batch.bounds(c, begin, end);
+    try {
+      batch.fn(batch.ctx, begin, end);
+    } catch (...) {
+      if (!batch.has_error.exchange(true, std::memory_order_acq_rel)) {
+        batch.error = std::current_exception();
+      }
+    }
+    // The final decrement releases every chunk's effects (including the
+    // error slot) to the submitter's acquire load of remaining == 0.
+    if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      batch.remaining.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::try_execute_from(Slot& slot) {
+  if (slot.batch.load(std::memory_order_acquire) == nullptr) return false;
+  // Pin the slot before re-reading the pointer: the submitter retires the
+  // descriptor only once `readers` drops to zero, so a non-null pointer
+  // observed under the pin stays valid until we unpin.
+  slot.readers.fetch_add(1, std::memory_order_acq_rel);
+  Batch* batch = slot.batch.load(std::memory_order_acquire);
+  bool did_work = false;
+  if (batch != nullptr) did_work = execute(*batch);
+  slot.readers.fetch_sub(1, std::memory_order_release);
+  return did_work;
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    Task task;
-    {
-      std::unique_lock lock(mutex_);
-      work_ready_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = tasks_.back();
-      tasks_.pop_back();
+    // Load the epoch before scanning: work published after the scan bumps
+    // the epoch, so the wait below returns immediately (no lost wake-up).
+    const std::uint64_t seen = epoch_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) return;
+    bool did_work = false;
+    for (Slot& slot : slots_) did_work |= try_execute_from(slot);
+    if (did_work) continue;
+    bool bumped = false;
+    for (int i = 0; i < kSpinIters; ++i) {
+      if (epoch_.load(std::memory_order_acquire) != seen) {
+        bumped = true;
+        break;
+      }
+      cpu_relax();
     }
-    std::exception_ptr error;
-    try {
-      (*task.body)(task.begin, task.end);
-    } catch (...) {
-      error = std::current_exception();
-    }
-    {
-      const std::lock_guard lock(mutex_);
-      if (error && !first_error_) first_error_ = error;
-      if (--remaining_ == 0) work_done_.notify_all();
-    }
+    if (!bumped) epoch_.wait(seen, std::memory_order_acquire);
   }
 }
 
-void ThreadPool::parallel_for_chunks(
-    std::uint64_t n,
-    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
-  if (n == 0) return;
-  const std::uint64_t workers = worker_count();
-  const std::uint64_t chunks = std::min<std::uint64_t>(workers, n);
-  const std::uint64_t chunk_size = (n + chunks - 1) / chunks;
+ThreadPool::Slot* ThreadPool::claim_slot(Batch* batch) {
+  for (Slot& slot : slots_) {
+    Batch* expected = nullptr;
+    if (slot.batch.load(std::memory_order_relaxed) == nullptr &&
+        slot.batch.compare_exchange_strong(expected, batch,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+      return &slot;
+    }
+  }
+  return nullptr;
+}
 
-  // Run single-chunk batches inline: no synchronization needed.
-  if (chunks == 1) {
-    body(0, n);
+void ThreadPool::run_batch_parallel(std::uint64_t n, ChunkFn fn, void* ctx,
+                                    Schedule schedule, std::uint64_t grain) {
+  const std::uint64_t participants = worker_count() + 1;  // workers + caller
+
+  Batch batch;
+  batch.fn = fn;
+  batch.ctx = ctx;
+  batch.n = n;
+  batch.schedule = schedule;
+  if (schedule == Schedule::Static) {
+    const std::uint64_t parts = std::min<std::uint64_t>(n, participants);
+    batch.chunk_count = parts;
+    batch.base = n / parts;
+    batch.rem = n % parts;
+  } else {
+    if (grain == 0) {
+      // Default grain: ~8 grabs per participant, clamped so tiny batches
+      // still self-balance and huge ones keep the ticket traffic low.
+      grain = std::max<std::uint64_t>(1, n / (participants * 8));
+    }
+    batch.base = grain;
+    batch.chunk_count = (n + grain - 1) / grain;
+  }
+  batch.remaining.store(batch.chunk_count, std::memory_order_relaxed);
+
+  // Single-chunk batches run inline on the caller: no publication, no
+  // wake-up, and exceptions propagate directly.
+  if (batch.chunk_count == 1) {
+    fn(ctx, 0, n);
     return;
   }
 
-  {
-    const std::lock_guard lock(mutex_);
-    for (std::uint64_t c = 0; c < chunks; ++c) {
-      const std::uint64_t begin = c * chunk_size;
-      const std::uint64_t end = std::min(n, begin + chunk_size);
-      if (begin >= end) continue;
-      tasks_.push_back(Task{&body, begin, end});
-      ++remaining_;
-    }
+  Slot* slot = claim_slot(&batch);
+  if (slot == nullptr) {
+    // More concurrent submissions than slots (pathological): degrade to a
+    // serial inline run rather than blocking — still correct, never stuck.
+    fn(ctx, 0, n);
+    return;
   }
-  work_ready_.notify_all();
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
 
-  std::unique_lock lock(mutex_);
-  work_done_.wait(lock, [this] { return remaining_ == 0; });
-  if (first_error_) {
-    const std::exception_ptr error = first_error_;
-    first_error_ = nullptr;
-    std::rethrow_exception(error);
+  // The submitter works too: on the common path every chunk is consumed
+  // here or by an already-spinning worker without any syscall.
+  execute(batch);
+
+  for (int i = 0;
+       i < kSpinIters && batch.remaining.load(std::memory_order_acquire) != 0;
+       ++i) {
+    cpu_relax();
+  }
+  for (std::uint64_t r;
+       (r = batch.remaining.load(std::memory_order_acquire)) != 0;) {
+    batch.remaining.wait(r, std::memory_order_acquire);
+  }
+
+  // Retire the slot, then wait out any worker still pinning the pointer
+  // (a bounded window: pinned workers only grab empty tickets by now).
+  slot->batch.store(nullptr, std::memory_order_release);
+  while (slot->readers.load(std::memory_order_acquire) != 0) cpu_relax();
+
+  if (batch.has_error.load(std::memory_order_acquire)) {
+    std::rethrow_exception(batch.error);
   }
 }
 

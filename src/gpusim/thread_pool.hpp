@@ -1,19 +1,41 @@
 #pragma once
-// A small fork-join thread pool used as the execution engine behind all
-// simulated kernels. Follows the classic static-partition data-parallel
-// pattern (one contiguous chunk per worker).
+// The fork-join execution engine behind all simulated kernels.
+//
+// Design (see DESIGN.md Sec. 3, "Execution engine"): each submission builds
+// one batch descriptor on the submitter's stack — kernel thunk, index range,
+// an atomic chunk ticket and an atomic completion countdown — and publishes
+// it into a small array of slots with a single CAS. Workers are woken
+// through an atomic epoch counter (futex-backed C++20 atomic wait), grab
+// chunks by ticket fetch_add, and the last finisher notifies the countdown.
+// The steady-state path therefore takes no mutex and performs no heap
+// allocation; the submitting thread itself participates in chunk execution,
+// which both cuts latency and guarantees progress even when every worker is
+// busy (nested submission from a worker thread cannot deadlock).
+//
+// Concurrent submission from multiple host threads is safe by construction:
+// each in-flight batch owns a distinct descriptor/slot, so neither the
+// chunk tickets nor the error state of overlapping batches can interleave.
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <functional>
-#include <mutex>
+#include <exception>
+#include <memory>
 #include <thread>
 #include <vector>
 
 namespace mcmm::gpusim {
 
+/// How a batch's index range is handed out to the participating threads.
+enum class Schedule : std::uint8_t {
+  Static,   ///< one contiguous chunk per participant, fixed at submit time
+  Dynamic,  ///< participants atomically grab `grain`-sized sub-ranges
+};
+
 class ThreadPool {
  public:
+  /// Type-erased chunk entry point: fn(ctx, begin, end).
+  using ChunkFn = void (*)(void*, std::uint64_t, std::uint64_t);
+
   /// Creates `workers` persistent threads (0 = one per hardware thread,
   /// minimum 2 so parallel paths are exercised even on 1-core hosts).
   explicit ThreadPool(unsigned workers = 0);
@@ -26,33 +48,66 @@ class ThreadPool {
     return static_cast<unsigned>(threads_.size());
   }
 
-  /// Runs body(begin, end) on the workers over a static partition of
-  /// [0, n) and blocks until every chunk finished. Exceptions from chunks
-  /// are rethrown (first one wins).
-  void parallel_for_chunks(
-      std::uint64_t n,
-      const std::function<void(std::uint64_t, std::uint64_t)>& body);
+  /// Fork-join over [0, n): runs fn(ctx, begin, end) on sub-ranges that
+  /// exactly tile [0, n) (never empty, each index covered once) and blocks
+  /// until every chunk finished. The first exception thrown by a chunk is
+  /// rethrown here, exactly once; the pool stays usable and concurrent
+  /// batches are unaffected. `grain` bounds the sub-range size under
+  /// Schedule::Dynamic (0 picks a cache-friendly default). Single-index
+  /// batches short-circuit to a direct call — the per-launch overhead of
+  /// tiny kernels is one branch, not a descriptor hand-off.
+  void run_batch(std::uint64_t n, ChunkFn fn, void* ctx,
+                 Schedule schedule = Schedule::Static,
+                 std::uint64_t grain = 0) {
+    if (n <= 1) {
+      if (n == 1) fn(ctx, 0, 1);
+      return;
+    }
+    run_batch_parallel(n, fn, ctx, schedule, grain);
+  }
+
+  /// Convenience wrapper over run_batch for any callable body(begin, end).
+  /// Dispatches through a stack thunk — no std::function, no allocation.
+  template <typename Body>
+  void parallel_for_chunks(std::uint64_t n, const Body& body,
+                           Schedule schedule = Schedule::Static,
+                           std::uint64_t grain = 0) {
+    run_batch(
+        n,
+        [](void* ctx, std::uint64_t begin, std::uint64_t end) {
+          (*static_cast<const Body*>(ctx))(begin, end);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(body))),
+        schedule, grain);
+  }
 
   /// The process-wide pool shared by all simulated devices.
   [[nodiscard]] static ThreadPool& global();
 
  private:
-  struct Task {
-    const std::function<void(std::uint64_t, std::uint64_t)>* body{};
-    std::uint64_t begin{};
-    std::uint64_t end{};
+  struct Batch;
+
+  /// One publication slot. `batch` is claimed by submitters via CAS;
+  /// `readers` counts workers currently holding the batch pointer so the
+  /// submitter can retire the stack descriptor safely.
+  struct alignas(64) Slot {
+    std::atomic<Batch*> batch{nullptr};
+    std::atomic<std::uint32_t> readers{0};
   };
 
+  static constexpr std::size_t kSlots = 16;
+
+  void run_batch_parallel(std::uint64_t n, ChunkFn fn, void* ctx,
+                          Schedule schedule, std::uint64_t grain);
   void worker_loop();
+  bool try_execute_from(Slot& slot);
+  static bool execute(Batch& batch);
+  Slot* claim_slot(Batch* batch);
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  std::vector<Task> tasks_;     ///< pending chunks of the current batch
-  std::size_t remaining_{0};    ///< chunks not yet finished
-  std::exception_ptr first_error_;
-  bool stop_{false};
+  alignas(64) std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> stop_{false};
+  Slot slots_[kSlots];
 };
 
 }  // namespace mcmm::gpusim

@@ -81,15 +81,19 @@ class Accelerator {
     std::vector<T> partials(kGangs, init);
     const std::size_t chunk = (n + kGangs - 1) / kGangs;
     const gpusim::LaunchConfig cfg = gpusim::launch_1d(kGangs, 1);
-    queue().launch(cfg, costs, [&](const gpusim::WorkItem& item) {
-      const std::size_t g = item.global_x();
-      if (g >= kGangs) return;
-      const std::size_t begin = g * chunk;
-      const std::size_t end = std::min(n, begin + chunk);
-      T acc = init;
-      for (std::size_t i = begin; i < end; ++i) acc += body(i);
-      partials[g] = acc;
-    });
+    // Gangs self-schedule: one fat gang must not gate the reduction.
+    queue().launch(
+        cfg, costs,
+        [&](const gpusim::WorkItem& item) {
+          const std::size_t g = item.global_x();
+          if (g >= kGangs) return;
+          const std::size_t begin = g * chunk;
+          const std::size_t end = std::min(n, begin + chunk);
+          T acc = init;
+          for (std::size_t i = begin; i < end; ++i) acc += body(i);
+          partials[g] = acc;
+        },
+        gpusim::LaunchPolicy{gpusim::Schedule::Dynamic, 1});
     T result = init;
     for (const T& p : partials) result += p;
     return result;

@@ -154,6 +154,8 @@ void parallel_reduce(Execution& exec, const MDRangePolicy2D& policy,
   constexpr std::size_t kLeagues = 64;
   std::vector<T> partials(kLeagues, T{});
   const std::size_t chunk = (total + kLeagues - 1) / kLeagues;
+  // Leagues self-schedule (dynamic grain 1): a fat league must not gate
+  // the reduction behind a static partition.
   exec.queue().launch(gpusim::launch_1d(kLeagues, 1), costs,
                       [&, n1, total, chunk](const gpusim::WorkItem& item) {
                         const std::size_t l = item.global_x();
@@ -166,7 +168,8 @@ void parallel_reduce(Execution& exec, const MDRangePolicy2D& policy,
                                policy.begin1 + flat % n1, update);
                         }
                         partials[l] = update;
-                      });
+                      },
+                      gpusim::LaunchPolicy{gpusim::Schedule::Dynamic, 1});
   T total_value{};
   for (const T& p : partials) total_value += p;
   result = total_value;
@@ -206,7 +209,8 @@ void parallel_reduce(Execution& exec, const RangePolicy& policy,
                           body(begin + i, update);
                         }
                         partials[l] = update;
-                      });
+                      },
+                      gpusim::LaunchPolicy{gpusim::Schedule::Dynamic, 1});
   T total{};
   for (const T& p : partials) total += p;
   result = total;
@@ -234,7 +238,8 @@ void parallel_scan(Execution& exec, const RangePolicy& policy,
                           body(begin + i, update, false);
                         }
                         partials[l] = update;
-                      });
+                      },
+                      gpusim::LaunchPolicy{gpusim::Schedule::Dynamic, 1});
   // Exclusive prefix over league sums.
   std::vector<T> offsets(kLeagues, T{});
   T running{};
@@ -253,7 +258,8 @@ void parallel_scan(Execution& exec, const RangePolicy& policy,
                         for (std::size_t i = b; i < e; ++i) {
                           body(begin + i, update, true);
                         }
-                      });
+                      },
+                      gpusim::LaunchPolicy{gpusim::Schedule::Dynamic, 1});
 }
 
 }  // namespace mcmm::kokkosx

@@ -171,15 +171,20 @@ T target_teams_reduce(TargetDevice& dev, std::size_t n, T init,
   std::vector<T> partials(kTeams, init);
   const std::size_t chunk = (n + kTeams - 1) / kTeams;
   const gpusim::LaunchConfig cfg = gpusim::launch_1d(kTeams, 1);
-  dev.queue().launch(cfg, costs, [&](const gpusim::WorkItem& item) {
-    const std::size_t t = item.global_x();
-    if (t >= kTeams) return;
-    const std::size_t begin = t * chunk;
-    const std::size_t end = std::min(n, begin + chunk);
-    T acc = init;
-    for (std::size_t i = begin; i < end; ++i) acc += body(i);
-    partials[t] = acc;
-  });
+  // Teams are few and fat (`schedule(dynamic)` territory): grab them one
+  // by one so an uneven team does not gate the whole reduction.
+  dev.queue().launch(
+      cfg, costs,
+      [&](const gpusim::WorkItem& item) {
+        const std::size_t t = item.global_x();
+        if (t >= kTeams) return;
+        const std::size_t begin = t * chunk;
+        const std::size_t end = std::min(n, begin + chunk);
+        T acc = init;
+        for (std::size_t i = begin; i < end; ++i) acc += body(i);
+        partials[t] = acc;
+      },
+      gpusim::LaunchPolicy{gpusim::Schedule::Dynamic, 1});
   T result = init;
   for (const T& p : partials) result += p;
   return result;

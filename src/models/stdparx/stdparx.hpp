@@ -191,6 +191,8 @@ T chunked_reduce(const execution_policy& pol, std::size_t n, T init,
   std::array<T, kChunks> partials;
   std::array<bool, kChunks> used{};
   const std::size_t chunk = (n + kChunks - 1) / kChunks;
+  // Chunks self-schedule (dynamic grain 1): the offload runtimes behind
+  // stdpar balance uneven iterations, and so does the engine here.
   pol.queue().launch(gpusim::launch_1d(kChunks, 1), costs,
                      [&](const gpusim::WorkItem& item) {
                        const std::size_t c = item.global_x();
@@ -204,7 +206,8 @@ T chunked_reduce(const execution_policy& pol, std::size_t n, T init,
                        }
                        partials[c] = acc;
                        used[c] = true;
-                     });
+                     },
+                     gpusim::LaunchPolicy{gpusim::Schedule::Dynamic, 1});
   T result = init;
   for (std::size_t c = 0; c < kChunks; ++c) {
     if (used[c]) result = combine(result, partials[c]);
@@ -292,7 +295,8 @@ void inclusive_scan(const execution_policy& pol, const T* first,
                        T acc{};
                        for (std::size_t i = b; i < e; ++i) acc += first[i];
                        sums[c] = acc;
-                     });
+                     },
+                     gpusim::LaunchPolicy{gpusim::Schedule::Dynamic, 1});
   std::array<T, kChunks> offsets{};
   T running{};
   for (std::size_t c = 0; c < kChunks; ++c) {
@@ -310,7 +314,8 @@ void inclusive_scan(const execution_policy& pol, const T* first,
                          acc += first[i];
                          out[i] = acc;
                        }
-                     });
+                     },
+                     gpusim::LaunchPolicy{gpusim::Schedule::Dynamic, 1});
 }
 
 template <typename T>

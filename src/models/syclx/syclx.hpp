@@ -130,19 +130,25 @@ T queue::reduce(range r, T init, const gpusim::KernelCosts& costs,
   partials.fill(init);
   const std::size_t chunk = (n + kChunks - 1) / kChunks;
   const gpusim::LaunchConfig cfg = gpusim::launch_1d(kChunks, 1);
-  queue_->launch(cfg, costs, [&](const gpusim::WorkItem& item) {
-    const std::size_t c = item.global_x();
-    if (c >= kChunks) return;
-    const std::size_t begin = c * chunk;
-    const std::size_t end = std::min(n, begin + chunk);
-    if (begin >= end) return;
-    T acc = transform(begin);
-    for (std::size_t i = begin + 1; i < end; ++i) {
-      acc = combine(acc, transform(i));
-    }
-    partials[c] = acc;
-    used[c] = true;
-  });
+  // Few fat work items: let the pool self-schedule them one by one so a
+  // slow chunk does not serialize behind a static partition.
+  constexpr gpusim::LaunchPolicy kDynamic{gpusim::Schedule::Dynamic, 1};
+  queue_->launch(
+      cfg, costs,
+      [&](const gpusim::WorkItem& item) {
+        const std::size_t c = item.global_x();
+        if (c >= kChunks) return;
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(n, begin + chunk);
+        if (begin >= end) return;
+        T acc = transform(begin);
+        for (std::size_t i = begin + 1; i < end; ++i) {
+          acc = combine(acc, transform(i));
+        }
+        partials[c] = acc;
+        used[c] = true;
+      },
+      kDynamic);
   T result = init;
   for (std::size_t c = 0; c < kChunks; ++c) {
     if (used[c]) result = combine(result, partials[c]);

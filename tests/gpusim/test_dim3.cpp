@@ -61,6 +61,42 @@ TEST(Dim3, GlobalXMatchesCudaConvention) {
   EXPECT_EQ(w.global_x(), 70u);
 }
 
+TEST(Dim3, IncrementalAdvanceMatchesLinearDecomposition) {
+  // first_work_item + repeated advance_work_item must walk the exact same
+  // sequence as decomposing every linear index from scratch — this is what
+  // lets the dispatch loop drop the per-element div/mod.
+  LaunchConfig cfg;
+  cfg.grid = {3, 2, 4};
+  cfg.block = {5, 2, 3};
+  WorkItem w = first_work_item(cfg);
+  for (std::uint64_t i = 0; i < cfg.total_threads(); ++i) {
+    const WorkItem ref = work_item_from_linear(cfg, i);
+    ASSERT_EQ(w.global_linear, ref.global_linear) << "i=" << i;
+    ASSERT_EQ(w.block_idx, ref.block_idx) << "i=" << i;
+    ASSERT_EQ(w.thread_idx, ref.thread_idx) << "i=" << i;
+    ASSERT_EQ(w.grid_dim, ref.grid_dim) << "i=" << i;
+    ASSERT_EQ(w.block_dim, ref.block_dim) << "i=" << i;
+    if (i + 1 < cfg.total_threads()) advance_work_item(cfg, w);
+  }
+}
+
+TEST(Dim3, AdvanceFromMidRangeMatchesLinearDecomposition) {
+  // Chunked dispatch seeds a chunk at an arbitrary begin index and then
+  // advances; the walk must agree with from-scratch decomposition.
+  LaunchConfig cfg;
+  cfg.grid = {2, 3, 1};
+  cfg.block = {4, 1, 2};
+  const std::uint64_t begin = cfg.total_threads() / 3;
+  WorkItem w = work_item_from_linear(cfg, begin);
+  for (std::uint64_t i = begin; i < cfg.total_threads(); ++i) {
+    const WorkItem ref = work_item_from_linear(cfg, i);
+    ASSERT_EQ(w.global_linear, ref.global_linear) << "i=" << i;
+    ASSERT_EQ(w.block_idx, ref.block_idx) << "i=" << i;
+    ASSERT_EQ(w.thread_idx, ref.thread_idx) << "i=" << i;
+    if (i + 1 < cfg.total_threads()) advance_work_item(cfg, w);
+  }
+}
+
 TEST(Dim3, GridAndBlockDimsArePropagated) {
   LaunchConfig cfg;
   cfg.grid = {7, 3, 1};

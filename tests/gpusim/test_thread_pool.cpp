@@ -109,5 +109,63 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
 }
 
+// Partition property: every chunk handed to the body must be non-empty,
+// and together the chunks must tile [0, n) exactly. Probes the edge cases
+// around the worker count, where the seed partitioner produced degenerate
+// empty chunks (begin >= end) that it silently skipped.
+TEST(ThreadPool, PartitionCoversExactlyWithNoEmptyChunks) {
+  ThreadPool pool(4);
+  const std::uint64_t w = pool.worker_count() + 1;  // submitter participates
+  const std::uint64_t sizes[] = {0, 1, w - 1, w, w + 1, 104729};
+  for (const Schedule schedule : {Schedule::Static, Schedule::Dynamic}) {
+    for (const std::uint64_t grain :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{7}}) {
+      for (const std::uint64_t n : sizes) {
+        std::vector<std::atomic<int>> hits(n);
+        std::atomic<int> empty_chunks{0};
+        std::atomic<std::uint64_t> chunk_items{0};
+        pool.parallel_for_chunks(
+            n,
+            [&](std::uint64_t b, std::uint64_t e) {
+              if (b >= e || e > n) empty_chunks.fetch_add(1);
+              chunk_items.fetch_add(e - b);
+              for (std::uint64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+            },
+            schedule, grain);
+        EXPECT_EQ(empty_chunks.load(), 0)
+            << "n=" << n << " schedule=" << static_cast<int>(schedule)
+            << " grain=" << grain;
+        EXPECT_EQ(chunk_items.load(), n)
+            << "n=" << n << " schedule=" << static_cast<int>(schedule)
+            << " grain=" << grain;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          ASSERT_EQ(hits[i].load(), 1)
+              << "n=" << n << " schedule=" << static_cast<int>(schedule)
+              << " grain=" << grain << " index " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, StaticChunksAreBalancedWithinOne) {
+  // Static partition: chunk sizes may differ by at most one item.
+  ThreadPool pool(4);
+  for (const std::uint64_t n : {5ull, 6ull, 100ull, 101ull, 9973ull}) {
+    std::atomic<std::uint64_t> min_size{~0ull};
+    std::atomic<std::uint64_t> max_size{0};
+    pool.parallel_for_chunks(n, [&](std::uint64_t b, std::uint64_t e) {
+      const std::uint64_t size = e - b;
+      std::uint64_t cur = min_size.load();
+      while (size < cur && !min_size.compare_exchange_weak(cur, size)) {
+      }
+      cur = max_size.load();
+      while (size > cur && !max_size.compare_exchange_weak(cur, size)) {
+      }
+    });
+    EXPECT_LE(max_size.load() - min_size.load(), 1u) << "n=" << n;
+  }
+}
+
 }  // namespace
 }  // namespace mcmm::gpusim
