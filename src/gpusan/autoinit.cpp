@@ -1,0 +1,19 @@
+// Environment-driven gpusan activation, as a standalone object file.
+//
+// Kept out of gpusan.cpp on purpose: a static initializer inside a static
+// library member is only linked in when some symbol of that member is
+// referenced, and a binary wrapped by `mcmm sanitize -- <command>` does not
+// reference gpusan at all. CMake injects this object directly into each
+// wrappable target's link ($<TARGET_OBJECTS:mcmm_gpusan_autoinit>, see
+// mcmm_make_sanitizable), which unconditionally runs the initializer.
+
+#include "gpusan/gpusan.hpp"
+
+namespace {
+
+const bool g_env_initialized = [] {
+  mcmm::gpusan::init_from_env();
+  return true;
+}();
+
+}  // namespace

@@ -1,0 +1,176 @@
+#include "gpusan/fixtures.hpp"
+
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "core/error.hpp"
+#include "models/kokkosx/kokkosx.hpp"
+#include "models/pybindx/pybindx.hpp"
+#include "models/syclx/buffers.hpp"
+#include "models/syclx/syclx.hpp"
+
+namespace mcmm::gpusan::fixtures {
+namespace {
+
+constexpr std::size_t kN = 1024;
+constexpr std::size_t kBins = 8;
+
+}  // namespace
+
+void oob_write() {
+  syclx::queue q(Vendor::NVIDIA);
+  std::vector<float> host(kN, 0.0f);
+  syclx::buffer<float> buf(host.data(), kN);
+  syclx::submit(q, [&](syclx::handler& h) {
+    auto acc = h.get_access(buf, syclx::access_mode::write);
+    h.parallel_for(syclx::range{kN}, [=](syclx::id i) {
+      // Off-by-one: the last work item stores one element past the end.
+      acc[i + 1] = 1.0f;
+    });
+  });
+  q.wait();
+}
+
+void use_after_free() {
+  syclx::queue q(Vendor::AMD, syclx::Implementation::OpenSYCL);
+  std::vector<float> host(kN, 1.0f);
+  std::optional<syclx::accessor<float>> stale;
+  {
+    syclx::buffer<float> buf(host.data(), kN);
+    syclx::submit(q, [&](syclx::handler& h) {
+      auto acc = h.get_access(buf, syclx::access_mode::read);
+      stale = acc;  // the accessor escapes the buffer's lifetime
+      h.parallel_for(syclx::range{kN}, [=](syclx::id i) {
+        volatile float v = acc[i];
+        (void)v;
+      });
+    });
+  }  // buffer destroyed: its device block is freed (and quarantined)
+  q.parallel_for(syclx::range{kN}, gpusim::KernelCosts{},
+                 [acc = *stale](syclx::id i) {
+                   volatile float v = acc[i];  // reads freed device memory
+                   (void)v;
+                 });
+  q.wait();
+}
+
+void racy_histogram(gpusim::Schedule schedule) {
+  syclx::queue q(Vendor::Intel);
+  std::vector<std::uint32_t> bins(kBins, 0);
+  syclx::buffer<std::uint32_t> hist(bins.data(), kBins);
+  auto acc = hist.get_access(q, syclx::access_mode::write);
+  // Every work item stores to bin i % kBins with no privatization or
+  // atomics: many work items hit each bin. (The stores all write the same
+  // value, so the *host* execution is benign; the inter-work-item conflict
+  // is what racecheck must flag.)
+  q.parallel_for(syclx::range{kN}, gpusim::KernelCosts{},
+                 gpusim::LaunchPolicy{schedule, 0},
+                 [=](syclx::id i) { acc[i % kBins] = 1u; });
+  q.wait();
+}
+
+void privatized_histogram(gpusim::Schedule schedule) {
+  syclx::queue q(Vendor::Intel);
+  std::vector<std::uint32_t> slots(kN, 0);
+  {
+    syclx::buffer<std::uint32_t> priv(slots.data(), kN);
+    auto acc = priv.get_access(q, syclx::access_mode::write);
+    // The privatized rewrite: work item i owns slot i exclusively.
+    q.parallel_for(syclx::range{kN}, gpusim::KernelCosts{},
+                   gpusim::LaunchPolicy{schedule, 0},
+                   [=](syclx::id i) { acc[i] = 1u; });
+    q.wait();
+  }
+  // Bin combination happens on the host after download, as the rewrite
+  // would do in real SYCL.
+  std::vector<std::uint32_t> bins(kBins, 0);
+  for (std::size_t i = 0; i < kN; ++i) bins[i % kBins] += slots[i];
+}
+
+void leak() {
+  syclx::queue q(Vendor::NVIDIA);
+  auto* p = q.malloc_device<double>(256, "gpusan-fixture/leak");
+  (void)p;  // never freed: leakcheck reports it at end of program
+}
+
+namespace {
+
+void clean_syclx(Vendor vendor, gpusim::Schedule schedule) {
+  syclx::queue q(vendor);
+  std::vector<double> x(kN), y(kN, 1.0);
+  std::iota(x.begin(), x.end(), 0.0);
+  {
+    syclx::buffer<double> bx(x.data(), kN);
+    syclx::buffer<double> by(y.data(), kN);
+    auto ax = bx.get_access(q, syclx::access_mode::read);
+    auto ay = by.get_access(q, syclx::access_mode::read_write);
+    q.parallel_for(syclx::range{kN}, gpusim::KernelCosts{},
+                   gpusim::LaunchPolicy{schedule, 0},
+                   [=](syclx::id i) { ay[i] = ay[i] + 2.0 * ax[i]; });
+    q.wait();
+  }
+  // USM path with an explicit free.
+  double* usm = q.malloc_device<double>(kN);
+  q.memcpy(usm, x.data(), kN * sizeof(double));
+  const double total = q.reduce(
+      syclx::range{kN}, 0.0, gpusim::KernelCosts{},
+      [usm](std::size_t i) { return usm[i]; },
+      [](double a, double b) { return a + b; });
+  (void)total;
+  q.free(usm);
+}
+
+void clean_kokkosx(kokkosx::ExecSpace space, Vendor vendor,
+                   gpusim::Schedule schedule) {
+  kokkosx::Execution exec(space, vendor);
+  kokkosx::View<double> a(exec, "clean/a", kN);
+  kokkosx::View<double> b(exec, "clean/b", kN);
+  std::vector<double> host(kN, 3.0);
+  kokkosx::deep_copy_to_device(a, host.data());
+  kokkosx::parallel_for(exec, kokkosx::RangePolicy{0, kN},
+                        gpusim::KernelCosts{},
+                        gpusim::LaunchPolicy{schedule, 0},
+                        [&](std::size_t i) { b(i) = 2.0 * a(i); });
+  double sum = 0.0;
+  kokkosx::parallel_reduce(
+      exec, kokkosx::RangePolicy{0, kN}, gpusim::KernelCosts{},
+      [&](std::size_t i, double& update) { update += b(i); }, sum);
+  exec.fence();
+}
+
+void clean_pybindx(pybindx::Package package) {
+  pybindx::Module mod(package);
+  const pybindx::ndarray a = mod.arange(kN);
+  const pybindx::ndarray b = mod.full(kN, 2.0);
+  const pybindx::ndarray c = mod.multiply(a, b);
+  const double total = mod.sum(c);
+  (void)total;
+  const std::vector<double> back = mod.asnumpy(c);
+  (void)back;
+}
+
+}  // namespace
+
+void clean_suite() {
+  constexpr gpusim::Schedule kSchedules[] = {gpusim::Schedule::Static,
+                                             gpusim::Schedule::Dynamic};
+  for (const gpusim::Schedule s : kSchedules) {
+    for (const Vendor v : {Vendor::AMD, Vendor::Intel, Vendor::NVIDIA}) {
+      try {
+        clean_syclx(v, s);
+      } catch (const UnsupportedCombination&) {
+        // Fig. 1 gaps are expected, not defects.
+      }
+    }
+    clean_kokkosx(kokkosx::ExecSpace::Cuda, Vendor::NVIDIA, s);
+    clean_kokkosx(kokkosx::ExecSpace::HIP, Vendor::AMD, s);
+    clean_kokkosx(kokkosx::ExecSpace::SYCL, Vendor::Intel, s);
+  }
+  clean_pybindx(pybindx::Package::CuPy);
+  clean_pybindx(pybindx::Package::Dpnp);
+  clean_pybindx(pybindx::Package::PyHIP);
+}
+
+}  // namespace mcmm::gpusan::fixtures

@@ -1,0 +1,42 @@
+#pragma once
+// Deliberately buggy (and deliberately clean) device workloads used to
+// prove the gpusan passes fire: each defect fixture plants exactly one
+// class of bug for one pass to find, and the clean fixtures establish the
+// true-negative side. They run through the public model embeddings (syclx
+// buffers/USM, kokkosx views, pybindx ndarrays) — the same accessor
+// surfaces production code uses — not through sanitizer internals.
+//
+// The fixtures only *run* the workload; callers (the `mcmm sanitize` CLI,
+// tests) enable gpusan first and read the report afterwards.
+
+#include "gpusim/thread_pool.hpp"
+
+namespace mcmm::gpusan::fixtures {
+
+/// memcheck true positive: a syclx kernel writes one element past the end
+/// of a buffer (strict accessor check + red-zone canary corruption).
+void oob_write();
+
+/// memcheck true positive: the classic SYCL dangling-accessor bug — an
+/// accessor escapes its buffer's lifetime and a later kernel reads through
+/// it after the device block was freed.
+void use_after_free();
+
+/// racecheck true positive: a histogram whose work items all store to the
+/// same few bins (write-write conflicts between work items).
+void racy_histogram(gpusim::Schedule schedule);
+
+/// racecheck true negative: the privatized rewrite of the same histogram —
+/// every work item owns its output slot, so no conflicts exist.
+void privatized_histogram(gpusim::Schedule schedule);
+
+/// leakcheck true positive: a tagged USM allocation that is never freed.
+void leak();
+
+/// True negative for all passes: in-bounds, race-free, fully-freed
+/// workloads across syclx, kokkosx, and pybindx on every reachable vendor,
+/// under both launch schedules. `mcmm sanitize` runs this by default and
+/// CI asserts the report is clean.
+void clean_suite();
+
+}  // namespace mcmm::gpusan::fixtures

@@ -1,0 +1,114 @@
+#pragma once
+// gpusan: a compute-sanitizer-style correctness layer for the simulated
+// GPU. Every vendor column of the paper's Figure 1 ships a correctness
+// tool next to its compiler (compute-sanitizer, rocgdb/rocprof, Intel's
+// Inspector lineage); gpusan is that tool for gpusim, so the class of
+// memory/race defects that cross-vendor porting studies (Reguly's SYCL
+// study, Fridman et al.'s OpenMP-offload evaluation) blame for most
+// porting effort is checkable on all three simulated vendors at once.
+//
+// Three passes, modelled on `compute-sanitizer --tool <t>`:
+//
+//   memcheck  — red-zone guard bands around every DeviceAllocator
+//               allocation with canary verification at queue sync points,
+//               deallocate, and device teardown; plus strict-mode accessor
+//               interception (syclx buffers, kokkosx Views, pybindx
+//               ndarrays) that classifies every access against the block
+//               map and reports out-of-bounds / use-after-free with the
+//               owning allocation, offset, and launch configuration.
+//   racecheck — a per-launch shadow access log (writes/reads keyed by
+//               address and work-item id, sampled up to a cap) that flags
+//               write-write and read-write conflicts between work items of
+//               one kernel, independent of which LaunchPolicy schedule the
+//               host used.
+//   leakcheck — an end-of-program report of live allocations per device,
+//               with the origin tag and allocation id of each block.
+//
+// Enable programmatically (enable/finalize) or via the environment
+// (MCMM_GPUSAN=memcheck,racecheck,leakcheck or =all), which any binary
+// linking this library honours — that is how `mcmm sanitize -- <command>`
+// wraps unmodified example binaries. MCMM_GPUSAN_REPORT=<path> writes the
+// JSON report at exit for the wrapper to consume.
+//
+// Hooks run inside kernel worker threads and noexcept sync points, so the
+// passes record findings instead of throwing; CI asserts a clean report.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcmm::gpusan {
+
+enum class Pass : std::uint8_t { Memcheck, Racecheck, Leakcheck };
+
+[[nodiscard]] std::string_view to_string(Pass p) noexcept;
+
+struct Config {
+  bool memcheck{true};
+  bool racecheck{true};
+  bool leakcheck{true};
+  /// Red-zone size malloc'd on each side of every device allocation.
+  std::size_t redzone_bytes{64};
+  /// Shadow access log cap; accesses beyond it are counted as dropped
+  /// (sampling — keeps pathological kernels bounded).
+  std::size_t max_access_records{1u << 20};
+  /// Cap on stored findings (further ones are counted, not stored).
+  std::size_t max_findings{256};
+};
+
+/// One defect. `origin`/`allocation_id` name the owning allocation where
+/// one is known; `launch`/`launch_id` name the kernel launch in whose
+/// scope the defect was observed (empty/0 outside any launch).
+struct Finding {
+  Pass pass{Pass::Memcheck};
+  std::string kind;     ///< "out-of-bounds-write", "write-write-race", ...
+  std::string message;  ///< full human-readable diagnostic
+  std::string origin;
+  std::uint64_t allocation_id{0};
+  std::uint64_t launch_id{0};
+  std::string launch;   ///< "grid=(..) block=(..) schedule=.."
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  std::uint64_t total_findings{0};  ///< includes ones beyond max_findings
+  std::uint64_t suppressed_duplicates{0};
+  std::uint64_t launches_checked{0};
+  std::uint64_t accesses_checked{0};
+  std::uint64_t accesses_dropped{0};  ///< sampling-cap overflow
+
+  [[nodiscard]] bool clean() const noexcept { return total_findings == 0; }
+  [[nodiscard]] std::string text() const;
+  [[nodiscard]] std::string json() const;
+};
+
+/// Installs the passes: sets allocator guard bands (existing and future
+/// devices) and the gpusim sanitizer hooks. Idempotent re-enable replaces
+/// the config but keeps accumulated findings (use reset() to clear).
+void enable(const Config& config = {});
+
+/// Uninstalls the hooks and removes guard bands from future allocations.
+/// Findings and counters are kept for current_report().
+void disable();
+
+[[nodiscard]] bool enabled() noexcept;
+[[nodiscard]] Config current_config();
+
+/// Snapshot of findings so far (no leak sweep).
+[[nodiscard]] Report current_report();
+
+/// End-of-program checkpoint: verifies canaries and sweeps live
+/// allocations on every constructed device (leakcheck), uninstalls the
+/// hooks, and returns the full report.
+[[nodiscard]] Report finalize();
+
+/// Clears findings and counters (fixtures and tests run back to back).
+void reset();
+
+/// Reads MCMM_GPUSAN / MCMM_GPUSAN_REPORT and, when set, enables the
+/// configured passes and registers an at-exit report writer. Called from a
+/// static initializer in this library, so merely linking gpusan makes a
+/// binary wrappable by `mcmm sanitize -- <command>`.
+void init_from_env();
+
+}  // namespace mcmm::gpusan

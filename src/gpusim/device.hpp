@@ -4,11 +4,13 @@
 // paper's ecosystem spans.
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "gpusim/allocator.hpp"
 #include "gpusim/descriptor.hpp"
 #include "gpusim/queue.hpp"
+#include "gpusim/sanitizer.hpp"
 
 namespace mcmm::gpusim {
 
@@ -18,6 +20,15 @@ class Device {
       : descriptor_(std::move(descriptor)),
         allocator_(descriptor_.memory_bytes),
         default_queue_(std::make_unique<Queue>(*this)) {}
+
+  /// Teardown is a sanitizer checkpoint: red zones of still-live blocks
+  /// are verified and leaks reported before the allocator reclaims them.
+  ~Device() {
+    if (const SanitizerHooks* hooks = sanitizer_hooks();
+        hooks != nullptr && hooks->on_device_teardown != nullptr) {
+      hooks->on_device_teardown(hooks->ctx, *this);
+    }
+  }
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -33,8 +44,10 @@ class Device {
   }
 
   /// Device-memory management (see DeviceAllocator for semantics).
-  [[nodiscard]] void* allocate(std::size_t bytes) {
-    return allocator_.allocate(bytes);
+  /// `origin` tags the allocation for sanitizer reports.
+  [[nodiscard]] void* allocate(std::size_t bytes,
+                               std::string_view origin = {}) {
+    return allocator_.allocate(bytes, origin);
   }
   void deallocate(void* p) { allocator_.deallocate(p); }
   [[nodiscard]] bool is_device_pointer(const void* p) const {
@@ -58,6 +71,11 @@ class Platform {
   [[nodiscard]] static Platform& instance();
 
   [[nodiscard]] Device& device(Vendor v);
+
+  /// The vendor's device if it has been constructed, else nullptr. Lets
+  /// the sanitizer sweep existing devices without forcing all three into
+  /// existence.
+  [[nodiscard]] Device* try_device(Vendor v) noexcept;
 
   /// Replaces a vendor's device with a custom-descriptor one (tests use
   /// this for tiny-memory devices); returns the new device.

@@ -84,6 +84,10 @@ Event Queue::memcpy(void* dst, const void* src, std::size_t bytes,
   } else {
     std::memcpy(dst, src, bytes);
   }
+  if (const SanitizerHooks* hooks = sanitizer_hooks();
+      hooks != nullptr && hooks->on_sync != nullptr) {
+    hooks->on_sync(hooks->ctx, *this);
+  }
   const double us = kind == CopyKind::DeviceToDevice
                         ? d2d_time_us(device_->descriptor(),
                                       static_cast<double>(bytes))
@@ -99,6 +103,10 @@ Event Queue::memset(void* dst, int value, std::size_t bytes) {
     pool_->run_batch(bytes, &fill_chunk, &ctx);
   } else {
     std::memset(dst, value, bytes);
+  }
+  if (const SanitizerHooks* hooks = sanitizer_hooks();
+      hooks != nullptr && hooks->on_sync != nullptr) {
+    hooks->on_sync(hooks->ctx, *this);
   }
   KernelCosts costs;
   costs.bytes_written = static_cast<double>(bytes);
@@ -120,6 +128,10 @@ Device& Platform::device(Vendor v) {
     devices_[idx] = std::make_unique<Device>(descriptor_for(v));
   }
   return *devices_[idx];
+}
+
+Device* Platform::try_device(Vendor v) noexcept {
+  return devices_[static_cast<std::size_t>(v)].get();
 }
 
 Device& Platform::reset_device(Vendor v, const DeviceDescriptor& descriptor) {

@@ -15,6 +15,7 @@
 #include "gpusim/allocator.hpp"
 #include "gpusim/costs.hpp"
 #include "gpusim/dim3.hpp"
+#include "gpusim/sanitizer.hpp"
 #include "gpusim/thread_pool.hpp"
 
 namespace mcmm::gpusim {
@@ -75,9 +76,17 @@ class Queue {
       fail_launch(cfg);  // [[noreturn]]: empty shape or block over limit
     }
     using Thunk = LaunchThunk<std::remove_reference_t<Body>>;
-    Thunk thunk{cfg, std::addressof(body)};
+    Thunk thunk{cfg, std::addressof(body), 0};
+    const SanitizerHooks* hooks = sanitizer_hooks();
+    if (hooks != nullptr && hooks->on_launch_begin != nullptr) {
+      thunk.launch_id =
+          hooks->on_launch_begin(hooks->ctx, *this, cfg, policy.schedule);
+    }
     pool_->run_batch(total, &Thunk::run, &thunk, policy.schedule,
                      policy.grain);
+    if (thunk.launch_id != 0 && hooks->on_launch_end != nullptr) {
+      hooks->on_launch_end(hooks->ctx, *this, thunk.launch_id);
+    }
     return advance_kernel(costs);
   }
 
@@ -94,11 +103,18 @@ class Queue {
     return Event{sim_time_us_, sim_time_us_};
   }
 
-  /// Barrier. Deliberately a no-op: the queue is eager and in-order, and
+  /// Barrier. Execution-wise a no-op: the queue is eager and in-order, and
   /// the fork-join engine joins every launch before it returns, so all
   /// submitted work is already complete here. Kept because real code
-  /// synchronizes at these points and the model layers mirror that shape.
-  void synchronize() const noexcept {}
+  /// synchronizes at these points and the model layers mirror that shape —
+  /// and because the sanitizer verifies allocation red zones here, exactly
+  /// where compute-sanitizer reports deferred memory errors.
+  void synchronize() noexcept {
+    const SanitizerHooks* hooks = sanitizer_hooks();
+    if (hooks != nullptr && hooks->on_sync != nullptr) {
+      hooks->on_sync(hooks->ctx, *this);
+    }
+  }
 
   /// Total simulated time consumed by this queue, microseconds.
   [[nodiscard]] double simulated_time_us() const noexcept {
@@ -109,21 +125,29 @@ class Queue {
   /// Stack-allocated bridge from the typed kernel body to the engine's
   /// type-erased ChunkFn. The body pointer refers to the caller's frame;
   /// the engine joins before launch() returns, so it never dangles.
+  /// When the sanitizer tracks this launch (launch_id != 0), the thunk
+  /// publishes the executing work item's linear id in a thread-local so
+  /// instrumented accessors can attribute each access to a work item; the
+  /// untracked path pays one predictable branch per item.
   template <typename Body>
   struct LaunchThunk {
     LaunchConfig cfg;
     Body* body;
+    std::uint64_t launch_id;
 
     static void run(void* ctx, std::uint64_t begin, std::uint64_t end) {
       auto* self = static_cast<LaunchThunk*>(ctx);
       Body& body = *self->body;
+      const std::uint64_t launch_id = self->launch_id;
       WorkItem item = begin == 0 ? first_work_item(self->cfg)
                                  : work_item_from_linear(self->cfg, begin);
       for (std::uint64_t i = begin;;) {
+        if (launch_id != 0) set_current_work_item(launch_id, i);
         body(item);
         if (++i == end) break;
         advance_work_item(self->cfg, item);
       }
+      if (launch_id != 0) clear_current_work_item();
     }
   };
 

@@ -1,0 +1,16 @@
+#include "gpusim/sanitizer.hpp"
+
+namespace mcmm::gpusim {
+namespace sanitizer_detail {
+
+std::atomic<const SanitizerHooks*> g_hooks{nullptr};
+thread_local std::uint64_t t_work_item = kNoWorkItem;
+thread_local std::uint64_t t_launch_id = 0;
+
+}  // namespace sanitizer_detail
+
+void install_sanitizer_hooks(const SanitizerHooks* hooks) noexcept {
+  sanitizer_detail::g_hooks.store(hooks, std::memory_order_release);
+}
+
+}  // namespace mcmm::gpusim

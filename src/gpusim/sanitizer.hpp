@@ -1,0 +1,109 @@
+#pragma once
+// Instrumentation seam between the simulated runtime and the gpusan
+// sanitizer (src/gpusan). gpusim itself implements only the mechanisms a
+// sanitizer needs — guard bands in the allocator, hook points on the queue,
+// a thread-local current-work-item id maintained by the launch thunk — and
+// stays ignorant of the passes built on top. gpusan installs a hook table
+// here; when none is installed every probe is one relaxed atomic load and a
+// predicted-not-taken branch, so uninstrumented runs keep the engine's
+// allocation-free hot path.
+//
+// Hook contract: hooks are invoked from kernel worker threads and from
+// noexcept sync points, so they must not throw; they record findings
+// instead. Install/uninstall must not run concurrently with kernel
+// launches.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "gpusim/dim3.hpp"
+#include "gpusim/thread_pool.hpp"
+
+namespace mcmm::gpusim {
+
+class Queue;
+class Device;
+
+/// How an instrumented model-layer access touches device memory. Unknown
+/// marks accessor surfaces that cannot distinguish read from write (a
+/// Kokkos-style `view(i)` reference); such accesses take part in bounds
+/// checking but are excluded from race analysis, which would otherwise
+/// flag shared read-only tables as write conflicts.
+enum class AccessKind : std::uint8_t { Read, Write, Unknown };
+
+/// Callback table a sanitizer installs. Any entry may be null.
+struct SanitizerHooks {
+  void* ctx{nullptr};
+
+  /// A kernel launch passed validation; returns a nonzero launch id to
+  /// track its work items (0 = do not track this launch).
+  std::uint64_t (*on_launch_begin)(void* ctx, Queue& queue,
+                                   const LaunchConfig& cfg,
+                                   Schedule schedule){nullptr};
+  /// The launch's fork-join completed (all work items ran).
+  void (*on_launch_end)(void* ctx, Queue& queue,
+                        std::uint64_t launch_id){nullptr};
+  /// A queue sync point completed (memcpy, memset, synchronize).
+  void (*on_sync)(void* ctx, Queue& queue){nullptr};
+  /// A device is being destroyed with its allocations still live.
+  void (*on_device_teardown)(void* ctx, Device& device){nullptr};
+  /// An instrumented accessor touched [p, p+bytes).
+  void (*on_device_access)(void* ctx, const void* p, std::size_t bytes,
+                           AccessKind kind){nullptr};
+};
+
+namespace sanitizer_detail {
+extern std::atomic<const SanitizerHooks*> g_hooks;
+extern thread_local std::uint64_t t_work_item;
+extern thread_local std::uint64_t t_launch_id;
+}  // namespace sanitizer_detail
+
+/// Sentinel work-item id outside any tracked kernel body.
+inline constexpr std::uint64_t kNoWorkItem = ~std::uint64_t{0};
+
+[[nodiscard]] inline const SanitizerHooks* sanitizer_hooks() noexcept {
+  return sanitizer_detail::g_hooks.load(std::memory_order_acquire);
+}
+
+[[nodiscard]] inline bool sanitizer_active() noexcept {
+  return sanitizer_hooks() != nullptr;
+}
+
+/// Installs (or, with nullptr, uninstalls) the hook table. The table must
+/// outlive its installation.
+void install_sanitizer_hooks(const SanitizerHooks* hooks) noexcept;
+
+/// The linear id of the work item this thread is currently executing, or
+/// kNoWorkItem outside a tracked kernel body.
+[[nodiscard]] inline std::uint64_t current_work_item() noexcept {
+  return sanitizer_detail::t_work_item;
+}
+
+/// The launch id of the tracked kernel this thread is executing, 0 if none.
+[[nodiscard]] inline std::uint64_t current_launch_id() noexcept {
+  return sanitizer_detail::t_launch_id;
+}
+
+inline void set_current_work_item(std::uint64_t launch_id,
+                                  std::uint64_t item) noexcept {
+  sanitizer_detail::t_launch_id = launch_id;
+  sanitizer_detail::t_work_item = item;
+}
+
+inline void clear_current_work_item() noexcept {
+  sanitizer_detail::t_launch_id = 0;
+  sanitizer_detail::t_work_item = kNoWorkItem;
+}
+
+/// Model-layer accessor instrumentation entry point: strict-mode bounds
+/// and race recording. No-op (load + branch) unless hooks are installed.
+inline void note_device_access(const void* p, std::size_t bytes,
+                               AccessKind kind) noexcept {
+  const SanitizerHooks* hooks = sanitizer_hooks();
+  if (hooks != nullptr && hooks->on_device_access != nullptr) {
+    hooks->on_device_access(hooks->ctx, p, bytes, kind);
+  }
+}
+
+}  // namespace mcmm::gpusim

@@ -9,9 +9,12 @@
 #include <memory>
 #include <optional>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include <algorithm>
+
+#include "gpusim/sanitizer.hpp"
 
 #include "core/error.hpp"
 #include "gpusim/costs.hpp"
@@ -64,13 +67,19 @@ class View {
       : exec_(&exec),
         label_(std::move(label)),
         size_(count),
-        data_(static_cast<T*>(exec.device().allocate(count * sizeof(T))),
+        data_(static_cast<T*>(
+                  exec.device().allocate(count * sizeof(T), label_)),
               [dev = &exec.device()](T* p) { dev->deallocate(p); }) {}
 
   [[nodiscard]] T* data() const noexcept { return data_.get(); }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  /// A view reference cannot tell a read from a write, so the sanitizer
+  /// probe reports AccessKind::Unknown: bounds-checked by memcheck, skipped
+  /// by racecheck (see gpusim::AccessKind).
   [[nodiscard]] T& operator()(std::size_t i) const noexcept {
+    gpusim::note_device_access(data_.get() + i, sizeof(T),
+                               gpusim::AccessKind::Unknown);
     return data_.get()[i];
   }
   [[nodiscard]] long use_count() const noexcept { return data_.use_count(); }
@@ -175,17 +184,27 @@ void parallel_reduce(Execution& exec, const MDRangePolicy2D& policy,
   result = total_value;
 }
 
-/// Kokkos::parallel_for over a 1-D range; body(i).
+/// Kokkos::parallel_for over a 1-D range; body(i). The launch-policy form
+/// mirrors Kokkos's Schedule<Static/Dynamic> template parameter.
 template <typename Body>
 void parallel_for(Execution& exec, const RangePolicy& policy,
-                  const gpusim::KernelCosts& costs, Body&& body) {
+                  const gpusim::KernelCosts& costs,
+                  gpusim::LaunchPolicy launch_policy, Body&& body) {
   const std::size_t n = policy.end - policy.begin;
   const std::size_t begin = policy.begin;
   exec.queue().launch(gpusim::launch_1d(n, 256), costs,
                       [&](const gpusim::WorkItem& item) {
                         const std::size_t i = item.global_x();
                         if (i < n) body(begin + i);
-                      });
+                      },
+                      launch_policy);
+}
+
+template <typename Body>
+void parallel_for(Execution& exec, const RangePolicy& policy,
+                  const gpusim::KernelCosts& costs, Body&& body) {
+  parallel_for(exec, policy, costs, gpusim::LaunchPolicy{},
+               std::forward<Body>(body));
 }
 
 /// Kokkos::parallel_reduce; body(i, update) accumulates into update.

@@ -1,7 +1,9 @@
 #include "models/pybindx/pybindx.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
+#include "gpusim/sanitizer.hpp"
 #include "models/profiles.hpp"
 
 namespace mcmm::pybindx {
@@ -43,7 +45,11 @@ void fill_typed(gpusim::Queue& q, void* data, std::size_t n, double value,
   q.launch(gpusim::launch_1d(n, 256), costs,
            [p, n, value](const gpusim::WorkItem& item) {
              const std::size_t i = item.global_x();
-             if (i < n) p[i] = static_cast<T>(value);
+             if (i < n) {
+               gpusim::note_device_access(p + i, sizeof(T),
+                                          gpusim::AccessKind::Write);
+               p[i] = static_cast<T>(value);
+             }
            });
 }
 
@@ -54,7 +60,11 @@ void iota_typed(gpusim::Queue& q, void* data, std::size_t n,
   q.launch(gpusim::launch_1d(n, 256), costs,
            [p, n](const gpusim::WorkItem& item) {
              const std::size_t i = item.global_x();
-             if (i < n) p[i] = static_cast<T>(i);
+             if (i < n) {
+               gpusim::note_device_access(p + i, sizeof(T),
+                                          gpusim::AccessKind::Write);
+               p[i] = static_cast<T>(i);
+             }
            });
 }
 
@@ -84,6 +94,25 @@ void store_from_double(void* data, DType dtype, std::size_t i, double v) {
       static_cast<std::int32_t*>(data)[i] = static_cast<std::int32_t>(v);
       break;
   }
+}
+
+/// Instrumented element accessors for device kernels: a sanitizer probe at
+/// dtype granularity, then the plain load/store. asnumpy's host-side widen
+/// loop deliberately uses load_as_double directly — it reads a host staging
+/// buffer, which the sanitizer must not classify as a device access.
+[[nodiscard]] double load_elem(const void* data, DType dtype,
+                               std::size_t i) {
+  gpusim::note_device_access(
+      static_cast<const std::byte*>(data) + i * dtype_size(dtype),
+      dtype_size(dtype), gpusim::AccessKind::Read);
+  return load_as_double(data, dtype, i);
+}
+
+void store_elem(void* data, DType dtype, std::size_t i, double v) {
+  gpusim::note_device_access(
+      static_cast<std::byte*>(data) + i * dtype_size(dtype),
+      dtype_size(dtype), gpusim::AccessKind::Write);
+  store_from_double(data, dtype, i, v);
 }
 
 }  // namespace
@@ -171,7 +200,9 @@ DType Module::promote(DType a, DType b) noexcept {
 
 ndarray Module::make(std::size_t n, DType dtype) {
   ndarray out;
-  void* raw = device_->allocate(n * dtype_size(dtype));
+  std::string origin = "pybindx/";
+  origin += to_string(package_);
+  void* raw = device_->allocate(n * dtype_size(dtype), origin);
   out.data_ = std::shared_ptr<void>(
       raw, [dev = device_](void* p) { dev->deallocate(p); });
   out.size_ = n;
@@ -278,8 +309,8 @@ ndarray Module::binary_op(const ndarray& a, const ndarray& b, BinOp op) {
                  [=](const gpusim::WorkItem& item) {
                    const std::size_t i = item.global_x();
                    if (i >= n) return;
-                   const double x = load_as_double(pa, da, i);
-                   const double y = load_as_double(pb, db, i);
+                   const double x = load_elem(pa, da, i);
+                   const double y = load_elem(pb, db, i);
                    double r = 0.0;
                    switch (op) {
                      case BinOp::Add:
@@ -292,7 +323,7 @@ ndarray Module::binary_op(const ndarray& a, const ndarray& b, BinOp op) {
                        r = x * y;
                        break;
                    }
-                   store_from_double(po, out_dtype, i, r);
+                   store_elem(po, out_dtype, i, r);
                  });
   return out;
 }
@@ -324,8 +355,7 @@ ndarray Module::multiply(const ndarray& a, double scalar) {
                  [=](const gpusim::WorkItem& item) {
                    const std::size_t i = item.global_x();
                    if (i < n) {
-                     store_from_double(po, da, i,
-                                       load_as_double(pa, da, i) * scalar);
+                     store_elem(po, da, i, load_elem(pa, da, i) * scalar);
                    }
                  });
   return out;
@@ -350,7 +380,7 @@ double Module::sum(const ndarray& a) {
                    const std::size_t end = std::min(n, begin + chunk);
                    double acc = 0.0;
                    for (std::size_t i = begin; i < end; ++i) {
-                     acc += load_as_double(pa, da, i);
+                     acc += load_elem(pa, da, i);
                    }
                    partials[c] = acc;
                  });

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <vector>
 
+#include "gpusim/sanitizer.hpp"
 #include "models/syclx/syclx.hpp"
 
 namespace mcmm::syclx {
@@ -21,11 +22,20 @@ enum class access_mode { read, write, read_write };
 template <typename T>
 class buffer;
 
-/// Device-side view of a buffer inside a command group.
+/// Device-side view of a buffer inside a command group. Every element
+/// access is a sanitizer probe: the access mode gives gpusan the read/write
+/// direction (read_write cannot distinguish the two, so it is bounds-checked
+/// but excluded from race analysis).
 template <typename T>
 class accessor {
  public:
   [[nodiscard]] T& operator[](std::size_t i) const noexcept {
+    gpusim::note_device_access(data_ + i, sizeof(T),
+                               mode_ == access_mode::read
+                                   ? gpusim::AccessKind::Read
+                               : mode_ == access_mode::write
+                                   ? gpusim::AccessKind::Write
+                                   : gpusim::AccessKind::Unknown);
     return data_[i];
   }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -91,7 +101,7 @@ class buffer {
   void materialize(queue& q) {
     if (device_ == nullptr) {
       bound_queue_ = &q;
-      device_ = q.malloc_device<T>(size_);
+      device_ = q.malloc_device<T>(size_, "syclx::buffer");
       q.memcpy(device_, host_, size_ * sizeof(T));
       host_dirty_ = false;
       return;

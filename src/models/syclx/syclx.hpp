@@ -64,10 +64,12 @@ class queue {
     return queue_->backend_profile();
   }
 
-  /// USM device allocation.
+  /// USM device allocation. `origin` tags the block in sanitizer reports.
   template <typename T>
-  [[nodiscard]] T* malloc_device(std::size_t count) {
-    return static_cast<T*>(device_->allocate(count * sizeof(T)));
+  [[nodiscard]] T* malloc_device(std::size_t count,
+                                 std::string_view origin =
+                                     "syclx::malloc_device") {
+    return static_cast<T*>(device_->allocate(count * sizeof(T), origin));
   }
   void free(void* ptr) {
     if (ptr != nullptr) device_->deallocate(ptr);
@@ -80,16 +82,29 @@ class queue {
     return event(queue_->memset(dst, value, bytes));
   }
 
-  /// parallel_for over a 1-D range; body receives the work-item id.
+  /// parallel_for over a 1-D range; body receives the work-item id. The
+  /// policy overload exposes the host-side schedule knob (gpusan's race
+  /// fixtures run under both schedules to show detection is
+  /// schedule-independent).
   template <typename Body>
-  event parallel_for(range r, const gpusim::KernelCosts& costs, Body&& body) {
+  event parallel_for(range r, const gpusim::KernelCosts& costs,
+                     gpusim::LaunchPolicy policy, Body&& body) {
     const gpusim::LaunchConfig cfg = gpusim::launch_1d(r.size, 256);
     const std::size_t n = r.size;
     return event(
-        queue_->launch(cfg, costs, [&](const gpusim::WorkItem& item) {
-          const std::size_t i = item.global_x();
-          if (i < n) body(id{i});
-        }));
+        queue_->launch(
+            cfg, costs,
+            [&](const gpusim::WorkItem& item) {
+              const std::size_t i = item.global_x();
+              if (i < n) body(id{i});
+            },
+            policy));
+  }
+
+  template <typename Body>
+  event parallel_for(range r, const gpusim::KernelCosts& costs, Body&& body) {
+    return parallel_for(r, costs, gpusim::LaunchPolicy{},
+                        std::forward<Body>(body));
   }
 
   template <typename Body>

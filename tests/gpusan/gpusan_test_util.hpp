@@ -1,0 +1,44 @@
+#pragma once
+// Shared scaffolding for the gpusan pass tests: every test runs with the
+// sanitizer freshly enabled and reads findings through current_report()
+// (never finalize(), whose leak sweep would see blocks owned by *other*
+// tests in this binary). Assertions therefore target specific findings —
+// kind/origin/launch — not global cleanliness, keeping the tests
+// independent of execution order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "gpusan/gpusan.hpp"
+
+namespace mcmm::gpusan::testing {
+
+class GpusanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset();
+    enable();
+  }
+  void TearDown() override {
+    disable();
+    reset();
+  }
+};
+
+/// Findings of one kind (e.g. "out-of-bounds-write") in the report.
+inline std::vector<Finding> findings_of_kind(const Report& report,
+                                             const std::string& kind) {
+  std::vector<Finding> out;
+  std::copy_if(report.findings.begin(), report.findings.end(),
+               std::back_inserter(out),
+               [&](const Finding& f) { return f.kind == kind; });
+  return out;
+}
+
+inline bool has_kind(const Report& report, const std::string& kind) {
+  return !findings_of_kind(report, kind).empty();
+}
+
+}  // namespace mcmm::gpusan::testing

@@ -1,0 +1,77 @@
+// leakcheck pass: live allocations at a device checkpoint are reported
+// with origin and device attribution; freed allocations are not.
+
+#include <cstddef>
+#include <string>
+
+#include "gpusan_test_util.hpp"
+#include "gpusim/device.hpp"
+#include "models/syclx/syclx.hpp"
+
+namespace mcmm::gpusan {
+namespace {
+
+using testing::GpusanTest;
+
+class Leakcheck : public GpusanTest {};
+
+/// A fresh tiny device keeps these tests independent of what other tests
+/// in this binary may have allocated on the shared Platform devices.
+gpusim::Device& fresh_device(Vendor v) {
+  return gpusim::Platform::instance().reset_device(
+      v, gpusim::tiny_test_device(1 << 20));
+}
+
+TEST_F(Leakcheck, DeviceTeardownReportsTaggedLiveAllocation) {
+  gpusim::Device& dev = fresh_device(Vendor::AMD);
+  dev.allocator().set_guard_bytes(current_config().redzone_bytes);
+  void* leaked = dev.allocate(512, "leakcheck-test/leaked");
+  (void)leaked;  // never freed
+  // Replacing the device destroys the old one -> teardown checkpoint.
+  fresh_device(Vendor::AMD);
+  const Report report = current_report();
+  const Finding* leak = nullptr;
+  for (const Finding& f : report.findings) {
+    if (f.kind == "leak" && f.origin == "leakcheck-test/leaked") leak = &f;
+  }
+  ASSERT_NE(leak, nullptr) << report.text();
+  EXPECT_EQ(leak->pass, Pass::Leakcheck);
+  EXPECT_NE(leak->message.find("512 bytes"), std::string::npos)
+      << leak->message;
+  EXPECT_NE(leak->message.find("device teardown"), std::string::npos)
+      << leak->message;
+}
+
+TEST_F(Leakcheck, FreedAllocationsAreNotReported) {
+  gpusim::Device& dev = fresh_device(Vendor::AMD);
+  dev.allocator().set_guard_bytes(current_config().redzone_bytes);
+  void* p = dev.allocate(256, "leakcheck-test/freed");
+  dev.deallocate(p);
+  fresh_device(Vendor::AMD);
+  const Report report = current_report();
+  for (const Finding& f : report.findings) {
+    EXPECT_NE(f.origin, "leakcheck-test/freed") << f.message;
+  }
+}
+
+TEST_F(Leakcheck, UsmLeakSurvivesToFinalizeSweep) {
+  syclx::queue q(Vendor::NVIDIA);
+  auto* p = q.malloc_device<double>(64, "leakcheck-test/usm");
+  const Report mid = current_report();
+  // current_report() takes no leak sweep: nothing reported while running.
+  for (const Finding& f : mid.findings) {
+    EXPECT_NE(f.origin, "leakcheck-test/usm");
+  }
+  const Report final_report = finalize();
+  bool found = false;
+  for (const Finding& f : final_report.findings) {
+    if (f.kind == "leak" && f.origin == "leakcheck-test/usm") found = true;
+  }
+  EXPECT_TRUE(found) << final_report.text();
+  // Clean up and restore the enabled state for the fixture's TearDown.
+  q.free(p);
+  enable(current_config());
+}
+
+}  // namespace
+}  // namespace mcmm::gpusan

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstddef>
+#include <thread>
 #include <vector>
 
 namespace mcmm::gpusim {
@@ -124,6 +127,112 @@ TEST(Allocator, FaultInjectionFailsNthAllocation) {
   a.deallocate(p);
   a.deallocate(q);
   a.deallocate(r);
+}
+
+TEST(Allocator, FaultCountdownAdvancesOnlyOnSuccess) {
+  DeviceAllocator a(1024);
+  a.set_fault_plan(FaultPlan{2});
+  void* p = a.allocate(100);  // success 1 of 2
+  // A capacity failure must not consume the countdown: the injected fault
+  // has to land on the same logical allocation regardless of interleaved
+  // out-of-memory conditions.
+  EXPECT_THROW((void)a.allocate(4096), OutOfMemory);
+  void* q = a.allocate(100);                         // success 2 of 2
+  EXPECT_THROW((void)a.allocate(100), OutOfMemory);  // injected fault
+  void* r = a.allocate(100);                         // one-shot: fine again
+  a.deallocate(p);
+  a.deallocate(q);
+  a.deallocate(r);
+}
+
+TEST(Allocator, FaultInjectionFiresExactlyOnceUnderConcurrency) {
+  DeviceAllocator a(1 << 22);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 32;
+  a.set_fault_plan(FaultPlan{64});  // 64 successes, then one fault
+  std::atomic<int> faults{0};
+  std::atomic<int> successes{0};
+  std::vector<std::vector<void*>> owned(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        try {
+          owned[static_cast<std::size_t>(t)].push_back(a.allocate(16));
+          successes.fetch_add(1, std::memory_order_relaxed);
+        } catch (const OutOfMemory&) {
+          faults.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  // The countdown advances under the allocator mutex and only on success,
+  // so exactly one of the 256 attempts faults no matter the interleaving.
+  EXPECT_EQ(faults.load(), 1);
+  EXPECT_EQ(successes.load(), kThreads * kPerThread - 1);
+  for (const auto& ptrs : owned) {
+    for (void* p : ptrs) a.deallocate(p);
+  }
+}
+
+TEST(Allocator, GuardBandsClassifyAndAttributeRanges) {
+  DeviceAllocator a(4096);
+  a.set_guard_bytes(32);
+  auto* p = static_cast<std::byte*>(a.allocate(64, "tagged"));
+  EXPECT_EQ(a.query_range(p, 64).status, RangeStatus::Ok);
+  EXPECT_EQ(a.query_range(p + 63, 1).status, RangeStatus::Ok);
+
+  const RangeQuery past = a.query_range(p + 64, 1);  // back red zone
+  EXPECT_EQ(past.status, RangeStatus::OutOfBounds);
+  EXPECT_EQ(past.id, 1u);
+  EXPECT_EQ(past.origin, "tagged");
+  EXPECT_EQ(past.offset, 64);
+
+  const RangeQuery before = a.query_range(p - 1, 1);  // front red zone
+  EXPECT_EQ(before.status, RangeStatus::OutOfBounds);
+  EXPECT_EQ(before.id, 1u);
+
+  // Straddling the end is out of bounds even though it starts inside.
+  EXPECT_EQ(a.query_range(p + 32, 64).status, RangeStatus::OutOfBounds);
+
+  int local = 0;
+  EXPECT_EQ(a.query_range(&local, 4).status, RangeStatus::Unknown);
+  a.deallocate(p);
+}
+
+TEST(Allocator, CanaryCorruptionDetectedAndSided) {
+  DeviceAllocator a(4096);
+  a.set_guard_bytes(16);
+  auto* p = static_cast<std::byte*>(a.allocate(64, "victim"));
+  EXPECT_TRUE(a.verify_canaries().empty());
+
+  p[64] = std::byte{0};  // stomp the first byte past the allocation
+  const std::vector<CanaryViolation> v = a.verify_canaries();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_FALSE(v[0].front);
+  EXPECT_EQ(v[0].offset, 64);
+  EXPECT_EQ(v[0].origin, "victim");
+
+  p[-1] = std::byte{0};  // and one before it
+  const std::vector<CanaryViolation> v2 = a.verify_canaries();
+  ASSERT_EQ(v2.size(), 2u);  // both zones reported on a fresh scan
+  a.deallocate(p);
+  // Corruption seen at deallocate time is queued for the next scan.
+  EXPECT_FALSE(a.verify_canaries().empty());
+}
+
+TEST(Allocator, QuarantineAttributesUseAfterFree) {
+  DeviceAllocator a(4096);
+  a.set_guard_bytes(16);
+  auto* p = static_cast<std::byte*>(a.allocate(32, "freed-block"));
+  a.deallocate(p);
+  const RangeQuery q = a.query_range(p, 4);
+  EXPECT_EQ(q.status, RangeStatus::UseAfterFree);
+  EXPECT_EQ(q.id, 1u);
+  EXPECT_EQ(q.origin, "freed-block");
+  EXPECT_EQ(q.offset, 0);
 }
 
 TEST(Allocator, ManySmallAllocations) {

@@ -9,7 +9,10 @@
 //   mcmm excluded                               Sec. 5 excluded models
 //   mcmm export <dir>                           YAML + rendered artifacts
 //   mcmm diff <before.yaml> <after.yaml>        snapshot changelog
+//   mcmm sanitize [...]                         gpusan the simulated GPU
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -23,6 +26,8 @@
 #include "core/statistics.hpp"
 #include "data/dataset.hpp"
 #include "data/excluded.hpp"
+#include "gpusan/fixtures.hpp"
+#include "gpusan/gpusan.hpp"
 #include "render/render.hpp"
 #include "render/report.hpp"
 #include "yamlx/matrix_yaml.hpp"
@@ -46,6 +51,13 @@ commands:
   excluded                               models the paper excluded and why
   export <directory>                     write YAML/HTML/LaTeX/MD/CSV
   diff <before.yaml> <after.yaml>        changelog between two snapshots
+  sanitize [--passes p1,p2] [--json] [--report <path>]
+           [--fixture oob|uaf|race|race-clean|leak]
+           [-- <command> [args...]]
+                                         run gpusan (memcheck/racecheck/
+                                         leakcheck) over the clean suite, a
+                                         defect fixture, or a wrapped
+                                         command; exits non-zero on findings
 )";
   return 2;
 }
@@ -199,6 +211,144 @@ int cmd_diff(const std::vector<std::string>& args) {
   }
 }
 
+// --- mcmm sanitize -------------------------------------------------------
+
+/// POSIX-shell single-quote escaping for the wrapper command line.
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+/// Extracts "total_findings": N from a gpusan JSON report; -1 if absent.
+long parse_total_findings(const std::string& json) {
+  const std::string key = "\"total_findings\":";
+  const std::size_t pos = json.find(key);
+  if (pos == std::string::npos) return -1;
+  return std::strtol(json.c_str() + pos + key.size(), nullptr, 10);
+}
+
+/// Wrapper mode: re-runs `command` with MCMM_GPUSAN set (the target binary
+/// links the gpusan autoinit object, so the env enables the passes and
+/// writes a JSON report at exit) and turns the report into an exit code —
+/// the compute-sanitizer usage shape.
+int sanitize_wrapped(const std::vector<std::string>& command,
+                     const std::string& passes_spec,
+                     const std::string& report_path, bool json) {
+  const std::string report_file =
+      report_path.empty() ? ".mcmm_gpusan_report.json" : report_path;
+  std::string cmdline = "MCMM_GPUSAN=" + shell_quote(passes_spec) +
+                        " MCMM_GPUSAN_REPORT=" + shell_quote(report_file);
+  for (const std::string& word : command) {
+    cmdline += " " + shell_quote(word);
+  }
+  const int child_status = std::system(cmdline.c_str());
+
+  std::string report_json;
+  {
+    std::ifstream in(report_file);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    report_json = buffer.str();
+  }
+  if (report_path.empty()) std::remove(report_file.c_str());
+
+  const long findings = parse_total_findings(report_json);
+  if (json) std::cout << report_json;
+  if (findings < 0) {
+    std::cerr << "mcmm sanitize: no gpusan report produced — is the "
+                 "wrapped binary built with mcmm_make_sanitizable?\n";
+    return 2;
+  }
+  std::cout << "mcmm sanitize: " << findings << " finding(s), child "
+            << (child_status == 0 ? "exited cleanly" : "failed") << "\n";
+  if (child_status != 0) return 1;
+  return findings == 0 ? 0 : 1;
+}
+
+int cmd_sanitize(const std::vector<std::string>& args) {
+  gpusan::Config cfg;
+  std::string passes_spec = "all";
+  std::string report_path;
+  std::string fixture;
+  bool json = false;
+  std::vector<std::string> wrapped;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--") {
+      wrapped.assign(args.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                     args.end());
+      if (wrapped.empty()) return usage();
+      break;
+    }
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--report" && i + 1 < args.size()) {
+      report_path = args[++i];
+    } else if (a == "--fixture" && i + 1 < args.size()) {
+      fixture = args[++i];
+    } else if (a == "--passes" && i + 1 < args.size()) {
+      passes_spec = args[++i];
+      cfg.memcheck = passes_spec.find("memcheck") != std::string::npos;
+      cfg.racecheck = passes_spec.find("racecheck") != std::string::npos;
+      cfg.leakcheck = passes_spec.find("leakcheck") != std::string::npos;
+      if (passes_spec == "all") cfg = gpusan::Config{};
+      if (!cfg.memcheck && !cfg.racecheck && !cfg.leakcheck) {
+        std::cerr << "no known pass in: " << passes_spec << "\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      return usage();
+    }
+  }
+
+  if (!wrapped.empty()) {
+    return sanitize_wrapped(wrapped, passes_spec, report_path, json);
+  }
+
+  gpusan::enable(cfg);
+  try {
+    if (fixture.empty()) {
+      gpusan::fixtures::clean_suite();
+    } else if (fixture == "oob") {
+      gpusan::fixtures::oob_write();
+    } else if (fixture == "uaf") {
+      gpusan::fixtures::use_after_free();
+    } else if (fixture == "race") {
+      gpusan::fixtures::racy_histogram(gpusim::Schedule::Static);
+      gpusan::fixtures::racy_histogram(gpusim::Schedule::Dynamic);
+    } else if (fixture == "race-clean") {
+      gpusan::fixtures::privatized_histogram(gpusim::Schedule::Static);
+      gpusan::fixtures::privatized_histogram(gpusim::Schedule::Dynamic);
+    } else if (fixture == "leak") {
+      gpusan::fixtures::leak();
+    } else {
+      std::cerr << "unknown fixture: " << fixture << "\n";
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    // Fixtures plant *detectable* defects, not crashes; a throw here is a
+    // real bug worth surfacing alongside the report.
+    std::cerr << "fixture threw: " << e.what() << "\n";
+  }
+  const gpusan::Report report = gpusan::finalize();
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << report.json();
+  }
+  std::cout << (json ? report.json() : report.text());
+  return report.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,5 +363,6 @@ int main(int argc, char** argv) {
   if (command == "excluded") return cmd_excluded();
   if (command == "export") return cmd_export(args);
   if (command == "diff") return cmd_diff(args);
+  if (command == "sanitize") return cmd_sanitize(args);
   return usage();
 }
