@@ -12,24 +12,43 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "bench_support/stream.hpp"
+#include "gpuprof/gpuprof.hpp"
 #include "models/stdparx/stdparx.hpp"
 #include "yamlx/device_yaml.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcmm;
+  // gpuprof flags first (position-independent): --profile traces the whole
+  // sweep and appends the per-kernel roofline attribution per vendor;
+  // --profile-trace additionally writes the chrome://tracing timeline.
+  bool profile = false;
+  std::string trace_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--profile") {
+      profile = true;
+    } else if (a == "--profile-trace" && i + 1 < argc) {
+      profile = true;
+      trace_path = argv[++i];
+    } else {
+      args.push_back(a);
+    }
+  }
   std::size_t n = 1u << 22;  // 4 Mi doubles per array, BabelStream-ish
   int reps = 5;
-  if (argc > 1) n = static_cast<std::size_t>(std::stoull(argv[1]));
-  if (argc > 2) reps = std::stoi(argv[2]);
+  if (args.size() > 0) n = static_cast<std::size_t>(std::stoull(args[0]));
+  if (args.size() > 1) reps = std::stoi(args[1]);
   // Optional: benchmark a custom device configuration ("what would this
   // look like on next year's part?") — replaces the vendor's simulated
   // device for this run.
-  if (argc > 4 && std::string(argv[3]) == "--device") {
-    std::ifstream in(argv[4]);
+  if (args.size() > 3 && args[2] == "--device") {
+    std::ifstream in(args[3]);
     if (!in) {
-      std::cerr << "cannot read device config " << argv[4] << "\n";
+      std::cerr << "cannot read device config " << args[3] << "\n";
       return 2;
     }
     std::ostringstream buffer;
@@ -44,6 +63,11 @@ int main(int argc, char** argv) {
   // Include AMD's in-development stdpar route so the figure shows the
   // 'limited support' tier too.
   stdparx::enable_experimental_roc_stdpar(true);
+
+  if (profile) {
+    gpuprof::reset();
+    gpuprof::enable();
+  }
 
   std::cout << "=== Ext-F2: BabelStream across models and simulated "
                "vendors ===\n";
@@ -66,6 +90,22 @@ int main(int argc, char** argv) {
   }
 
   stdparx::enable_experimental_roc_stdpar(false);
+
+  if (profile) {
+    const gpuprof::Trace trace = gpuprof::finalize();
+    std::cout << trace.text_report();
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "cannot write " << trace_path << "\n";
+        return 2;
+      }
+      out << trace.chrome_json();
+      std::cout << "chrome trace written to " << trace_path << "\n";
+    }
+    all_verified = all_verified && !trace.empty();
+  }
+
   std::cout << (all_verified ? "PASS" : "FAIL")
             << ": all routes produced verified results\n";
   return all_verified ? 0 : 1;

@@ -16,17 +16,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "bench_support/stream.hpp"
 #include "data/dataset.hpp"
 #include "engine_baseline.hpp"
+#include "gpuprof/gpuprof.hpp"
 #include "gpusim/device.hpp"
 #include "render/render.hpp"
 #include "translate/translate.hpp"
@@ -163,7 +166,53 @@ struct EngineReport {
   double uneven_ms_dynamic{0};
   bool sim_time_identical{false};
   bool results_identical{false};
+  // gpuprof A/B: per-launch overhead with hooks never installed, with the
+  // profiler tracing, and after disable() (the hooks-off path must cost
+  // the same whether gpuprof was ever on or not).
+  double profiler_off_ns{0};
+  double profiler_on_ns{0};
+  double profiler_after_disable_ns{0};
 };
+
+/// gpuprof A/B: the disabled-path guarantee (hooks off = one atomic load
+/// + branch) and the price of tracing. Mutates only gpuprof state; runs
+/// after the engine harness so its enable/disable cannot perturb those
+/// numbers.
+void run_profiler_harness(EngineReport& rep) {
+  constexpr int kLaunches = 40000;
+  constexpr int kTimingReps = 5;
+  const gpusim::DeviceDescriptor descriptor =
+      gpusim::tiny_test_device(std::size_t{1} << 20);
+  gpusim::Device dev(descriptor);
+  gpusim::Queue& q = dev.default_queue();
+  const gpusim::LaunchConfig cfg = gpusim::launch_1d(1, 1);
+  const gpusim::KernelCosts empty{};
+  const auto body = [](const gpusim::WorkItem&) {};
+
+  // Min-of-reps, the same estimator as the engine launch-overhead A/B.
+  const auto measure = [&] {
+    for (int i = 0; i < 1000; ++i) q.launch(cfg, empty, body);
+    double best = std::numeric_limits<double>::max();
+    for (int r = 0; r < kTimingReps; ++r) {
+      const auto t0 = Clock::now();
+      for (int i = 0; i < kLaunches; ++i) q.launch(cfg, empty, body);
+      best = std::min(best, seconds_since(t0) * 1e9 / kLaunches);
+    }
+    return best;
+  };
+
+  rep.profiler_off_ns = measure();
+  gpuprof::Config cfg_prof;
+  // Room for every traced launch: drops would short-circuit the hooks
+  // and understate the tracing price.
+  cfg_prof.max_events =
+      std::size_t{2} * kTimingReps * kLaunches + 4096;
+  gpuprof::enable(cfg_prof);
+  rep.profiler_on_ns = measure();
+  (void)gpuprof::finalize();
+  gpuprof::reset();
+  rep.profiler_after_disable_ns = measure();
+}
 
 [[nodiscard]] EngineReport run_engine_harness(std::uint64_t triad_n,
                                               int triad_reps) {
@@ -174,8 +223,12 @@ struct EngineReport {
   const gpusim::DeviceDescriptor descriptor =
       gpusim::tiny_test_device(std::size_t{1} << 20);
 
-  // --- Launch overhead: empty kernel, N=1, per-launch nanoseconds. ---
-  constexpr int kLaunches = 200000;
+  // --- Launch overhead: empty kernel, N=1, per-launch nanoseconds.
+  // Min over several repetitions: robust against scheduler interference
+  // on small shared machines, and the same estimator the gpuprof A/B
+  // uses, so its hooks-off number is directly comparable. ---
+  constexpr int kLaunches = 40000;
+  constexpr int kTimingReps = 5;
   {
     gpusim::Device dev(descriptor);
     gpusim::Queue& q = dev.default_queue();
@@ -190,12 +243,20 @@ struct EngineReport {
       seed_q.launch(cfg, empty, body);
       q.launch(cfg, empty, body);
     }
-    auto t0 = Clock::now();
-    for (int i = 0; i < kLaunches; ++i) seed_q.launch(cfg, empty, body);
-    rep.launch_overhead_ns_seed = seconds_since(t0) * 1e9 / kLaunches;
-    t0 = Clock::now();
-    for (int i = 0; i < kLaunches; ++i) q.launch(cfg, empty, body);
-    rep.launch_overhead_ns_engine = seconds_since(t0) * 1e9 / kLaunches;
+    rep.launch_overhead_ns_seed = std::numeric_limits<double>::max();
+    for (int r = 0; r < kTimingReps; ++r) {
+      const auto t0 = Clock::now();
+      for (int i = 0; i < kLaunches; ++i) seed_q.launch(cfg, empty, body);
+      rep.launch_overhead_ns_seed = std::min(
+          rep.launch_overhead_ns_seed, seconds_since(t0) * 1e9 / kLaunches);
+    }
+    rep.launch_overhead_ns_engine = std::numeric_limits<double>::max();
+    for (int r = 0; r < kTimingReps; ++r) {
+      const auto t0 = Clock::now();
+      for (int i = 0; i < kLaunches; ++i) q.launch(cfg, empty, body);
+      rep.launch_overhead_ns_engine = std::min(
+          rep.launch_overhead_ns_engine, seconds_since(t0) * 1e9 / kLaunches);
+    }
     // Both engines must advance the simulated clock identically — the
     // rebuilt engine's fast paths are host-side only.
     rep.sim_time_identical =
@@ -316,6 +377,12 @@ struct EngineReport {
       << "    \"static_ms\": " << r.uneven_ms_static << ",\n"
       << "    \"dynamic_ms\": " << r.uneven_ms_dynamic << "\n"
       << "  },\n"
+      << "  \"profiler\": {\n"
+      << "    \"kernel\": \"empty, N=1\",\n"
+      << "    \"hooks_off_ns\": " << r.profiler_off_ns << ",\n"
+      << "    \"tracing_ns\": " << r.profiler_on_ns << ",\n"
+      << "    \"after_disable_ns\": " << r.profiler_after_disable_ns << "\n"
+      << "  },\n"
       << "  \"sim_time_identical\": "
       << (r.sim_time_identical ? "true" : "false") << ",\n"
       << "  \"results_identical\": "
@@ -377,8 +444,14 @@ int main(int argc, char** argv) {
     benchmark::Shutdown();
   }
 
-  const EngineReport report =
+  EngineReport report =
       run_engine_harness(std::uint64_t{1} << triad_log2n, triad_reps);
+  run_profiler_harness(report);
+  std::printf(
+      "gpuprof A/B: hooks-off %.2f ns, tracing %.2f ns, after disable "
+      "%.2f ns per launch\n",
+      report.profiler_off_ns, report.profiler_on_ns,
+      report.profiler_after_disable_ns);
   if (!write_engine_json(report, json_path)) return 1;
   return (report.sim_time_identical && report.results_identical) ? 0 : 2;
 }

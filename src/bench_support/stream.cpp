@@ -1,5 +1,7 @@
 #include "bench_support/stream.hpp"
 
+#include "gpusim/profiler.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
@@ -69,7 +71,10 @@ bool verify_stream(const std::vector<double>& a, const std::vector<double>& b,
 std::vector<StreamResult> run_stream(StreamBenchmark& bench, std::size_t n,
                                      int reps) {
   bench.alloc(n);
-  bench.init_arrays();
+  {
+    gpusim::KernelLabelScope label("Init");
+    bench.init_arrays();
+  }
 
   constexpr int kKernelCount = 5;
   double best[kKernelCount];
@@ -77,16 +82,34 @@ std::vector<StreamResult> run_stream(StreamBenchmark& bench, std::size_t n,
   double dot_value = 0.0;
 
   for (int r = 0; r < reps; ++r) {
+    // Label the kernels for gpuprof (NVTX-style; no-op unless a profiler
+    // is installed — the labels make the per-kernel roofline attribution
+    // read "Triad" instead of an anonymous launch).
     double t0 = bench.simulated_time_us();
-    bench.copy();
+    {
+      gpusim::KernelLabelScope label("Copy");
+      bench.copy();
+    }
     double t1 = bench.simulated_time_us();
-    bench.mul();
+    {
+      gpusim::KernelLabelScope label("Mul");
+      bench.mul();
+    }
     double t2 = bench.simulated_time_us();
-    bench.add();
+    {
+      gpusim::KernelLabelScope label("Add");
+      bench.add();
+    }
     double t3 = bench.simulated_time_us();
-    bench.triad();
+    {
+      gpusim::KernelLabelScope label("Triad");
+      bench.triad();
+    }
     double t4 = bench.simulated_time_us();
-    dot_value = bench.dot();
+    {
+      gpusim::KernelLabelScope label("Dot");
+      dot_value = bench.dot();
+    }
     double t5 = bench.simulated_time_us();
 
     const double durations[kKernelCount] = {t1 - t0, t2 - t1, t3 - t2,

@@ -1,0 +1,19 @@
+// Environment-driven gpuprof activation, as a standalone object file.
+//
+// Same pattern as gpusan's autoinit: a static initializer inside a static
+// library member is only linked in when some symbol of that member is
+// referenced, and a binary wrapped by `mcmm profile -- <command>` does not
+// reference gpuprof at all. CMake injects this object directly into each
+// wrappable target's link ($<TARGET_OBJECTS:mcmm_gpuprof_autoinit>, see
+// mcmm_make_profilable), which unconditionally runs the initializer.
+
+#include "gpuprof/gpuprof.hpp"
+
+namespace {
+
+const bool g_env_initialized = [] {
+  mcmm::gpuprof::init_from_env();
+  return true;
+}();
+
+}  // namespace

@@ -1,0 +1,66 @@
+#pragma once
+// gpuprof: a CUPTI/rocprof-style tracing & profiling layer for the
+// simulated GPU. Every vendor column of the paper's Figure 1 ships a
+// profiler next to its compiler (Nsight/CUPTI, rocprof, VTune/unitrace);
+// gpuprof is that tool for gpusim, so the per-kernel bandwidth attribution
+// that performance-portability studies lean on (Reguly's SYCL evaluation,
+// Fridman et al.'s OpenMP-offload study) is measurable on all three
+// simulated vendors at once — against each DeviceDescriptor's roofline.
+//
+// It installs a ProfilerHooks table into gpusim (the seam mirrors the
+// sanitizer's) and records a per-queue event timeline: kernel launches
+// (grid/block/schedule, model tag, declared costs), memcpy/memset, event
+// records, and syncs — each with its simulated span from the analytic
+// cost model and its host wall-time span from the fork-join engine.
+// Derived per-kernel counters (work items, bytes moved, achieved simulated
+// GB/s, % of the vendor's peak bandwidth, launch-overhead share) export
+// three ways: chrome://tracing JSON, CSV summary, and a text report.
+//
+// Enable programmatically (enable/finalize) or via the environment
+// (MCMM_GPUPROF=1), which any binary linking the autoinit object honours —
+// that is how `mcmm profile -- <binary>` wraps unmodified examples.
+// Output paths, all written at exit by the env activation:
+//   MCMM_GPUPROF_TRACE=<path>    chrome://tracing JSON
+//   MCMM_GPUPROF_CSV=<path>      per-kernel CSV summary
+//   MCMM_GPUPROF_REPORT=<path>   JSON aggregate (mcmm-gpuprof-v1)
+//
+// When no hooks are installed the gpusim launch hot path stays
+// allocation-free and lock-free (one atomic load + branch per op, no
+// clock reads) — verified by the A/B harness in micro_benchmarks.
+
+#include "gpuprof/trace.hpp"
+
+namespace mcmm::gpuprof {
+
+struct Config {
+  /// Timeline cap; operations beyond it are counted as dropped.
+  std::size_t max_events{1u << 20};
+};
+
+/// Installs the profiler hooks and starts a fresh host-time epoch.
+/// Idempotent re-enable replaces the config but keeps recorded events
+/// (use reset() to clear).
+void enable(const Config& config = {});
+
+/// Uninstalls the hooks; the recorded timeline is kept for snapshot().
+void disable();
+
+[[nodiscard]] bool enabled() noexcept;
+[[nodiscard]] Config current_config();
+
+/// Copy of the timeline recorded so far.
+[[nodiscard]] Trace snapshot();
+
+/// Uninstalls the hooks and returns the full timeline.
+[[nodiscard]] Trace finalize();
+
+/// Clears the timeline and counters (runs back to back).
+void reset();
+
+/// Reads MCMM_GPUPROF / MCMM_GPUPROF_{TRACE,CSV,REPORT} and, when set,
+/// enables tracing and registers an at-exit writer. Called from a static
+/// initializer in the autoinit object, so linking it makes a binary
+/// wrappable by `mcmm profile -- <command>`.
+void init_from_env();
+
+}  // namespace mcmm::gpuprof

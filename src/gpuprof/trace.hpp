@@ -1,0 +1,105 @@
+#pragma once
+// The gpuprof timeline data model: one TraceEvent per queue operation,
+// carrying both the simulated span (from the analytic cost model) and the
+// host wall-time span (from the fork-join engine), plus everything needed
+// to derive roofline counters offline — declared traffic, work-item count,
+// and the owning device's peak numbers captured at trace time.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mcmm::gpuprof {
+
+/// What kind of queue operation an event records.
+enum class OpKind : std::uint8_t {
+  Kernel,
+  MemcpyH2D,
+  MemcpyD2H,
+  MemcpyD2D,
+  Memset,
+  EventRecord,  ///< Queue::record() marker (zero duration)
+  Sync,         ///< Queue::synchronize() marker (zero duration)
+};
+
+[[nodiscard]] std::string_view to_string(OpKind k) noexcept;
+
+/// One completed queue operation on the timeline.
+struct TraceEvent {
+  std::uint64_t id{0};        ///< correlation id, unique within a trace
+  OpKind kind{OpKind::Kernel};
+  Vendor vendor{Vendor::NVIDIA};
+  std::string device;         ///< simulated device name
+  std::uint32_t queue_id{0};  ///< per-queue timeline (chrome tid)
+  std::string name;           ///< kernel label / op mnemonic
+  std::string model;          ///< backend-profile label (the model route)
+  std::string launch;         ///< "grid=(..) block=(..) schedule=.." (kernels)
+  std::uint64_t items{0};     ///< work items (kernels only)
+  double bytes_read{0};       ///< declared / transferred traffic
+  double bytes_written{0};
+  double flops{0};
+  double sim_begin_us{0};     ///< simulated span (analytic cost model)
+  double sim_end_us{0};
+  double host_begin_us{0};    ///< host wall-time span, relative to enable()
+  double host_end_us{0};
+  /// Roofline reference of the owning device at trace time.
+  double peak_gbps{0};            ///< nominal DRAM bandwidth
+  double launch_latency_us{0};    ///< per-launch latency incl. route extra
+
+  [[nodiscard]] double total_bytes() const noexcept {
+    return bytes_read + bytes_written;
+  }
+  [[nodiscard]] double sim_duration_us() const noexcept {
+    return sim_end_us - sim_begin_us;
+  }
+  [[nodiscard]] double host_duration_us() const noexcept {
+    return host_end_us - host_begin_us;
+  }
+};
+
+/// Aggregated per-kernel counters: one row per (device, name, model).
+struct KernelSummary {
+  Vendor vendor{Vendor::NVIDIA};
+  std::string device;
+  std::string name;
+  std::string model;
+  std::uint64_t launches{0};
+  std::uint64_t items{0};        ///< total work items across launches
+  double bytes{0};               ///< total declared traffic
+  double sim_us{0};              ///< total simulated time
+  double host_us{0};             ///< total host wall time
+  double achieved_gbps{0};       ///< bytes / simulated time
+  double pct_of_peak{0};         ///< achieved vs the device's nominal peak
+  double launch_overhead_pct{0}; ///< launch latency share of simulated time
+};
+
+/// A snapshot of the recorded timeline plus bookkeeping counters.
+struct Trace {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped{0};     ///< ops beyond the event cap
+  std::uint64_t incomplete{0};  ///< begun ops with no end at snapshot time
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+
+  /// Per-kernel roofline attribution, grouped by (device, name, model),
+  /// kernels and memsets only (copies have no kernel roofline).
+  [[nodiscard]] std::vector<KernelSummary> kernel_summaries() const;
+
+  /// chrome://tracing JSON ("X" complete events on the simulated
+  /// timeline, pid = vendor, tid = queue, metadata names attached).
+  [[nodiscard]] std::string chrome_json() const;
+
+  /// CSV: one row per aggregated kernel summary.
+  [[nodiscard]] std::string summary_csv() const;
+
+  /// Human-readable report: vendor roofline reference + per-kernel table.
+  [[nodiscard]] std::string text_report() const;
+
+  /// Machine-readable aggregate (schema mcmm-gpuprof-v1) for the
+  /// `mcmm profile` wrapper and CI.
+  [[nodiscard]] std::string summary_json() const;
+};
+
+}  // namespace mcmm::gpuprof

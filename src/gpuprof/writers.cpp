@@ -1,0 +1,339 @@
+// Trace exporters: chrome://tracing JSON, per-kernel CSV summary, the
+// aggregated text report, and the machine-readable JSON aggregate the
+// `mcmm profile` wrapper consumes. All string output is escaped here —
+// kernel labels are caller-controlled and may contain quotes, backslashes,
+// control characters, or arbitrary UTF-8 (the trace-validation tests fuzz
+// exactly that).
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "gpuprof/trace.hpp"
+#include "gpusim/descriptor.hpp"
+
+namespace mcmm::gpuprof {
+namespace {
+
+/// JSON string escaping. UTF-8 multi-byte sequences pass through verbatim
+/// (JSON strings are UTF-8); everything below 0x20 plus quote/backslash is
+/// escaped.
+void json_escape(std::string& out, std::string_view in) {
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+[[nodiscard]] std::string json_str(std::string_view in) {
+  std::string out = "\"";
+  json_escape(out, in);
+  out += "\"";
+  return out;
+}
+
+/// Numbers in JSON must be finite and locale-independent.
+[[nodiscard]] std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+/// RFC-4180 CSV field: quoted when it contains a separator, quote, or
+/// newline; embedded quotes doubled.
+[[nodiscard]] std::string csv_field(std::string_view in) {
+  if (in.find_first_of(",\"\n\r") == std::string_view::npos) {
+    return std::string(in);
+  }
+  std::string out = "\"";
+  for (const char c : in) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+[[nodiscard]] const char* chrome_category(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::Kernel:
+      return "kernel";
+    case OpKind::MemcpyH2D:
+    case OpKind::MemcpyD2H:
+    case OpKind::MemcpyD2D:
+      return "memcpy";
+    case OpKind::Memset:
+      return "memset";
+    case OpKind::EventRecord:
+    case OpKind::Sync:
+      break;
+  }
+  return "marker";
+}
+
+}  // namespace
+
+std::string_view to_string(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::Kernel:
+      return "Kernel";
+    case OpKind::MemcpyH2D:
+      return "MemcpyH2D";
+    case OpKind::MemcpyD2H:
+      return "MemcpyD2H";
+    case OpKind::MemcpyD2D:
+      return "MemcpyD2D";
+    case OpKind::Memset:
+      return "Memset";
+    case OpKind::EventRecord:
+      return "EventRecord";
+    case OpKind::Sync:
+      return "Sync";
+  }
+  return "?";
+}
+
+std::vector<KernelSummary> Trace::kernel_summaries() const {
+  // Keyed by (device, kernel name, model route) — the attribution grain a
+  // roofline study needs. Ordered map for deterministic row order.
+  std::map<std::tuple<std::string, std::string, std::string>, KernelSummary>
+      rows;
+  for (const TraceEvent& e : events) {
+    if (e.kind != OpKind::Kernel && e.kind != OpKind::Memset) continue;
+    KernelSummary& row = rows[{e.device, e.name, e.model}];
+    row.vendor = e.vendor;
+    row.device = e.device;
+    row.name = e.name;
+    row.model = e.model;
+    ++row.launches;
+    row.items += e.items;
+    row.bytes += e.total_bytes();
+    row.sim_us += e.sim_duration_us();
+    row.host_us += e.host_duration_us();
+    // Peak is a device constant; folding the latest event keeps the row
+    // correct even if a device was reset with a new descriptor mid-trace.
+    row.pct_of_peak = e.peak_gbps;  // temporarily holds peak, fixed below
+    row.launch_overhead_pct += e.launch_latency_us;  // temporarily a sum
+  }
+  std::vector<KernelSummary> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) {
+    const double peak = row.pct_of_peak;
+    const double latency_sum = row.launch_overhead_pct;
+    row.achieved_gbps =
+        row.sim_us > 0 ? row.bytes / (row.sim_us * 1e3) : 0.0;
+    row.pct_of_peak = peak > 0 ? 100.0 * row.achieved_gbps / peak : 0.0;
+    row.launch_overhead_pct =
+        row.sim_us > 0 ? 100.0 * latency_sum / row.sim_us : 0.0;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string Trace::chrome_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    out += event;
+  };
+
+  // Metadata: name the per-vendor processes and per-queue threads once.
+  std::set<int> pids;
+  std::set<std::pair<int, std::uint32_t>> tids;
+  for (const TraceEvent& e : events) {
+    const int pid = static_cast<int>(e.vendor);
+    if (pids.insert(pid).second) {
+      emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":" +
+           json_str(std::string(to_string(e.vendor)) + " \xc2\xb7 " +
+                    e.device) +
+           "}}");
+    }
+    if (tids.emplace(pid, e.queue_id).second) {
+      emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) + ",\"tid\":" +
+           std::to_string(e.queue_id) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":" +
+           json_str("queue " + std::to_string(e.queue_id)) + "}}");
+    }
+  }
+
+  for (const TraceEvent& e : events) {
+    const int pid = static_cast<int>(e.vendor);
+    std::string ev;
+    const bool instant =
+        e.kind == OpKind::EventRecord || e.kind == OpKind::Sync;
+    ev += instant ? "{\"ph\":\"i\",\"s\":\"t\"" : "{\"ph\":\"X\"";
+    ev += ",\"pid\":" + std::to_string(pid);
+    ev += ",\"tid\":" + std::to_string(e.queue_id);
+    ev += ",\"ts\":" + json_num(e.sim_begin_us);
+    if (!instant) ev += ",\"dur\":" + json_num(e.sim_duration_us());
+    ev += ",\"cat\":\"";
+    ev += chrome_category(e.kind);
+    ev += "\",\"name\":" + json_str(e.name);
+    ev += ",\"args\":{";
+    ev += "\"op\":" + json_str(to_string(e.kind));
+    ev += ",\"model\":" + json_str(e.model);
+    if (!e.launch.empty()) ev += ",\"launch\":" + json_str(e.launch);
+    if (e.items != 0) ev += ",\"items\":" + std::to_string(e.items);
+    if (e.total_bytes() > 0) {
+      ev += ",\"bytes\":" + json_num(e.total_bytes());
+      if (e.sim_duration_us() > 0) {
+        ev += ",\"achieved_gbps\":" +
+              json_num(e.total_bytes() / (e.sim_duration_us() * 1e3));
+      }
+    }
+    if (e.flops > 0) ev += ",\"flops\":" + json_num(e.flops);
+    ev += ",\"host_duration_us\":" + json_num(e.host_duration_us());
+    ev += "}}";
+    emit(ev);
+  }
+  out += first ? "]" : "\n]";
+  out += ",\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":"
+         "\"simulated_us\",\"dropped\":" +
+         std::to_string(dropped) + "}}\n";
+  return out;
+}
+
+std::string Trace::summary_csv() const {
+  std::string out =
+      "vendor,device,kernel,model,launches,items,bytes,sim_us,host_us,"
+      "achieved_gbps,pct_of_peak,launch_overhead_pct\n";
+  for (const KernelSummary& r : kernel_summaries()) {
+    out += csv_field(to_string(r.vendor));
+    out += ',';
+    out += csv_field(r.device);
+    out += ',';
+    out += csv_field(r.name);
+    out += ',';
+    out += csv_field(r.model);
+    out += ',';
+    out += std::to_string(r.launches);
+    out += ',';
+    out += std::to_string(r.items);
+    out += ',';
+    out += json_num(r.bytes);
+    out += ',';
+    out += json_num(r.sim_us);
+    out += ',';
+    out += json_num(r.host_us);
+    out += ',';
+    out += json_num(r.achieved_gbps);
+    out += ',';
+    out += json_num(r.pct_of_peak);
+    out += ',';
+    out += json_num(r.launch_overhead_pct);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Trace::text_report() const {
+  std::ostringstream out;
+  out << "========= gpuprof =========\n";
+  out << events.size() << " event(s) recorded";
+  if (dropped != 0) out << " (" << dropped << " dropped at the cap)";
+  if (incomplete != 0) out << ", " << incomplete << " still open";
+  out << "\n\n";
+
+  out << "device roofline reference (nominal DRAM bandwidth):\n";
+  for (const Vendor v : {Vendor::AMD, Vendor::Intel, Vendor::NVIDIA}) {
+    const gpusim::DeviceDescriptor d = gpusim::descriptor_for(v);
+    out << "  " << std::left << std::setw(8) << to_string(v) << std::setw(34)
+        << d.name << std::right << std::fixed << std::setprecision(0)
+        << std::setw(6) << d.mem_bandwidth_gbps << " GB/s\n";
+  }
+  out << "\n";
+
+  const std::vector<KernelSummary> rows = kernel_summaries();
+  if (rows.empty()) {
+    out << "no kernel launches recorded\n";
+    return std::move(out).str();
+  }
+  out << "per-kernel attribution (simulated time):\n";
+  out << std::left << std::setw(8) << "Vendor" << std::setw(22) << "Kernel"
+      << std::setw(22) << "Model" << std::right << std::setw(9) << "Launches"
+      << std::setw(12) << "Items" << std::setw(12) << "MiB" << std::setw(12)
+      << "Sim us" << std::setw(10) << "GB/s" << std::setw(8) << "%peak"
+      << std::setw(9) << "launch%" << "\n";
+  out << std::string(124, '-') << "\n";
+  for (const KernelSummary& r : rows) {
+    // Control characters in adversarial labels would corrupt the table.
+    std::string name = r.name.substr(0, 21);
+    std::replace_if(
+        name.begin(), name.end(),
+        [](char c) { return static_cast<unsigned char>(c) < 0x20; }, '?');
+    out << std::left << std::setw(8) << to_string(r.vendor) << std::setw(22)
+        << name << std::setw(22) << r.model.substr(0, 21) << std::right
+        << std::setw(9) << r.launches << std::setw(12) << r.items
+        << std::setw(12) << std::fixed << std::setprecision(2)
+        << r.bytes / (1024.0 * 1024.0) << std::setw(12)
+        << std::setprecision(2) << r.sim_us << std::setw(10)
+        << std::setprecision(1) << r.achieved_gbps << std::setw(8)
+        << std::setprecision(1) << r.pct_of_peak << std::setw(9)
+        << std::setprecision(1) << r.launch_overhead_pct << "\n";
+  }
+  return std::move(out).str();
+}
+
+std::string Trace::summary_json() const {
+  std::string out = "{\n";
+  out += "  \"schema\": \"mcmm-gpuprof-v1\",\n";
+  out += "  \"events\": " + std::to_string(events.size()) + ",\n";
+  out += "  \"dropped\": " + std::to_string(dropped) + ",\n";
+  out += "  \"incomplete\": " + std::to_string(incomplete) + ",\n";
+  out += "  \"kernels\": [";
+  bool first = true;
+  for (const KernelSummary& r : kernel_summaries()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"vendor\": " + json_str(to_string(r.vendor));
+    out += ", \"device\": " + json_str(r.device);
+    out += ", \"kernel\": " + json_str(r.name);
+    out += ", \"model\": " + json_str(r.model);
+    out += ", \"launches\": " + std::to_string(r.launches);
+    out += ", \"items\": " + std::to_string(r.items);
+    out += ", \"bytes\": " + json_num(r.bytes);
+    out += ", \"sim_us\": " + json_num(r.sim_us);
+    out += ", \"host_us\": " + json_num(r.host_us);
+    out += ", \"achieved_gbps\": " + json_num(r.achieved_gbps);
+    out += ", \"pct_of_peak\": " + json_num(r.pct_of_peak);
+    out += ", \"launch_overhead_pct\": " + json_num(r.launch_overhead_pct);
+    out += "}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mcmm::gpuprof

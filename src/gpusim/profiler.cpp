@@ -1,0 +1,15 @@
+#include "gpusim/profiler.hpp"
+
+namespace mcmm::gpusim {
+namespace profiler_detail {
+
+std::atomic<const ProfilerHooks*> g_hooks{nullptr};
+thread_local const char* t_kernel_label = nullptr;
+
+}  // namespace profiler_detail
+
+void install_profiler_hooks(const ProfilerHooks* hooks) noexcept {
+  profiler_detail::g_hooks.store(hooks, std::memory_order_release);
+}
+
+}  // namespace mcmm::gpusim

@@ -1,0 +1,116 @@
+#pragma once
+// Instrumentation seam between the simulated runtime and the gpuprof
+// profiler (src/gpuprof), the CUPTI/rocprof-shaped sibling of the
+// sanitizer seam in sanitizer.hpp. gpusim exposes only the mechanisms a
+// profiler needs — begin/end hook points around every queue operation and
+// a thread-local kernel-label channel — and stays ignorant of the tracer
+// built on top. When no hook table is installed every probe is one relaxed
+// atomic load and a predicted-not-taken branch: the launch hot path stays
+// allocation-free and lock-free, and no clock is ever read.
+//
+// Hook contract: begin hooks run on the submitting thread immediately
+// before the operation's fork-join (or copy loop) starts, end hooks
+// immediately after the simulated clock advanced, so a profiler can
+// timestamp both the host wall-time span and record the simulated span
+// from the Event it is handed. A begin hook returns a nonzero correlation
+// id to receive the matching end call (0 = do not trace this op). Hooks
+// must not throw and must not launch work on the queue they observe.
+// Install/uninstall must not run concurrently with queue operations.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "gpusim/dim3.hpp"
+#include "gpusim/thread_pool.hpp"
+
+namespace mcmm::gpusim {
+
+class Queue;
+struct KernelCosts;
+struct Event;
+enum class CopyKind;
+
+/// Callback table a profiler installs. Any entry may be null.
+struct ProfilerHooks {
+  void* ctx{nullptr};
+
+  /// A kernel launch passed validation and is about to fork. `label` is
+  /// the thread-local kernel label (see kernel_label()), may be null.
+  /// Returns a nonzero correlation id to receive on_launch_end.
+  std::uint64_t (*on_launch_begin)(void* ctx, Queue& queue,
+                                   const LaunchConfig& cfg, Schedule schedule,
+                                   const KernelCosts& costs,
+                                   const char* label){nullptr};
+  /// The launch completed and advanced the simulated clock by `sim`.
+  void (*on_launch_end)(void* ctx, Queue& queue, std::uint64_t id,
+                        const Event& sim){nullptr};
+
+  /// An explicit memcpy passed validation and is about to run.
+  std::uint64_t (*on_copy_begin)(void* ctx, Queue& queue, CopyKind kind,
+                                 std::size_t bytes){nullptr};
+  void (*on_copy_end)(void* ctx, Queue& queue, std::uint64_t id,
+                      const Event& sim){nullptr};
+
+  /// A memset passed validation and is about to run.
+  std::uint64_t (*on_fill_begin)(void* ctx, Queue& queue,
+                                 std::size_t bytes){nullptr};
+  void (*on_fill_end)(void* ctx, Queue& queue, std::uint64_t id,
+                      const Event& sim){nullptr};
+
+  /// Queue::record() captured the simulated time `sim_us` (an event-record
+  /// marker on the timeline; zero-duration).
+  void (*on_event_record)(void* ctx, const Queue& queue,
+                          double sim_us){nullptr};
+  /// Queue::synchronize() completed at simulated time `sim_us` (an
+  /// event-wait/sync marker; all submitted work is already joined here).
+  void (*on_sync)(void* ctx, Queue& queue, double sim_us){nullptr};
+};
+
+namespace profiler_detail {
+extern std::atomic<const ProfilerHooks*> g_hooks;
+extern thread_local const char* t_kernel_label;
+}  // namespace profiler_detail
+
+[[nodiscard]] inline const ProfilerHooks* profiler_hooks() noexcept {
+  return profiler_detail::g_hooks.load(std::memory_order_acquire);
+}
+
+[[nodiscard]] inline bool profiler_active() noexcept {
+  return profiler_hooks() != nullptr;
+}
+
+/// Installs (or, with nullptr, uninstalls) the hook table. The table must
+/// outlive its installation.
+void install_profiler_hooks(const ProfilerHooks* hooks) noexcept;
+
+/// The label the submitting thread has attached to subsequent kernel
+/// launches (nullptr = unlabelled). Consumed by profilers to name trace
+/// events the way CUPTI reports kernel symbol names.
+[[nodiscard]] inline const char* kernel_label() noexcept {
+  return profiler_detail::t_kernel_label;
+}
+
+inline void set_kernel_label(const char* label) noexcept {
+  profiler_detail::t_kernel_label = label;
+}
+
+/// RAII kernel label: names every launch submitted by this thread within
+/// the scope (the NVTX push/pop idiom). The string must outlive the scope;
+/// labels nest by restoring the previous one.
+class KernelLabelScope {
+ public:
+  explicit KernelLabelScope(const char* label) noexcept
+      : previous_(kernel_label()) {
+    set_kernel_label(label);
+  }
+  ~KernelLabelScope() { set_kernel_label(previous_); }
+
+  KernelLabelScope(const KernelLabelScope&) = delete;
+  KernelLabelScope& operator=(const KernelLabelScope&) = delete;
+
+ private:
+  const char* previous_;
+};
+
+}  // namespace mcmm::gpusim

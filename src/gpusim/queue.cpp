@@ -77,6 +77,11 @@ Event Queue::memcpy(void* dst, const void* src, std::size_t bytes,
       alloc.check_range(dst, bytes);
       break;
   }
+  const ProfilerHooks* prof = profiler_hooks();
+  std::uint64_t trace_id = 0;
+  if (prof != nullptr && prof->on_copy_begin != nullptr) {
+    trace_id = prof->on_copy_begin(prof->ctx, *this, kind, bytes);
+  }
   if (bytes >= kParallelBytesThreshold && parallel_copies_profitable(*pool_)) {
     CopyCtx ctx{static_cast<unsigned char*>(dst),
                 static_cast<const unsigned char*>(src)};
@@ -93,11 +98,20 @@ Event Queue::memcpy(void* dst, const void* src, std::size_t bytes,
                                       static_cast<double>(bytes))
                         : copy_time_us(device_->descriptor(),
                                        static_cast<double>(bytes));
-  return advance(us);
+  const Event e = advance(us);
+  if (trace_id != 0 && prof->on_copy_end != nullptr) {
+    prof->on_copy_end(prof->ctx, *this, trace_id, e);
+  }
+  return e;
 }
 
 Event Queue::memset(void* dst, int value, std::size_t bytes) {
   device_->allocator().check_range(dst, bytes);
+  const ProfilerHooks* prof = profiler_hooks();
+  std::uint64_t trace_id = 0;
+  if (prof != nullptr && prof->on_fill_begin != nullptr) {
+    trace_id = prof->on_fill_begin(prof->ctx, *this, bytes);
+  }
   if (bytes >= kParallelBytesThreshold && parallel_copies_profitable(*pool_)) {
     FillCtx ctx{static_cast<unsigned char*>(dst), value};
     pool_->run_batch(bytes, &fill_chunk, &ctx);
@@ -110,7 +124,11 @@ Event Queue::memset(void* dst, int value, std::size_t bytes) {
   }
   KernelCosts costs;
   costs.bytes_written = static_cast<double>(bytes);
-  return advance_kernel(costs);
+  const Event e = advance_kernel(costs);
+  if (trace_id != 0 && prof->on_fill_end != nullptr) {
+    prof->on_fill_end(prof->ctx, *this, trace_id, e);
+  }
+  return e;
 }
 
 }  // namespace mcmm::gpusim

@@ -15,6 +15,7 @@
 #include "gpusim/allocator.hpp"
 #include "gpusim/costs.hpp"
 #include "gpusim/dim3.hpp"
+#include "gpusim/profiler.hpp"
 #include "gpusim/sanitizer.hpp"
 #include "gpusim/thread_pool.hpp"
 
@@ -55,6 +56,7 @@ class Queue {
   Queue& operator=(const Queue&) = delete;
 
   [[nodiscard]] Device& device() noexcept { return *device_; }
+  [[nodiscard]] const Device& device() const noexcept { return *device_; }
 
   /// Backend profile applied to subsequent kernel launches (set by the
   /// programming-model layer to reflect its software route).
@@ -82,12 +84,22 @@ class Queue {
       thunk.launch_id =
           hooks->on_launch_begin(hooks->ctx, *this, cfg, policy.schedule);
     }
+    const ProfilerHooks* prof = profiler_hooks();
+    std::uint64_t trace_id = 0;
+    if (prof != nullptr && prof->on_launch_begin != nullptr) {
+      trace_id = prof->on_launch_begin(prof->ctx, *this, cfg, policy.schedule,
+                                       costs, kernel_label());
+    }
     pool_->run_batch(total, &Thunk::run, &thunk, policy.schedule,
                      policy.grain);
     if (thunk.launch_id != 0 && hooks->on_launch_end != nullptr) {
       hooks->on_launch_end(hooks->ctx, *this, thunk.launch_id);
     }
-    return advance_kernel(costs);
+    const Event e = advance_kernel(costs);
+    if (trace_id != 0 && prof->on_launch_end != nullptr) {
+      prof->on_launch_end(prof->ctx, *this, trace_id, e);
+    }
+    return e;
   }
 
   /// Explicit memcpy with direction validation: device pointers must come
@@ -98,8 +110,13 @@ class Queue {
   /// memset on device memory (striped over the pool above a threshold).
   Event memset(void* dst, int value, std::size_t bytes);
 
-  /// Records the current simulated time.
+  /// Records the current simulated time (an event-record marker on the
+  /// profiler timeline).
   [[nodiscard]] Event record() const {
+    if (const ProfilerHooks* prof = profiler_hooks();
+        prof != nullptr && prof->on_event_record != nullptr) {
+      prof->on_event_record(prof->ctx, *this, sim_time_us_);
+    }
     return Event{sim_time_us_, sim_time_us_};
   }
 
@@ -113,6 +130,10 @@ class Queue {
     const SanitizerHooks* hooks = sanitizer_hooks();
     if (hooks != nullptr && hooks->on_sync != nullptr) {
       hooks->on_sync(hooks->ctx, *this);
+    }
+    if (const ProfilerHooks* prof = profiler_hooks();
+        prof != nullptr && prof->on_sync != nullptr) {
+      prof->on_sync(prof->ctx, *this, sim_time_us_);
     }
   }
 

@@ -1,6 +1,7 @@
 #include "gpusim/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace mcmm::gpusim {
 namespace {
@@ -205,7 +206,17 @@ void ThreadPool::run_batch_parallel(std::uint64_t n, ChunkFn fn, void* ctx,
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  // MCMM_NUM_THREADS pins the worker count (the OMP_NUM_THREADS idiom).
+  // The determinism battery runs the same workload at 1, 4, and
+  // hardware_concurrency workers and asserts bit-identical simulated time;
+  // out-of-range values fall back to the hardware default.
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("MCMM_NUM_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0 && v <= 4096) return static_cast<unsigned>(v);
+    }
+    return 0u;
+  }());
   return pool;
 }
 

@@ -81,7 +81,8 @@ class ThreadPool {
         schedule, grain);
   }
 
-  /// The process-wide pool shared by all simulated devices.
+  /// The process-wide pool shared by all simulated devices. Worker count
+  /// honours MCMM_NUM_THREADS (read once, at first use).
   [[nodiscard]] static ThreadPool& global();
 
  private:

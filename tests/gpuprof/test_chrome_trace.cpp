@@ -1,0 +1,379 @@
+// Chrome-trace writer validation: chrome_json() must emit JSON that a
+// strict parser accepts, with well-formed ph/ts/dur/pid/tid/name fields and
+// non-negative durations — fuzzed over adversarial kernel names (embedded
+// quotes, backslashes, newlines, control characters, UTF-8) so a hostile
+// label can never corrupt the trace file chrome://tracing loads.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpuprof/gpuprof.hpp"
+#include "gpusim/device.hpp"
+
+namespace mcmm::gpuprof {
+namespace {
+
+using gpusim::Device;
+using gpusim::KernelCosts;
+using gpusim::Queue;
+using gpusim::WorkItem;
+using gpusim::launch_1d;
+
+// --- a deliberately strict recursive-descent JSON parser ------------------
+// Small on purpose: it accepts exactly RFC 8259 (no trailing commas, no
+// comments, \uXXXX required for control characters), so anything the
+// writer gets away with here a real trace viewer will accept too.
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type{Type::Null};
+  bool boolean{false};
+  double number{0};
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();  // no trailing garbage
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool parse_value(JsonValue& out) {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"':
+        out.type = JsonValue::Type::String;
+        return parse_string(out.string);
+      case 't':
+        out.type = JsonValue::Type::Bool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.type = JsonValue::Type::Bool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.type = JsonValue::Type::Null;
+        return literal("null");
+      default:
+        out.type = JsonValue::Type::Number;
+        return parse_number(out.number);
+    }
+  }
+
+  [[nodiscard]] bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!eat(*p)) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::Object;
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace(std::move(key), std::move(value));
+      skip_ws();
+      if (eat(',')) continue;
+      return eat('}');
+    }
+  }
+
+  [[nodiscard]] bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::Array;
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (eat(',')) continue;
+      return eat(']');
+    }
+  }
+
+  [[nodiscard]] bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control char: invalid JSON
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            out += static_cast<char>(code & 0x7F);  // enough for the tests
+            break;
+          }
+          default:
+            return false;  // invalid escape
+        }
+        continue;
+      }
+      out += static_cast<char>(c);
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  [[nodiscard]] bool parse_number(double& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      out = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_{0};
+};
+
+class ChromeTrace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset();
+    enable();
+  }
+  void TearDown() override {
+    (void)finalize();
+    reset();
+  }
+};
+
+/// Checks one required field's presence and type; returns it (or null,
+/// after recording a failure).
+const JsonValue* require(const JsonValue& event, const char* key,
+                         JsonValue::Type type) {
+  const JsonValue* v = event.find(key);
+  if (v == nullptr) {
+    ADD_FAILURE() << "trace event missing required field " << key;
+    return nullptr;
+  }
+  if (v->type != type) {
+    ADD_FAILURE() << "trace event field " << key << " has the wrong type";
+    return nullptr;
+  }
+  return v;
+}
+
+/// Parses the writer's output into `doc` and checks the chrome://tracing
+/// schema on every emitted event.
+void parse_and_validate(const Trace& trace, JsonValue& doc) {
+  const std::string json = trace.chrome_json();
+  ASSERT_TRUE(JsonParser(json).parse(doc)) << "chrome_json is not valid JSON";
+  ASSERT_EQ(doc.type, JsonValue::Type::Object);
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr) << "missing traceEvents";
+  ASSERT_EQ(events->type, JsonValue::Type::Array);
+  for (const JsonValue& e : events->array) {
+    ASSERT_EQ(e.type, JsonValue::Type::Object);
+    const JsonValue* ph = require(e, "ph", JsonValue::Type::String);
+    if (ph == nullptr) continue;
+    EXPECT_TRUE(ph->string == "X" || ph->string == "i" || ph->string == "M")
+        << "unexpected phase " << ph->string;
+    (void)require(e, "pid", JsonValue::Type::Number);
+    if (const JsonValue* name = require(e, "name", JsonValue::Type::String)) {
+      EXPECT_FALSE(name->string.empty());
+    }
+    if (ph->string == "M") continue;  // metadata: no timestamp fields
+    (void)require(e, "tid", JsonValue::Type::Number);
+    if (const JsonValue* ts = require(e, "ts", JsonValue::Type::Number)) {
+      EXPECT_GE(ts->number, 0.0);
+    }
+    if (ph->string == "X") {
+      if (const JsonValue* dur = require(e, "dur", JsonValue::Type::Number)) {
+        EXPECT_GE(dur->number, 0.0) << "negative duration in chrome trace";
+      }
+    }
+  }
+}
+
+TEST_F(ChromeTrace, WellFormedForATypicalWorkload) {
+  Device dev(gpusim::descriptor_for(Vendor::NVIDIA));
+  Queue& q = dev.default_queue();
+  constexpr std::uint64_t n = 4096;
+  auto* d = static_cast<double*>(dev.allocate(n * sizeof(double)));
+  std::vector<double> h(n, 1.0);
+  q.memcpy(d, h.data(), n * sizeof(double), gpusim::CopyKind::HostToDevice);
+  KernelCosts costs;
+  costs.bytes_read = 1.0 * n * sizeof(double);
+  costs.bytes_written = 1.0 * n * sizeof(double);
+  {
+    gpusim::KernelLabelScope label("scale");
+    q.launch(launch_1d(n, 256), costs,
+             [d](const WorkItem& item) { d[item.global_x()] *= 2.0; });
+  }
+  (void)q.record();
+  q.synchronize();
+  dev.deallocate(d);
+
+  const Trace trace = snapshot();
+  JsonValue doc;
+  ASSERT_NO_FATAL_FAILURE(parse_and_validate(trace, doc));
+
+  // One X event per timed op, one i event per marker, plus M metadata
+  // naming the process (vendor/device) and thread (queue) lanes.
+  std::size_t x = 0, i = 0, m = 0;
+  bool saw_scale = false;
+  for (const JsonValue& e : doc.find("traceEvents")->array) {
+    const std::string& ph = e.find("ph")->string;
+    x += (ph == "X") ? 1 : 0;
+    i += (ph == "i") ? 1 : 0;
+    m += (ph == "M") ? 1 : 0;
+    if (e.find("name")->string == "scale") saw_scale = true;
+  }
+  EXPECT_EQ(x, 2u);  // memcpy + kernel
+  EXPECT_EQ(i, 2u);  // record + sync
+  EXPECT_GE(m, 2u);  // at least process_name + thread_name
+  EXPECT_TRUE(saw_scale);
+}
+
+TEST_F(ChromeTrace, AdversarialKernelNamesNeverBreakTheJson) {
+  const std::vector<std::string> hostile = {
+      "quoted \"kernel\"",
+      "back\\slash\\path",
+      "newline\nin\nname",
+      "tab\tand\rcarriage",
+      std::string("nul\0byte", 8),
+      "ctrl-\x01\x02\x1f-chars",
+      "日本語カーネル",             // UTF-8 multibyte
+      "emoji 🚀 kernel",            // 4-byte UTF-8
+      "mixed \"x\\y\nz\" ütf",
+      "</script><b>html</b>",
+      "{\"fake\":\"json\"}",
+      "trailing backslash \\",
+  };
+
+  Device dev(gpusim::tiny_test_device(1 << 20));
+  Queue& q = dev.default_queue();
+  constexpr std::uint64_t n = 128;
+  auto* d = static_cast<std::uint32_t*>(dev.allocate(n * sizeof(std::uint32_t)));
+  for (const std::string& name : hostile) {
+    gpusim::KernelLabelScope label(name.c_str());
+    q.launch(launch_1d(n, 64), KernelCosts{},
+             [d](const WorkItem& item) { d[item.global_x()] = 1; });
+  }
+  dev.deallocate(d);
+
+  const Trace trace = snapshot();
+  // The NUL-byte label is truncated at the NUL by the C-string channel —
+  // that is the seam's contract, not the writer's concern. Every event
+  // still made it onto the timeline.
+  ASSERT_EQ(trace.events.size(), hostile.size());
+
+  JsonValue doc;
+  ASSERT_NO_FATAL_FAILURE(parse_and_validate(trace, doc));
+  // Quotes and backslashes must round-trip exactly through the escaper.
+  std::size_t found = 0;
+  for (const JsonValue& e : doc.find("traceEvents")->array) {
+    if (e.find("ph")->string != "X") continue;
+    const std::string& name = e.find("name")->string;
+    for (const std::string& h : hostile) {
+      const std::string expected = h.substr(0, h.find('\0'));
+      if (name == expected) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(found, hostile.size());
+}
+
+TEST_F(ChromeTrace, EmptyTraceIsStillValidJson) {
+  const Trace trace = snapshot();
+  EXPECT_TRUE(trace.empty());
+  JsonValue doc;
+  EXPECT_TRUE(JsonParser(trace.chrome_json()).parse(doc));
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->array.empty());
+}
+
+}  // namespace
+}  // namespace mcmm::gpuprof

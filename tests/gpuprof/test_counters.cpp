@@ -1,0 +1,225 @@
+// Derived-counter tests: the per-kernel roofline attribution (achieved
+// simulated GB/s, % of the owning device's peak bandwidth, launch-overhead
+// share) must agree exactly with recomputation from the raw timeline, and
+// traffic must be billed the way the analytic cost model bills it (H2D
+// writes device DRAM, D2H reads it, D2D does both).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "gpuprof/gpuprof.hpp"
+#include "gpusim/device.hpp"
+
+namespace mcmm::gpuprof {
+namespace {
+
+using gpusim::Device;
+using gpusim::KernelCosts;
+using gpusim::Queue;
+using gpusim::WorkItem;
+using gpusim::launch_1d;
+
+class ProfilerCounters : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset();
+    enable();
+  }
+  void TearDown() override {
+    (void)finalize();
+    reset();
+  }
+};
+
+TEST_F(ProfilerCounters, KernelEventCarriesDeclaredCostsAndRoofline) {
+  Device dev(gpusim::descriptor_for(Vendor::NVIDIA));
+  Queue& q = dev.default_queue();
+  constexpr std::uint64_t n = 1 << 16;
+  auto* d = static_cast<double*>(dev.allocate(n * sizeof(double)));
+  KernelCosts costs;
+  costs.bytes_read = 2.0 * n * sizeof(double);
+  costs.bytes_written = 1.0 * n * sizeof(double);
+  costs.flops = 2.0 * n;
+  {
+    gpusim::KernelLabelScope label("triad");
+    q.launch(launch_1d(n, 256), costs,
+             [d](const WorkItem& item) { d[item.global_x()] = 1.0; });
+  }
+  dev.deallocate(d);
+
+  const Trace trace = snapshot();
+  ASSERT_EQ(trace.events.size(), 1u);
+  const TraceEvent& e = trace.events[0];
+  EXPECT_EQ(e.kind, OpKind::Kernel);
+  EXPECT_EQ(e.name, "triad");
+  EXPECT_EQ(e.vendor, Vendor::NVIDIA);
+  EXPECT_EQ(e.items, n);
+  EXPECT_DOUBLE_EQ(e.bytes_read, costs.bytes_read);
+  EXPECT_DOUBLE_EQ(e.bytes_written, costs.bytes_written);
+  EXPECT_DOUBLE_EQ(e.flops, costs.flops);
+  // The roofline reference captured at trace time is the owning device's.
+  EXPECT_DOUBLE_EQ(e.peak_gbps, dev.descriptor().mem_bandwidth_gbps);
+  EXPECT_GT(e.launch_latency_us, 0.0);
+  EXPECT_GT(e.sim_duration_us(), 0.0);
+}
+
+TEST_F(ProfilerCounters, CopyTrafficBilledPerDirection) {
+  Device dev(gpusim::tiny_test_device(1 << 20));
+  Queue& q = dev.default_queue();
+  constexpr std::size_t bytes = 4096;
+  auto* d0 = static_cast<std::byte*>(dev.allocate(bytes));
+  auto* d1 = static_cast<std::byte*>(dev.allocate(bytes));
+  std::vector<std::byte> h(bytes);
+
+  q.memcpy(d0, h.data(), bytes, gpusim::CopyKind::HostToDevice);
+  q.memcpy(h.data(), d0, bytes, gpusim::CopyKind::DeviceToHost);
+  q.memcpy(d1, d0, bytes, gpusim::CopyKind::DeviceToDevice);
+  q.memset(d0, 0, bytes);
+  dev.deallocate(d0);
+  dev.deallocate(d1);
+
+  const Trace trace = snapshot();
+  ASSERT_EQ(trace.events.size(), 4u);
+  const double b = static_cast<double>(bytes);
+
+  EXPECT_EQ(trace.events[0].kind, OpKind::MemcpyH2D);
+  EXPECT_DOUBLE_EQ(trace.events[0].bytes_read, 0.0);
+  EXPECT_DOUBLE_EQ(trace.events[0].bytes_written, b);
+
+  EXPECT_EQ(trace.events[1].kind, OpKind::MemcpyD2H);
+  EXPECT_DOUBLE_EQ(trace.events[1].bytes_read, b);
+  EXPECT_DOUBLE_EQ(trace.events[1].bytes_written, 0.0);
+
+  EXPECT_EQ(trace.events[2].kind, OpKind::MemcpyD2D);
+  EXPECT_DOUBLE_EQ(trace.events[2].bytes_read, b);
+  EXPECT_DOUBLE_EQ(trace.events[2].bytes_written, b);
+
+  EXPECT_EQ(trace.events[3].kind, OpKind::Memset);
+  EXPECT_DOUBLE_EQ(trace.events[3].bytes_written, b);
+}
+
+TEST_F(ProfilerCounters, SummariesAgreeWithRawTimeline) {
+  // Two labelled kernels, several launches each, on two vendors. Each
+  // summary row must equal an independent recomputation from the events it
+  // aggregates.
+  constexpr std::uint64_t n = 1 << 14;
+  for (const Vendor v : {Vendor::AMD, Vendor::Intel}) {
+    Device dev(gpusim::descriptor_for(v));
+    Queue& q = dev.default_queue();
+    auto* d = static_cast<double*>(dev.allocate(n * sizeof(double)));
+    KernelCosts copy_costs;
+    copy_costs.bytes_read = 1.0 * n * sizeof(double);
+    copy_costs.bytes_written = 1.0 * n * sizeof(double);
+    for (int rep = 0; rep < 3; ++rep) {
+      gpusim::KernelLabelScope label("copy");
+      q.launch(launch_1d(n, 256), copy_costs,
+               [d](const WorkItem& item) { d[item.global_x()] = 2.0; });
+    }
+    KernelCosts dot_costs;
+    dot_costs.bytes_read = 2.0 * n * sizeof(double);
+    dot_costs.flops = 2.0 * n;
+    for (int rep = 0; rep < 2; ++rep) {
+      gpusim::KernelLabelScope label("dot");
+      q.launch(launch_1d(n, 256), dot_costs,
+               [d](const WorkItem& item) { d[item.global_x()] += 1.0; });
+    }
+    dev.deallocate(d);
+  }
+
+  const Trace trace = snapshot();
+  const std::vector<KernelSummary> summaries = trace.kernel_summaries();
+  ASSERT_EQ(summaries.size(), 4u);  // {AMD,Intel} x {copy,dot}
+
+  for (const KernelSummary& s : summaries) {
+    std::uint64_t launches = 0;
+    std::uint64_t items = 0;
+    double bytes = 0;
+    double sim_us = 0;
+    double host_us = 0;
+    double latency_us = 0;
+    double peak = 0;
+    for (const TraceEvent& e : trace.events) {
+      if (e.device != s.device || e.name != s.name || e.model != s.model) {
+        continue;
+      }
+      ++launches;
+      items += e.items;
+      bytes += e.total_bytes();
+      sim_us += e.sim_duration_us();
+      host_us += e.host_duration_us();
+      latency_us += e.launch_latency_us;
+      peak = e.peak_gbps;
+    }
+    EXPECT_EQ(s.launches, launches);
+    EXPECT_EQ(s.items, items);
+    EXPECT_DOUBLE_EQ(s.bytes, bytes);
+    EXPECT_DOUBLE_EQ(s.sim_us, sim_us);
+    EXPECT_DOUBLE_EQ(s.host_us, host_us);
+    EXPECT_DOUBLE_EQ(s.achieved_gbps, bytes / (sim_us * 1e3));
+    EXPECT_DOUBLE_EQ(s.pct_of_peak, 100.0 * s.achieved_gbps / peak);
+    EXPECT_DOUBLE_EQ(s.launch_overhead_pct, 100.0 * latency_us / sim_us);
+    EXPECT_GT(s.pct_of_peak, 0.0);
+    EXPECT_LT(s.pct_of_peak, 100.0);
+    EXPECT_GT(s.launch_overhead_pct, 0.0);
+    EXPECT_LT(s.launch_overhead_pct, 100.0);
+  }
+
+  // The two copy rows moved identical bytes in identical sim formulas up
+  // to vendor efficiency: the faster device must show the higher GB/s.
+  const KernelSummary* amd_copy = nullptr;
+  const KernelSummary* intel_copy = nullptr;
+  for (const KernelSummary& s : summaries) {
+    if (s.name != "copy") continue;
+    (s.vendor == Vendor::AMD ? amd_copy : intel_copy) = &s;
+  }
+  ASSERT_NE(amd_copy, nullptr);
+  ASSERT_NE(intel_copy, nullptr);
+  EXPECT_NE(amd_copy->achieved_gbps, intel_copy->achieved_gbps);
+}
+
+TEST_F(ProfilerCounters, UnlabelledLaunchGetsGenericName) {
+  Device dev(gpusim::tiny_test_device(1 << 20));
+  Queue& q = dev.default_queue();
+  constexpr std::uint64_t n = 256;
+  auto* d = static_cast<std::uint32_t*>(dev.allocate(n * sizeof(std::uint32_t)));
+  q.launch(launch_1d(n, 64), KernelCosts{},
+           [d](const WorkItem& item) { d[item.global_x()] = 1; });
+  dev.deallocate(d);
+
+  const Trace trace = snapshot();
+  ASSERT_EQ(trace.events.size(), 1u);
+  EXPECT_EQ(trace.events[0].name, "kernel");
+}
+
+TEST_F(ProfilerCounters, ExportsContainTheSummaryRows) {
+  Device dev(gpusim::descriptor_for(Vendor::AMD));
+  Queue& q = dev.default_queue();
+  constexpr std::uint64_t n = 1 << 12;
+  auto* d = static_cast<double*>(dev.allocate(n * sizeof(double)));
+  KernelCosts costs;
+  costs.bytes_read = 1.0 * n * sizeof(double);
+  {
+    gpusim::KernelLabelScope label("sweep");
+    q.launch(launch_1d(n, 128), costs,
+             [d](const WorkItem& item) { d[item.global_x()] = 3.0; });
+  }
+  dev.deallocate(d);
+
+  const Trace trace = snapshot();
+  const std::string csv = trace.summary_csv();
+  EXPECT_NE(csv.find("achieved_gbps"), std::string::npos);
+  EXPECT_NE(csv.find("pct_of_peak"), std::string::npos);
+  EXPECT_NE(csv.find("sweep"), std::string::npos);
+  const std::string report = trace.text_report();
+  EXPECT_NE(report.find("sweep"), std::string::npos);
+  EXPECT_NE(report.find("%peak"), std::string::npos);
+  const std::string json = trace.summary_json();
+  EXPECT_NE(json.find("mcmm-gpuprof-v1"), std::string::npos);
+  EXPECT_NE(json.find("\"sweep\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcmm::gpuprof

@@ -1,0 +1,211 @@
+// Simulated-time determinism regression test: the traced simulated
+// timestamps must be BIT-identical (not approximately equal) across
+// MCMM_NUM_THREADS = 1, 4, and hardware_concurrency, and identical with
+// the profiler on or off. The worker count is pinned per process (the
+// global pool is a process-wide singleton), so the cross-thread-count leg
+// re-executes this binary via /proc/self/exe with `--emit-trace`, which
+// prints every simulated timestamp as raw IEEE-754 bits.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpuprof/gpuprof.hpp"
+#include "gpusim/device.hpp"
+
+namespace {
+
+using mcmm::Vendor;
+using mcmm::gpusim::Device;
+using mcmm::gpusim::KernelCosts;
+using mcmm::gpusim::LaunchPolicy;
+using mcmm::gpusim::Queue;
+using mcmm::gpusim::Schedule;
+using mcmm::gpusim::WorkItem;
+using mcmm::gpusim::launch_1d;
+
+/// A deterministic mixed workload touching every traced op kind, both
+/// schedules, and all three vendor descriptors.
+void run_workload() {
+  constexpr std::uint64_t n = 1 << 14;
+  for (const Vendor v : {Vendor::AMD, Vendor::Intel, Vendor::NVIDIA}) {
+    Device dev(mcmm::gpusim::descriptor_for(v));
+    Queue& q = dev.default_queue();
+    auto* d = static_cast<double*>(dev.allocate(n * sizeof(double)));
+    std::vector<double> h(n, 1.0);
+    q.memcpy(d, h.data(), n * sizeof(double),
+             mcmm::gpusim::CopyKind::HostToDevice);
+    KernelCosts costs;
+    costs.bytes_read = 2.0 * n * sizeof(double);
+    costs.bytes_written = 1.0 * n * sizeof(double);
+    costs.flops = 2.0 * n;
+    for (int rep = 0; rep < 4; ++rep) {
+      mcmm::gpusim::KernelLabelScope label("det-kernel");
+      q.launch(
+          launch_1d(n, 256), costs,
+          [d](const WorkItem& item) { d[item.global_x()] *= 1.5; },
+          LaunchPolicy{rep % 2 == 0 ? Schedule::Static : Schedule::Dynamic,
+                       0});
+    }
+    q.memset(d, 0, n * sizeof(double));
+    q.memcpy(h.data(), d, n * sizeof(double),
+             mcmm::gpusim::CopyKind::DeviceToHost);
+    (void)q.record();
+    q.synchronize();
+    dev.deallocate(d);
+  }
+}
+
+/// Hex bit pattern of a double: bit-identical comparison, immune to
+/// printf rounding.
+std::string bits(double x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(u));
+  return buffer;
+}
+
+/// The canonical text form of a trace's simulated timeline: one line per
+/// event with everything the cost model determines. Host wall times are
+/// intentionally excluded — they are allowed to vary.
+std::string sim_fingerprint(const mcmm::gpuprof::Trace& trace) {
+  std::ostringstream out;
+  for (const mcmm::gpuprof::TraceEvent& e : trace.events) {
+    out << e.queue_id << ' ' << static_cast<int>(e.kind) << ' ' << e.name
+        << ' ' << e.items << ' ' << bits(e.total_bytes()) << ' '
+        << bits(e.sim_begin_us) << ' ' << bits(e.sim_end_us) << '\n';
+  }
+  return out.str();
+}
+
+/// Child mode: run the workload under the profiler, print the fingerprint.
+int emit_trace() {
+  mcmm::gpuprof::reset();
+  mcmm::gpuprof::enable();
+  run_workload();
+  const mcmm::gpuprof::Trace trace = mcmm::gpuprof::finalize();
+  std::fputs(sim_fingerprint(trace).c_str(), stdout);
+  return trace.empty() ? 1 : 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// This binary's path, resolved in-process (inside std::system's shell,
+/// /proc/self/exe would name the shell).
+std::string self_exe() {
+  char buffer[4096];
+  const ssize_t len =
+      ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (len <= 0) return {};
+  buffer[len] = '\0';
+  return buffer;
+}
+
+/// Re-executes this binary with MCMM_NUM_THREADS pinned and returns the
+/// child's fingerprint.
+std::string fingerprint_with_threads(unsigned threads,
+                                     const std::string& tag) {
+  const std::string exe = self_exe();
+  if (exe.empty()) {
+    ADD_FAILURE() << "cannot resolve /proc/self/exe";
+    return {};
+  }
+  const std::string out_path =
+      "gpuprof_determinism_" + tag + ".out";
+  const std::string cmd = "MCMM_NUM_THREADS=" + std::to_string(threads) +
+                          " '" + exe + "' --emit-trace > '" + out_path +
+                          "' 2>/dev/null";
+  const int rc = std::system(cmd.c_str());
+  EXPECT_EQ(rc, 0) << "child re-exec failed for " << threads << " threads";
+  const std::string fp = read_file(out_path);
+  std::remove(out_path.c_str());
+  return fp;
+}
+
+TEST(Determinism, SimTimestampsBitIdenticalAcrossWorkerCounts) {
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  const std::string fp1 = fingerprint_with_threads(1, "t1");
+  const std::string fp4 = fingerprint_with_threads(4, "t4");
+  const std::string fphw = fingerprint_with_threads(hw, "thw");
+  ASSERT_FALSE(fp1.empty());
+  EXPECT_EQ(fp1, fp4) << "simulated timeline depends on the worker count";
+  EXPECT_EQ(fp1, fphw) << "simulated timeline depends on the worker count";
+}
+
+TEST(Determinism, SimTimestampsUnaffectedByProfilerOnOff) {
+  // The profiler must observe, never perturb: the queue's simulated clock
+  // trajectory with hooks installed is bit-identical to hooks absent.
+  // (Same process, same pool — only the hook table differs.)
+  const auto clock_trajectory = [] {
+    std::vector<std::string> samples;
+    constexpr std::uint64_t n = 1 << 12;
+    Device dev(mcmm::gpusim::descriptor_for(Vendor::AMD));
+    Queue& q = dev.default_queue();
+    auto* d = static_cast<double*>(dev.allocate(n * sizeof(double)));
+    KernelCosts costs;
+    costs.bytes_read = 1.0 * n * sizeof(double);
+    costs.bytes_written = 1.0 * n * sizeof(double);
+    for (int rep = 0; rep < 8; ++rep) {
+      q.launch(launch_1d(n, 128), costs,
+               [d](const WorkItem& item) { d[item.global_x()] += 0.5; });
+      samples.push_back(bits(q.simulated_time_us()));
+    }
+    q.memset(d, 0, n * sizeof(double));
+    samples.push_back(bits(q.simulated_time_us()));
+    dev.deallocate(d);
+    return samples;
+  };
+
+  mcmm::gpuprof::disable();
+  mcmm::gpuprof::reset();
+  const std::vector<std::string> off = clock_trajectory();
+
+  mcmm::gpuprof::enable();
+  const std::vector<std::string> on = clock_trajectory();
+  const mcmm::gpuprof::Trace trace = mcmm::gpuprof::finalize();
+
+  EXPECT_EQ(off, on) << "installing the profiler changed simulated time";
+  EXPECT_EQ(trace.events.size(), 9u);  // 8 launches + 1 memset, on-leg only
+  mcmm::gpuprof::reset();
+}
+
+TEST(Determinism, BackToBackRunsInOneProcessMatch) {
+  mcmm::gpuprof::reset();
+  mcmm::gpuprof::enable();
+  run_workload();
+  const std::string first = sim_fingerprint(mcmm::gpuprof::finalize());
+  mcmm::gpuprof::reset();
+  mcmm::gpuprof::enable();
+  run_workload();
+  const std::string second = sim_fingerprint(mcmm::gpuprof::finalize());
+  mcmm::gpuprof::reset();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--emit-trace") == 0) return emit_trace();
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

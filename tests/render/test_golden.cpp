@@ -1,0 +1,79 @@
+// Golden-file render tests: the Figure 1 text, Markdown, and CSV renders
+// are compared byte-for-byte against checked-in expectations under
+// tests/render/golden/.  Any drift — a column width, a legend tweak, a
+// symbol substitution — fails loudly with the first differing byte.
+// Accept an intentional change by regenerating:
+//   MCMM_UPDATE_GOLDEN=1 ./test_render --gtest_filter='GoldenRender.*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "render/render.hpp"
+
+#ifndef MCMM_GOLDEN_DIR
+#error "MCMM_GOLDEN_DIR must point at tests/render/golden"
+#endif
+
+namespace {
+
+using mcmm::data::paper_matrix;
+
+std::string golden_path(const char* file) {
+  return std::string(MCMM_GOLDEN_DIR) + "/" + file;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void check_golden(const char* file, const std::string& actual) {
+  const std::string path = golden_path(file);
+  if (std::getenv("MCMM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  const std::string expected = read_file(path);
+  ASSERT_FALSE(expected.empty()) << "missing golden file " << path;
+  if (expected == actual) return;
+  std::size_t i = 0;
+  while (i < expected.size() && i < actual.size() && expected[i] == actual[i]) {
+    ++i;
+  }
+  const std::size_t from = i > 40 ? i - 40 : 0;
+  FAIL() << file << " drifted from its golden render at byte " << i
+         << " (expected " << expected.size() << " bytes, got "
+         << actual.size() << ")\n"
+         << "got:      ..." << actual.substr(from, 80) << "...\n"
+         << "expected: ..." << expected.substr(from, 80) << "...\n"
+         << "If the change is intentional, rerun with MCMM_UPDATE_GOLDEN=1.";
+}
+
+TEST(GoldenRender, Figure1Text) {
+  check_golden("figure1.txt", mcmm::render::figure1_text(paper_matrix()));
+}
+
+TEST(GoldenRender, Figure1TextAscii) {
+  mcmm::render::Options opts;
+  opts.unicode = false;
+  check_golden("figure1_ascii.txt",
+               mcmm::render::figure1_text(paper_matrix(), opts));
+}
+
+TEST(GoldenRender, Figure1Markdown) {
+  check_golden("figure1.md", mcmm::render::figure1_markdown(paper_matrix()));
+}
+
+TEST(GoldenRender, MatrixCsv) {
+  check_golden("figure1.csv", mcmm::render::matrix_csv(paper_matrix()));
+}
+
+}  // namespace
