@@ -1,0 +1,325 @@
+// loadgen: a multi-connection keep-alive HTTP load generator for
+// `mcmm serve`, reporting req/s and latency percentiles into
+// BENCH_serve.json (EXPERIMENTS.md "Serving the knowledge base").
+//
+//   loadgen [--host H] [--port P] [--connections N] [--requests M]
+//           [--json PATH] [--path /v1/...]...
+//
+// With no --port (or --port 0) it starts an in-process `serve::Server` on
+// an ephemeral loopback port first — the CI perf job and the ctest smoke
+// run need no orchestration. Every connection issues M pipeline-free
+// keep-alive requests round-robin over the path mix (every 8th request is
+// a conditional GET revalidating a captured ETag, so the 304 path is
+// exercised under load too). Any response other than 200/304 — or any
+// transport error — counts as a failure and fails the run.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = start an in-process server
+  unsigned connections = 8;
+  unsigned requests = 5000;  // per connection
+  std::string json_path = "BENCH_serve.json";
+  std::vector<std::string> paths;
+};
+
+struct ConnectionStats {
+  std::vector<std::uint32_t> latencies_usec;
+  std::map<int, std::uint64_t> by_status;
+  std::uint64_t failures = 0;  // transport errors + unexpected statuses
+};
+
+/// Minimal blocking HTTP/1.1 client over one keep-alive connection.
+class Client {
+ public:
+  bool connect_to(const std::string& host, int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+           0;
+  }
+
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool send_request(const std::string& wire) {
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      const ssize_t n =
+          ::send(fd_, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one response; returns the status code (or -1 on transport
+  /// error) and stores the ETag header value when present.
+  int read_response(std::string* etag) {
+    std::string headers;
+    std::size_t header_end = std::string::npos;
+    for (;;) {
+      header_end = buffer_.find("\r\n\r\n");
+      if (header_end != std::string::npos) break;
+      if (!fill()) return -1;
+    }
+    headers = buffer_.substr(0, header_end + 4);
+    buffer_.erase(0, header_end + 4);
+
+    if (headers.rfind("HTTP/1.1 ", 0) != 0 || headers.size() < 12) return -1;
+    const int status = std::atoi(headers.c_str() + 9);
+
+    if (etag != nullptr) {
+      const std::size_t pos = headers.find("\r\nETag: ");
+      if (pos != std::string::npos) {
+        const std::size_t start = pos + 8;
+        const std::size_t end = headers.find('\r', start);
+        *etag = headers.substr(start, end - start);
+      }
+    }
+
+    std::size_t content_length = 0;
+    const std::size_t cl = headers.find("\r\nContent-Length: ");
+    if (cl != std::string::npos) {
+      content_length = std::strtoul(headers.c_str() + cl + 18, nullptr, 10);
+    }
+    while (buffer_.size() < content_length) {
+      if (!fill()) return -1;
+    }
+    buffer_.erase(0, content_length);
+    return status;
+  }
+
+ private:
+  bool fill() {
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_{-1};
+  std::string buffer_;
+};
+
+void run_connection(const Options& opt, ConnectionStats& stats) {
+  Client client;
+  if (!client.connect_to(opt.host, opt.port)) {
+    stats.failures += opt.requests;
+    return;
+  }
+  stats.latencies_usec.reserve(opt.requests);
+  std::vector<std::string> etags(opt.paths.size());
+  for (unsigned i = 0; i < opt.requests; ++i) {
+    const std::size_t which = i % opt.paths.size();
+    const bool conditional = (i % 8 == 7) && !etags[which].empty();
+    std::string request = "GET " + opt.paths[which] +
+                          " HTTP/1.1\r\nHost: " + opt.host + "\r\n";
+    if (conditional) request += "If-None-Match: " + etags[which] + "\r\n";
+    request += "\r\n";
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string etag;
+    const int status =
+        client.send_request(request) ? client.read_response(&etag) : -1;
+    const auto usec = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (status < 0) {
+      // Connection is unusable from here on; count the remainder as failed.
+      stats.failures += opt.requests - i;
+      return;
+    }
+    ++stats.by_status[status];
+    const bool expected = conditional ? status == 304 : status == 200;
+    if (!expected) ++stats.failures;
+    if (!etag.empty()) etags[which] = etag;
+    stats.latencies_usec.push_back(static_cast<std::uint32_t>(usec));
+  }
+}
+
+std::uint32_t percentile(std::vector<std::uint32_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+int usage() {
+  std::cerr << "usage: loadgen [--host H] [--port P] [--connections N]\n"
+               "               [--requests M] [--json PATH] [--path /v1/..]\n"
+               "(no --port: starts an in-process mcmm serve first)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--host") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      opt.host = v;
+    } else if (a == "--port") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      opt.port = std::atoi(v);
+    } else if (a == "--connections") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      opt.connections = static_cast<unsigned>(std::atoi(v));
+    } else if (a == "--requests") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      opt.requests = static_cast<unsigned>(std::atoi(v));
+    } else if (a == "--json") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      opt.json_path = v;
+    } else if (a == "--path") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      opt.paths.emplace_back(v);
+    } else {
+      return usage();
+    }
+  }
+  if (opt.connections == 0 || opt.requests == 0) return usage();
+  if (opt.paths.empty()) {
+    // Default mix: the acceptance-criterion render, a cell lookup, the
+    // claims document, and the cheap liveness probe.
+    opt.paths = {"/v1/matrix?format=txt", "/v1/cell/AMD/SYCL/C%2B%2B",
+                 "/v1/claims", "/healthz"};
+  }
+
+  // In-process server when no target was given.
+  std::unique_ptr<mcmm::serve::Server> server;
+  if (opt.port == 0) {
+    mcmm::serve::ServerConfig cfg;
+    cfg.port = 0;
+    server = std::make_unique<mcmm::serve::Server>(
+        mcmm::data::paper_matrix(), cfg);
+    server->start();
+    opt.port = server->port();
+    opt.host = "127.0.0.1";
+    std::cout << "loadgen: started in-process mcmm serve on 127.0.0.1:"
+              << opt.port << "\n";
+  }
+
+  std::vector<ConnectionStats> stats(opt.connections);
+  std::vector<std::thread> threads;
+  threads.reserve(opt.connections);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (unsigned c = 0; c < opt.connections; ++c) {
+    threads.emplace_back(
+        [&opt, &stats, c] { run_connection(opt, stats[c]); });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (server != nullptr) {
+    server->shutdown();
+    server->join();
+  }
+
+  std::vector<std::uint32_t> all;
+  std::map<int, std::uint64_t> by_status;
+  std::uint64_t failures = 0;
+  for (const ConnectionStats& s : stats) {
+    all.insert(all.end(), s.latencies_usec.begin(), s.latencies_usec.end());
+    for (const auto& [code, n] : s.by_status) by_status[code] += n;
+    failures += s.failures;
+  }
+  std::sort(all.begin(), all.end());
+  const std::uint64_t completed = all.size();
+  const double rps =
+      elapsed > 0 ? static_cast<double>(completed) / elapsed : 0.0;
+  const std::uint32_t p50 = percentile(all, 0.50);
+  const std::uint32_t p90 = percentile(all, 0.90);
+  const std::uint32_t p99 = percentile(all, 0.99);
+  const std::uint32_t worst = all.empty() ? 0 : all.back();
+
+  char rps_text[32];
+  std::snprintf(rps_text, sizeof rps_text, "%.0f", rps);
+  std::cout << "loadgen: " << opt.connections << " connections x "
+            << opt.requests << " keep-alive requests over " << elapsed
+            << " s\n"
+            << "  completed " << completed << ", failed " << failures << ", "
+            << rps_text << " req/s\n"
+            << "  latency usec: p50 " << p50 << ", p90 " << p90 << ", p99 "
+            << p99 << ", max " << worst << "\n";
+  for (const auto& [code, n] : by_status) {
+    std::cout << "  status " << code << ": " << n << "\n";
+  }
+
+  std::ofstream json(opt.json_path);
+  json << "{\n  \"schema\": \"mcmm-serve-bench-v1\",\n"
+       << "  \"connections\": " << opt.connections << ",\n"
+       << "  \"requests_per_connection\": " << opt.requests << ",\n"
+       << "  \"completed_requests\": " << completed << ",\n"
+       << "  \"failed_requests\": " << failures << ",\n"
+       << "  \"elapsed_seconds\": " << elapsed << ",\n"
+       << "  \"requests_per_second\": " << rps_text << ",\n"
+       << "  \"latency_usec\": {\"p50\": " << p50 << ", \"p90\": " << p90
+       << ", \"p99\": " << p99 << ", \"max\": " << worst << "},\n"
+       << "  \"status_counts\": {";
+  bool first = true;
+  for (const auto& [code, n] : by_status) {
+    if (!first) json << ", ";
+    first = false;
+    json << "\"" << code << "\": " << n;
+  }
+  json << "},\n  \"paths\": [";
+  first = true;
+  for (const std::string& p : opt.paths) {
+    if (!first) json << ", ";
+    first = false;
+    json << "\"" << p << "\"";
+  }
+  json << "]\n}\n";
+  std::cout << "wrote " << opt.json_path << "\n";
+
+  return failures == 0 ? 0 : 1;
+}

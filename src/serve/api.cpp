@@ -1,0 +1,506 @@
+#include "serve/api.hpp"
+
+#include <utility>
+
+#include "core/claims.hpp"
+#include "core/planner.hpp"
+#include "render/render.hpp"
+#include "serve/json.hpp"
+#include "yamlx/matrix_yaml.hpp"
+
+namespace mcmm::serve {
+namespace {
+
+// --- JSON views of the knowledge base -----------------------------------
+
+void append_route(std::string& out, const Route& r) {
+  out += "{\"name\":";
+  out += json_quote(r.name);
+  out += ",\"kind\":";
+  out += json_quote(to_string(r.kind));
+  out += ",\"provider\":";
+  out += json_quote(to_string(r.provider));
+  out += ",\"maturity\":";
+  out += json_quote(to_string(r.maturity));
+  out += ",\"toolchain\":";
+  out += json_quote(r.toolchain);
+  out += ",\"flags\":[";
+  for (std::size_t i = 0; i < r.flags.size(); ++i) {
+    if (i != 0) out += ',';
+    out += json_quote(r.flags[i]);
+  }
+  out += "],\"environment\":[";
+  for (std::size_t i = 0; i < r.environment.size(); ++i) {
+    if (i != 0) out += ',';
+    out += json_quote(r.environment[i]);
+  }
+  out += "],\"notes\":";
+  out += json_quote(r.notes);
+  out += '}';
+}
+
+void append_rating(std::string& out, const Rating& r) {
+  out += "{\"category\":";
+  out += json_quote(category_name(r.category));
+  out += ",\"provider\":";
+  out += json_quote(to_string(r.provider));
+  out += ",\"rationale\":";
+  out += json_quote(r.rationale);
+  out += '}';
+}
+
+void append_entry(std::string& out, const SupportEntry& e) {
+  out += "{\"vendor\":";
+  out += json_quote(to_string(e.combo.vendor));
+  out += ",\"model\":";
+  out += json_quote(to_string(e.combo.model));
+  out += ",\"language\":";
+  out += json_quote(to_string(e.combo.language));
+  out += ",\"ratings\":[";
+  for (std::size_t i = 0; i < e.ratings.size(); ++i) {
+    if (i != 0) out += ',';
+    append_rating(out, e.ratings[i]);
+  }
+  out += "],\"description\":";
+  out += std::to_string(e.description_id);
+  out += ",\"inferred\":";
+  out += e.inferred ? "true" : "false";
+  out += ",\"usable\":";
+  out += e.usable() ? "true" : "false";
+  out += ",\"routes\":[";
+  for (std::size_t i = 0; i < e.routes.size(); ++i) {
+    if (i != 0) out += ',';
+    append_route(out, e.routes[i]);
+  }
+  out += "]}";
+}
+
+void append_description(std::string& out, const Description& d) {
+  out += "{\"id\":";
+  out += std::to_string(d.id);
+  out += ",\"title\":";
+  out += json_quote(d.title);
+  out += ",\"text\":";
+  out += json_quote(d.text);
+  out += ",\"references\":[";
+  for (std::size_t i = 0; i < d.references.size(); ++i) {
+    if (i != 0) out += ',';
+    out += json_quote(d.references[i]);
+  }
+  out += "]}";
+}
+
+std::string matrix_json(const CompatibilityMatrix& m) {
+  std::string out = "{\"schema\":\"mcmm-serve-v1\",\"cell_count\":";
+  out += std::to_string(m.entry_count());
+  out += ",\"description_count\":";
+  out += std::to_string(m.description_count());
+  out += ",\"total_routes\":";
+  out += std::to_string(m.total_route_count());
+  out += ",\"cells\":[";
+  bool first = true;
+  for (const SupportEntry* e : m.entries()) {
+    if (!first) out += ',';
+    first = false;
+    append_entry(out, *e);
+  }
+  out += "],\"descriptions\":[";
+  first = true;
+  for (const Description* d : m.descriptions()) {
+    if (!first) out += ',';
+    first = false;
+    append_description(out, *d);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string cell_json(const CompatibilityMatrix& m, const SupportEntry& e) {
+  std::string out = "{\"schema\":\"mcmm-serve-v1\",\"cell\":";
+  append_entry(out, e);
+  out += ",\"description\":";
+  append_description(out, m.description(e.description_id));
+  out += "}\n";
+  return out;
+}
+
+std::string claims_json(const CompatibilityMatrix& m) {
+  const Claims claims(m);
+  std::string out = "{\"schema\":\"mcmm-serve-v1\",\"claims\":[";
+  bool first = true;
+  bool all_hold = true;
+  for (const ClaimResult& r : claims.evaluate_all()) {
+    if (!first) out += ',';
+    first = false;
+    all_hold = all_hold && r.holds;
+    out += "{\"id\":";
+    out += json_quote(r.id);
+    out += ",\"statement\":";
+    out += json_quote(r.statement);
+    out += ",\"holds\":";
+    out += r.holds ? "true" : "false";
+    out += ",\"evidence\":";
+    out += json_quote(r.evidence);
+    out += '}';
+  }
+  out += "],\"all_hold\":";
+  out += all_hold ? "true" : "false";
+  out += "}\n";
+  return out;
+}
+
+std::string index_json() {
+  return R"({"service":"mcmm serve","schema":"mcmm-serve-v1","endpoints":[)"
+         R"({"method":"GET","path":"/v1/matrix",)"
+         R"("query":"format=json|txt|md|csv|html|latex|yaml"},)"
+         R"({"method":"GET","path":"/v1/cell/{vendor}/{model}/{language}"},)"
+         R"({"method":"POST","path":"/v1/plan"},)"
+         R"({"method":"GET","path":"/v1/claims"},)"
+         R"({"method":"GET","path":"/healthz"},)"
+         R"({"method":"GET","path":"/metrics"}]})"
+         "\n";
+}
+
+// --- POST /v1/plan body -> PlannerQuery ----------------------------------
+
+/// Reads a string array member into `out` via `parse` (vendors/models).
+template <typename T, typename Parse>
+bool read_enum_array(const JsonValue& node, Parse parse, std::vector<T>& out,
+                     std::string& error, const char* what) {
+  if (node.kind != JsonValue::Kind::Array) {
+    error = std::string(what) + " must be an array of strings";
+    return false;
+  }
+  for (const JsonValue& item : node.array) {
+    if (item.kind != JsonValue::Kind::String) {
+      error = std::string(what) + " must contain only strings";
+      return false;
+    }
+    const auto parsed = parse(item.string);
+    if (!parsed) {
+      error = "unknown " + std::string(what) + ": " + item.string;
+      return false;
+    }
+    out.push_back(*parsed);
+  }
+  return true;
+}
+
+bool read_bool(const JsonValue& node, bool& out, std::string& error,
+               const char* what) {
+  if (node.kind != JsonValue::Kind::Bool) {
+    error = std::string(what) + " must be a boolean";
+    return false;
+  }
+  out = node.boolean;
+  return true;
+}
+
+/// Builds a PlannerQuery from the request document; false + `error` on any
+/// unknown key, missing language, or type mismatch (strict by design — a
+/// typo'd constraint silently ignored would return wrong advice).
+bool parse_plan_query(const JsonValue& doc, PlannerQuery& q,
+                      std::string& error) {
+  if (doc.kind != JsonValue::Kind::Object) {
+    error = "request body must be a JSON object";
+    return false;
+  }
+  bool have_language = false;
+  for (const auto& [key, value] : doc.object) {
+    if (key == "language") {
+      if (value.kind != JsonValue::Kind::String) {
+        error = "language must be a string";
+        return false;
+      }
+      const auto language = parse_language(value.string);
+      if (!language) {
+        error = "unknown language: " + value.string;
+        return false;
+      }
+      q.language = *language;
+      have_language = true;
+    } else if (key == "must_run_on") {
+      if (!read_enum_array(value, parse_vendor, q.must_run_on, error,
+                           "must_run_on")) {
+        return false;
+      }
+    } else if (key == "allowed_models") {
+      if (!read_enum_array(value, parse_model, q.allowed_models, error,
+                           "allowed_models")) {
+        return false;
+      }
+    } else if (key == "minimum_category") {
+      if (value.kind != JsonValue::Kind::String) {
+        error = "minimum_category must be a string";
+        return false;
+      }
+      const auto category = parse_category(value.string);
+      if (!category) {
+        error = "unknown minimum_category: " + value.string;
+        return false;
+      }
+      q.minimum_category = *category;
+    } else if (key == "require_maintained") {
+      if (!read_bool(value, q.require_maintained, error,
+                     "require_maintained")) {
+        return false;
+      }
+    } else if (key == "require_vendor_support") {
+      if (!read_bool(value, q.require_vendor_support, error,
+                     "require_vendor_support")) {
+        return false;
+      }
+    } else if (key == "allow_translators") {
+      if (!read_bool(value, q.allow_translators, error, "allow_translators")) {
+        return false;
+      }
+    } else {
+      error = "unknown key: " + key;
+      return false;
+    }
+  }
+  if (!have_language) {
+    error = "missing required key: language";
+    return false;
+  }
+  return true;
+}
+
+std::string plan_json(const PlannerQuery& q,
+                      const std::vector<PlannedRoute>& plans) {
+  std::string out = "{\"schema\":\"mcmm-serve-v1\",\"query\":{\"language\":";
+  out += json_quote(to_string(q.language));
+  out += ",\"must_run_on\":[";
+  for (std::size_t i = 0; i < q.must_run_on.size(); ++i) {
+    if (i != 0) out += ',';
+    out += json_quote(to_string(q.must_run_on[i]));
+  }
+  out += "],\"allowed_models\":[";
+  for (std::size_t i = 0; i < q.allowed_models.size(); ++i) {
+    if (i != 0) out += ',';
+    out += json_quote(to_string(q.allowed_models[i]));
+  }
+  out += "],\"minimum_category\":";
+  out += json_quote(category_name(q.minimum_category));
+  out += ",\"require_maintained\":";
+  out += q.require_maintained ? "true" : "false";
+  out += ",\"require_vendor_support\":";
+  out += q.require_vendor_support ? "true" : "false";
+  out += ",\"allow_translators\":";
+  out += q.allow_translators ? "true" : "false";
+  out += "},\"route_count\":";
+  out += std::to_string(plans.size());
+  out += ",\"routes\":[";
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const PlannedRoute& p = plans[i];
+    if (i != 0) out += ',';
+    out += "{\"model\":";
+    out += json_quote(to_string(p.model));
+    out += ",\"rank\":";
+    out += std::to_string(p.rank);
+    out += ",\"rationale\":";
+    out += json_quote(p.rationale);
+    out += ",\"platforms\":[";
+    for (std::size_t j = 0; j < p.platforms.size(); ++j) {
+      const PlannedRoute::PerVendor& v = p.platforms[j];
+      if (j != 0) out += ',';
+      out += "{\"vendor\":";
+      out += json_quote(to_string(v.vendor));
+      out += ",\"category\":";
+      out += json_quote(category_name(v.category));
+      out += ",\"route\":";
+      append_route(out, v.route);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+/// True when an If-None-Match header value matches a strong `etag`
+/// ("*" or any member of the comma-separated entity-tag list).
+bool etag_matches(std::string_view header_value, std::string_view etag) {
+  std::string_view rest = header_value;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view token = comma == std::string_view::npos
+                                 ? rest
+                                 : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    while (!token.empty() && (token.front() == ' ' || token.front() == '\t')) {
+      token.remove_prefix(1);
+    }
+    while (!token.empty() && (token.back() == ' ' || token.back() == '\t')) {
+      token.remove_suffix(1);
+    }
+    if (token == "*" || token == etag) return true;
+  }
+  return false;
+}
+
+Response method_not_allowed(std::string_view allow) {
+  Response r = error_response(405, "method not allowed");
+  r.extra_headers.emplace_back("Allow", std::string(allow));
+  return r;
+}
+
+}  // namespace
+
+std::string etag_for(std::string_view body) {
+  // FNV-1a 64: cheap, stable across runs (no seed), and collision-safe
+  // enough for a cache of ~60 immutable resources.
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : body) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string("\"") + hex + '"';
+}
+
+Api::Cached Api::make_cached(std::string body, std::string content_type) {
+  Cached c;
+  c.etag = etag_for(body);
+  c.body = std::move(body);
+  c.content_type = std::move(content_type);
+  return c;
+}
+
+Api::Api(const CompatibilityMatrix& matrix, const Metrics* metrics)
+    : matrix_(&matrix), metrics_(metrics) {
+  const char* text_plain = "text/plain; charset=utf-8";
+  matrix_formats_.emplace(
+      "json", make_cached(matrix_json(matrix), "application/json"));
+  matrix_formats_.emplace(
+      "txt", make_cached(render::figure1_text(matrix), text_plain));
+  matrix_formats_.emplace(
+      "md", make_cached(render::figure1_markdown(matrix),
+                        "text/markdown; charset=utf-8"));
+  matrix_formats_.emplace("csv", make_cached(render::matrix_csv(matrix),
+                                             "text/csv; charset=utf-8"));
+  matrix_formats_.emplace("html", make_cached(render::figure1_html(matrix),
+                                              "text/html; charset=utf-8"));
+  matrix_formats_.emplace("latex", make_cached(render::figure1_latex(matrix),
+                                               "application/x-tex"));
+  matrix_formats_.emplace(
+      "yaml",
+      make_cached(yamlx::matrix_to_yaml_text(matrix), "application/yaml"));
+  for (const SupportEntry* e : matrix.entries()) {
+    cells_.emplace(e->combo,
+                   make_cached(cell_json(matrix, *e), "application/json"));
+  }
+  claims_ = make_cached(claims_json(matrix), "application/json");
+  index_ = make_cached(index_json(), "application/json");
+  health_ = make_cached("{\"status\":\"ok\"}\n", "application/json");
+}
+
+Response Api::deliver(const Cached& c, const Request& req) {
+  Response r;
+  r.etag = c.etag;
+  const std::string* inm = req.header("if-none-match");
+  if (inm != nullptr && etag_matches(*inm, c.etag)) {
+    r.status = 304;
+    return r;
+  }
+  r.content_type = c.content_type;
+  r.body = c.body;
+  return r;
+}
+
+Response Api::handle_matrix(const Request& req) const {
+  std::string_view format = req.query_param("format", "json");
+  if (format == "text") format = "txt";
+  if (format == "markdown") format = "md";
+  if (format == "tex") format = "latex";
+  const auto it = matrix_formats_.find(format);
+  if (it == matrix_formats_.end()) {
+    return error_response(
+        400, "unknown format (want json|txt|md|csv|html|latex|yaml)");
+  }
+  return deliver(it->second, req);
+}
+
+Response Api::handle_cell(const Request& req) const {
+  // Path shape: /v1/cell/{vendor}/{model}/{language}
+  std::string_view rest = std::string_view(req.path).substr(9);
+  if (!rest.empty() && rest.front() == '/') rest.remove_prefix(1);
+  std::string_view parts[3];
+  int count = 0;
+  while (!rest.empty() && count < 3) {
+    const std::size_t slash = rest.find('/');
+    parts[count++] =
+        slash == std::string_view::npos ? rest : rest.substr(0, slash);
+    rest = slash == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(slash + 1);
+  }
+  if (count != 3 || !rest.empty()) {
+    return error_response(404, "want /v1/cell/{vendor}/{model}/{language}");
+  }
+  const auto vendor = parse_vendor(parts[0]);
+  const auto model = parse_model(parts[1]);
+  const auto language = parse_language(parts[2]);
+  if (!vendor || !model || !language) {
+    return error_response(404, "unknown vendor, model, or language");
+  }
+  const auto it = cells_.find(Combination{*vendor, *model, *language});
+  if (it == cells_.end()) {
+    return error_response(404,
+                          "no such cell (language does not apply to model?)");
+  }
+  return deliver(it->second, req);
+}
+
+Response Api::handle_plan(const Request& req) const {
+  std::string parse_error;
+  const auto doc = json_parse(req.body, &parse_error);
+  if (!doc) {
+    return error_response(400, "invalid JSON body: " + parse_error);
+  }
+  PlannerQuery query;
+  std::string query_error;
+  if (!parse_plan_query(*doc, query, query_error)) {
+    return error_response(400, query_error);
+  }
+  const RoutePlanner planner(*matrix_);
+  Response r;
+  r.body = plan_json(query, planner.plan(query));
+  return r;
+}
+
+Response Api::handle(const Request& req) const {
+  const bool is_get = req.method == "GET" || req.method == "HEAD";
+  const std::string& path = req.path;
+  if (path == "/" || path == "/v1") {
+    return is_get ? deliver(index_, req) : method_not_allowed("GET, HEAD");
+  }
+  if (path == "/healthz") {
+    return is_get ? deliver(health_, req) : method_not_allowed("GET, HEAD");
+  }
+  if (path == "/metrics") {
+    if (!is_get) return method_not_allowed("GET, HEAD");
+    Response r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = metrics_ != nullptr ? metrics_->prometheus_text() : std::string();
+    return r;
+  }
+  if (path == "/v1/matrix") {
+    return is_get ? handle_matrix(req) : method_not_allowed("GET, HEAD");
+  }
+  if (path.rfind("/v1/cell/", 0) == 0) {
+    return is_get ? handle_cell(req) : method_not_allowed("GET, HEAD");
+  }
+  if (path == "/v1/plan") {
+    return req.method == "POST" ? handle_plan(req)
+                                : method_not_allowed("POST");
+  }
+  if (path == "/v1/claims") {
+    return is_get ? deliver(claims_, req) : method_not_allowed("GET, HEAD");
+  }
+  return error_response(404, "no such endpoint (GET / lists them)");
+}
+
+}  // namespace mcmm::serve

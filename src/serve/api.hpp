@@ -1,0 +1,66 @@
+#pragma once
+// The application layer of mcmm serve: routes HTTP requests onto the
+// knowledge base. The dataset is immutable for the life of the process, so
+// every GET response body is rendered once at construction, given a strong
+// ETag, and served from the cache afterwards — request handling on the hot
+// path is a lookup plus an If-None-Match comparison, safe to call from any
+// number of worker threads concurrently.
+//
+//   GET  /            endpoint index
+//   GET  /v1/matrix   ?format=json|txt|md|csv|html|latex|yaml (json default)
+//   GET  /v1/cell/{vendor}/{model}/{language}
+//   POST /v1/plan     PlannerQuery JSON -> ranked PlannedRoutes
+//   GET  /v1/claims   machine-checked paper claims
+//   GET  /healthz     liveness
+//   GET  /metrics     Prometheus text exposition
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/matrix.hpp"
+#include "serve/http.hpp"
+#include "serve/metrics.hpp"
+
+namespace mcmm::serve {
+
+/// Strong ETag (quoted 64-bit FNV-1a hex) over a response body.
+[[nodiscard]] std::string etag_for(std::string_view body);
+
+class Api {
+ public:
+  /// Precomputes every cacheable response. `metrics` may be null (then
+  /// GET /metrics reports an empty registry); it is not owned.
+  explicit Api(const CompatibilityMatrix& matrix,
+               const Metrics* metrics = nullptr);
+
+  /// Full dispatch, including conditional-GET: a request whose
+  /// If-None-Match matches the resource's ETag gets a bodyless 304.
+  /// HEAD routes like GET (the server layer drops the body on the wire).
+  [[nodiscard]] Response handle(const Request& req) const;
+
+ private:
+  struct Cached {
+    std::string body;
+    std::string content_type;
+    std::string etag;
+  };
+
+  [[nodiscard]] static Cached make_cached(std::string body,
+                                          std::string content_type);
+  [[nodiscard]] static Response deliver(const Cached& c, const Request& req);
+
+  [[nodiscard]] Response handle_matrix(const Request& req) const;
+  [[nodiscard]] Response handle_cell(const Request& req) const;
+  [[nodiscard]] Response handle_plan(const Request& req) const;
+
+  const CompatibilityMatrix* matrix_;
+  const Metrics* metrics_;
+  std::map<std::string, Cached, std::less<>> matrix_formats_;
+  std::map<Combination, Cached> cells_;
+  Cached claims_;
+  Cached index_;
+  Cached health_;
+};
+
+}  // namespace mcmm::serve

@@ -1,0 +1,46 @@
+#pragma once
+// Request counters and latency histograms for mcmm serve, exposed in
+// Prometheus text exposition format on GET /metrics. All recording paths
+// are lock-free (relaxed atomics — the counters are independent and the
+// scrape only needs eventual consistency).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mcmm::serve {
+
+class Metrics {
+ public:
+  void record_connection() noexcept {
+    connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// One finished request: its response status and handling latency.
+  void record_request(int status, std::uint64_t micros) noexcept;
+
+  [[nodiscard]] std::uint64_t requests_total() const noexcept;
+  [[nodiscard]] std::uint64_t connections_total() const noexcept {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+  /// The Prometheus /metrics document.
+  [[nodiscard]] std::string prometheus_text() const;
+
+ private:
+  /// Tracked status codes; anything else lands in the trailing "other".
+  static constexpr std::array<int, 13> kStatusCodes{
+      200, 304, 400, 404, 405, 408, 413, 414, 431, 500, 501, 503, 505};
+  /// Histogram bucket upper bounds, microseconds (+Inf is implicit).
+  static constexpr std::array<std::uint64_t, 7> kBucketMicros{
+      100, 500, 1000, 5000, 25000, 100000, 1000000};
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::array<std::atomic<std::uint64_t>, kStatusCodes.size() + 1> by_status_{};
+  std::array<std::atomic<std::uint64_t>, kBucketMicros.size() + 1> buckets_{};
+  std::atomic<std::uint64_t> latency_sum_micros_{0};
+  std::atomic<std::uint64_t> latency_count_{0};
+};
+
+}  // namespace mcmm::serve

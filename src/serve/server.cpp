@@ -1,0 +1,273 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace mcmm::serve {
+
+// --- ConnectionQueue -----------------------------------------------------
+
+bool ConnectionQueue::push(int fd) noexcept {
+  for (;;) {
+    if (closed_.load(std::memory_order_relaxed) && fd >= 0) return false;
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    if (t - h >= kCapacity) {
+      head_.wait(h, std::memory_order_relaxed);
+      continue;
+    }
+    ring_[t % kCapacity].store(fd, std::memory_order_relaxed);
+    tail_.store(t + 1, std::memory_order_release);
+    tail_.notify_all();
+    return true;
+  }
+}
+
+int ConnectionQueue::pop() noexcept {
+  for (;;) {
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    if (h == t) {
+      tail_.wait(t, std::memory_order_relaxed);
+      continue;
+    }
+    // Read before claiming: on CAS failure another consumer owns the slot
+    // and this value is discarded; the slot itself is an atomic, so a
+    // concurrent producer wrap-around is not a data race.
+    const int fd = ring_[h % kCapacity].load(std::memory_order_relaxed);
+    if (head_.compare_exchange_weak(h, h + 1, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      head_.notify_all();  // a full-ring producer may be waiting on head
+      return fd;
+    }
+  }
+}
+
+int ConnectionQueue::try_pop() noexcept {
+  for (;;) {
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    if (h == t) return -1;
+    const int fd = ring_[h % kCapacity].load(std::memory_order_relaxed);
+    if (head_.compare_exchange_weak(h, h + 1, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      head_.notify_all();
+      return fd;
+    }
+  }
+}
+
+void ConnectionQueue::close(std::size_t consumers) noexcept {
+  closed_.store(true, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < consumers; ++i) push(-1);
+}
+
+// --- Server --------------------------------------------------------------
+
+Server::Server(const CompatibilityMatrix& matrix, ServerConfig config)
+    : config_(std::move(config)), api_(matrix, &metrics_) {}
+
+Server::~Server() {
+  shutdown();
+  join();
+}
+
+void Server::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw Error(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    throw Error("not an IPv4 listen address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    throw Error("bind " + config_.host + ":" + std::to_string(config_.port) +
+                ": " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, config_.backlog) != 0) {
+    throw Error(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  unsigned threads = config_.threads;
+  if (threads == 0) {
+    threads = std::min(std::max(std::thread::hardware_concurrency(), 2u), 8u);
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+  started_ = true;
+}
+
+void Server::shutdown() noexcept {
+  stop_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void Server::join() {
+  if (!started_) return;
+  acceptor_.join();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  for (int fd = queue_.try_pop(); fd != -1; fd = queue_.try_pop()) {
+    if (fd >= 0) ::close(fd);
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+void Server::run() {
+  start();
+  join();
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof peer;
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stop_.load(std::memory_order_relaxed)) break;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors: shed load briefly instead of spinning.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // listening socket is gone; drain and exit
+    }
+    if (stop_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (!queue_.push(fd)) {
+      ::close(fd);
+      break;
+    }
+  }
+  queue_.close(workers_.size());
+}
+
+void Server::worker_loop() {
+  for (int fd = queue_.pop(); fd != -1; fd = queue_.pop()) {
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+bool Server::send_all(int fd, std::string_view data) noexcept {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool Server::read_more(int fd, RequestParser& parser, bool& timed_out) {
+  const bool mid = parser.mid_request();
+  int remaining =
+      std::max(mid ? config_.request_timeout_ms : config_.idle_timeout_ms, 1);
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    // Short poll slices so an idle keep-alive connection notices a drain
+    // within ~100 ms instead of holding a worker for the full idle timeout.
+    const int slice = std::min(remaining, 100);
+    const int r = ::poll(&pfd, 1, slice);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r > 0) break;
+    remaining -= slice;
+    if (remaining <= 0) {
+      timed_out = true;
+      return false;
+    }
+    if (!mid && draining()) return false;  // close idle connections on drain
+  }
+  char buf[16384];
+  const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+  if (n <= 0) return false;
+  parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  return true;
+}
+
+void Server::serve_connection(int fd) {
+  metrics_.record_connection();
+  RequestParser parser(config_.limits);
+  for (;;) {
+    while (parser.status() == RequestParser::Status::NeedMore) {
+      bool timed_out = false;
+      if (!read_more(fd, parser, timed_out)) {
+        if (timed_out && parser.mid_request()) {
+          // The peer stalled mid-request: answer 408, then close.
+          metrics_.record_request(408, 0);
+          send_all(fd, serialize_response(
+                           error_response(408, "request timed out"), false,
+                           false));
+        }
+        return;
+      }
+    }
+    if (parser.status() == RequestParser::Status::Error) {
+      const Response r =
+          error_response(parser.error_status(), parser.error_reason());
+      metrics_.record_request(r.status, 0);
+      send_all(fd, serialize_response(r, false, false));
+      return;
+    }
+    const Request req = parser.take_request();
+    const auto t0 = std::chrono::steady_clock::now();
+    Response resp;
+    try {
+      resp = api_.handle(req);
+    } catch (const std::exception& e) {
+      resp = error_response(500, e.what());
+    }
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    metrics_.record_request(resp.status, static_cast<std::uint64_t>(micros));
+    const bool keep = req.keep_alive() && !draining();
+    if (!send_all(fd,
+                  serialize_response(resp, req.method == "HEAD", keep))) {
+      return;
+    }
+    if (!keep) return;
+    parser.reset();
+  }
+}
+
+}  // namespace mcmm::serve

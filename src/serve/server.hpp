@@ -1,0 +1,115 @@
+#pragma once
+// The network front end of mcmm serve: a blocking accept loop feeding a
+// fixed pool of worker threads through a lock-free single-producer /
+// multi-consumer ring of accepted sockets (same futex-backed
+// atomic-wait/notify pattern as the gpusim fork-join pool, DESIGN.md §3.1 —
+// no mutex, no condition_variable, no allocation on the hand-off path).
+//
+// Robustness posture (see DESIGN.md §3.2): every read runs under a poll(2)
+// deadline — a stalled mid-request peer gets 408, an idle keep-alive peer
+// is closed silently; the parser's size caps turn header/body bombs into
+// 413/414/431; SIGTERM (via shutdown()) stops the acceptor, lets in-flight
+// requests finish, closes keep-alive connections at the next request
+// boundary, and joins every thread before run() returns.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "serve/api.hpp"
+#include "serve/http.hpp"
+#include "serve/metrics.hpp"
+
+namespace mcmm::serve {
+
+struct ServerConfig {
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{8080};  ///< 0 picks an ephemeral port (see Server::port)
+  unsigned threads{0};       ///< worker threads; 0 = min(hw concurrency, 8)
+  int backlog{128};
+  int request_timeout_ms{5000};  ///< mid-request read stall -> 408
+  int idle_timeout_ms{5000};     ///< keep-alive with no next request -> close
+  Limits limits{};
+};
+
+/// Lock-free SPMC queue of accepted file descriptors. The acceptor is the
+/// single producer; workers pop. Bounded: a full ring blocks the acceptor
+/// (backpressure on the TCP accept queue) rather than buffering without
+/// limit. Shutdown is by poison pill — close(n) enqueues n sentinel fds so
+/// each of the n waiting consumers wakes through the normal push path (no
+/// separate closed-flag wait that could miss a notify).
+class ConnectionQueue {
+ public:
+  /// Pushes an fd; blocks while full. False once the queue is closed.
+  bool push(int fd) noexcept;
+  /// Pops the next fd; blocks while empty. -1 once a sentinel arrives.
+  int pop() noexcept;
+  /// Marks closed and enqueues `consumers` sentinels (producer-side only).
+  void close(std::size_t consumers) noexcept;
+  /// Drains remaining fds without waiting (post-join cleanup). -1 if empty.
+  int try_pop() noexcept;
+
+ private:
+  static constexpr std::size_t kCapacity = 1024;  // power of two
+  std::array<std::atomic<int>, kCapacity> ring_{};
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::atomic<bool> closed_{false};
+};
+
+class Server {
+ public:
+  explicit Server(const CompatibilityMatrix& matrix, ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds + listens and spawns the acceptor and workers. Throws
+  /// mcmm::Error when the socket cannot be bound.
+  void start();
+
+  /// The bound port (resolves port 0 to the kernel-assigned one).
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+
+  /// Initiates graceful drain. Async-signal-safe: an atomic store plus
+  /// shutdown(2) on the listening socket; all orderly teardown happens on
+  /// the acceptor thread it wakes.
+  void shutdown() noexcept;
+
+  /// Waits until the acceptor and every worker exited.
+  void join();
+
+  /// start() + join() — the CLI entry point.
+  void run();
+
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] bool draining() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+  /// False when the peer vanished or the deadline expired (timed_out set).
+  bool read_more(int fd, RequestParser& parser, bool& timed_out);
+  static bool send_all(int fd, std::string_view data) noexcept;
+
+  ServerConfig config_;
+  Metrics metrics_;
+  Api api_;
+  ConnectionQueue queue_;
+  std::atomic<bool> stop_{false};
+  int listen_fd_{-1};
+  std::uint16_t bound_port_{0};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  bool started_{false};
+};
+
+}  // namespace mcmm::serve

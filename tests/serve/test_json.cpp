@@ -1,0 +1,110 @@
+// Tests for the serve JSON layer: escaping (every dataset description must
+// survive a round trip), the strict parser, and its adversarial inputs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "data/dataset.hpp"
+#include "serve/json.hpp"
+
+namespace {
+
+using mcmm::serve::json_escape;
+using mcmm::serve::json_parse;
+using mcmm::serve::json_quote;
+using mcmm::serve::JsonValue;
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(json_quote(std::string("\x01", 1)), "\"\\u0001\"");
+  // Multi-byte UTF-8 (the matrix category symbols) passes through verbatim.
+  EXPECT_EQ(json_quote("(\u2713)"), "\"(\u2713)\"");
+}
+
+TEST(JsonEscape, AppendsWithoutClobbering) {
+  std::string out = "prefix:";
+  json_escape(out, "x\"y");
+  EXPECT_EQ(out, "prefix:x\\\"y");
+}
+
+TEST(JsonRoundTrip, EveryDatasetDescriptionSurvives) {
+  // Several Fig. 1 footnotes contain quotes and parentheses; whatever the
+  // dataset holds must come back byte-identical through quote -> parse.
+  const auto& matrix = mcmm::data::paper_matrix();
+  ASSERT_FALSE(matrix.descriptions().empty());
+  for (const auto* d : matrix.descriptions()) {
+    const std::string wire = json_quote(d->text);
+    std::string error;
+    const auto value = json_parse(wire, &error);
+    ASSERT_TRUE(value.has_value()) << error << " for: " << d->text;
+    ASSERT_EQ(value->kind, JsonValue::Kind::String);
+    EXPECT_EQ(value->string, d->text);
+  }
+}
+
+TEST(JsonParse, ParsesScalarsArraysAndObjects) {
+  auto v = json_parse(R"({"a": [1, 2.5, -3e2], "b": {"c": true,
+                          "d": null}, "e": "x"})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->kind, JsonValue::Kind::Object);
+  const JsonValue* a = v->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(a->array[2].number, -300.0);
+  const JsonValue* b = v->find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b->find("c"), nullptr);
+  EXPECT_TRUE(b->find("c")->boolean);
+  EXPECT_EQ(b->find("d")->kind, JsonValue::Kind::Null);
+  EXPECT_EQ(v->find("e")->string, "x");
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonParse, DecodesEscapesIncludingSurrogatePairs) {
+  auto v = json_parse(R"("a\u0041\n\" \ud83d\ude00")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string, "aA\n\" \xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  for (const char* bad : {
+           "",             // empty
+           "{",            // unterminated object
+           "[1,]",         // trailing comma
+           "{\"a\" 1}",    // missing colon
+           "nul",          // truncated keyword
+           "01",           // leading zero
+           "1.",           // bare decimal point
+           "\"a",          // unterminated string
+           "\"\\q\"",      // bad escape
+           "\"\\ud800\"",  // lone surrogate
+           "\"\x01\"",     // raw control character in string
+           "1 2",          // trailing garbage
+           "{\"a\":1}}",   // trailing garbage after object
+       }) {
+    std::string error;
+    EXPECT_FALSE(json_parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonParse, RejectsADepthBomb) {
+  std::string bomb;
+  for (int i = 0; i < 200; ++i) bomb += '[';
+  for (int i = 0; i < 200; ++i) bomb += ']';
+  std::string error;
+  EXPECT_FALSE(json_parse(bomb, &error).has_value());
+  EXPECT_NE(error.find("deep"), std::string::npos);
+
+  // 64 levels is the documented cap; just inside it must still parse.
+  std::string ok;
+  for (int i = 0; i < 63; ++i) ok += '[';
+  for (int i = 0; i < 63; ++i) ok += ']';
+  EXPECT_TRUE(json_parse(ok).has_value());
+}
+
+}  // namespace

@@ -11,11 +11,13 @@
 //   mcmm diff <before.yaml> <after.yaml>        snapshot changelog
 //   mcmm sanitize [...]                         gpusan the simulated GPU
 //   mcmm profile [...]                          gpuprof trace & roofline
+//   mcmm serve [--port N] [--threads N]         HTTP/JSON query service
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,7 +35,10 @@
 #include "gpusan/gpusan.hpp"
 #include "render/render.hpp"
 #include "render/report.hpp"
+#include "serve/server.hpp"
 #include "yamlx/matrix_yaml.hpp"
+
+#include <csignal>
 
 namespace {
 
@@ -61,6 +66,13 @@ commands:
                                          leakcheck) over the clean suite, a
                                          defect fixture, or a wrapped
                                          command; exits non-zero on findings
+  serve [--port <n>] [--threads <n>] [--host <addr>]
+                                         HTTP/JSON API over the knowledge
+                                         base: GET /v1/matrix (+?format=),
+                                         GET /v1/cell/{v}/{m}/{l},
+                                         POST /v1/plan, GET /v1/claims,
+                                         /healthz, /metrics; drains
+                                         gracefully on SIGTERM/SIGINT
   profile [--chrome <path>] [--csv <path>] [--json] [--report <path>]
           [--allow-empty] [-- <command> [args...]]
                                          gpuprof: trace kernels/copies with
@@ -495,6 +507,75 @@ int cmd_profile(const std::vector<std::string>& args) {
   return (all_verified && !trace.empty()) ? 0 : 1;
 }
 
+// --- mcmm serve ----------------------------------------------------------
+
+/// The running server, for the signal handler. Writes happen before the
+/// handler is installed; the handler only calls the async-signal-safe
+/// Server::shutdown().
+serve::Server* g_server = nullptr;
+
+extern "C" void serve_signal_handler(int) {
+  if (g_server != nullptr) g_server->shutdown();
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  serve::ServerConfig cfg;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto int_arg = [&](long min, long max) -> std::optional<long> {
+      if (i + 1 >= args.size()) return std::nullopt;
+      char* end = nullptr;
+      const long v = std::strtol(args[++i].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || v < min || v > max) {
+        return std::nullopt;
+      }
+      return v;
+    };
+    if (a == "--port") {
+      const auto port = int_arg(0, 65535);
+      if (!port) {
+        std::cerr << "--port wants 0..65535\n";
+        return 2;
+      }
+      cfg.port = static_cast<std::uint16_t>(*port);
+    } else if (a == "--threads") {
+      const auto threads = int_arg(1, 256);
+      if (!threads) {
+        std::cerr << "--threads wants 1..256\n";
+        return 2;
+      }
+      cfg.threads = static_cast<unsigned>(*threads);
+    } else if (a == "--host" && i + 1 < args.size()) {
+      cfg.host = args[++i];
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      return usage();
+    }
+  }
+  try {
+    serve::Server server(data::paper_matrix(), cfg);
+    server.start();
+    g_server = &server;
+    std::signal(SIGTERM, serve_signal_handler);
+    std::signal(SIGINT, serve_signal_handler);
+    std::cout << "mcmm serve: listening on http://" << cfg.host << ":"
+              << server.port() << "\n"
+              << "endpoints: /v1/matrix /v1/cell/{vendor}/{model}/{language} "
+                 "/v1/plan /v1/claims /healthz /metrics\n"
+              << std::flush;
+    server.join();
+    std::cout << "mcmm serve: drained after "
+              << server.metrics().requests_total() << " request(s) on "
+              << server.metrics().connections_total()
+              << " connection(s), exiting cleanly\n";
+    g_server = nullptr;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "mcmm serve: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -511,5 +592,6 @@ int main(int argc, char** argv) {
   if (command == "diff") return cmd_diff(args);
   if (command == "sanitize") return cmd_sanitize(args);
   if (command == "profile") return cmd_profile(args);
+  if (command == "serve") return cmd_serve(args);
   return usage();
 }
