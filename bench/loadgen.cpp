@@ -1,21 +1,33 @@
 // loadgen: a multi-connection keep-alive HTTP load generator for
-// `mcmm serve`, reporting req/s and latency percentiles into
-// BENCH_serve.json (EXPERIMENTS.md "Serving the knowledge base").
+// `mcmm serve` and `mcmm gateway`, reporting req/s and latency percentiles
+// into BENCH_serve.json / BENCH_gateway.json (EXPERIMENTS.md "Serving the
+// knowledge base" and "Fault injection").
 //
 //   loadgen [--host H] [--port P] [--connections N] [--requests M]
-//           [--json PATH] [--path /v1/...]...
+//           [--json PATH] [--path /v1/...]... [--cluster R] [--fault]
+//           [--golden PATH]
 //
 // With no --port (or --port 0) it starts an in-process `serve::Server` on
 // an ephemeral loopback port first — the CI perf job and the ctest smoke
-// run need no orchestration. Every connection issues M pipeline-free
-// keep-alive requests round-robin over the path mix (every 8th request is
-// a conditional GET revalidating a captured ETag, so the 304 path is
-// exercised under load too). Any response other than 200/304 — or any
-// transport error — counts as a failure and fails the run.
+// run need no orchestration. --cluster R instead forks R serve replicas
+// and fronts them with an in-process `gateway::Gateway`, so the whole
+// replicated stack runs from one binary. Every connection issues M
+// pipeline-free keep-alive requests round-robin over the path mix (every
+// 8th request is a conditional GET revalidating a captured ETag, so the
+// 304 path is exercised under load too). Any response other than 200/304 —
+// or any transport error — counts as a failure and fails the run.
+//
+// --fault SIGKILLs one replica once a third of the total requests have
+// completed: through the gateway the run must still finish with zero
+// failures (health ejection + budgeted retries absorb the crash). With an
+// external target, the victim pid is discovered via /gateway/replicas.
+// --golden FILE byte-compares every non-conditional 200 body on a
+// "format=txt" path against FILE, proving proxied bytes are unmodified.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -29,29 +41,39 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "gateway/gateway.hpp"
+#include "gateway/supervisor.hpp"
 #include "serve/server.hpp"
 
 namespace {
 
 struct Options {
   std::string host = "127.0.0.1";
-  int port = 0;  // 0 = start an in-process server
+  int port = 0;  // 0 = start an in-process server (or cluster)
   unsigned connections = 8;
   unsigned requests = 5000;  // per connection
   std::string json_path = "BENCH_serve.json";
   std::vector<std::string> paths;
+  unsigned cluster = 0;  // replicas behind an in-process gateway
+  bool fault = false;    // SIGKILL one replica mid-run
+  std::string golden_path;  // byte-match 200 bodies on format=txt paths
 };
 
 struct ConnectionStats {
   std::vector<std::uint32_t> latencies_usec;
   std::map<int, std::uint64_t> by_status;
   std::uint64_t failures = 0;  // transport errors + unexpected statuses
+  std::uint64_t golden_mismatches = 0;
 };
+
+/// Requests completed across all connections, for fault-injection timing.
+std::atomic<std::uint64_t> g_completed{0};
 
 /// Minimal blocking HTTP/1.1 client over one keep-alive connection.
 class Client {
@@ -88,8 +110,9 @@ class Client {
   }
 
   /// Reads one response; returns the status code (or -1 on transport
-  /// error) and stores the ETag header value when present.
-  int read_response(std::string* etag) {
+  /// error), stores the ETag header value when present, and the body when
+  /// `body` is non-null (it is skipped otherwise).
+  int read_response(std::string* etag, std::string* body = nullptr) {
     std::string headers;
     std::size_t header_end = std::string::npos;
     for (;;) {
@@ -120,6 +143,7 @@ class Client {
     while (buffer_.size() < content_length) {
       if (!fill()) return -1;
     }
+    if (body != nullptr) body->assign(buffer_, 0, content_length);
     buffer_.erase(0, content_length);
     return status;
   }
@@ -137,7 +161,21 @@ class Client {
   std::string buffer_;
 };
 
-void run_connection(const Options& opt, ConnectionStats& stats) {
+/// One GET with Connection: close; empty string unless the answer is 200.
+std::string http_get_once(const std::string& host, int port,
+                          const std::string& path) {
+  Client client;
+  if (!client.connect_to(host, port)) return {};
+  if (!client.send_request("GET " + path + " HTTP/1.1\r\nHost: " + host +
+                           "\r\nConnection: close\r\n\r\n")) {
+    return {};
+  }
+  std::string body;
+  return client.read_response(nullptr, &body) == 200 ? body : std::string{};
+}
+
+void run_connection(const Options& opt, const std::string& golden,
+                    ConnectionStats& stats) {
   Client client;
   if (!client.connect_to(opt.host, opt.port)) {
     stats.failures += opt.requests;
@@ -148,6 +186,9 @@ void run_connection(const Options& opt, ConnectionStats& stats) {
   for (unsigned i = 0; i < opt.requests; ++i) {
     const std::size_t which = i % opt.paths.size();
     const bool conditional = (i % 8 == 7) && !etags[which].empty();
+    const bool check_golden =
+        !golden.empty() && !conditional &&
+        opt.paths[which].find("format=txt") != std::string::npos;
     std::string request = "GET " + opt.paths[which] +
                           " HTTP/1.1\r\nHost: " + opt.host + "\r\n";
     if (conditional) request += "If-None-Match: " + etags[which] + "\r\n";
@@ -155,8 +196,11 @@ void run_connection(const Options& opt, ConnectionStats& stats) {
 
     const auto t0 = std::chrono::steady_clock::now();
     std::string etag;
+    std::string body;
     const int status =
-        client.send_request(request) ? client.read_response(&etag) : -1;
+        client.send_request(request)
+            ? client.read_response(&etag, check_golden ? &body : nullptr)
+            : -1;
     const auto usec = std::chrono::duration_cast<std::chrono::microseconds>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
@@ -168,8 +212,13 @@ void run_connection(const Options& opt, ConnectionStats& stats) {
     ++stats.by_status[status];
     const bool expected = conditional ? status == 304 : status == 200;
     if (!expected) ++stats.failures;
+    if (check_golden && status == 200 && body != golden) {
+      ++stats.golden_mismatches;
+      ++stats.failures;
+    }
     if (!etag.empty()) etags[which] = etag;
     stats.latencies_usec.push_back(static_cast<std::uint32_t>(usec));
+    g_completed.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -180,10 +229,38 @@ std::uint32_t percentile(std::vector<std::uint32_t>& sorted, double p) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
+/// Extracts the integer after `"key":` in a flat JSON object; -1 if absent.
+long json_long_field(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::strtol(body.c_str() + at + needle.size(), nullptr, 10);
+}
+
+/// Value of an un-labelled Prometheus sample, or 0 when absent.
+std::uint64_t scrape_counter(const std::string& text,
+                             const std::string& name) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(name + " ", 0) == 0) {
+      return std::strtoull(line.c_str() + name.size() + 1, nullptr, 10);
+    }
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage: loadgen [--host H] [--port P] [--connections N]\n"
                "               [--requests M] [--json PATH] [--path /v1/..]\n"
-               "(no --port: starts an in-process mcmm serve first)\n";
+               "               [--cluster R] [--fault] [--golden FILE]\n"
+               "(no --port: starts an in-process mcmm serve first;\n"
+               " --cluster R: forks R replicas behind an in-process "
+               "gateway;\n"
+               " --fault: SIGKILL one replica once a third of the run is "
+               "done;\n"
+               " --golden FILE: byte-match 200 format=txt bodies against "
+               "FILE)\n";
   return 2;
 }
 
@@ -220,11 +297,30 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage();
       opt.paths.emplace_back(v);
+    } else if (a == "--cluster") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      opt.cluster = static_cast<unsigned>(std::atoi(v));
+      if (opt.cluster == 0 || opt.cluster > 64) return usage();
+    } else if (a == "--fault") {
+      opt.fault = true;
+    } else if (a == "--golden") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      opt.golden_path = v;
     } else {
       return usage();
     }
   }
   if (opt.connections == 0 || opt.requests == 0) return usage();
+  if (opt.cluster > 0 && opt.port != 0) {
+    std::cerr << "loadgen: --cluster starts its own gateway; drop --port\n";
+    return 2;
+  }
+  if (opt.fault && opt.cluster == 0 && opt.port == 0) {
+    std::cerr << "loadgen: --fault needs --cluster or a gateway --port\n";
+    return 2;
+  }
   if (opt.paths.empty()) {
     // Default mix: the acceptance-criterion render, a cell lookup, the
     // claims document, and the cheap liveness probe.
@@ -232,9 +328,42 @@ int main(int argc, char** argv) {
                  "/v1/claims", "/healthz"};
   }
 
-  // In-process server when no target was given.
+  std::string golden;
+  if (!opt.golden_path.empty()) {
+    std::ifstream in(opt.golden_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "loadgen: cannot read " << opt.golden_path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    golden = buf.str();
+  }
+
+  // In-process targets. The forked cluster must exist before any thread
+  // does (gateway construction starts the health prober).
+  std::vector<mcmm::gateway::ReplicaProcess> replicas;
+  std::unique_ptr<mcmm::gateway::Gateway> gateway;
   std::unique_ptr<mcmm::serve::Server> server;
-  if (opt.port == 0) {
+  if (opt.cluster > 0) {
+    mcmm::gateway::SupervisorConfig sup;
+    replicas = mcmm::gateway::spawn_replicas(opt.cluster, sup);
+    std::vector<mcmm::gateway::ReplicaEndpoint> backends;
+    backends.reserve(replicas.size());
+    for (const auto& r : replicas) {
+      backends.push_back(mcmm::gateway::ReplicaEndpoint{"127.0.0.1", r.port});
+    }
+    mcmm::gateway::GatewayConfig cfg;
+    cfg.port = 0;
+    gateway =
+        std::make_unique<mcmm::gateway::Gateway>(std::move(backends), cfg);
+    gateway->start();
+    opt.port = gateway->port();
+    opt.host = "127.0.0.1";
+    std::cout << "loadgen: started " << opt.cluster
+              << "-replica in-process gateway on 127.0.0.1:" << opt.port
+              << "\n";
+  } else if (opt.port == 0) {
     mcmm::serve::ServerConfig cfg;
     cfg.port = 0;
     server = std::make_unique<mcmm::serve::Server>(
@@ -246,19 +375,87 @@ int main(int argc, char** argv) {
               << opt.port << "\n";
   }
 
+  // Fault injection: once a third of the run has completed, SIGKILL one
+  // replica — a forked one directly, an external one via the pid the
+  // gateway's /gateway/replicas endpoint reports.
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(opt.connections) * opt.requests;
+  std::atomic<bool> fault_stop{false};
+  long fault_pid = -1;
+  std::thread fault_thread;
+  if (opt.fault) {
+    if (!replicas.empty()) {
+      fault_pid = replicas.front().pid;
+    } else {
+      const std::string body =
+          http_get_once(opt.host, opt.port, "/gateway/replicas");
+      fault_pid = json_long_field(body, "pid");
+      if (fault_pid <= 0) {
+        std::cerr << "loadgen: --fault could not discover a replica pid "
+                     "from /gateway/replicas\n";
+        return 2;
+      }
+    }
+    fault_thread = std::thread([&fault_stop, fault_pid, total] {
+      while (!fault_stop.load(std::memory_order_relaxed)) {
+        if (g_completed.load(std::memory_order_relaxed) >= total / 3) {
+          ::kill(static_cast<pid_t>(fault_pid), SIGKILL);
+          std::cout << "loadgen: FAULT injected — SIGKILLed replica pid "
+                    << fault_pid << "\n";
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
   std::vector<ConnectionStats> stats(opt.connections);
   std::vector<std::thread> threads;
   threads.reserve(opt.connections);
   const auto t0 = std::chrono::steady_clock::now();
   for (unsigned c = 0; c < opt.connections; ++c) {
     threads.emplace_back(
-        [&opt, &stats, c] { run_connection(opt, stats[c]); });
+        [&opt, &golden, &stats, c] { run_connection(opt, golden, stats[c]); });
   }
   for (std::thread& t : threads) t.join();
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
+  if (fault_thread.joinable()) {
+    fault_stop.store(true, std::memory_order_relaxed);
+    fault_thread.join();
+  }
+
+  // Resiliency counters, captured before teardown: directly from the
+  // in-process gateway, or scraped from an external gateway's /metrics.
+  std::uint64_t retries = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t budget_exhausted = 0;
+  const bool gateway_run = opt.cluster > 0 || opt.fault;
+  if (gateway != nullptr) {
+    const auto& m = gateway->gateway_metrics();
+    retries = m.retries_total();
+    hedges = m.hedges_total();
+    hedge_wins = m.hedge_wins_total();
+    budget_exhausted = m.budget_exhausted_total();
+  } else if (gateway_run) {
+    const std::string text = http_get_once(opt.host, opt.port, "/metrics");
+    retries = scrape_counter(text, "mcmm_gateway_retries_total");
+    hedges = scrape_counter(text, "mcmm_gateway_hedges_total");
+    hedge_wins = scrape_counter(text, "mcmm_gateway_hedge_wins_total");
+    budget_exhausted =
+        scrape_counter(text, "mcmm_gateway_retry_budget_exhausted_total");
+  }
+
+  if (gateway != nullptr) {
+    gateway->shutdown();
+    gateway->join();
+  }
+  if (!replicas.empty()) {
+    mcmm::gateway::terminate_replicas(replicas, 5000);
+  }
   if (server != nullptr) {
     server->shutdown();
     server->join();
@@ -267,10 +464,12 @@ int main(int argc, char** argv) {
   std::vector<std::uint32_t> all;
   std::map<int, std::uint64_t> by_status;
   std::uint64_t failures = 0;
+  std::uint64_t golden_mismatches = 0;
   for (const ConnectionStats& s : stats) {
     all.insert(all.end(), s.latencies_usec.begin(), s.latencies_usec.end());
     for (const auto& [code, n] : s.by_status) by_status[code] += n;
     failures += s.failures;
+    golden_mismatches += s.golden_mismatches;
   }
   std::sort(all.begin(), all.end());
   const std::uint64_t completed = all.size();
@@ -293,9 +492,19 @@ int main(int argc, char** argv) {
   for (const auto& [code, n] : by_status) {
     std::cout << "  status " << code << ": " << n << "\n";
   }
+  if (gateway_run) {
+    std::cout << "  gateway: retries " << retries << ", hedges " << hedges
+              << " (won " << hedge_wins << "), budget-exhausted "
+              << budget_exhausted << "\n";
+  }
+  if (!golden.empty()) {
+    std::cout << "  golden: " << golden_mismatches << " mismatch(es)\n";
+  }
 
   std::ofstream json(opt.json_path);
-  json << "{\n  \"schema\": \"mcmm-serve-bench-v1\",\n"
+  json << "{\n  \"schema\": \""
+       << (gateway_run ? "mcmm-gateway-bench-v1" : "mcmm-serve-bench-v1")
+       << "\",\n"
        << "  \"connections\": " << opt.connections << ",\n"
        << "  \"requests_per_connection\": " << opt.requests << ",\n"
        << "  \"completed_requests\": " << completed << ",\n"
@@ -303,8 +512,21 @@ int main(int argc, char** argv) {
        << "  \"elapsed_seconds\": " << elapsed << ",\n"
        << "  \"requests_per_second\": " << rps_text << ",\n"
        << "  \"latency_usec\": {\"p50\": " << p50 << ", \"p90\": " << p90
-       << ", \"p99\": " << p99 << ", \"max\": " << worst << "},\n"
-       << "  \"status_counts\": {";
+       << ", \"p99\": " << p99 << ", \"max\": " << worst << "},\n";
+  if (gateway_run) {
+    json << "  \"replicas\": " << (opt.cluster > 0 ? opt.cluster : 0)
+         << ",\n"
+         << "  \"fault_injected\": " << (opt.fault ? "true" : "false")
+         << ",\n"
+         << "  \"retries\": " << retries << ",\n"
+         << "  \"hedges\": " << hedges << ",\n"
+         << "  \"hedge_wins\": " << hedge_wins << ",\n"
+         << "  \"retry_budget_exhausted\": " << budget_exhausted << ",\n";
+  }
+  if (!golden.empty()) {
+    json << "  \"golden_mismatches\": " << golden_mismatches << ",\n";
+  }
+  json << "  \"status_counts\": {";
   bool first = true;
   for (const auto& [code, n] : by_status) {
     if (!first) json << ", ";

@@ -1,0 +1,66 @@
+#include "gateway/balancer.hpp"
+
+#include <algorithm>
+
+namespace mcmm::gateway {
+
+std::optional<Policy> parse_policy(std::string_view name) {
+  if (name == "rr") return Policy::RoundRobin;
+  if (name == "p2c") return Policy::PowerOfTwo;
+  return std::nullopt;
+}
+
+const char* to_string(Policy policy) noexcept {
+  switch (policy) {
+    case Policy::RoundRobin:
+      return "rr";
+    case Policy::PowerOfTwo:
+      return "p2c";
+  }
+  return "unknown";
+}
+
+std::uint64_t Balancer::next_random() noexcept {
+  // xorshift64* advanced with a CAS so concurrent pickers never observe
+  // the same state twice (a duplicated draw would correlate their picks).
+  std::uint64_t x = rng_state_.load(std::memory_order_relaxed);
+  for (;;) {
+    std::uint64_t next = x;
+    next ^= next >> 12;
+    next ^= next << 25;
+    next ^= next >> 27;
+    if (rng_state_.compare_exchange_weak(x, next,
+                                         std::memory_order_relaxed)) {
+      return next * 0x2545f4914f6cdd1dull;
+    }
+  }
+}
+
+std::optional<std::size_t> Balancer::pick(
+    const ReplicaRegistry& registry,
+    const std::vector<std::size_t>& candidates,
+    const std::vector<std::size_t>& excluded) {
+  std::vector<std::size_t> pool;
+  pool.reserve(candidates.size());
+  for (const std::size_t i : candidates) {
+    if (std::find(excluded.begin(), excluded.end(), i) == excluded.end()) {
+      pool.push_back(i);
+    }
+  }
+  if (pool.empty()) return std::nullopt;
+  if (pool.size() == 1) return pool.front();
+
+  if (policy_ == Policy::RoundRobin) {
+    const std::uint64_t n = rr_.fetch_add(1, std::memory_order_relaxed);
+    return pool[n % pool.size()];
+  }
+
+  const std::size_t a = next_random() % pool.size();
+  std::size_t b = next_random() % (pool.size() - 1);
+  if (b >= a) ++b;  // distinct second sample
+  const std::size_t ia = pool[a];
+  const std::size_t ib = pool[b];
+  return registry.at(ia).load() <= registry.at(ib).load() ? ia : ib;
+}
+
+}  // namespace mcmm::gateway

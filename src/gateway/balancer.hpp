@@ -1,0 +1,49 @@
+#pragma once
+// Replica selection for the mcmm gateway: round-robin, and
+// power-of-two-choices over live load (Mitzenmacher's "power of two
+// choices" — sample two distinct replicas uniformly, send to the less
+// loaded; near-best-of-N balance for O(1) work and no global scan).
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gateway/registry.hpp"
+
+namespace mcmm::gateway {
+
+enum class Policy : std::uint8_t { RoundRobin, PowerOfTwo };
+
+/// Parses "rr" / "p2c"; nullopt for anything else.
+[[nodiscard]] std::optional<Policy> parse_policy(std::string_view name);
+[[nodiscard]] const char* to_string(Policy policy) noexcept;
+
+/// Thread-safe picker over a candidate index set. The RNG is a seedable
+/// atomic xorshift so tests get deterministic pick sequences.
+class Balancer {
+ public:
+  explicit Balancer(Policy policy, std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : policy_(policy), rng_state_(seed == 0 ? 1 : seed) {}
+
+  [[nodiscard]] Policy policy() const noexcept { return policy_; }
+
+  /// Picks one of `candidates` (replica indices into `registry`), skipping
+  /// any listed in `excluded` (replicas this request already failed on).
+  /// nullopt when nothing remains.
+  [[nodiscard]] std::optional<std::size_t> pick(
+      const ReplicaRegistry& registry,
+      const std::vector<std::size_t>& candidates,
+      const std::vector<std::size_t>& excluded);
+
+ private:
+  [[nodiscard]] std::uint64_t next_random() noexcept;
+
+  Policy policy_;
+  std::atomic<std::uint64_t> rr_{0};
+  std::atomic<std::uint64_t> rng_state_;
+};
+
+}  // namespace mcmm::gateway

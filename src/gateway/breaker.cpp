@@ -1,0 +1,103 @@
+#include "gateway/breaker.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mcmm::gateway {
+
+std::int64_t steady_now_ms() noexcept {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+CircuitBreaker::State CircuitBreaker::state(std::int64_t now_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::Open &&
+      now_ms - opened_at_ms_ >= config_.open_cooldown_ms) {
+    return State::HalfOpen;
+  }
+  return state_;
+}
+
+bool CircuitBreaker::allow(std::int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::Closed:
+      return true;
+    case State::Open:
+      if (now_ms - opened_at_ms_ < config_.open_cooldown_ms) return false;
+      state_ = State::HalfOpen;
+      trial_in_flight_ = true;
+      return true;
+    case State::HalfOpen:
+      if (trial_in_flight_) return false;
+      trial_in_flight_ = true;
+      return true;
+  }
+  return false;  // unreachable
+}
+
+void CircuitBreaker::record_success(std::int64_t /*now_ms*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::Closed;
+  consecutive_failures_ = 0;
+  trial_in_flight_ = false;
+}
+
+void CircuitBreaker::record_failure(std::int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trial_in_flight_ = false;
+  if (state_ == State::HalfOpen) {
+    // The trial failed: back to Open for a fresh cooldown.
+    state_ = State::Open;
+    opened_at_ms_ = now_ms;
+    return;
+  }
+  if (state_ == State::Open) return;  // already failing fast
+  if (++consecutive_failures_ >= config_.failure_threshold) {
+    state_ = State::Open;
+    opened_at_ms_ = now_ms;
+  }
+}
+
+void CircuitBreaker::record_abandoned() {
+  std::lock_guard<std::mutex> lock(mu_);
+  trial_in_flight_ = false;
+}
+
+RetryBudget::RetryBudget(RetryBudgetConfig config)
+    : config_(config),
+      cap_milli_(static_cast<std::int64_t>(config.burst) * 1000),
+      milli_tokens_(cap_milli_) {}
+
+void RetryBudget::on_request() noexcept {
+  const auto deposit = static_cast<std::int64_t>(config_.ratio * 1000.0);
+  std::int64_t current = milli_tokens_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::int64_t next = std::min(current + deposit, cap_milli_);
+    if (next == current) return;
+    if (milli_tokens_.compare_exchange_weak(current, next,
+                                            std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+bool RetryBudget::try_withdraw() noexcept {
+  std::int64_t current = milli_tokens_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (current < 1000) return false;
+    if (milli_tokens_.compare_exchange_weak(current, current - 1000,
+                                            std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+std::uint64_t RetryBudget::balance() const noexcept {
+  const std::int64_t milli = milli_tokens_.load(std::memory_order_relaxed);
+  return milli < 0 ? 0 : static_cast<std::uint64_t>(milli / 1000);
+}
+
+}  // namespace mcmm::gateway

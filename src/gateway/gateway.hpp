@@ -1,0 +1,126 @@
+#pragma once
+// mcmm gateway: an HTTP/1.1 reverse proxy in front of a fleet of mcmm
+// serve replicas (DESIGN.md §3.3). It reuses the serve HttpListener loop
+// on the client side and adds, on the upstream side: health-checked
+// replica selection (round-robin or power-of-two-choices on live load),
+// keep-alive connection pools, per-replica circuit breakers, a global
+// retry budget, transparent retries of idempotent requests, and optional
+// latency hedging for hot read paths. Responses are fully buffered in the
+// gateway, which is what makes retry and hedging safe: nothing is sent to
+// the client until one upstream has answered completely.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gateway/balancer.hpp"
+#include "gateway/breaker.hpp"
+#include "gateway/metrics.hpp"
+#include "gateway/registry.hpp"
+#include "gateway/upstream.hpp"
+#include "serve/server.hpp"
+
+namespace mcmm::gateway {
+
+using serve::Request;
+using serve::Response;
+
+struct GatewayConfig {
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{8081};  ///< 0 picks an ephemeral port
+  unsigned threads{0};       ///< worker threads; 0 = min(hw concurrency, 8)
+  int backlog{128};
+  int request_timeout_ms{5000};
+  int idle_timeout_ms{5000};
+  int connect_timeout_ms{1000};   ///< upstream dial budget
+  int upstream_timeout_ms{5000};  ///< full upstream exchange budget
+  /// Hedge a slow GET under `hedge_prefix` after this long; <= 0 disables.
+  int hedge_after_ms{30};
+  std::string hedge_prefix{"/v1/matrix"};
+  /// Extra attempts (on other replicas) for idempotent requests.
+  int max_retries{2};
+  Policy policy{Policy::PowerOfTwo};
+  std::uint64_t balancer_seed{0x9e3779b97f4a7c15ull};
+  RegistryConfig registry{};
+  RetryBudgetConfig retry_budget{};
+  serve::Limits limits{};
+};
+
+/// The reverse proxy. Client-side routes:
+///   /metrics          gateway + upstream Prometheus families
+///   /gateway/healthz  aggregate fleet health (503 when no replica is up)
+///   /gateway/replicas per-replica health/breaker/load/pid as JSON
+///   anything else     proxied to a replica
+class Gateway : public serve::HttpListener {
+ public:
+  Gateway(std::vector<ReplicaEndpoint> replicas, GatewayConfig config = {});
+  ~Gateway() override;
+
+  [[nodiscard]] ReplicaRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const GatewayMetrics& gateway_metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] RetryBudget& retry_budget() noexcept { return budget_; }
+
+ protected:
+  Response handle_request(const Request& req,
+                          const std::string& request_id) override;
+  void on_connection() noexcept override {
+    metrics_.client.record_connection();
+  }
+  void on_request_begin() noexcept override {
+    metrics_.client.begin_request();
+  }
+  void on_request_end() noexcept override { metrics_.client.end_request(); }
+  void on_request_done(int status, std::uint64_t micros) noexcept override {
+    metrics_.client.record_request(status, micros);
+  }
+
+ private:
+  struct Stream;
+  struct Exchange {
+    bool ok{false};
+    std::size_t winner{0};
+    ResponseParser parser;
+  };
+
+  static serve::ListenerConfig to_listener_config(
+      const GatewayConfig& config);
+
+  Response proxy(const Request& req, const std::string& request_id);
+  /// Replica choice for one attempt: half-open breakers get their single
+  /// trial request first (real traffic is the probe that closes them);
+  /// otherwise the balancing policy runs over closed-breaker healthy
+  /// replicas.
+  [[nodiscard]] std::optional<std::size_t> pick_replica(
+      const std::vector<std::size_t>& excluded, std::int64_t now_ms);
+  /// Drives one proxied exchange (plus an optional hedge stream) to
+  /// completion or failure; failed replicas are appended to `excluded`.
+  Exchange run_exchange(std::size_t primary, const std::string& wire,
+                        bool head, bool allow_hedge,
+                        std::vector<std::size_t>& excluded);
+  bool open_stream(Stream& s, std::size_t idx, const std::string& wire,
+                   bool head);
+  void stream_failed(Stream& s, const std::string& wire, bool head,
+                     std::vector<std::size_t>& excluded);
+  void abandon_stream(Stream& s);
+  /// The serve-side Response for a completed upstream exchange.
+  Response translate_response(ResponseParser& parser);
+  /// The upstream request bytes: client headers minus hop-by-hop ones,
+  /// recomputed Content-Length, canonical X-Request-Id.
+  [[nodiscard]] std::string upstream_wire(const Request& req,
+                                          const std::string& request_id);
+
+  Response handle_metrics(const Request& req);
+  Response handle_gateway_healthz();
+  Response handle_gateway_replicas();
+
+  GatewayConfig config_;
+  ReplicaRegistry registry_;
+  Balancer balancer_;
+  RetryBudget budget_;
+  GatewayMetrics metrics_;
+};
+
+}  // namespace mcmm::gateway

@@ -1,0 +1,143 @@
+#include "gateway/supervisor.hpp"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "core/error.hpp"
+#include "data/dataset.hpp"
+#include "serve/server.hpp"
+
+namespace mcmm::gateway {
+namespace {
+
+serve::Server* g_replica_server = nullptr;
+
+extern "C" void replica_signal_handler(int) {
+  if (g_replica_server != nullptr) g_replica_server->shutdown();
+}
+
+/// Binds + listens on host:0; returns {fd, kernel-assigned port}.
+std::pair<int, std::uint16_t> bind_ephemeral(const std::string& host,
+                                             int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error(std::string("socket: ") + std::strerror(errno));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw Error("not an IPv4 listen address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw Error(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    throw Error(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  return {fd, ntohs(bound.sin_port)};
+}
+
+[[noreturn]] void replica_main(int listen_fd, const SupervisorConfig& cfg) {
+  serve::ServerConfig server_cfg;
+  server_cfg.host = cfg.host;
+  server_cfg.threads = cfg.threads_per_replica;
+  server_cfg.max_in_flight = cfg.max_in_flight;
+  server_cfg.adopt_fd = listen_fd;
+  try {
+    serve::Server server(data::paper_matrix(), server_cfg);
+    server.start();
+    g_replica_server = &server;
+    std::signal(SIGTERM, replica_signal_handler);
+    std::signal(SIGINT, SIG_IGN);  // the supervisor owns ^C handling
+    server.join();
+    g_replica_server = nullptr;
+  } catch (...) {
+    _exit(1);
+  }
+  _exit(0);
+}
+
+}  // namespace
+
+std::vector<ReplicaProcess> spawn_replicas(unsigned count,
+                                           const SupervisorConfig& config) {
+  std::vector<int> fds;
+  std::vector<ReplicaProcess> out;
+  fds.reserve(count);
+  out.reserve(count);
+  try {
+    for (unsigned i = 0; i < count; ++i) {
+      auto [fd, port] = bind_ephemeral(config.host, 128);
+      fds.push_back(fd);
+      out.push_back(ReplicaProcess{-1, port});
+    }
+    for (unsigned i = 0; i < count; ++i) {
+      const pid_t pid = ::fork();
+      if (pid < 0) throw Error(std::string("fork: ") + std::strerror(errno));
+      if (pid == 0) {
+        // Child: keep only this replica's listener.
+        for (unsigned j = 0; j < count; ++j) {
+          if (j != i) ::close(fds[j]);
+        }
+        replica_main(fds[i], config);  // never returns
+      }
+      out[i].pid = pid;
+    }
+  } catch (...) {
+    for (const int fd : fds) ::close(fd);
+    for (ReplicaProcess& r : out) {
+      if (r.pid > 0) ::kill(r.pid, SIGKILL);
+    }
+    throw;
+  }
+  // Parent: the children own the listeners now.
+  for (const int fd : fds) ::close(fd);
+  return out;
+}
+
+int terminate_replicas(std::vector<ReplicaProcess>& replicas, int grace_ms) {
+  for (const ReplicaProcess& r : replicas) {
+    if (r.pid > 0) ::kill(r.pid, SIGTERM);
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(grace_ms);
+  int killed = 0;
+  for (ReplicaProcess& r : replicas) {
+    if (r.pid <= 0) continue;
+    for (;;) {
+      int status = 0;
+      const pid_t w = ::waitpid(r.pid, &status, WNOHANG);
+      if (w == r.pid || (w < 0 && errno == ECHILD)) {
+        r.pid = -1;
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::kill(r.pid, SIGKILL);
+        ::waitpid(r.pid, &status, 0);
+        r.pid = -1;
+        ++killed;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return killed;
+}
+
+}  // namespace mcmm::gateway

@@ -1,0 +1,41 @@
+#pragma once
+// Replica supervision for `mcmm cluster N`: fork one mcmm serve process
+// per replica and hand each an already-bound listening socket. Binding in
+// the parent (port 0 -> kernel-assigned) means the replica set's ports are
+// known before any child runs — no port files, no retry races — and a
+// replica that dies can never lose its address.
+//
+// fork() happens before the gateway spawns any threads; a post-thread fork
+// would clone a process whose locks may be held by threads that do not
+// exist in the child.
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcmm::gateway {
+
+struct ReplicaProcess {
+  pid_t pid{-1};
+  std::uint16_t port{0};
+};
+
+struct SupervisorConfig {
+  std::string host{"127.0.0.1"};
+  unsigned threads_per_replica{2};
+  unsigned max_in_flight{0};  ///< per-replica overload cap; 0 = uncapped
+};
+
+/// Binds `count` ephemeral listeners and forks one serve replica per
+/// socket. Returns the children (pid + bound port); throws mcmm::Error
+/// when a bind or fork fails. Call from a single-threaded process only.
+[[nodiscard]] std::vector<ReplicaProcess> spawn_replicas(
+    unsigned count, const SupervisorConfig& config = {});
+
+/// Graceful stop: SIGTERM each live child, wait up to `grace_ms` for all
+/// to exit, SIGKILL stragglers. Returns the number that needed SIGKILL.
+int terminate_replicas(std::vector<ReplicaProcess>& replicas, int grace_ms);
+
+}  // namespace mcmm::gateway

@@ -1,0 +1,93 @@
+#pragma once
+// Upstream-side plumbing for the mcmm gateway: bounded-time connects, an
+// incremental HTTP/1.1 *response* parser (the mirror of serve's hardened
+// request parser, socket-free for the same testability reasons), and a
+// keep-alive connection pool per replica.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mcmm::gateway {
+
+/// Connects to host:port within `timeout_ms` (non-blocking connect +
+/// poll), returning a blocking fd with TCP_NODELAY, or -1 on failure.
+[[nodiscard]] int connect_with_timeout(const std::string& host,
+                                       std::uint16_t port,
+                                       int timeout_ms) noexcept;
+
+/// Incremental HTTP/1.1 response parser. Framing: Content-Length (the only
+/// body framing mcmm serve emits); a missing Content-Length means an empty
+/// body; 1xx/204/304 and HEAD exchanges never carry one (RFC 9112 §6.3).
+/// Hard caps mirror serve's request limits so a misbehaving upstream
+/// cannot balloon gateway memory.
+class ResponseParser {
+ public:
+  enum class Status : std::uint8_t { NeedMore, Complete, Error };
+
+  /// `head` marks the exchange as a HEAD request (bodiless by definition).
+  explicit ResponseParser(bool head = false) : head_(head) {}
+
+  Status feed(std::string_view data);
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+  [[nodiscard]] int status_code() const noexcept { return status_code_; }
+  [[nodiscard]] bool saw_bytes() const noexcept { return saw_bytes_; }
+  /// First header with that lowercase name; nullptr when absent.
+  [[nodiscard]] const std::string* header(
+      std::string_view name) const noexcept;
+  /// Connection persistence of the upstream side after this response.
+  [[nodiscard]] bool keep_alive() const noexcept;
+  /// Moves the body out. Only valid when status() == Complete.
+  [[nodiscard]] std::string take_body() { return std::move(body_); }
+
+ private:
+  enum class State : std::uint8_t { StatusLine, Headers, Body, Done };
+
+  Status fail() noexcept;
+  Status parse();
+
+  static constexpr std::size_t kMaxHeaderBytes = 32 * 1024;
+  static constexpr std::size_t kMaxBody = 8u << 20;
+
+  bool head_;
+  bool saw_bytes_{false};
+  State state_{State::StatusLine};
+  Status status_{Status::NeedMore};
+  int status_code_{0};
+  int version_minor_{1};
+  std::vector<std::pair<std::string, std::string>> headers_;
+  std::string body_;
+  std::string buffer_;
+  std::size_t consumed_{0};
+  std::size_t content_length_{0};
+};
+
+/// Keep-alive connections to one replica. acquire() hands back a pooled fd
+/// after a zero-timeout poll proves it is still quiet (a readable or
+/// hung-up idle connection is stale — the replica died or timed us out —
+/// and is closed instead of reused); -1 means the caller should dial.
+class ConnectionPool {
+ public:
+  explicit ConnectionPool(std::size_t max_idle = 16) : max_idle_(max_idle) {}
+  ~ConnectionPool() { close_all(); }
+
+  ConnectionPool(const ConnectionPool&) = delete;
+  ConnectionPool& operator=(const ConnectionPool&) = delete;
+
+  [[nodiscard]] int acquire() noexcept;
+  /// Returns a healthy keep-alive connection; closes it if the pool is
+  /// already holding max_idle.
+  void release(int fd) noexcept;
+  void close_all() noexcept;
+
+ private:
+  std::mutex mu_;
+  std::vector<int> idle_;
+  std::size_t max_idle_;
+};
+
+}  // namespace mcmm::gateway

@@ -1,5 +1,7 @@
 #include "serve/api.hpp"
 
+#include <unistd.h>
+
 #include <utility>
 
 #include "core/claims.hpp"
@@ -370,8 +372,9 @@ Api::Cached Api::make_cached(std::string body, std::string content_type) {
   return c;
 }
 
-Api::Api(const CompatibilityMatrix& matrix, const Metrics* metrics)
-    : matrix_(&matrix), metrics_(metrics) {
+Api::Api(const CompatibilityMatrix& matrix, const Metrics* metrics,
+         const std::atomic<bool>* draining)
+    : matrix_(&matrix), metrics_(metrics), draining_(draining) {
   const char* text_plain = "text/plain; charset=utf-8";
   matrix_formats_.emplace(
       "json", make_cached(matrix_json(matrix), "application/json"));
@@ -395,7 +398,26 @@ Api::Api(const CompatibilityMatrix& matrix, const Metrics* metrics)
   }
   claims_ = make_cached(claims_json(matrix), "application/json");
   index_ = make_cached(index_json(), "application/json");
-  health_ = make_cached("{\"status\":\"ok\"}\n", "application/json");
+}
+
+Response Api::handle_health() const {
+  Response r;
+  std::string body = "{\"status\":\"ok\",\"pid\":";
+  body += std::to_string(::getpid());
+  body += ",\"in_flight\":";
+  // The gauge counts this /healthz request too; report the load a prober
+  // actually cares about — everything else.
+  const std::uint64_t gauge =
+      metrics_ != nullptr ? metrics_->in_flight() : 0;
+  body += std::to_string(gauge > 0 ? gauge - 1 : 0);
+  body += ",\"draining\":";
+  body += draining_ != nullptr &&
+                  draining_->load(std::memory_order_relaxed)
+              ? "true"
+              : "false";
+  body += "}\n";
+  r.body = std::move(body);
+  return r;
 }
 
 Response Api::deliver(const Cached& c, const Request& req) {
@@ -478,7 +500,7 @@ Response Api::handle(const Request& req) const {
     return is_get ? deliver(index_, req) : method_not_allowed("GET, HEAD");
   }
   if (path == "/healthz") {
-    return is_get ? deliver(health_, req) : method_not_allowed("GET, HEAD");
+    return is_get ? handle_health() : method_not_allowed("GET, HEAD");
   }
   if (path == "/metrics") {
     if (!is_get) return method_not_allowed("GET, HEAD");

@@ -14,6 +14,7 @@
 //   GET  /healthz     liveness
 //   GET  /metrics     Prometheus text exposition
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <string_view>
@@ -30,9 +31,12 @@ namespace mcmm::serve {
 class Api {
  public:
   /// Precomputes every cacheable response. `metrics` may be null (then
-  /// GET /metrics reports an empty registry); it is not owned.
+  /// GET /metrics reports an empty registry and /healthz a zero gauge);
+  /// `draining` may be null (then /healthz always reports false). Neither
+  /// is owned.
   explicit Api(const CompatibilityMatrix& matrix,
-               const Metrics* metrics = nullptr);
+               const Metrics* metrics = nullptr,
+               const std::atomic<bool>* draining = nullptr);
 
   /// Full dispatch, including conditional-GET: a request whose
   /// If-None-Match matches the resource's ETag gets a bodyless 304.
@@ -53,14 +57,17 @@ class Api {
   [[nodiscard]] Response handle_matrix(const Request& req) const;
   [[nodiscard]] Response handle_cell(const Request& req) const;
   [[nodiscard]] Response handle_plan(const Request& req) const;
+  /// Rendered per request (not cached, no ETag): the in-flight gauge and
+  /// the draining flag are live signals the gateway's balancer consumes.
+  [[nodiscard]] Response handle_health() const;
 
   const CompatibilityMatrix* matrix_;
   const Metrics* metrics_;
+  const std::atomic<bool>* draining_;
   std::map<std::string, Cached, std::less<>> matrix_formats_;
   std::map<Combination, Cached> cells_;
   Cached claims_;
   Cached index_;
-  Cached health_;
 };
 
 }  // namespace mcmm::serve

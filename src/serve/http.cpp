@@ -1,7 +1,13 @@
 #include "serve/http.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <thread>
 
 #include "serve/json.hpp"
 
@@ -313,10 +319,13 @@ std::string_view status_reason(int code) noexcept {
     case 408: return "Request Timeout";
     case 413: return "Payload Too Large";
     case 414: return "URI Too Long";
+    case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
+    case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     case 505: return "HTTP Version Not Supported";
     default: return "Unknown";
   }
@@ -374,6 +383,33 @@ Response error_response(int status, std::string_view detail) {
   body += "}\n";
   r.body = std::move(body);
   return r;
+}
+
+std::string generate_request_id() {
+  // Thread-local xorshift64* seeded once per thread from the clock and the
+  // thread identity; ids only need process-level uniqueness, not secrecy.
+  thread_local std::uint64_t state = [] {
+    std::uint64_t seed = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    seed ^= std::hash<std::thread::id>{}(std::this_thread::get_id());
+    seed ^= static_cast<std::uint64_t>(::getpid()) << 32;
+    return seed | 1;  // xorshift must not start at zero
+  }();
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  const std::uint64_t value = state * 2685821657736338717ULL;
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(hex, 16);
+}
+
+bool valid_request_id(std::string_view id) noexcept {
+  if (id.empty() || id.size() > 128) return false;
+  return std::all_of(id.begin(), id.end(), [](unsigned char c) {
+    return c > 0x20 && c < 0x7f;
+  });
 }
 
 }  // namespace mcmm::serve

@@ -119,4 +119,12 @@ struct Response {
 /// Tiny JSON error document: {"error":status,"reason":...,"detail":...}.
 [[nodiscard]] Response error_response(int status, std::string_view detail);
 
+/// A fresh correlation id: 16 lowercase hex chars, unique per process and
+/// cheap enough for the per-request path (thread-local xorshift, no lock).
+[[nodiscard]] std::string generate_request_id();
+
+/// True when a client-supplied X-Request-Id is safe to echo verbatim:
+/// 1..128 visible ASCII characters (no separators a header could smuggle).
+[[nodiscard]] bool valid_request_id(std::string_view id) noexcept;
+
 }  // namespace mcmm::serve

@@ -66,6 +66,14 @@ std::string Metrics::prometheus_text() const {
   out += '\n';
 
   out +=
+      "# HELP mcmm_http_in_flight_requests Requests currently being "
+      "handled.\n"
+      "# TYPE mcmm_http_in_flight_requests gauge\n"
+      "mcmm_http_in_flight_requests ";
+  out += std::to_string(in_flight_.load(std::memory_order_relaxed));
+  out += '\n';
+
+  out +=
       "# HELP mcmm_http_request_duration_seconds Request handling latency.\n"
       "# TYPE mcmm_http_request_duration_seconds histogram\n";
   std::uint64_t cumulative = 0;

@@ -20,6 +20,19 @@ class Metrics {
   /// One finished request: its response status and handling latency.
   void record_request(int status, std::uint64_t micros) noexcept;
 
+  /// Brackets request handling (parse complete -> response sent) so the
+  /// in-flight gauge is live. The gateway's power-of-two balancer reads it
+  /// through GET /healthz; overload shedding compares it to max_in_flight.
+  void begin_request() noexcept {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void end_request() noexcept {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] std::uint64_t requests_total() const noexcept;
   [[nodiscard]] std::uint64_t connections_total() const noexcept {
     return connections_.load(std::memory_order_relaxed);
@@ -37,6 +50,7 @@ class Metrics {
       100, 500, 1000, 5000, 25000, 100000, 1000000};
 
   std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
   std::array<std::atomic<std::uint64_t>, kStatusCodes.size() + 1> by_status_{};
   std::array<std::atomic<std::uint64_t>, kBucketMicros.size() + 1> buckets_{};
   std::atomic<std::uint64_t> latency_sum_micros_{0};

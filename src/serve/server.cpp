@@ -68,41 +68,53 @@ int ConnectionQueue::try_pop() noexcept {
   }
 }
 
+std::size_t ConnectionQueue::pending() const noexcept {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+  return t > h ? static_cast<std::size_t>(t - h) : 0;
+}
+
 void ConnectionQueue::close(std::size_t consumers) noexcept {
   closed_.store(true, std::memory_order_relaxed);
   for (std::size_t i = 0; i < consumers; ++i) push(-1);
 }
 
-// --- Server --------------------------------------------------------------
+// --- HttpListener --------------------------------------------------------
 
-Server::Server(const CompatibilityMatrix& matrix, ServerConfig config)
-    : config_(std::move(config)), api_(matrix, &metrics_) {}
+HttpListener::HttpListener(ListenerConfig config)
+    : config_(std::move(config)) {}
 
-Server::~Server() {
+HttpListener::~HttpListener() {
+  // Derived destructors already ran shutdown()+join(); this is the
+  // backstop for direct/aborted construction paths.
   shutdown();
   join();
 }
 
-void Server::start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw Error(std::string("socket: ") + std::strerror(errno));
-  }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
-    throw Error("not an IPv4 listen address: " + config_.host);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    throw Error("bind " + config_.host + ":" + std::to_string(config_.port) +
-                ": " + std::strerror(errno));
-  }
-  if (::listen(listen_fd_, config_.backlog) != 0) {
-    throw Error(std::string("listen: ") + std::strerror(errno));
+void HttpListener::start() {
+  if (config_.adopt_fd >= 0) {
+    listen_fd_ = config_.adopt_fd;
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      throw Error(std::string("socket: ") + std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+      throw Error("not an IPv4 listen address: " + config_.host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      throw Error("bind " + config_.host + ":" + std::to_string(config_.port) +
+                  ": " + std::strerror(errno));
+    }
+    if (::listen(listen_fd_, config_.backlog) != 0) {
+      throw Error(std::string("listen: ") + std::strerror(errno));
+    }
   }
   sockaddr_in bound{};
   socklen_t len = sizeof bound;
@@ -121,12 +133,12 @@ void Server::start() {
   started_ = true;
 }
 
-void Server::shutdown() noexcept {
+void HttpListener::shutdown() noexcept {
   stop_.store(true, std::memory_order_relaxed);
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
 }
 
-void Server::join() {
+void HttpListener::join() {
   if (!started_) return;
   acceptor_.join();
   for (std::thread& w : workers_) w.join();
@@ -139,12 +151,12 @@ void Server::join() {
   started_ = false;
 }
 
-void Server::run() {
+void HttpListener::run() {
   start();
   join();
 }
 
-void Server::accept_loop() {
+void HttpListener::accept_loop() {
   for (;;) {
     sockaddr_in peer{};
     socklen_t len = sizeof peer;
@@ -174,14 +186,14 @@ void Server::accept_loop() {
   queue_.close(workers_.size());
 }
 
-void Server::worker_loop() {
+void HttpListener::worker_loop() {
   for (int fd = queue_.pop(); fd != -1; fd = queue_.pop()) {
     serve_connection(fd);
     ::close(fd);
   }
 }
 
-bool Server::send_all(int fd, std::string_view data) noexcept {
+bool HttpListener::send_all(int fd, std::string_view data) noexcept {
   while (!data.empty()) {
     const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {
@@ -193,7 +205,7 @@ bool Server::send_all(int fd, std::string_view data) noexcept {
   return true;
 }
 
-bool Server::read_more(int fd, RequestParser& parser, bool& timed_out) {
+bool HttpListener::read_more(int fd, RequestParser& parser, bool& timed_out) {
   const bool mid = parser.mid_request();
   int remaining =
       std::max(mid ? config_.request_timeout_ms : config_.idle_timeout_ms, 1);
@@ -216,6 +228,10 @@ bool Server::read_more(int fd, RequestParser& parser, bool& timed_out) {
       return false;
     }
     if (!mid && draining()) return false;  // close idle connections on drain
+    // Thread-per-connection fairness: an idle keep-alive socket (e.g. one
+    // parked in a gateway's upstream pool) must not pin this worker while
+    // freshly accepted connections starve unclaimed in the queue.
+    if (!mid && queue_.pending() > 0) return false;
   }
   char buf[16384];
   const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
@@ -224,8 +240,8 @@ bool Server::read_more(int fd, RequestParser& parser, bool& timed_out) {
   return true;
 }
 
-void Server::serve_connection(int fd) {
-  metrics_.record_connection();
+void HttpListener::serve_connection(int fd) {
+  on_connection();
   RequestParser parser(config_.limits);
   for (;;) {
     while (parser.status() == RequestParser::Status::NeedMore) {
@@ -233,7 +249,7 @@ void Server::serve_connection(int fd) {
       if (!read_more(fd, parser, timed_out)) {
         if (timed_out && parser.mid_request()) {
           // The peer stalled mid-request: answer 408, then close.
-          metrics_.record_request(408, 0);
+          on_request_done(408, 0);
           send_all(fd, serialize_response(
                            error_response(408, "request timed out"), false,
                            false));
@@ -244,30 +260,75 @@ void Server::serve_connection(int fd) {
     if (parser.status() == RequestParser::Status::Error) {
       const Response r =
           error_response(parser.error_status(), parser.error_reason());
-      metrics_.record_request(r.status, 0);
+      on_request_done(r.status, 0);
       send_all(fd, serialize_response(r, false, false));
       return;
     }
     const Request req = parser.take_request();
+    // Correlation id: echo a well-formed client-supplied one, mint one
+    // otherwise, so gateway and replica logs/metrics line up per request.
+    const std::string* supplied = req.header("x-request-id");
+    const std::string request_id =
+        supplied != nullptr && valid_request_id(*supplied)
+            ? *supplied
+            : generate_request_id();
     const auto t0 = std::chrono::steady_clock::now();
+    on_request_begin();
     Response resp;
     try {
-      resp = api_.handle(req);
+      resp = handle_request(req, request_id);
     } catch (const std::exception& e) {
       resp = error_response(500, e.what());
     }
+    resp.extra_headers.emplace_back("X-Request-Id", request_id);
     const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
-    metrics_.record_request(resp.status, static_cast<std::uint64_t>(micros));
+    on_request_done(resp.status, static_cast<std::uint64_t>(micros));
     const bool keep = req.keep_alive() && !draining();
-    if (!send_all(fd,
-                  serialize_response(resp, req.method == "HEAD", keep))) {
-      return;
-    }
-    if (!keep) return;
+    const bool sent =
+        send_all(fd, serialize_response(resp, req.method == "HEAD", keep));
+    on_request_end();
+    if (!sent || !keep) return;
     parser.reset();
   }
+}
+
+// --- Server --------------------------------------------------------------
+
+ListenerConfig Server::to_listener_config(const ServerConfig& config) {
+  ListenerConfig out;
+  out.host = config.host;
+  out.port = config.port;
+  out.threads = config.threads;
+  out.backlog = config.backlog;
+  out.request_timeout_ms = config.request_timeout_ms;
+  out.idle_timeout_ms = config.idle_timeout_ms;
+  out.adopt_fd = config.adopt_fd;
+  out.limits = config.limits;
+  return out;
+}
+
+Server::Server(const CompatibilityMatrix& matrix, ServerConfig config)
+    : HttpListener(to_listener_config(config)),
+      max_in_flight_(config.max_in_flight),
+      api_(matrix, &metrics_, drain_flag()) {}
+
+Server::~Server() {
+  shutdown();
+  join();
+}
+
+Response Server::handle_request(const Request& req,
+                                const std::string& /*request_id*/) {
+  if (max_in_flight_ > 0 && metrics_.in_flight() > max_in_flight_) {
+    // Overload-shaped rejection: tell the caller when to come back so a
+    // gateway can retry elsewhere instead of piling on.
+    Response resp = error_response(503, "in-flight request cap reached");
+    resp.extra_headers.emplace_back("Retry-After", "1");
+    return resp;
+  }
+  return api_.handle(req);
 }
 
 }  // namespace mcmm::serve

@@ -5,6 +5,12 @@
 // atomic-wait/notify pattern as the gpusim fork-join pool, DESIGN.md §3.1 —
 // no mutex, no condition_variable, no allocation on the hand-off path).
 //
+// The loop is split from the application: HttpListener owns sockets,
+// threads, parsing, deadlines, and response framing, and hands each parsed
+// request to a virtual handle_request(). serve::Server plugs the knowledge
+// base in; gateway::Gateway (DESIGN.md §3.3) plugs a reverse proxy into
+// the very same loop.
+//
 // Robustness posture (see DESIGN.md §3.2): every read runs under a poll(2)
 // deadline — a stalled mid-request peer gets 408, an idle keep-alive peer
 // is closed silently; the parser's size caps turn header/body bombs into
@@ -26,16 +32,6 @@
 
 namespace mcmm::serve {
 
-struct ServerConfig {
-  std::string host{"127.0.0.1"};
-  std::uint16_t port{8080};  ///< 0 picks an ephemeral port (see Server::port)
-  unsigned threads{0};       ///< worker threads; 0 = min(hw concurrency, 8)
-  int backlog{128};
-  int request_timeout_ms{5000};  ///< mid-request read stall -> 408
-  int idle_timeout_ms{5000};     ///< keep-alive with no next request -> close
-  Limits limits{};
-};
-
 /// Lock-free SPMC queue of accepted file descriptors. The acceptor is the
 /// single producer; workers pop. Bounded: a full ring blocks the acceptor
 /// (backpressure on the TCP accept queue) rather than buffering without
@@ -52,6 +48,9 @@ class ConnectionQueue {
   void close(std::size_t consumers) noexcept;
   /// Drains remaining fds without waiting (post-join cleanup). -1 if empty.
   int try_pop() noexcept;
+  /// Approximate count of accepted, not-yet-claimed connections. Workers
+  /// holding idle keep-alive sockets poll it to yield to starving peers.
+  [[nodiscard]] std::size_t pending() const noexcept;
 
  private:
   static constexpr std::size_t kCapacity = 1024;  // power of two
@@ -61,13 +60,37 @@ class ConnectionQueue {
   std::atomic<bool> closed_{false};
 };
 
-class Server {
- public:
-  explicit Server(const CompatibilityMatrix& matrix, ServerConfig config = {});
-  ~Server();
+/// Socket/thread-pool configuration shared by every HttpListener.
+struct ListenerConfig {
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{8080};  ///< 0 picks an ephemeral port (see port())
+  unsigned threads{0};       ///< worker threads; 0 = min(hw concurrency, 8)
+  int backlog{128};
+  int request_timeout_ms{5000};  ///< mid-request read stall -> 408
+  int idle_timeout_ms{5000};     ///< keep-alive with no next request -> close
+  /// Adopt an already-bound, already-listening socket instead of binding
+  /// host:port (the cluster supervisor binds in the parent and hands each
+  /// forked replica its fd). -1 binds normally. The listener owns the fd.
+  int adopt_fd{-1};
+  Limits limits{};
+};
 
-  Server(const Server&) = delete;
-  Server& operator=(const Server&) = delete;
+/// The reusable HTTP/1.1 server loop. Derived classes implement
+/// handle_request() (called concurrently from worker threads) and may
+/// observe traffic through the on_*() hooks. Every response is stamped
+/// with an X-Request-Id header — the client's own when it sent a
+/// well-formed one, a freshly minted id otherwise — so log lines and
+/// metrics correlate across a gateway/replica hop.
+///
+/// Derived destructors MUST call shutdown() + join() (worker threads
+/// dispatch virtually into the derived class until join() returns).
+class HttpListener {
+ public:
+  explicit HttpListener(ListenerConfig config);
+  virtual ~HttpListener();
+
+  HttpListener(const HttpListener&) = delete;
+  HttpListener& operator=(const HttpListener&) = delete;
 
   /// Binds + listens and spawns the acceptor and workers. Throws
   /// mcmm::Error when the socket cannot be bound.
@@ -87,9 +110,31 @@ class Server {
   /// start() + join() — the CLI entry point.
   void run();
 
-  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
   [[nodiscard]] bool draining() const noexcept {
     return stop_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  /// One parsed request -> one response. `request_id` is the correlation
+  /// id the listener will stamp on the wire (echo it upstream if the
+  /// response is assembled from another hop).
+  virtual Response handle_request(const Request& req,
+                                  const std::string& request_id) = 0;
+
+  /// Traffic hooks, called from the acceptor/worker threads.
+  virtual void on_connection() noexcept {}
+  /// Brackets handle_request (begin before, end after the response hits
+  /// the wire) — derived classes keep their in-flight gauges here.
+  virtual void on_request_begin() noexcept {}
+  virtual void on_request_end() noexcept {}
+  /// One finished request: response status + handle_request latency.
+  /// Also fires for parser rejections and timeouts (no begin/end pair).
+  virtual void on_request_done(int /*status*/,
+                               std::uint64_t /*micros*/) noexcept {}
+
+  /// The drain flag, for handlers that report it (e.g. /healthz).
+  [[nodiscard]] const std::atomic<bool>* drain_flag() const noexcept {
+    return &stop_;
   }
 
  private:
@@ -100,9 +145,7 @@ class Server {
   bool read_more(int fd, RequestParser& parser, bool& timed_out);
   static bool send_all(int fd, std::string_view data) noexcept;
 
-  ServerConfig config_;
-  Metrics metrics_;
-  Api api_;
+  ListenerConfig config_;
   ConnectionQueue queue_;
   std::atomic<bool> stop_{false};
   int listen_fd_{-1};
@@ -110,6 +153,51 @@ class Server {
   std::thread acceptor_;
   std::vector<std::thread> workers_;
   bool started_{false};
+};
+
+struct ServerConfig {
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{8080};  ///< 0 picks an ephemeral port
+  unsigned threads{0};       ///< worker threads; 0 = min(hw concurrency, 8)
+  int backlog{128};
+  int request_timeout_ms{5000};  ///< mid-request read stall -> 408
+  int idle_timeout_ms{5000};     ///< keep-alive with no next request -> close
+  /// Overload shedding: reject with 503 + Retry-After once more than this
+  /// many requests are being handled concurrently. 0 disables the cap.
+  unsigned max_in_flight{0};
+  /// Adopt an already-listening socket (see ListenerConfig::adopt_fd).
+  int adopt_fd{-1};
+  Limits limits{};
+};
+
+/// The knowledge-base server: the HttpListener loop dispatching into Api,
+/// with Prometheus metrics and optional in-flight overload shedding.
+class Server : public HttpListener {
+ public:
+  explicit Server(const CompatibilityMatrix& matrix, ServerConfig config = {});
+  ~Server() override;
+
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  /// Mutable access, e.g. for tests pinning the in-flight gauge to drive
+  /// the overload-shedding path deterministically.
+  [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
+
+ protected:
+  Response handle_request(const Request& req,
+                          const std::string& request_id) override;
+  void on_connection() noexcept override { metrics_.record_connection(); }
+  void on_request_begin() noexcept override { metrics_.begin_request(); }
+  void on_request_end() noexcept override { metrics_.end_request(); }
+  void on_request_done(int status, std::uint64_t micros) noexcept override {
+    metrics_.record_request(status, micros);
+  }
+
+ private:
+  static ListenerConfig to_listener_config(const ServerConfig& config);
+
+  unsigned max_in_flight_;
+  Metrics metrics_;
+  Api api_;
 };
 
 }  // namespace mcmm::serve

@@ -1,0 +1,119 @@
+#pragma once
+// Minimal blocking HTTP test client for gateway loopback tests (the same
+// shape as the one in tests/serve/test_server.cpp, shared here across the
+// gateway test files).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace mcmm::gateway::testing {
+
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  bool send_raw(const std::string& wire) {
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      const ssize_t n =
+          ::send(fd_, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  struct Reply {
+    int status{-1};
+    std::string headers;
+    std::string body;
+    [[nodiscard]] std::string header(const std::string& name) const {
+      const std::string needle = "\r\n" + name + ": ";
+      const std::size_t pos = headers.find(needle);
+      if (pos == std::string::npos) return {};
+      const std::size_t start = pos + needle.size();
+      return headers.substr(start, headers.find('\r', start) - start);
+    }
+  };
+
+  /// Reads exactly one response off the connection (keep-alive safe).
+  Reply read_reply() {
+    Reply reply;
+    std::size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      if (!fill()) return reply;
+    }
+    reply.headers = buffer_.substr(0, header_end + 4);
+    buffer_.erase(0, header_end + 4);
+    if (reply.headers.rfind("HTTP/1.1 ", 0) != 0) return reply;
+    reply.status = std::atoi(reply.headers.c_str() + 9);
+    std::size_t content_length = 0;
+    const std::string cl = reply.header("Content-Length");
+    if (!cl.empty()) content_length = std::strtoul(cl.c_str(), nullptr, 10);
+    while (buffer_.size() < content_length) {
+      if (!fill()) return reply;
+    }
+    reply.body = buffer_.substr(0, content_length);
+    buffer_.erase(0, content_length);
+    return reply;
+  }
+
+  Reply get(const std::string& target, const std::string& headers = "") {
+    if (!send_raw("GET " + target + " HTTP/1.1\r\nHost: t\r\n" + headers +
+                  "\r\n")) {
+      return {};
+    }
+    return read_reply();
+  }
+
+  /// True when the peer closed the connection (clean EOF).
+  bool at_eof() {
+    if (!buffer_.empty()) return false;
+    return !fill();
+  }
+
+ private:
+  bool fill() {
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_{-1};
+  bool connected_{false};
+  std::string buffer_;
+};
+
+}  // namespace mcmm::gateway::testing

@@ -1,0 +1,128 @@
+// State-machine tests for the circuit breaker and retry budget. Time is
+// injected as milliseconds, so every transition — including cooldowns —
+// runs without a single sleep.
+#include "gateway/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using mcmm::gateway::BreakerConfig;
+using mcmm::gateway::CircuitBreaker;
+using mcmm::gateway::RetryBudget;
+using mcmm::gateway::RetryBudgetConfig;
+using State = mcmm::gateway::CircuitBreaker::State;
+
+BreakerConfig small_breaker() {
+  BreakerConfig config;
+  config.failure_threshold = 3;
+  config.open_cooldown_ms = 100;
+  return config;
+}
+
+TEST(CircuitBreaker, StartsClosedAndAllows) {
+  CircuitBreaker breaker(small_breaker());
+  EXPECT_EQ(breaker.state(0), State::Closed);
+  EXPECT_TRUE(breaker.allow(0));
+  EXPECT_TRUE(breaker.allow(0));  // closed admits everything
+}
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures) {
+  CircuitBreaker breaker(small_breaker());
+  breaker.record_failure(10);
+  breaker.record_failure(20);
+  EXPECT_EQ(breaker.state(20), State::Closed);  // below threshold
+  breaker.record_failure(30);
+  EXPECT_EQ(breaker.state(30), State::Open);
+  EXPECT_FALSE(breaker.allow(30));
+  EXPECT_FALSE(breaker.allow(129));  // cooldown not yet elapsed
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker(small_breaker());
+  breaker.record_failure(0);
+  breaker.record_failure(0);
+  breaker.record_success(0);
+  breaker.record_failure(0);
+  breaker.record_failure(0);
+  EXPECT_EQ(breaker.state(0), State::Closed);
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsExactlyOneTrial) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(0);
+  EXPECT_EQ(breaker.state(100), State::HalfOpen);
+  EXPECT_TRUE(breaker.allow(100));    // claims the trial slot
+  EXPECT_FALSE(breaker.allow(100));   // second request is refused
+  EXPECT_FALSE(breaker.allow(1000));  // still only one trial outstanding
+}
+
+TEST(CircuitBreaker, TrialSuccessCloses) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(0);
+  ASSERT_TRUE(breaker.allow(100));
+  breaker.record_success(110);
+  EXPECT_EQ(breaker.state(110), State::Closed);
+  EXPECT_TRUE(breaker.allow(110));
+}
+
+TEST(CircuitBreaker, TrialFailureReopensWithFreshCooldown) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(0);
+  ASSERT_TRUE(breaker.allow(100));
+  breaker.record_failure(150);
+  EXPECT_EQ(breaker.state(150), State::Open);
+  EXPECT_FALSE(breaker.allow(249));  // new cooldown runs from the failure
+  EXPECT_EQ(breaker.state(250), State::HalfOpen);
+  EXPECT_TRUE(breaker.allow(250));
+}
+
+TEST(CircuitBreaker, AbandonedTrialReleasesTheSlot) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 3; ++i) breaker.record_failure(0);
+  ASSERT_TRUE(breaker.allow(100));
+  EXPECT_FALSE(breaker.allow(100));
+  breaker.record_abandoned();  // e.g. a hedge won elsewhere
+  EXPECT_TRUE(breaker.allow(100));
+}
+
+TEST(RetryBudget, StartsWithTheBurstAllowance) {
+  RetryBudgetConfig config;
+  config.ratio = 0.1;
+  config.burst = 3;
+  RetryBudget budget(config);
+  EXPECT_EQ(budget.balance(), 3u);
+  EXPECT_TRUE(budget.try_withdraw());
+  EXPECT_TRUE(budget.try_withdraw());
+  EXPECT_TRUE(budget.try_withdraw());
+  EXPECT_FALSE(budget.try_withdraw());  // exhausted
+  EXPECT_EQ(budget.balance(), 0u);
+}
+
+TEST(RetryBudget, RequestsEarnFractionalTokens) {
+  RetryBudgetConfig config;
+  config.ratio = 0.1;
+  config.burst = 3;
+  RetryBudget budget(config);
+  while (budget.try_withdraw()) {
+  }
+  for (int i = 0; i < 9; ++i) budget.on_request();
+  EXPECT_FALSE(budget.try_withdraw());  // 0.9 tokens is not a whole one
+  budget.on_request();
+  EXPECT_TRUE(budget.try_withdraw());  // the 10th request completes it
+  EXPECT_FALSE(budget.try_withdraw());
+}
+
+TEST(RetryBudget, DepositsAreCappedAtTheBurst) {
+  RetryBudgetConfig config;
+  config.ratio = 0.1;
+  config.burst = 2;
+  RetryBudget budget(config);
+  for (int i = 0; i < 1000; ++i) budget.on_request();
+  EXPECT_EQ(budget.balance(), 2u);
+  EXPECT_TRUE(budget.try_withdraw());
+  EXPECT_TRUE(budget.try_withdraw());
+  EXPECT_FALSE(budget.try_withdraw());
+}
+
+}  // namespace

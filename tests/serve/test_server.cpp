@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -237,6 +238,81 @@ TEST_F(ServerTest, MetricsReflectTraffic) {
             std::string::npos);
   EXPECT_NE(metrics.body.find("mcmm_http_request_duration_seconds_bucket"),
             std::string::npos);
+}
+
+TEST_F(ServerTest, RequestIdIsMintedEchoedAndSanitized) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+
+  const TestClient::Reply minted = client.get("/healthz");
+  ASSERT_EQ(minted.status, 200);
+  const std::string id = minted.header("X-Request-Id");
+  ASSERT_EQ(id.size(), 16u) << id;
+  for (const char c : id) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)) != 0) << id;
+  }
+
+  const TestClient::Reply echoed =
+      client.get("/healthz", "X-Request-Id: client-chose-this-1\r\n");
+  EXPECT_EQ(echoed.header("X-Request-Id"), "client-chose-this-1");
+
+  // A header-smuggling or non-visible-ASCII id is replaced, not echoed.
+  const TestClient::Reply replaced =
+      client.get("/healthz", "X-Request-Id: bad id\r\n");
+  EXPECT_EQ(replaced.status, 200);
+  EXPECT_NE(replaced.header("X-Request-Id"), "bad id");
+  EXPECT_EQ(replaced.header("X-Request-Id").size(), 16u);
+}
+
+TEST_F(ServerTest, HealthzReportsLoadPidAndDrainState) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  const TestClient::Reply reply = client.get("/healthz");
+  ASSERT_EQ(reply.status, 200);
+  EXPECT_NE(reply.body.find("\"status\":\"ok\""), std::string::npos)
+      << reply.body;
+  EXPECT_NE(reply.body.find("\"pid\":"), std::string::npos) << reply.body;
+  EXPECT_NE(reply.body.find("\"draining\":false"), std::string::npos)
+      << reply.body;
+  // The health request does not count itself in the reported gauge.
+  EXPECT_NE(reply.body.find("\"in_flight\":0"), std::string::npos)
+      << reply.body;
+}
+
+TEST(ServerOverload, ShedsWith503AndRetryAfterAtTheCap) {
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 2;
+  config.max_in_flight = 1;
+  Server server(paper_matrix(), config);
+  server.start();
+
+  {
+    // Under the cap: normal service.
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(client.get("/v1/claims").status, 200);
+  }
+
+  // Pin the in-flight gauge so the next request exceeds the cap.
+  server.metrics().begin_request();
+  {
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    const TestClient::Reply reply = client.get("/v1/claims");
+    EXPECT_EQ(reply.status, 503);
+    EXPECT_EQ(reply.header("Retry-After"), "1");
+  }
+  server.metrics().end_request();
+  {
+    // Back under the cap: service resumes.
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(client.get("/v1/claims").status, 200);
+  }
+
+  server.shutdown();
+  server.join();
 }
 
 TEST(ServerTimeouts, SlowMidRequestClientGets408) {

@@ -12,6 +12,8 @@
 //   mcmm sanitize [...]                         gpusan the simulated GPU
 //   mcmm profile [...]                          gpuprof trace & roofline
 //   mcmm serve [--port N] [--threads N]         HTTP/JSON query service
+//   mcmm gateway --backend host:port [...]      reverse proxy over replicas
+//   mcmm cluster <replicas> [...]               forked replica fleet + proxy
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +37,8 @@
 #include "gpusan/gpusan.hpp"
 #include "render/render.hpp"
 #include "render/report.hpp"
+#include "gateway/gateway.hpp"
+#include "gateway/supervisor.hpp"
 #include "serve/server.hpp"
 #include "yamlx/matrix_yaml.hpp"
 
@@ -66,13 +70,33 @@ commands:
                                          leakcheck) over the clean suite, a
                                          defect fixture, or a wrapped
                                          command; exits non-zero on findings
-  serve [--port <n>] [--threads <n>] [--host <addr>]
+  serve [--port <n>] [--threads <n>] [--host <addr>] [--max-in-flight <n>]
                                          HTTP/JSON API over the knowledge
                                          base: GET /v1/matrix (+?format=),
                                          GET /v1/cell/{v}/{m}/{l},
                                          POST /v1/plan, GET /v1/claims,
                                          /healthz, /metrics; drains
-                                         gracefully on SIGTERM/SIGINT
+                                         gracefully on SIGTERM/SIGINT;
+                                         --max-in-flight sheds overload
+                                         with 503 + Retry-After
+  gateway --backend <host:port> [--backend ...] [--port <n>] [--host <addr>]
+          [--threads <n>] [--policy rr|p2c] [--retries <n>]
+          [--hedge-ms <n>] [--no-hedge]
+                                         reverse proxy over running mcmm
+                                         serve replicas: health-checked
+                                         balancing, per-replica circuit
+                                         breakers, budgeted retries of
+                                         idempotent requests, latency
+                                         hedging for /v1/matrix; adds
+                                         /gateway/healthz /gateway/replicas
+                                         and a combined /metrics
+  cluster <replicas> [--port <n>] [--host <addr>] [--threads <n>]
+          [--replica-threads <n>] [--max-in-flight <n>] [--policy rr|p2c]
+          [--retries <n>] [--hedge-ms <n>] [--no-hedge]
+                                         fork <replicas> serve processes on
+                                         ephemeral ports and front them
+                                         with the gateway; SIGTERM drains
+                                         the gateway then stops replicas
   profile [--chrome <path>] [--csv <path>] [--json] [--report <path>]
           [--allow-empty] [-- <command> [args...]]
                                          gpuprof: trace kernels/copies with
@@ -547,6 +571,13 @@ int cmd_serve(const std::vector<std::string>& args) {
       cfg.threads = static_cast<unsigned>(*threads);
     } else if (a == "--host" && i + 1 < args.size()) {
       cfg.host = args[++i];
+    } else if (a == "--max-in-flight") {
+      const auto cap = int_arg(0, 1 << 20);
+      if (!cap) {
+        std::cerr << "--max-in-flight wants 0..1048576\n";
+        return 2;
+      }
+      cfg.max_in_flight = static_cast<unsigned>(*cap);
     } else {
       std::cerr << "unknown argument: " << a << "\n";
       return usage();
@@ -576,6 +607,199 @@ int cmd_serve(const std::vector<std::string>& args) {
   }
 }
 
+// --- mcmm gateway / mcmm cluster -----------------------------------------
+
+/// The running gateway, for the signal handler (same pattern as g_server).
+gateway::Gateway* g_gateway = nullptr;
+
+extern "C" void gateway_signal_handler(int) {
+  if (g_gateway != nullptr) g_gateway->shutdown();
+}
+
+/// Shared flag parsing for `gateway` and `cluster`. Returns 0 on success,
+/// a process exit code otherwise. Flags both commands understand land in
+/// `cfg`; `cluster`-only knobs are the out-parameters.
+int parse_gateway_args(const std::vector<std::string>& args,
+                       std::size_t first, gateway::GatewayConfig& cfg,
+                       std::vector<gateway::ReplicaEndpoint>* backends,
+                       unsigned* replica_threads, unsigned* max_in_flight) {
+  for (std::size_t i = first; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto int_arg = [&](long min, long max) -> std::optional<long> {
+      if (i + 1 >= args.size()) return std::nullopt;
+      char* end = nullptr;
+      const long v = std::strtol(args[++i].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || v < min || v > max) {
+        return std::nullopt;
+      }
+      return v;
+    };
+    if (a == "--backend" && backends != nullptr && i + 1 < args.size()) {
+      const std::string& spec = args[++i];
+      const std::size_t colon = spec.rfind(':');
+      char* end = nullptr;
+      const long port =
+          colon == std::string::npos
+              ? 0
+              : std::strtol(spec.c_str() + colon + 1, &end, 10);
+      if (colon == std::string::npos || colon == 0 || end == nullptr ||
+          *end != '\0' || port < 1 || port > 65535) {
+        std::cerr << "--backend wants host:port, got: " << spec << "\n";
+        return 2;
+      }
+      backends->push_back(gateway::ReplicaEndpoint{
+          spec.substr(0, colon), static_cast<std::uint16_t>(port)});
+    } else if (a == "--port") {
+      const auto port = int_arg(0, 65535);
+      if (!port) {
+        std::cerr << "--port wants 0..65535\n";
+        return 2;
+      }
+      cfg.port = static_cast<std::uint16_t>(*port);
+    } else if (a == "--host" && i + 1 < args.size()) {
+      cfg.host = args[++i];
+    } else if (a == "--threads") {
+      const auto threads = int_arg(1, 256);
+      if (!threads) {
+        std::cerr << "--threads wants 1..256\n";
+        return 2;
+      }
+      cfg.threads = static_cast<unsigned>(*threads);
+    } else if (a == "--replica-threads" && replica_threads != nullptr) {
+      const auto threads = int_arg(1, 256);
+      if (!threads) {
+        std::cerr << "--replica-threads wants 1..256\n";
+        return 2;
+      }
+      *replica_threads = static_cast<unsigned>(*threads);
+    } else if (a == "--max-in-flight" && max_in_flight != nullptr) {
+      const auto cap = int_arg(0, 1 << 20);
+      if (!cap) {
+        std::cerr << "--max-in-flight wants 0..1048576\n";
+        return 2;
+      }
+      *max_in_flight = static_cast<unsigned>(*cap);
+    } else if (a == "--policy" && i + 1 < args.size()) {
+      const auto policy = gateway::parse_policy(args[++i]);
+      if (!policy) {
+        std::cerr << "--policy wants rr or p2c\n";
+        return 2;
+      }
+      cfg.policy = *policy;
+    } else if (a == "--retries") {
+      const auto retries = int_arg(0, 16);
+      if (!retries) {
+        std::cerr << "--retries wants 0..16\n";
+        return 2;
+      }
+      cfg.max_retries = static_cast<int>(*retries);
+    } else if (a == "--hedge-ms") {
+      const auto ms = int_arg(1, 60000);
+      if (!ms) {
+        std::cerr << "--hedge-ms wants 1..60000\n";
+        return 2;
+      }
+      cfg.hedge_after_ms = static_cast<int>(*ms);
+    } else if (a == "--no-hedge") {
+      cfg.hedge_after_ms = 0;
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      return usage();
+    }
+  }
+  return 0;
+}
+
+/// Runs an already-constructed gateway to completion under SIGTERM/SIGINT.
+int run_gateway(gateway::Gateway& gw, const gateway::GatewayConfig& cfg) {
+  gw.start();
+  g_gateway = &gw;
+  std::signal(SIGTERM, gateway_signal_handler);
+  std::signal(SIGINT, gateway_signal_handler);
+  std::cout << "mcmm gateway: listening on http://" << cfg.host << ":"
+            << gw.port() << " policy=" << gateway::to_string(cfg.policy)
+            << " replicas=" << gw.registry().size() << "\n"
+            << "endpoints: proxied /v1/* /healthz, plus /gateway/healthz "
+               "/gateway/replicas /metrics\n"
+            << std::flush;
+  gw.join();
+  g_gateway = nullptr;
+  const auto& m = gw.gateway_metrics();
+  std::cout << "mcmm gateway: drained after "
+            << m.client.requests_total() << " request(s), "
+            << m.retries_total() << " retried, " << m.hedges_total()
+            << " hedged, exiting cleanly\n";
+  return 0;
+}
+
+int cmd_gateway(const std::vector<std::string>& args) {
+  gateway::GatewayConfig cfg;
+  std::vector<gateway::ReplicaEndpoint> backends;
+  const int rc =
+      parse_gateway_args(args, 0, cfg, &backends, nullptr, nullptr);
+  if (rc != 0) return rc;
+  if (backends.empty()) {
+    std::cerr << "mcmm gateway: at least one --backend host:port needed\n";
+    return 2;
+  }
+  try {
+    gateway::Gateway gw(std::move(backends), cfg);
+    return run_gateway(gw, cfg);
+  } catch (const std::exception& e) {
+    std::cerr << "mcmm gateway: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+int cmd_cluster(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "mcmm cluster: how many replicas?\n";
+    return 2;
+  }
+  char* end = nullptr;
+  const long count = std::strtol(args[0].c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || count < 1 || count > 64) {
+    std::cerr << "mcmm cluster: replica count wants 1..64\n";
+    return 2;
+  }
+  gateway::GatewayConfig cfg;
+  gateway::SupervisorConfig sup;
+  const int rc = parse_gateway_args(args, 1, cfg, nullptr,
+                                    &sup.threads_per_replica,
+                                    &sup.max_in_flight);
+  if (rc != 0) return rc;
+  sup.host = "127.0.0.1";
+  try {
+    // fork() before any thread exists (the gateway constructor spawns the
+    // health prober, start() the worker pool).
+    std::vector<gateway::ReplicaProcess> replicas =
+        gateway::spawn_replicas(static_cast<unsigned>(count), sup);
+    std::vector<gateway::ReplicaEndpoint> backends;
+    backends.reserve(replicas.size());
+    for (const gateway::ReplicaProcess& r : replicas) {
+      std::cout << "mcmm cluster: replica pid=" << r.pid
+                << " port=" << r.port << "\n";
+      backends.push_back(gateway::ReplicaEndpoint{"127.0.0.1", r.port});
+    }
+    int exit_code = 1;
+    {
+      gateway::Gateway gw(std::move(backends), cfg);
+      exit_code = run_gateway(gw, cfg);
+    }
+    const int killed = gateway::terminate_replicas(replicas, 5000);
+    if (killed > 0) {
+      std::cout << "mcmm cluster: " << killed
+                << " replica(s) needed SIGKILL\n";
+    }
+    // The gateway drained cleanly; a replica that was deliberately killed
+    // (fault injection) must not turn that into a failing exit.
+    return exit_code;
+  } catch (const std::exception& e) {
+    std::cerr << "mcmm cluster: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -593,5 +817,7 @@ int main(int argc, char** argv) {
   if (command == "sanitize") return cmd_sanitize(args);
   if (command == "profile") return cmd_profile(args);
   if (command == "serve") return cmd_serve(args);
+  if (command == "gateway") return cmd_gateway(args);
+  if (command == "cluster") return cmd_cluster(args);
   return usage();
 }
