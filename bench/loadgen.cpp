@@ -1,11 +1,20 @@
-// loadgen: a multi-connection keep-alive HTTP load generator for
-// `mcmm serve` and `mcmm gateway`, reporting req/s and latency percentiles
-// into BENCH_serve.json / BENCH_gateway.json (EXPERIMENTS.md "Serving the
-// knowledge base" and "Fault injection").
+// loadgen: an epoll-based keep-alive HTTP load generator for `mcmm serve`
+// and `mcmm gateway`, reporting req/s and latency percentiles per
+// connection tier into BENCH_serve.json / BENCH_gateway.json
+// (EXPERIMENTS.md "Serving the knowledge base" and "Fault injection").
 //
-//   loadgen [--host H] [--port P] [--connections N] [--requests M]
-//           [--json PATH] [--path /v1/...]... [--cluster R] [--fault]
-//           [--golden PATH]
+//   loadgen [--host H] [--port P] [--connections N[,N2,...]]
+//           [--requests M] [--total T] [--json PATH] [--path /v1/...]...
+//           [--cluster R] [--fault] [--golden PATH] [--no-nodelay]
+//
+// One thread drives every connection through a readiness loop — the same
+// shape as the server's transport — so a single loadgen process can hold
+// tens of thousands of open keep-alive connections (RLIMIT_NOFILE is
+// raised to the hard limit at startup). --connections accepts a
+// comma-separated ladder of tiers ("8,512,10000"); each tier first ramps
+// every connection open (in accept-backlog-sized waves), then issues its
+// requests, so the peak concurrently-held connection count equals the
+// tier size and is reported as max_held_connections.
 //
 // With no --port (or --port 0) it starts an in-process `serve::Server` on
 // an ephemeral loopback port first — the CI perf job and the ctest smoke
@@ -17,6 +26,10 @@
 // 304 path is exercised under load too). Any response other than 200/304 —
 // or any transport error — counts as a failure and fails the run.
 //
+// --total T divides T requests evenly over a tier's connections instead
+// of the per-connection --requests M — the 10k-connection tier wants
+// "many connections, a few requests each", not 10k x 5000.
+//
 // --fault SIGKILLs one replica once a third of the total requests have
 // completed: through the gateway the run must still finish with zero
 // failures (health ejection + budgeted retries absorb the crash). With an
@@ -25,9 +38,12 @@
 // "format=txt" path against FILE, proving proxied bytes are unmodified.
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <signal.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -56,26 +72,49 @@ namespace {
 struct Options {
   std::string host = "127.0.0.1";
   int port = 0;  // 0 = start an in-process server (or cluster)
-  unsigned connections = 8;
+  std::vector<unsigned> tiers{8};
   unsigned requests = 5000;  // per connection
+  std::uint64_t total = 0;   // per tier; overrides --requests when set
   std::string json_path = "BENCH_serve.json";
   std::vector<std::string> paths;
   unsigned cluster = 0;  // replicas behind an in-process gateway
   bool fault = false;    // SIGKILL one replica mid-run
+  bool nodelay = true;   // TCP_NODELAY on client sockets (--no-nodelay)
   std::string golden_path;  // byte-match 200 bodies on format=txt paths
 };
 
-struct ConnectionStats {
-  std::vector<std::uint32_t> latencies_usec;
-  std::map<int, std::uint64_t> by_status;
-  std::uint64_t failures = 0;  // transport errors + unexpected statuses
+struct TierResult {
+  unsigned connections = 0;
+  unsigned requests_per_connection = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
   std::uint64_t golden_mismatches = 0;
+  unsigned max_held = 0;  // peak concurrently-open connections
+  double ramp_seconds = 0.0;
+  double elapsed_seconds = 0.0;
+  double rps = 0.0;
+  std::uint32_t p50 = 0, p90 = 0, p99 = 0, worst = 0;
+  std::map<int, std::uint64_t> by_status;
 };
 
-/// Requests completed across all connections, for fault-injection timing.
+/// Requests completed across all tiers, for fault-injection timing.
 std::atomic<std::uint64_t> g_completed{0};
 
-/// Minimal blocking HTTP/1.1 client over one keep-alive connection.
+/// Raises RLIMIT_NOFILE soft -> hard; returns the effective soft limit.
+unsigned long raise_nofile_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 1024;
+  if (lim.rlim_cur < lim.rlim_max) {
+    rlimit want = lim;
+    want.rlim_cur = lim.rlim_max;
+    if (::setrlimit(RLIMIT_NOFILE, &want) == 0) lim = want;
+  }
+  if (lim.rlim_cur == RLIM_INFINITY) return 1u << 20;
+  return static_cast<unsigned long>(lim.rlim_cur);
+}
+
+/// Minimal blocking HTTP/1.1 client over one keep-alive connection, for
+/// the one-shot control-plane requests (pid discovery, /metrics scrape).
 class Client {
  public:
   bool connect_to(const std::string& host, int port) {
@@ -110,9 +149,8 @@ class Client {
   }
 
   /// Reads one response; returns the status code (or -1 on transport
-  /// error), stores the ETag header value when present, and the body when
-  /// `body` is non-null (it is skipped otherwise).
-  int read_response(std::string* etag, std::string* body = nullptr) {
+  /// error) and the body when `body` is non-null.
+  int read_response(std::string* body = nullptr) {
     std::string headers;
     std::size_t header_end = std::string::npos;
     for (;;) {
@@ -125,15 +163,6 @@ class Client {
 
     if (headers.rfind("HTTP/1.1 ", 0) != 0 || headers.size() < 12) return -1;
     const int status = std::atoi(headers.c_str() + 9);
-
-    if (etag != nullptr) {
-      const std::size_t pos = headers.find("\r\nETag: ");
-      if (pos != std::string::npos) {
-        const std::size_t start = pos + 8;
-        const std::size_t end = headers.find('\r', start);
-        *etag = headers.substr(start, end - start);
-      }
-    }
 
     std::size_t content_length = 0;
     const std::size_t cl = headers.find("\r\nContent-Length: ");
@@ -171,63 +200,347 @@ std::string http_get_once(const std::string& host, int port,
     return {};
   }
   std::string body;
-  return client.read_response(nullptr, &body) == 200 ? body : std::string{};
+  return client.read_response(&body) == 200 ? body : std::string{};
 }
 
-void run_connection(const Options& opt, const std::string& golden,
-                    ConnectionStats& stats) {
-  Client client;
-  if (!client.connect_to(opt.host, opt.port)) {
-    stats.failures += opt.requests;
-    return;
-  }
-  stats.latencies_usec.reserve(opt.requests);
-  std::vector<std::string> etags(opt.paths.size());
-  for (unsigned i = 0; i < opt.requests; ++i) {
-    const std::size_t which = i % opt.paths.size();
-    const bool conditional = (i % 8 == 7) && !etags[which].empty();
-    const bool check_golden =
-        !golden.empty() && !conditional &&
-        opt.paths[which].find("format=txt") != std::string::npos;
-    std::string request = "GET " + opt.paths[which] +
-                          " HTTP/1.1\r\nHost: " + opt.host + "\r\n";
-    if (conditional) request += "If-None-Match: " + etags[which] + "\r\n";
-    request += "\r\n";
+/// The readiness-loop engine: one thread, one epoll set, every connection
+/// a small state machine (mirror of the server's transport). Connections
+/// ramp open in waves no larger than the server's listen backlog, then
+/// hold open for the whole tier; a connection that finishes its requests
+/// idles instead of closing, so the tier's concurrency stays at its peak.
+class LoadEngine {
+ public:
+  LoadEngine(const Options& opt, const std::string& golden)
+      : opt_(opt), golden_(golden) {}
 
+  TierResult run_tier(unsigned connections, unsigned per_conn) {
+    out_ = TierResult{};
+    TierResult& out = out_;
+    out.connections = connections;
+    out.requests_per_connection = per_conn;
+
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      out.failed = static_cast<std::uint64_t>(connections) * per_conn;
+      return out;
+    }
+    conns_.assign(connections, Conn{});
+    for (Conn& c : conns_) c.etags.assign(opt_.paths.size(), std::string{});
+    per_conn_ = per_conn;
+    latencies_.clear();
+    latencies_.reserve(static_cast<std::size_t>(connections) * per_conn);
+    held_ = 0;
+    out.max_held = 0;
+
+    // Phase 1: ramp every connection open. Waves stay below the server's
+    // listen backlog so no SYN is dropped into a 1s kernel retry.
+    const auto ramp_t0 = std::chrono::steady_clock::now();
+    std::size_t next_dial = 0;
+    std::size_t settled = 0;  // connected or failed
+    std::size_t dialing = 0;
+    constexpr std::size_t kWave = 256;
+    while (settled < conns_.size()) {
+      while (dialing < kWave && next_dial < conns_.size()) {
+        Conn& c = conns_[next_dial];
+        c.index = next_dial;
+        ++next_dial;
+        if (dial(c)) {
+          ++dialing;
+        } else {
+          conn_failed(c, out);
+          ++settled;
+        }
+      }
+      if (dialing == 0) continue;
+      epoll_event events[256];
+      const int n = ::epoll_wait(epoll_fd_, events, 256, 1000);
+      for (int i = 0; i < n; ++i) {
+        Conn& c = *static_cast<Conn*>(events[i].data.ptr);
+        if (c.phase != Phase::Connecting) continue;
+        int err = 0;
+        socklen_t len = sizeof err;
+        ::getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        --dialing;
+        ++settled;
+        if (err != 0) {
+          conn_failed(c, out);
+          continue;
+        }
+        c.phase = Phase::Ready;
+        ++held_;
+        out.max_held = std::max(out.max_held, held_);
+      }
+    }
+    out.ramp_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      ramp_t0)
+            .count();
+
+    // Phase 2: every open connection issues its requests.
     const auto t0 = std::chrono::steady_clock::now();
-    std::string etag;
-    std::string body;
-    const int status =
-        client.send_request(request)
-            ? client.read_response(&etag, check_golden ? &body : nullptr)
-            : -1;
-    const auto usec = std::chrono::duration_cast<std::chrono::microseconds>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-    if (status < 0) {
-      // Connection is unusable from here on; count the remainder as failed.
-      stats.failures += opt.requests - i;
+    std::size_t active = 0;
+    for (Conn& c : conns_) {
+      if (c.phase != Phase::Ready) continue;
+      ++active;
+      next_request(c);
+    }
+    auto last_progress = std::chrono::steady_clock::now();
+    std::uint64_t last_completed = out.completed;
+    while (active > 0) {
+      epoll_event events[256];
+      const int n = ::epoll_wait(epoll_fd_, events, 256, 1000);
+      for (int i = 0; i < n; ++i) {
+        Conn& c = *static_cast<Conn*>(events[i].data.ptr);
+        const bool was_live = c.phase == Phase::Sending ||
+                              c.phase == Phase::Receiving;
+        if (!was_live) continue;
+        if (c.phase == Phase::Sending) try_send(c, out);
+        if (c.phase == Phase::Receiving) try_recv(c, out);
+        if (c.phase == Phase::Idle || c.phase == Phase::Failed) --active;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (out.completed != last_completed) {
+        last_completed = out.completed;
+        last_progress = now;
+      } else if (now - last_progress > std::chrono::seconds(30)) {
+        // Total stall: fail whatever is still in flight rather than hang.
+        for (Conn& c : conns_) {
+          if (c.phase == Phase::Sending || c.phase == Phase::Receiving) {
+            conn_failed(c, out);
+            --active;
+          }
+        }
+      }
+    }
+    out.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    out.rps = out.elapsed_seconds > 0
+                  ? static_cast<double>(out.completed) / out.elapsed_seconds
+                  : 0.0;
+
+    for (Conn& c : conns_) {
+      if (c.fd >= 0) ::close(c.fd);
+      c.fd = -1;
+    }
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+
+    std::sort(latencies_.begin(), latencies_.end());
+    out.p50 = percentile(0.50);
+    out.p90 = percentile(0.90);
+    out.p99 = percentile(0.99);
+    out.worst = latencies_.empty() ? 0 : latencies_.back();
+    return out;
+  }
+
+ private:
+  enum class Phase : std::uint8_t {
+    Unused,
+    Connecting,
+    Ready,      // connected, no request in flight (barrier / all done)
+    Sending,
+    Receiving,
+    Idle,       // finished all its requests; held open until tier end
+    Failed
+  };
+
+  struct Conn {
+    int fd{-1};
+    Phase phase{Phase::Unused};
+    std::size_t index{0};
+    unsigned done{0};  // requests completed on this connection
+    std::size_t send_off{0};
+    bool conditional{false};
+    bool check_golden{false};
+    std::size_t which{0};
+    std::string request;
+    std::string buffer;
+    std::vector<std::string> etags;
+    std::chrono::steady_clock::time_point t0;
+  };
+
+  bool dial(Conn& c) {
+    c.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (c.fd < 0) return false;
+    if (opt_.nodelay) {
+      int one = 1;
+      ::setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(opt_.port));
+    if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+      return false;
+    }
+    const int rc =
+        ::connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    if (rc != 0 && errno != EINPROGRESS) return false;
+    c.phase = Phase::Connecting;
+    epoll_event ev{};
+    ev.events = EPOLLOUT;
+    ev.data.ptr = &c;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, c.fd, &ev);
+    return true;
+  }
+
+  void rearm(Conn& c, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.ptr = &c;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
+  }
+
+  void conn_failed(Conn& c, TierResult& out) {
+    if (c.fd >= 0) {
+      ::close(c.fd);
+      c.fd = -1;
+    }
+    if (c.phase == Phase::Sending || c.phase == Phase::Receiving ||
+        c.phase == Phase::Ready) {
+      // The rest of this connection's quota can never complete.
+      out.failed += per_conn_ - c.done;
+      if (held_ > 0) --held_;
+    } else {
+      out.failed += per_conn_;  // never connected
+    }
+    c.phase = Phase::Failed;
+  }
+
+  void next_request(Conn& c) {
+    if (c.done >= per_conn_) {
+      // Hold the connection open until tier end, but drop it from the
+      // epoll set: a level-triggered EPOLLHUP from a server-side idle
+      // eviction would otherwise spin the loop.
+      c.phase = Phase::Idle;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
       return;
     }
-    ++stats.by_status[status];
-    const bool expected = conditional ? status == 304 : status == 200;
-    if (!expected) ++stats.failures;
-    if (check_golden && status == 200 && body != golden) {
-      ++stats.golden_mismatches;
-      ++stats.failures;
+    c.which = c.done % opt_.paths.size();
+    c.conditional = (c.done % 8 == 7) && !c.etags[c.which].empty();
+    c.check_golden = !golden_.empty() && !c.conditional &&
+                     opt_.paths[c.which].find("format=txt") !=
+                         std::string::npos;
+    c.request = "GET " + opt_.paths[c.which] +
+                " HTTP/1.1\r\nHost: " + opt_.host + "\r\n";
+    if (c.conditional) {
+      c.request += "If-None-Match: " + c.etags[c.which] + "\r\n";
     }
-    if (!etag.empty()) etags[which] = etag;
-    stats.latencies_usec.push_back(static_cast<std::uint32_t>(usec));
-    g_completed.fetch_add(1, std::memory_order_relaxed);
+    c.request += "\r\n";
+    c.send_off = 0;
+    c.phase = Phase::Sending;
+    c.t0 = std::chrono::steady_clock::now();
+    try_send(c, out_);
   }
-}
 
-std::uint32_t percentile(std::vector<std::uint32_t>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const auto rank = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
-}
+  void try_send(Conn& c, TierResult& out) {
+    while (c.send_off < c.request.size()) {
+      const ssize_t n = ::send(c.fd, c.request.data() + c.send_off,
+                               c.request.size() - c.send_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          rearm(c, EPOLLOUT);
+          return;
+        }
+        conn_failed(c, out);
+        return;
+      }
+      c.send_off += static_cast<std::size_t>(n);
+    }
+    c.phase = Phase::Receiving;
+    rearm(c, EPOLLIN | EPOLLRDHUP);
+  }
+
+  void try_recv(Conn& c, TierResult& out) {
+    char chunk[16384];
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, chunk, sizeof chunk, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        conn_failed(c, out);
+        return;
+      }
+      if (n == 0) {
+        conn_failed(c, out);
+        return;
+      }
+      c.buffer.append(chunk, static_cast<std::size_t>(n));
+      if (finish_response(c, out)) {
+        if (c.phase != Phase::Receiving) return;  // idle/failed; stop reading
+        continue;  // next request already sent; keep draining
+      }
+    }
+  }
+
+  /// Tries to complete the in-flight response from c.buffer. Returns true
+  /// when a full response was consumed (and the next request started).
+  bool finish_response(Conn& c, TierResult& out) {
+    const std::size_t header_end = c.buffer.find("\r\n\r\n");
+    if (header_end == std::string::npos) return false;
+    const std::string_view headers(c.buffer.data(), header_end + 4);
+    if (headers.substr(0, 9) != "HTTP/1.1 " || headers.size() < 12) {
+      conn_failed(c, out);
+      return true;
+    }
+    const int status = std::atoi(c.buffer.c_str() + 9);
+    std::size_t content_length = 0;
+    const std::size_t cl = headers.find("\r\nContent-Length: ");
+    if (cl != std::string_view::npos) {
+      content_length = std::strtoul(c.buffer.c_str() + cl + 18, nullptr, 10);
+    }
+    if (c.buffer.size() < header_end + 4 + content_length) return false;
+
+    const auto usec = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - c.t0)
+                          .count();
+    std::string etag;
+    const std::size_t at = headers.find("\r\nETag: ");
+    if (at != std::string_view::npos) {
+      const std::size_t start = at + 8;
+      const std::size_t end = headers.find('\r', start);
+      etag.assign(headers.substr(start, end - start));
+    }
+
+    ++out.by_status[status];
+    const bool expected = c.conditional ? status == 304 : status == 200;
+    if (!expected) ++out.failed;
+    if (c.check_golden && status == 200) {
+      const std::string_view body(c.buffer.data() + header_end + 4,
+                                  content_length);
+      if (body != golden_) {
+        ++out.golden_mismatches;
+        ++out.failed;
+      }
+    }
+    if (!etag.empty()) c.etags[c.which] = etag;
+    latencies_.push_back(static_cast<std::uint32_t>(usec));
+    ++out.completed;
+    g_completed.fetch_add(1, std::memory_order_relaxed);
+
+    c.buffer.erase(0, header_end + 4 + content_length);
+    ++c.done;
+    next_request(c);
+    return true;
+  }
+
+  std::uint32_t percentile(double p) {
+    if (latencies_.empty()) return 0;
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(latencies_.size() - 1) + 0.5);
+    return latencies_[std::min(rank, latencies_.size() - 1)];
+  }
+
+  const Options& opt_;
+  const std::string& golden_;
+  int epoll_fd_{-1};
+  unsigned per_conn_{0};
+  unsigned held_{0};
+  std::vector<Conn> conns_;
+  std::vector<std::uint32_t> latencies_;
+  TierResult out_;  // the in-progress tier; next_request() feeds it
+};
 
 /// Extracts the integer after `"key":` in a flat JSON object; -1 if absent.
 long json_long_field(const std::string& body, const std::string& key) {
@@ -251,10 +564,14 @@ std::uint64_t scrape_counter(const std::string& text,
 }
 
 int usage() {
-  std::cerr << "usage: loadgen [--host H] [--port P] [--connections N]\n"
-               "               [--requests M] [--json PATH] [--path /v1/..]\n"
+  std::cerr << "usage: loadgen [--host H] [--port P]\n"
+               "               [--connections N[,N2,...]] [--requests M]\n"
+               "               [--total T] [--json PATH] [--path /v1/..]\n"
                "               [--cluster R] [--fault] [--golden FILE]\n"
+               "               [--no-nodelay]\n"
                "(no --port: starts an in-process mcmm serve first;\n"
+               " --connections accepts a comma-separated tier ladder;\n"
+               " --total T: T requests per tier, divided over connections;\n"
                " --cluster R: forks R replicas behind an in-process "
                "gateway;\n"
                " --fault: SIGKILL one replica once a third of the run is "
@@ -284,11 +601,23 @@ int main(int argc, char** argv) {
     } else if (a == "--connections") {
       const char* v = value();
       if (v == nullptr) return usage();
-      opt.connections = static_cast<unsigned>(std::atoi(v));
+      opt.tiers.clear();
+      std::istringstream list(v);
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        const int n = std::atoi(item.c_str());
+        if (n <= 0) return usage();
+        opt.tiers.push_back(static_cast<unsigned>(n));
+      }
+      if (opt.tiers.empty()) return usage();
     } else if (a == "--requests") {
       const char* v = value();
       if (v == nullptr) return usage();
       opt.requests = static_cast<unsigned>(std::atoi(v));
+    } else if (a == "--total") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      opt.total = std::strtoull(v, nullptr, 10);
     } else if (a == "--json") {
       const char* v = value();
       if (v == nullptr) return usage();
@@ -304,6 +633,8 @@ int main(int argc, char** argv) {
       if (opt.cluster == 0 || opt.cluster > 64) return usage();
     } else if (a == "--fault") {
       opt.fault = true;
+    } else if (a == "--no-nodelay") {
+      opt.nodelay = false;
     } else if (a == "--golden") {
       const char* v = value();
       if (v == nullptr) return usage();
@@ -312,7 +643,9 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  if (opt.connections == 0 || opt.requests == 0) return usage();
+  if (opt.tiers.empty() || (opt.requests == 0 && opt.total == 0)) {
+    return usage();
+  }
   if (opt.cluster > 0 && opt.port != 0) {
     std::cerr << "loadgen: --cluster starts its own gateway; drop --port\n";
     return 2;
@@ -326,6 +659,23 @@ int main(int argc, char** argv) {
     // claims document, and the cheap liveness probe.
     opt.paths = {"/v1/matrix?format=txt", "/v1/cell/AMD/SYCL/C%2B%2B",
                  "/v1/claims", "/healthz"};
+  }
+
+  const unsigned long fd_budget = raise_nofile_limit();
+  const unsigned biggest_tier =
+      *std::max_element(opt.tiers.begin(), opt.tiers.end());
+  const bool in_process = opt.port == 0;  // server shares this fd table
+  const unsigned long fd_needed =
+      static_cast<unsigned long>(biggest_tier) * (in_process ? 2 : 1) + 256;
+  if (fd_needed > fd_budget) {
+    std::cerr << "loadgen: tier of " << biggest_tier << " connections needs ~"
+              << fd_needed << " fds but RLIMIT_NOFILE allows " << fd_budget
+              << (in_process
+                      ? "; target an external server (--host/--port) so "
+                        "client and server draw on separate fd tables, or "
+                        "raise ulimit -n\n"
+                      : "; raise ulimit -n\n");
+    return 2;
   }
 
   std::string golden;
@@ -375,11 +725,20 @@ int main(int argc, char** argv) {
               << opt.port << "\n";
   }
 
+  // Per-tier request quota.
+  const auto tier_per_conn = [&opt](unsigned conns) -> unsigned {
+    if (opt.total == 0) return opt.requests;
+    const std::uint64_t per = opt.total / conns;
+    return static_cast<unsigned>(std::max<std::uint64_t>(per, 1));
+  };
+
   // Fault injection: once a third of the run has completed, SIGKILL one
   // replica — a forked one directly, an external one via the pid the
   // gateway's /gateway/replicas endpoint reports.
-  const std::uint64_t total =
-      static_cast<std::uint64_t>(opt.connections) * opt.requests;
+  std::uint64_t total = 0;
+  for (const unsigned conns : opt.tiers) {
+    total += static_cast<std::uint64_t>(conns) * tier_per_conn(conns);
+  }
   std::atomic<bool> fault_stop{false};
   long fault_pid = -1;
   std::thread fault_thread;
@@ -409,18 +768,28 @@ int main(int argc, char** argv) {
     });
   }
 
-  std::vector<ConnectionStats> stats(opt.connections);
-  std::vector<std::thread> threads;
-  threads.reserve(opt.connections);
-  const auto t0 = std::chrono::steady_clock::now();
-  for (unsigned c = 0; c < opt.connections; ++c) {
-    threads.emplace_back(
-        [&opt, &golden, &stats, c] { run_connection(opt, golden, stats[c]); });
+  LoadEngine engine(opt, golden);
+  std::vector<TierResult> results;
+  std::uint64_t failures = 0;
+  std::uint64_t golden_mismatches = 0;
+  std::uint64_t completed = 0;
+  std::map<int, std::uint64_t> by_status;
+  for (const unsigned conns : opt.tiers) {
+    const unsigned per_conn = tier_per_conn(conns);
+    TierResult tier = engine.run_tier(conns, per_conn);
+    std::cout << "loadgen: tier " << conns << " connections x " << per_conn
+              << " keep-alive requests: held " << tier.max_held
+              << " open, completed " << tier.completed << ", failed "
+              << tier.failed << ", "
+              << static_cast<std::uint64_t>(tier.rps) << " req/s\n"
+              << "  latency usec: p50 " << tier.p50 << ", p90 " << tier.p90
+              << ", p99 " << tier.p99 << ", max " << tier.worst << "\n";
+    failures += tier.failed;
+    golden_mismatches += tier.golden_mismatches;
+    completed += tier.completed;
+    for (const auto& [code, n] : tier.by_status) by_status[code] += n;
+    results.push_back(std::move(tier));
   }
-  for (std::thread& t : threads) t.join();
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
 
   if (fault_thread.joinable()) {
     fault_stop.store(true, std::memory_order_relaxed);
@@ -461,34 +830,8 @@ int main(int argc, char** argv) {
     server->join();
   }
 
-  std::vector<std::uint32_t> all;
-  std::map<int, std::uint64_t> by_status;
-  std::uint64_t failures = 0;
-  std::uint64_t golden_mismatches = 0;
-  for (const ConnectionStats& s : stats) {
-    all.insert(all.end(), s.latencies_usec.begin(), s.latencies_usec.end());
-    for (const auto& [code, n] : s.by_status) by_status[code] += n;
-    failures += s.failures;
-    golden_mismatches += s.golden_mismatches;
-  }
-  std::sort(all.begin(), all.end());
-  const std::uint64_t completed = all.size();
-  const double rps =
-      elapsed > 0 ? static_cast<double>(completed) / elapsed : 0.0;
-  const std::uint32_t p50 = percentile(all, 0.50);
-  const std::uint32_t p90 = percentile(all, 0.90);
-  const std::uint32_t p99 = percentile(all, 0.99);
-  const std::uint32_t worst = all.empty() ? 0 : all.back();
-
-  char rps_text[32];
-  std::snprintf(rps_text, sizeof rps_text, "%.0f", rps);
-  std::cout << "loadgen: " << opt.connections << " connections x "
-            << opt.requests << " keep-alive requests over " << elapsed
-            << " s\n"
-            << "  completed " << completed << ", failed " << failures << ", "
-            << rps_text << " req/s\n"
-            << "  latency usec: p50 " << p50 << ", p90 " << p90 << ", p99 "
-            << p99 << ", max " << worst << "\n";
+  std::cout << "loadgen: all tiers: completed " << completed << ", failed "
+            << failures << "\n";
   for (const auto& [code, n] : by_status) {
     std::cout << "  status " << code << ": " << n << "\n";
   }
@@ -503,16 +846,29 @@ int main(int argc, char** argv) {
 
   std::ofstream json(opt.json_path);
   json << "{\n  \"schema\": \""
-       << (gateway_run ? "mcmm-gateway-bench-v1" : "mcmm-serve-bench-v1")
+       << (gateway_run ? "mcmm-gateway-bench-v2" : "mcmm-serve-bench-v2")
        << "\",\n"
-       << "  \"connections\": " << opt.connections << ",\n"
-       << "  \"requests_per_connection\": " << opt.requests << ",\n"
        << "  \"completed_requests\": " << completed << ",\n"
        << "  \"failed_requests\": " << failures << ",\n"
-       << "  \"elapsed_seconds\": " << elapsed << ",\n"
-       << "  \"requests_per_second\": " << rps_text << ",\n"
-       << "  \"latency_usec\": {\"p50\": " << p50 << ", \"p90\": " << p90
-       << ", \"p99\": " << p99 << ", \"max\": " << worst << "},\n";
+       << "  \"nodelay\": " << (opt.nodelay ? "true" : "false") << ",\n"
+       << "  \"tiers\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const TierResult& t = results[i];
+    char rps_text[32];
+    std::snprintf(rps_text, sizeof rps_text, "%.0f", t.rps);
+    json << "    {\"connections\": " << t.connections
+         << ", \"requests_per_connection\": " << t.requests_per_connection
+         << ", \"max_held_connections\": " << t.max_held
+         << ", \"completed\": " << t.completed
+         << ", \"failed\": " << t.failed
+         << ", \"ramp_seconds\": " << t.ramp_seconds
+         << ", \"elapsed_seconds\": " << t.elapsed_seconds
+         << ", \"requests_per_second\": " << rps_text
+         << ", \"latency_usec\": {\"p50\": " << t.p50 << ", \"p90\": "
+         << t.p90 << ", \"p99\": " << t.p99 << ", \"max\": " << t.worst
+         << "}}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
   if (gateway_run) {
     json << "  \"replicas\": " << (opt.cluster > 0 ? opt.cluster : 0)
          << ",\n"

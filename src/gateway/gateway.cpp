@@ -1,11 +1,8 @@
 #include "gateway/gateway.hpp"
 
-#include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
 
 namespace mcmm::gateway {
 namespace {
@@ -22,30 +19,7 @@ bool hop_by_hop(const std::string& name) noexcept {
   return false;
 }
 
-bool send_wire(int fd, std::string_view data) noexcept {
-  while (!data.empty()) {
-    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
-  }
-  return true;
-}
-
 }  // namespace
-
-/// One in-flight upstream leg of a proxied request.
-struct Gateway::Stream {
-  std::size_t idx{0};
-  int fd{-1};
-  bool from_pool{false};
-  bool replayed{false};
-  bool active{false};
-  std::int64_t start_ms{0};
-  ResponseParser parser;
-};
 
 serve::ListenerConfig Gateway::to_listener_config(
     const GatewayConfig& config) {
@@ -56,6 +30,7 @@ serve::ListenerConfig Gateway::to_listener_config(
   out.backlog = config.backlog;
   out.request_timeout_ms = config.request_timeout_ms;
   out.idle_timeout_ms = config.idle_timeout_ms;
+  out.log_fd_limit = config.log_fd_limit;
   out.limits = config.limits;
   return out;
 }
@@ -66,14 +41,20 @@ Gateway::Gateway(std::vector<ReplicaEndpoint> replicas, GatewayConfig config)
       registry_(std::move(replicas), config_.registry),
       balancer_(config_.policy, config_.balancer_seed),
       budget_(config_.retry_budget),
-      metrics_(registry_.size()) {
+      metrics_(registry_.size()),
+      upstream_(registry_.size()) {
+  metrics_.client.attach_loop(&loop_counters());
   registry_.start_probing();
 }
 
 Gateway::~Gateway() {
   shutdown();
-  join();
+  join();  // the loop has exited: every ProxyTask is done, upstream_ is ours
   registry_.stop_probing();
+  for (UpstreamConns& u : upstream_) {
+    for (const int fd : u.idle) ::close(fd);
+    u.idle.clear();
+  }
 }
 
 Response Gateway::handle_request(const Request& req,
@@ -81,7 +62,44 @@ Response Gateway::handle_request(const Request& req,
   if (req.path == "/metrics") return handle_metrics(req);
   if (req.path == "/gateway/healthz") return handle_gateway_healthz();
   if (req.path == "/gateway/replicas") return handle_gateway_replicas();
-  return proxy(req, request_id);
+  // Proxied paths are owned by dispatch_async(); reaching here means the
+  // async seam was bypassed, which has no upstream path to offer.
+  (void)request_id;
+  Response resp = serve::error_response(503, "proxy path is async-only");
+  resp.extra_headers.emplace_back("Retry-After", "1");
+  return resp;
+}
+
+bool Gateway::dispatch_async(const Request& req,
+                             const std::string& request_id,
+                             serve::ResponseToken token) {
+  if (req.path == "/metrics" || req.path == "/gateway/healthz" ||
+      req.path == "/gateway/replicas") {
+    return false;  // local routes answer synchronously on the worker
+  }
+  budget_.on_request();
+  const bool head = req.method == "HEAD";
+  const bool idempotent = req.method == "GET" || head;
+  const bool hedgeable = config_.hedge_after_ms > 0 &&
+                         req.method == "GET" &&
+                         req.path.rfind(config_.hedge_prefix, 0) == 0;
+  auto* task = new ProxyTask(*this, token, upstream_wire(req, request_id),
+                             head, idempotent, hedgeable);
+  // All task state is loop-thread-only; hop there before touching it.
+  loop().post([task] { task->start(); });
+  return true;
+}
+
+void Gateway::resume_waiter(std::size_t i) {
+  UpstreamConns& u = upstream_[i];
+  while (!u.waiters.empty() &&
+         (!u.idle.empty() ||
+          u.open <
+              static_cast<std::size_t>(config_.max_upstream_connections))) {
+    ProxyLeg* leg = u.waiters.front();
+    u.waiters.pop_front();
+    leg->task->resume_leg(*leg);
+  }
 }
 
 Response Gateway::handle_metrics(const Request& req) {
@@ -222,254 +240,5 @@ std::optional<std::size_t> Gateway::pick_replica(
   return balancer_.pick(registry_, closed, kNone);
 }
 
-bool Gateway::open_stream(Stream& s, std::size_t idx,
-                          const std::string& wire, bool head) {
-  Replica& r = registry_.at(idx);
-  for (int attempt = 0; attempt < 2; ++attempt) {
-    int fd = -1;
-    bool pooled = false;
-    if (attempt == 0) {
-      fd = r.pool.acquire();
-      pooled = fd >= 0;
-    }
-    if (fd < 0) {
-      fd = connect_with_timeout(r.endpoint.host, r.endpoint.port,
-                                config_.connect_timeout_ms);
-      if (fd < 0) return false;
-    }
-    if (!send_wire(fd, wire)) {
-      ::close(fd);
-      if (pooled) continue;  // stale pooled socket: dial fresh once
-      return false;
-    }
-    s.idx = idx;
-    s.fd = fd;
-    s.from_pool = pooled;
-    s.replayed = false;
-    s.active = true;
-    s.start_ms = steady_now_ms();
-    s.parser = ResponseParser(head);
-    r.in_flight.fetch_add(1, std::memory_order_relaxed);
-    return true;
-  }
-  return false;
-}
-
-void Gateway::stream_failed(Stream& s, const std::string& wire, bool head,
-                            std::vector<std::size_t>& excluded) {
-  ::close(s.fd);
-  s.fd = -1;
-  if (s.from_pool && !s.parser.saw_bytes() && !s.replayed) {
-    // A pooled connection that died before yielding a byte most likely hit
-    // the replica's idle-timeout race, not a sick replica: replay once on
-    // a fresh dial, with no breaker penalty.
-    const int fd =
-        connect_with_timeout(registry_.at(s.idx).endpoint.host,
-                             registry_.at(s.idx).endpoint.port,
-                             config_.connect_timeout_ms);
-    if (fd >= 0 && send_wire(fd, wire)) {
-      s.fd = fd;
-      s.from_pool = false;
-      s.replayed = true;
-      s.start_ms = steady_now_ms();
-      s.parser = ResponseParser(head);
-      return;
-    }
-    if (fd >= 0) ::close(fd);
-  }
-  s.active = false;
-  Replica& r = registry_.at(s.idx);
-  r.in_flight.fetch_sub(1, std::memory_order_relaxed);
-  const std::int64_t now_ms = steady_now_ms();
-  r.breaker.record_failure(now_ms);
-  metrics_.record_upstream(
-      s.idx, false,
-      static_cast<std::uint64_t>((now_ms - s.start_ms) * 1000));
-  if (std::find(excluded.begin(), excluded.end(), s.idx) == excluded.end()) {
-    excluded.push_back(s.idx);
-  }
-}
-
-void Gateway::abandon_stream(Stream& s) {
-  if (!s.active) return;
-  ::close(s.fd);  // mid-response: the connection cannot be pooled
-  s.fd = -1;
-  s.active = false;
-  Replica& r = registry_.at(s.idx);
-  r.in_flight.fetch_sub(1, std::memory_order_relaxed);
-  r.breaker.record_abandoned();
-}
-
-Gateway::Exchange Gateway::run_exchange(std::size_t primary,
-                                        const std::string& wire, bool head,
-                                        bool allow_hedge,
-                                        std::vector<std::size_t>& excluded) {
-  Exchange out;
-  Stream streams[2];
-  if (!open_stream(streams[0], primary, wire, head)) {
-    Replica& r = registry_.at(primary);
-    r.breaker.record_failure(steady_now_ms());
-    metrics_.record_upstream(primary, false, 0);
-    if (std::find(excluded.begin(), excluded.end(), primary) ==
-        excluded.end()) {
-      excluded.push_back(primary);
-    }
-    return out;
-  }
-  const std::int64_t deadline =
-      streams[0].start_ms + config_.upstream_timeout_ms;
-  std::int64_t hedge_at =
-      allow_hedge ? streams[0].start_ms + config_.hedge_after_ms : -1;
-
-  for (;;) {
-    pollfd pfds[2];
-    std::size_t map[2];
-    int n = 0;
-    for (std::size_t i = 0; i < 2; ++i) {
-      if (!streams[i].active) continue;
-      pfds[n].fd = streams[i].fd;
-      pfds[n].events = POLLIN;
-      pfds[n].revents = 0;
-      map[n] = i;
-      ++n;
-    }
-    if (n == 0) return out;
-
-    std::int64_t now = steady_now_ms();
-    if (now >= deadline) {
-      for (Stream& s : streams) {
-        if (!s.active) continue;
-        s.replayed = true;  // no fresh-dial replay on a deadline
-        stream_failed(s, wire, head, excluded);
-      }
-      return out;
-    }
-    std::int64_t wait = deadline - now;
-    if (hedge_at >= 0 && !streams[1].active) {
-      wait = std::min(wait, std::max<std::int64_t>(hedge_at - now, 0));
-    }
-    const int pr = ::poll(pfds, static_cast<nfds_t>(n),
-                          static_cast<int>(wait));
-    if (pr < 0) {
-      if (errno == EINTR) continue;
-      for (Stream& s : streams) {
-        if (s.active) stream_failed(s, wire, head, excluded);
-      }
-      return out;
-    }
-    now = steady_now_ms();
-    if (hedge_at >= 0 && !streams[1].active && now >= hedge_at) {
-      hedge_at = -1;
-      std::vector<std::size_t> avoid = excluded;
-      avoid.push_back(streams[0].idx);
-      const std::optional<std::size_t> second = pick_replica(avoid, now);
-      if (second) {
-        if (!budget_.try_withdraw()) {
-          metrics_.record_budget_exhausted();
-          registry_.at(*second).breaker.record_abandoned();
-        } else if (open_stream(streams[1], *second, wire, head)) {
-          metrics_.record_hedge();
-        } else {
-          registry_.at(*second).breaker.record_failure(now);
-          metrics_.record_upstream(*second, false, 0);
-        }
-      }
-    }
-    if (pr == 0) continue;
-
-    for (int k = 0; k < n; ++k) {
-      if (pfds[k].revents == 0) continue;
-      Stream& s = streams[map[k]];
-      if (!s.active) continue;
-      char buf[16384];
-      const ssize_t r = ::recv(s.fd, buf, sizeof buf, 0);
-      if (r < 0 && errno == EINTR) continue;
-      if (r <= 0) {
-        stream_failed(s, wire, head, excluded);
-        continue;
-      }
-      const ResponseParser::Status st =
-          s.parser.feed(std::string_view(buf, static_cast<std::size_t>(r)));
-      if (st == ResponseParser::Status::Error) {
-        s.replayed = true;  // a garbled response is a real failure
-        stream_failed(s, wire, head, excluded);
-        continue;
-      }
-      if (st != ResponseParser::Status::Complete) continue;
-
-      // Winner.
-      const std::size_t winner = map[k];
-      const std::int64_t done = steady_now_ms();
-      Replica& rep = registry_.at(s.idx);
-      rep.in_flight.fetch_sub(1, std::memory_order_relaxed);
-      rep.breaker.record_success(done);
-      metrics_.record_upstream(
-          s.idx, true,
-          static_cast<std::uint64_t>((done - s.start_ms) * 1000));
-      if (s.parser.keep_alive()) {
-        rep.pool.release(s.fd);
-      } else {
-        ::close(s.fd);
-      }
-      s.fd = -1;
-      s.active = false;
-      if (winner == 1) metrics_.record_hedge_win();
-      abandon_stream(streams[winner == 0 ? 1 : 0]);
-      out.ok = true;
-      out.winner = s.idx;
-      out.parser = std::move(s.parser);
-      return out;
-    }
-  }
-}
-
-Response Gateway::proxy(const Request& req, const std::string& request_id) {
-  budget_.on_request();
-  const bool head = req.method == "HEAD";
-  const bool idempotent = req.method == "GET" || head;
-  const std::string wire = upstream_wire(req, request_id);
-  const bool hedgeable = config_.hedge_after_ms > 0 &&
-                         req.method == "GET" &&
-                         req.path.rfind(config_.hedge_prefix, 0) == 0;
-
-  std::vector<std::size_t> excluded;
-  const int attempts = 1 + (idempotent ? config_.max_retries : 0);
-  std::optional<Response> last_overload;
-  bool attempted = false;
-  for (int attempt = 0; attempt < attempts; ++attempt) {
-    if (attempt > 0) {
-      if (!budget_.try_withdraw()) {
-        metrics_.record_budget_exhausted();
-        break;
-      }
-      metrics_.record_retry();
-    }
-    const std::optional<std::size_t> picked =
-        pick_replica(excluded, steady_now_ms());
-    if (!picked) break;
-    attempted = true;
-    Exchange out = run_exchange(*picked, wire, head,
-                                hedgeable && attempt == 0, excluded);
-    if (!out.ok) continue;  // transport failure: try another replica
-    Response resp = translate_response(out.parser);
-    if (resp.status == 503 && idempotent && attempt + 1 < attempts) {
-      // Overloaded replica: keep its answer as a fallback, retry elsewhere.
-      last_overload = std::move(resp);
-      if (std::find(excluded.begin(), excluded.end(), out.winner) ==
-          excluded.end()) {
-        excluded.push_back(out.winner);
-      }
-      continue;
-    }
-    return resp;
-  }
-  if (last_overload) return *std::move(last_overload);
-  if (!attempted) {
-    Response resp = serve::error_response(503, "no healthy upstream");
-    resp.extra_headers.emplace_back("Retry-After", "1");
-    return resp;
-  }
-  return serve::error_response(502, "all upstream attempts failed");
-}
 
 }  // namespace mcmm::gateway

@@ -83,7 +83,10 @@ std::vector<ReplicaProcess> spawn_replicas(unsigned count,
   out.reserve(count);
   try {
     for (unsigned i = 0; i < count; ++i) {
-      auto [fd, port] = bind_ephemeral(config.host, 128);
+      // Deep backlog: the gateway dials replicas in bursts of up to its
+      // per-replica connection cap, and a dropped SYN costs a 1s kernel
+      // retransmit — longer than the dial deadline.
+      auto [fd, port] = bind_ephemeral(config.host, 1024);
       fds.push_back(fd);
       out.push_back(ReplicaProcess{-1, port});
     }

@@ -10,6 +10,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 namespace mcmm::gateway {
@@ -73,6 +74,34 @@ int connect_with_timeout(const std::string& host, std::uint16_t port,
   ::fcntl(fd, F_SETFL, flags);  // back to blocking; callers poll themselves
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+int dial_nonblocking(const std::string& host, std::uint16_t port,
+                     bool* in_progress) noexcept {
+  *in_progress = false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return -1;
+
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  static const bool nodelay = std::getenv("MCMM_NO_NODELAY") == nullptr;
+  if (nodelay) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    *in_progress = true;
+  }
   return fd;
 }
 

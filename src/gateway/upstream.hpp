@@ -15,9 +15,19 @@ namespace mcmm::gateway {
 
 /// Connects to host:port within `timeout_ms` (non-blocking connect +
 /// poll), returning a blocking fd with TCP_NODELAY, or -1 on failure.
+/// Used by the registry prober, which runs on its own thread and may block.
 [[nodiscard]] int connect_with_timeout(const std::string& host,
                                        std::uint16_t port,
                                        int timeout_ms) noexcept;
+
+/// Starts a non-blocking connect for the readiness loop: returns a
+/// SOCK_NONBLOCK|SOCK_CLOEXEC fd with TCP_NODELAY (unless MCMM_NO_NODELAY
+/// is set), or -1 on immediate failure. `*in_progress` is true when the
+/// handshake is still pending — the caller must wait for EPOLLOUT and
+/// check SO_ERROR before writing.
+[[nodiscard]] int dial_nonblocking(const std::string& host,
+                                   std::uint16_t port,
+                                   bool* in_progress) noexcept;
 
 /// Incremental HTTP/1.1 response parser. Framing: Content-Length (the only
 /// body framing mcmm serve emits); a missing Content-Length means an empty

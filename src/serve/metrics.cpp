@@ -101,6 +101,46 @@ std::string Metrics::prometheus_text() const {
   out += "mcmm_http_request_duration_seconds_count ";
   out += std::to_string(latency_count_.load(std::memory_order_relaxed));
   out += '\n';
+
+  if (loop_ != nullptr) {
+    const LoopStats ls = snapshot(*loop_);
+    out +=
+        "# HELP mcmm_eventloop_open_connections Sockets currently held by "
+        "the readiness loop.\n"
+        "# TYPE mcmm_eventloop_open_connections gauge\n"
+        "mcmm_eventloop_open_connections ";
+    out += std::to_string(ls.open_connections);
+    out +=
+        "\n# HELP mcmm_eventloop_wakeups_total epoll_wait returns.\n"
+        "# TYPE mcmm_eventloop_wakeups_total counter\n"
+        "mcmm_eventloop_wakeups_total ";
+    out += std::to_string(ls.wakeups_total);
+    out +=
+        "\n# HELP mcmm_eventloop_accepts_total Connections accepted by the "
+        "loop.\n"
+        "# TYPE mcmm_eventloop_accepts_total counter\n"
+        "mcmm_eventloop_accepts_total ";
+    out += std::to_string(ls.accepts_total);
+    out +=
+        "\n# HELP mcmm_eventloop_dispatches_total Ready events handed to "
+        "the parse/compute pool.\n"
+        "# TYPE mcmm_eventloop_dispatches_total counter\n"
+        "mcmm_eventloop_dispatches_total ";
+    out += std::to_string(ls.dispatches_total);
+    out +=
+        "\n# HELP mcmm_eventloop_epollout_rearms_total Partial writes that "
+        "re-armed for EPOLLOUT.\n"
+        "# TYPE mcmm_eventloop_epollout_rearms_total counter\n"
+        "mcmm_eventloop_epollout_rearms_total ";
+    out += std::to_string(ls.epollout_rearms_total);
+    out +=
+        "\n# HELP mcmm_eventloop_timer_evictions_total Connections evicted "
+        "by the timer wheel.\n"
+        "# TYPE mcmm_eventloop_timer_evictions_total counter\n"
+        "mcmm_eventloop_timer_evictions_total ";
+    out += std::to_string(ls.timer_evictions_total);
+    out += '\n';
+  }
   return out;
 }
 

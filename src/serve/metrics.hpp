@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "serve/event_loop.hpp"
+
 namespace mcmm::serve {
 
 class Metrics {
@@ -38,6 +40,14 @@ class Metrics {
     return connections_.load(std::memory_order_relaxed);
   }
 
+  /// Folds the owning listener's event-loop counters into the scrape
+  /// (open-connections gauge, wakeups, accepts, dispatches, EPOLLOUT
+  /// re-arms, timer-wheel evictions). Not owned; may be null (standalone
+  /// Metrics in tests emit no event-loop families).
+  void attach_loop(const LoopCounters* counters) noexcept {
+    loop_ = counters;
+  }
+
   /// The Prometheus /metrics document.
   [[nodiscard]] std::string prometheus_text() const;
 
@@ -55,6 +65,7 @@ class Metrics {
   std::array<std::atomic<std::uint64_t>, kBucketMicros.size() + 1> buckets_{};
   std::atomic<std::uint64_t> latency_sum_micros_{0};
   std::atomic<std::uint64_t> latency_count_{0};
+  const LoopCounters* loop_{nullptr};
 };
 
 }  // namespace mcmm::serve

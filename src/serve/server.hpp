@@ -1,60 +1,72 @@
 #pragma once
-// The network front end of mcmm serve: a blocking accept loop feeding a
-// fixed pool of worker threads through a lock-free single-producer /
-// multi-consumer ring of accepted sockets (same futex-backed
-// atomic-wait/notify pattern as the gpusim fork-join pool, DESIGN.md §3.1 —
-// no mutex, no condition_variable, no allocation on the hand-off path).
+// The network front end of mcmm serve: an edge-triggered epoll readiness
+// loop (serve/event_loop.hpp) with a per-connection state machine, feeding
+// a parse/compute worker pool through a lock-free single-producer /
+// multi-consumer ring of *ready* connections (same futex-backed
+// atomic-wait/notify pattern as the gpusim fork-join pool, DESIGN.md §3.1).
+// Connections are no longer owned by threads: one loop thread multiplexes
+// every socket, so a handful of threads holds tens of thousands of idle
+// keep-alive connections.
 //
 // The loop is split from the application: HttpListener owns sockets,
 // threads, parsing, deadlines, and response framing, and hands each parsed
 // request to a virtual handle_request(). serve::Server plugs the knowledge
 // base in; gateway::Gateway (DESIGN.md §3.3) plugs a reverse proxy into
-// the very same loop.
+// the very same loop — its upstream legs ride the listener's event loop
+// through dispatch_async()/complete_async(), so a proxied request in
+// flight costs a state machine, not a blocked thread.
 //
-// Robustness posture (see DESIGN.md §3.2): every read runs under a poll(2)
-// deadline — a stalled mid-request peer gets 408, an idle keep-alive peer
-// is closed silently; the parser's size caps turn header/body bombs into
-// 413/414/431; SIGTERM (via shutdown()) stops the acceptor, lets in-flight
+// Robustness posture (see DESIGN.md §3.2): deadlines live in a timer
+// wheel, not in per-read poll(2) calls — a stalled mid-request peer gets
+// 408, an idle keep-alive peer is closed silently, a peer that stops
+// draining its response is evicted; the parser's size caps turn
+// header/body bombs into 413/414/431; RLIMIT_NOFILE is raised to the hard
+// limit at startup and accepts pause at the ceiling instead of dying on
+// EMFILE; SIGTERM (via shutdown()) stops the acceptor, lets in-flight
 // requests finish, closes keep-alive connections at the next request
 // boundary, and joins every thread before run() returns.
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/matrix.hpp"
 #include "serve/api.hpp"
+#include "serve/event_loop.hpp"
 #include "serve/http.hpp"
 #include "serve/metrics.hpp"
 
 namespace mcmm::serve {
 
-/// Lock-free SPMC queue of accepted file descriptors. The acceptor is the
-/// single producer; workers pop. Bounded: a full ring blocks the acceptor
-/// (backpressure on the TCP accept queue) rather than buffering without
-/// limit. Shutdown is by poison pill — close(n) enqueues n sentinel fds so
-/// each of the n waiting consumers wakes through the normal push path (no
-/// separate closed-flag wait that could miss a notify).
-class ConnectionQueue {
+/// Lock-free SPMC queue of ready connections. The loop thread is the
+/// single producer; parse/compute workers pop. Bounded: a full ring blocks
+/// the producer (backpressure on event dispatch) rather than buffering
+/// without limit. Shutdown is by poison pill — close(n) enqueues n
+/// sentinels so each of the n waiting consumers wakes through the normal
+/// push path (no separate closed-flag wait that could miss a notify).
+class DispatchQueue {
  public:
-  /// Pushes an fd; blocks while full. False once the queue is closed.
-  bool push(int fd) noexcept;
-  /// Pops the next fd; blocks while empty. -1 once a sentinel arrives.
-  int pop() noexcept;
+  /// Pushes a ready connection; blocks while full. False once closed.
+  /// `notify=false` skips the consumer wake — only safe when the producer
+  /// guarantees it will drain the item itself (the loop's inline batch).
+  bool push(void* conn, bool notify = true) noexcept;
+  /// Pops the next ready connection; blocks while empty. nullptr once a
+  /// sentinel arrives.
+  void* pop() noexcept;
+  /// Non-blocking pop; nullptr when empty or a sentinel is at the head.
+  void* try_pop() noexcept;
   /// Marks closed and enqueues `consumers` sentinels (producer-side only).
   void close(std::size_t consumers) noexcept;
-  /// Drains remaining fds without waiting (post-join cleanup). -1 if empty.
-  int try_pop() noexcept;
-  /// Approximate count of accepted, not-yet-claimed connections. Workers
-  /// holding idle keep-alive sockets poll it to yield to starving peers.
-  [[nodiscard]] std::size_t pending() const noexcept;
 
  private:
-  static constexpr std::size_t kCapacity = 1024;  // power of two
-  std::array<std::atomic<int>, kCapacity> ring_{};
+  static constexpr std::size_t kCapacity = 16384;  // power of two
+  static constexpr std::uintptr_t kEmpty = 0;
+  static constexpr std::uintptr_t kPoison = 1;
+  std::array<std::atomic<std::uintptr_t>, kCapacity> ring_{};
   alignas(64) std::atomic<std::uint64_t> head_{0};
   alignas(64) std::atomic<std::uint64_t> tail_{0};
   std::atomic<bool> closed_{false};
@@ -64,23 +76,36 @@ class ConnectionQueue {
 struct ListenerConfig {
   std::string host{"127.0.0.1"};
   std::uint16_t port{8080};  ///< 0 picks an ephemeral port (see port())
-  unsigned threads{0};       ///< worker threads; 0 = min(hw concurrency, 8)
-  int backlog{128};
+  unsigned threads{0};       ///< parse/compute workers; 0 = min(hw, 8)
+  /// listen(2) queue depth. A c10k ramp dials connections far faster than
+  /// one epoll iteration can accept them; 128 overflows the SYN queue and
+  /// strands clients in 1s kernel retransmit cycles.
+  int backlog{1024};
   int request_timeout_ms{5000};  ///< mid-request read stall -> 408
   int idle_timeout_ms{5000};     ///< keep-alive with no next request -> close
   /// Adopt an already-bound, already-listening socket instead of binding
   /// host:port (the cluster supervisor binds in the parent and hands each
   /// forked replica its fd). -1 binds normally. The listener owns the fd.
   int adopt_fd{-1};
+  /// Print the probed fd limit / connection ceiling at startup (the CLI
+  /// sets this; tests keep it quiet).
+  bool log_fd_limit{false};
   Limits limits{};
 };
 
+/// Opaque handle to one parsed-but-unanswered request, held by an
+/// asynchronous handler between dispatch_async() and complete_async().
+struct ResponseToken {
+  void* conn{nullptr};
+  std::uint64_t epoch{0};
+};
+
 /// The reusable HTTP/1.1 server loop. Derived classes implement
-/// handle_request() (called concurrently from worker threads) and may
-/// observe traffic through the on_*() hooks. Every response is stamped
-/// with an X-Request-Id header — the client's own when it sent a
-/// well-formed one, a freshly minted id otherwise — so log lines and
-/// metrics correlate across a gateway/replica hop.
+/// handle_request() (called concurrently from worker threads and the loop
+/// thread) and may observe traffic through the on_*() hooks. Every
+/// response is stamped with an X-Request-Id header — the client's own when
+/// it sent a well-formed one, a freshly minted id otherwise — so log lines
+/// and metrics correlate across a gateway/replica hop.
 ///
 /// Derived destructors MUST call shutdown() + join() (worker threads
 /// dispatch virtually into the derived class until join() returns).
@@ -92,19 +117,20 @@ class HttpListener {
   HttpListener(const HttpListener&) = delete;
   HttpListener& operator=(const HttpListener&) = delete;
 
-  /// Binds + listens and spawns the acceptor and workers. Throws
-  /// mcmm::Error when the socket cannot be bound.
+  /// Binds + listens, probes/raises RLIMIT_NOFILE, and spawns the loop
+  /// thread and workers. Throws mcmm::Error when the socket cannot be
+  /// bound.
   void start();
 
   /// The bound port (resolves port 0 to the kernel-assigned one).
   [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
 
-  /// Initiates graceful drain. Async-signal-safe: an atomic store plus
-  /// shutdown(2) on the listening socket; all orderly teardown happens on
-  /// the acceptor thread it wakes.
+  /// Initiates graceful drain. Async-signal-safe: an atomic store plus an
+  /// eventfd write; all orderly teardown happens on the loop thread it
+  /// wakes.
   void shutdown() noexcept;
 
-  /// Waits until the acceptor and every worker exited.
+  /// Waits until the loop thread and every worker exited.
   void join();
 
   /// start() + join() — the CLI entry point.
@@ -114,14 +140,48 @@ class HttpListener {
     return stop_.load(std::memory_order_relaxed);
   }
 
+  /// Event-loop observability counters (exported through /metrics).
+  [[nodiscard]] const LoopCounters& loop_counters() const noexcept {
+    return counters_;
+  }
+
+  /// Live connections this listener will hold before pausing accepts
+  /// (derived from RLIMIT_NOFILE at start()).
+  [[nodiscard]] std::size_t connection_ceiling() const noexcept {
+    return max_connections_;
+  }
+
  protected:
   /// One parsed request -> one response. `request_id` is the correlation
   /// id the listener will stamp on the wire (echo it upstream if the
-  /// response is assembled from another hop).
+  /// response is assembled from another hop). Handlers should return
+  /// promptly: a handler that blocks parks one parse/compute worker (or
+  /// the loop thread itself, which also dispatches) — slow work belongs
+  /// behind dispatch_async().
   virtual Response handle_request(const Request& req,
                                   const std::string& request_id) = 0;
 
-  /// Traffic hooks, called from the acceptor/worker threads.
+  /// Asynchronous handler seam. Return true to take ownership of the
+  /// request: the listener parks the connection and the handler MUST
+  /// eventually call complete_async(token, response) — from any thread —
+  /// to answer it. Return false (the default) to fall back to the
+  /// synchronous handle_request() path.
+  virtual bool dispatch_async(const Request& /*req*/,
+                              const std::string& /*request_id*/,
+                              ResponseToken /*token*/) {
+    return false;
+  }
+
+  /// Completes a request accepted by dispatch_async(). Thread-safe; the
+  /// write happens on the loop thread. Tokens are single-use.
+  void complete_async(ResponseToken token, Response resp);
+
+  /// The readiness loop, for derived classes that multiplex their own
+  /// sockets (the gateway's upstream legs). Only valid between start()
+  /// and join().
+  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+
+  /// Traffic hooks, called from the loop/worker threads.
   virtual void on_connection() noexcept {}
   /// Brackets handle_request (begin before, end after the response hits
   /// the wire) — derived classes keep their in-flight gauges here.
@@ -138,19 +198,65 @@ class HttpListener {
   }
 
  private:
-  void accept_loop();
-  void worker_loop();
-  void serve_connection(int fd);
-  /// False when the peer vanished or the deadline expired (timed_out set).
-  bool read_more(int fd, RequestParser& parser, bool& timed_out);
-  static bool send_all(int fd, std::string_view data) noexcept;
+  struct Connection;
+  struct AcceptHandler;
+  friend struct AcceptHandler;
+
+  enum class WriteResult : std::uint8_t { Done, Pending, Closed };
+
+  void loop_main();
+  void worker_main();
+  /// Drains the ready ring on the loop thread between epoll waits: on a
+  /// single-core host the loop does most parse/compute work itself and the
+  /// hand-off never pays a context switch.
+  void help_workers();
+  void accept_ready();
+  void pause_accept() noexcept;
+  void resume_accept() noexcept;
+  void dispatch(Connection* c, bool write_phase) noexcept;
+  /// Parse/compute entry, runs on a worker or the loop thread.
+  void process(Connection* c);
+  void process_input(Connection* c);
+  /// True to continue parsing buffered pipelined input; false when the
+  /// connection was parked (re-armed, write-pending, async) or closed.
+  bool finish_request(Connection* c, const Request& req,
+                      const std::string& request_id);
+  /// Serialises + writes a response; same return contract as
+  /// after_write_done().
+  bool start_response(Connection* c, Response resp);
+  void start_error_response(Connection* c, const Response& resp);
+  /// True when the connection survives (keep-alive) and parsing may
+  /// continue; false when parked or closed.
+  bool after_write_done(Connection* c);
+  WriteResult flush_out(Connection* c) noexcept;
+  void rearm_read(Connection* c) noexcept;
+  void rearm_write(Connection* c) noexcept;
+  void post_close(Connection* c);
+  // Loop-thread-only paths.
+  void close_connection(Connection* c) noexcept;
+  void conn_timer_fired(Connection* c);
+  void finish_async(ResponseToken token, Response resp);
+  void drain_sweep();
+  [[nodiscard]] bool token_live(const ResponseToken& token,
+                                Connection** out) noexcept;
 
   ListenerConfig config_;
-  ConnectionQueue queue_;
+  LoopCounters counters_;
+  EventLoop loop_;
+  DispatchQueue queue_;
   std::atomic<bool> stop_{false};
   int listen_fd_{-1};
   std::uint16_t bound_port_{0};
-  std::thread acceptor_;
+  std::size_t max_connections_{0};
+  std::vector<Connection*> conn_table_;  // indexed by fd; loop thread only
+  std::size_t conn_count_{0};            // loop thread only
+  int silent_dispatches_{0};             // loop thread only, per iteration
+  std::uint64_t next_epoch_{1};          // loop thread only
+  bool accept_paused_{false};            // loop thread only
+  bool drain_swept_{false};              // loop thread only
+  Timer accept_resume_timer_;
+  std::unique_ptr<AcceptHandler> accept_handler_;
+  std::thread loop_thread_;
   std::vector<std::thread> workers_;
   bool started_{false};
 };
@@ -158,8 +264,8 @@ class HttpListener {
 struct ServerConfig {
   std::string host{"127.0.0.1"};
   std::uint16_t port{8080};  ///< 0 picks an ephemeral port
-  unsigned threads{0};       ///< worker threads; 0 = min(hw concurrency, 8)
-  int backlog{128};
+  unsigned threads{0};       ///< parse/compute workers; 0 = min(hw, 8)
+  int backlog{1024};
   int request_timeout_ms{5000};  ///< mid-request read stall -> 408
   int idle_timeout_ms{5000};     ///< keep-alive with no next request -> close
   /// Overload shedding: reject with 503 + Retry-After once more than this
@@ -167,6 +273,8 @@ struct ServerConfig {
   unsigned max_in_flight{0};
   /// Adopt an already-listening socket (see ListenerConfig::adopt_fd).
   int adopt_fd{-1};
+  /// Print the probed fd limit / connection ceiling at startup.
+  bool log_fd_limit{false};
   Limits limits{};
 };
 

@@ -6,6 +6,7 @@
 // upstream), and graceful drain.
 #include "gateway/gateway.hpp"
 
+#include <dirent.h>
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -166,7 +167,8 @@ TEST_F(GatewayTest, MetricsExposeGatewayFamilies) {
         "mcmm_gateway_upstream_duration_seconds_bucket",
         "mcmm_gateway_retries_total", "mcmm_gateway_hedges_total",
         "mcmm_gateway_replica_health", "mcmm_gateway_breaker_state",
-        "mcmm_gateway_healthy_replicas", "mcmm_http_requests_total"}) {
+        "mcmm_gateway_healthy_replicas", "mcmm_http_requests_total",
+        "mcmm_eventloop_open_connections", "mcmm_eventloop_wakeups_total"}) {
     EXPECT_NE(reply.body.find(family), std::string::npos)
         << "missing family " << family;
   }
@@ -317,6 +319,9 @@ TEST_F(GatewayTest, DrainsCleanlyUnderLoad) {
 
 /// A scriptable upstream: answers the prober's /healthz like a replica and
 /// serves /v1/matrix after a configurable delay with a recognizable body.
+/// Delays ride the listener's timer wheel via the async seam, so a slow
+/// FakeUpstream holds any number of in-flight requests without occupying
+/// a worker thread per request.
 class FakeUpstream : public mcmm::serve::HttpListener {
  public:
   FakeUpstream(std::string tag, int delay_ms)
@@ -342,15 +347,40 @@ class FakeUpstream : public mcmm::serve::HttpListener {
       return resp;
     }
     hits_.fetch_add(1);
-    if (delay_ms_ > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
-    }
     resp.content_type = "text/plain";
     resp.body = tag_;
     return resp;
   }
 
+  bool dispatch_async(const mcmm::serve::Request& req, const std::string&,
+                      mcmm::serve::ResponseToken token) override {
+    if (req.path == "/healthz" || delay_ms_ <= 0) {
+      return false;  // answer synchronously via handle_request
+    }
+    hits_.fetch_add(1);
+    auto* pending = new Pending;
+    pending->token = token;
+    pending->resp.content_type = "text/plain";
+    pending->resp.body = tag_;
+    pending->timer.on_fire = [this, pending] {
+      complete_async(pending->token, std::move(pending->resp));
+      delete pending;
+    };
+    // The wheel is loop-thread-only; hop there to arm.
+    const int delay = delay_ms_;
+    loop().post([this, pending, delay] {
+      loop().wheel().arm(pending->timer, loop().now_ms(), delay);
+    });
+    return true;
+  }
+
  private:
+  struct Pending {
+    mcmm::serve::ResponseToken token;
+    mcmm::serve::Response resp;
+    mcmm::serve::Timer timer;
+  };
+
   static mcmm::serve::ListenerConfig listener_config() {
     mcmm::serve::ListenerConfig config;
     config.port = 0;
@@ -362,6 +392,67 @@ class FakeUpstream : public mcmm::serve::HttpListener {
   int delay_ms_;
   std::atomic<std::uint64_t> hits_{0};
 };
+
+/// Threads currently alive in this process (reads /proc/self/task).
+std::size_t task_count() {
+  std::size_t n = 0;
+  DIR* dir = ::opendir("/proc/self/task");
+  if (dir == nullptr) return 0;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++n;
+  }
+  ::closedir(dir);
+  return n;
+}
+
+TEST(GatewayEventDriven, SlowUpstreamsDoNotBlockGatewayThreads) {
+  // 16 concurrent requests against two 300ms upstreams through a gateway
+  // with only 2 workers. On the old thread-per-upstream design the workers
+  // would serialize this into >= 8 * 300ms; on the readiness loop every
+  // upstream round-trip is parked on the gateway's epoll, so the batch
+  // finishes in roughly one delay — and the gateway spawns no extra
+  // threads to do it.
+  FakeUpstream a("a", 300);
+  FakeUpstream b("b", 300);
+
+  GatewayConfig config;
+  config.port = 0;
+  config.threads = 2;
+  config.policy = Policy::RoundRobin;
+  config.hedge_after_ms = 0;  // a hedge would mask the serialization
+  config.registry.probe_interval_ms = 60000;
+  std::vector<ReplicaEndpoint> endpoints(2);
+  endpoints[0].port = a.port();
+  endpoints[1].port = b.port();
+  Gateway gateway(std::move(endpoints), config);
+  gateway.start();
+
+  const std::size_t baseline = task_count();
+  constexpr int kClients = 16;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&] {
+      TestClient client(gateway.port());
+      if (client.get("/v1/matrix").status == 200) ok.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  // Mid-flight: every upstream exchange is pending. The only new threads
+  // are the kClients we just spawned ourselves.
+  const std::size_t during = task_count();
+  for (auto& c : clients) c.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  EXPECT_EQ(ok.load(), kClients);
+  EXPECT_LT(elapsed.count(), 1200)
+      << "requests were serialized behind blocked gateway workers";
+  EXPECT_LE(during, baseline + kClients)
+      << "the gateway grew threads to wait on upstreams";
+}
 
 TEST(GatewayHedging, SlowPrimaryIsHedgedAndTheFastReplicaWins) {
   FakeUpstream slow("slow", 400);

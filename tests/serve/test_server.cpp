@@ -7,6 +7,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -32,8 +33,14 @@ using mcmm::serve::ServerConfig;
 /// Minimal blocking test client over one loopback connection.
 class TestClient {
  public:
-  explicit TestClient(std::uint16_t port) {
+  explicit TestClient(std::uint16_t port, int rcvbuf_bytes = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (rcvbuf_bytes > 0) {
+      // Must be set before connect() so the shrunken window is what the
+      // handshake advertises; used to force server-side write stalls.
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                   sizeof rcvbuf_bytes);
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -49,6 +56,7 @@ class TestClient {
   }
 
   [[nodiscard]] bool connected() const { return connected_; }
+  [[nodiscard]] int fd() const { return fd_; }
 
   bool send_raw(const std::string& wire) {
     std::size_t off = 0;
@@ -338,6 +346,145 @@ TEST(ServerTimeouts, SlowMidRequestClientGets408) {
     ASSERT_TRUE(client.connected());
     EXPECT_EQ(client.get("/healthz").status, 200);
     EXPECT_TRUE(client.at_eof());  // idle deadline closes it with no bytes
+  }
+  server.shutdown();
+  server.join();
+}
+
+TEST(ServerTransport, SlowLorisFleetDoesNotStarveWorkers) {
+  // Classic slow-loris: more stalled half-request connections than the
+  // server has workers. On a thread-per-connection design this parks the
+  // whole pool; on the readiness loop a connection that never becomes
+  // readable costs nothing, so a healthy client must still be served
+  // promptly — and the wheel must eventually evict every loris.
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 2;
+  config.request_timeout_ms = 300;
+  config.idle_timeout_ms = 300;
+  Server server(paper_matrix(), config);
+  server.start();
+
+  constexpr int kLoris = 8;  // 4x the worker count
+  std::vector<std::unique_ptr<TestClient>> loris;
+  for (int i = 0; i < kLoris; ++i) {
+    loris.push_back(std::make_unique<TestClient>(server.port()));
+    ASSERT_TRUE(loris.back()->connected());
+    ASSERT_TRUE(loris.back()->send_raw("GET /healthz HT"));  // ...and stall
+  }
+
+  // Every worker would be parked now if reads were blocking. The healthy
+  // client must get through far sooner than the loris deadline.
+  const auto t0 = std::chrono::steady_clock::now();
+  TestClient healthy(server.port());
+  ASSERT_TRUE(healthy.connected());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(healthy.get("/v1/claims").status, 200) << "request " << i;
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 250) << "healthy client was starved";
+
+  // The wheel fires each loris deadline: 408 (mid-request) then close.
+  for (auto& client : loris) {
+    const TestClient::Reply reply = client->read_reply();
+    EXPECT_EQ(reply.status, 408);
+    EXPECT_TRUE(client->at_eof());
+  }
+  EXPECT_GE(server.loop_counters().timer_evictions_total.load(),
+            static_cast<std::uint64_t>(kLoris));
+  server.shutdown();
+  server.join();
+}
+
+TEST(ServerTransport, OneBytePartialWritesStillParse) {
+  // A pathological client dribbling its request one byte per send() must
+  // still be answered: the parser accumulates across reads and the timer
+  // re-arms on progress.
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 2;
+  config.request_timeout_ms = 2000;
+  Server server(paper_matrix(), config);
+  server.start();
+  {
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    const std::string wire = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+    for (const char c : wire) {
+      ASSERT_TRUE(client.send_raw(std::string(1, c)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(client.read_reply().status, 200);
+  }
+  server.shutdown();
+  server.join();
+}
+
+TEST(ServerTransport, MidResponseStallIsEvictedByTheWheel) {
+  // A client that requests large bodies and never reads them: the server's
+  // partial write re-arms for EPOLLOUT, the stall outlives the request
+  // deadline, and the wheel must evict the connection instead of holding
+  // its buffered responses forever.
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 2;
+  config.request_timeout_ms = 300;
+  config.idle_timeout_ms = 300;
+  Server server(paper_matrix(), config);
+  server.start();
+  {
+    TestClient client(server.port(), /*rcvbuf_bytes=*/4096);
+    ASSERT_TRUE(client.connected());
+    std::string pipeline;
+    for (int i = 0; i < 400; ++i) {
+      pipeline += "GET /v1/matrix?format=json HTTP/1.1\r\nHost: t\r\n\r\n";
+    }
+    ASSERT_TRUE(client.send_raw(pipeline));
+    // Read nothing. The server must give up on us within a few deadlines.
+    const auto t0 = std::chrono::steady_clock::now();
+    for (;;) {
+      ASSERT_LT(std::chrono::steady_clock::now() - t0,
+                std::chrono::seconds(5))
+          << "stalled connection was never evicted";
+      pollfd pfd{};
+      pfd.fd = client.fd();
+      pfd.events = POLLERR | POLLHUP;
+      if (::poll(&pfd, 1, 100) > 0 &&
+          (pfd.revents & (POLLERR | POLLHUP)) != 0) {
+        break;  // evicted: reset or closed with unread data
+      }
+    }
+    EXPECT_GE(server.loop_counters().epollout_rearms_total.load(), 1u);
+    EXPECT_GE(server.loop_counters().timer_evictions_total.load(), 1u);
+  }
+  // The server survives the abuse and keeps serving.
+  TestClient after(server.port());
+  ASSERT_TRUE(after.connected());
+  EXPECT_EQ(after.get("/healthz").status, 200);
+  server.shutdown();
+  server.join();
+}
+
+TEST(ServerTransport, MetricsExposeEventLoopFamilies) {
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 2;
+  Server server(paper_matrix(), config);
+  server.start();
+  {
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_EQ(client.get("/healthz").status, 200);
+    const TestClient::Reply metrics = client.get("/metrics");
+    ASSERT_EQ(metrics.status, 200);
+    for (const char* family :
+         {"mcmm_eventloop_open_connections", "mcmm_eventloop_wakeups_total",
+          "mcmm_eventloop_accepts_total", "mcmm_eventloop_dispatches_total",
+          "mcmm_eventloop_epollout_rearms_total",
+          "mcmm_eventloop_timer_evictions_total"}) {
+      EXPECT_NE(metrics.body.find(family), std::string::npos) << family;
+    }
   }
   server.shutdown();
   server.join();

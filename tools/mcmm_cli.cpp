@@ -71,6 +71,7 @@ commands:
                                          defect fixture, or a wrapped
                                          command; exits non-zero on findings
   serve [--port <n>] [--threads <n>] [--host <addr>] [--max-in-flight <n>]
+        [--idle-timeout-ms <n>] [--backlog <n>]
                                          HTTP/JSON API over the knowledge
                                          base: GET /v1/matrix (+?format=),
                                          GET /v1/cell/{v}/{m}/{l},
@@ -81,7 +82,8 @@ commands:
                                          with 503 + Retry-After
   gateway --backend <host:port> [--backend ...] [--port <n>] [--host <addr>]
           [--threads <n>] [--policy rr|p2c] [--retries <n>]
-          [--hedge-ms <n>] [--no-hedge]
+          [--hedge-ms <n>] [--no-hedge] [--idle-timeout-ms <n>]
+          [--backlog <n>]
                                          reverse proxy over running mcmm
                                          serve replicas: health-checked
                                          balancing, per-replica circuit
@@ -578,11 +580,26 @@ int cmd_serve(const std::vector<std::string>& args) {
         return 2;
       }
       cfg.max_in_flight = static_cast<unsigned>(*cap);
+    } else if (a == "--idle-timeout-ms") {
+      const auto ms = int_arg(100, 3600000);
+      if (!ms) {
+        std::cerr << "--idle-timeout-ms wants 100..3600000\n";
+        return 2;
+      }
+      cfg.idle_timeout_ms = static_cast<int>(*ms);
+    } else if (a == "--backlog") {
+      const auto depth = int_arg(1, 65535);
+      if (!depth) {
+        std::cerr << "--backlog wants 1..65535\n";
+        return 2;
+      }
+      cfg.backlog = static_cast<int>(*depth);
     } else {
       std::cerr << "unknown argument: " << a << "\n";
       return usage();
     }
   }
+  cfg.log_fd_limit = true;
   try {
     serve::Server server(data::paper_matrix(), cfg);
     server.start();
@@ -702,6 +719,20 @@ int parse_gateway_args(const std::vector<std::string>& args,
       cfg.hedge_after_ms = static_cast<int>(*ms);
     } else if (a == "--no-hedge") {
       cfg.hedge_after_ms = 0;
+    } else if (a == "--idle-timeout-ms") {
+      const auto ms = int_arg(100, 3600000);
+      if (!ms) {
+        std::cerr << "--idle-timeout-ms wants 100..3600000\n";
+        return 2;
+      }
+      cfg.idle_timeout_ms = static_cast<int>(*ms);
+    } else if (a == "--backlog") {
+      const auto depth = int_arg(1, 65535);
+      if (!depth) {
+        std::cerr << "--backlog wants 1..65535\n";
+        return 2;
+      }
+      cfg.backlog = static_cast<int>(*depth);
     } else {
       std::cerr << "unknown argument: " << a << "\n";
       return usage();
@@ -742,6 +773,7 @@ int cmd_gateway(const std::vector<std::string>& args) {
     std::cerr << "mcmm gateway: at least one --backend host:port needed\n";
     return 2;
   }
+  cfg.log_fd_limit = true;
   try {
     gateway::Gateway gw(std::move(backends), cfg);
     return run_gateway(gw, cfg);
@@ -768,6 +800,7 @@ int cmd_cluster(const std::vector<std::string>& args) {
                                     &sup.threads_per_replica,
                                     &sup.max_in_flight);
   if (rc != 0) return rc;
+  cfg.log_fd_limit = true;
   sup.host = "127.0.0.1";
   try {
     // fork() before any thread exists (the gateway constructor spawns the
