@@ -22,6 +22,10 @@ std::string_view to_string(StreamKernel k) noexcept {
       return "Triad";
     case StreamKernel::Dot:
       return "Dot";
+    case StreamKernel::Reduce:
+      return "Reduce";
+    case StreamKernel::Uneven:
+      return "Uneven";
   }
   return "?";
 }
@@ -37,6 +41,13 @@ double stream_bytes(StreamKernel k, std::size_t n) noexcept {
       return 3.0 * nd;  // two reads + one write
     case StreamKernel::Dot:
       return 2.0 * nd;  // two reads
+    case StreamKernel::Reduce:
+      return nd;  // one read stream (a twice, but a single load per item)
+    case StreamKernel::Uneven:
+      // Ragged reads (avg (kUnevenTile+1)/2 per item) + one write stream.
+      return (static_cast<double>(uneven_span_total(n)) +
+              static_cast<double>(n)) *
+             sizeof(double);
   }
   return 0.0;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "gpusim/thread_pool.hpp"  // gpusim::Schedule
 
 namespace mcmm::bench {
 
@@ -19,9 +20,26 @@ inline constexpr double kInitB = 0.2;
 inline constexpr double kInitC = 0.0;
 inline constexpr double kScalar = 0.4;
 
-enum class StreamKernel { Copy, Mul, Add, Triad, Dot };
+/// Tile span of the Uneven kernel: work item i accumulates a[j] over the
+/// i%kUnevenTile+1 elements at the start of its kUnevenTile-aligned tile,
+/// so per-item cost ramps 1..kUnevenTile within every tile (a ragged
+/// workload that rewards dynamic scheduling on real hardware).
+inline constexpr std::size_t kUnevenTile = 16;
+
+/// Copy/Mul/Add/Triad/Dot are classic BabelStream; Reduce (sum of a[i]^2,
+/// reduction-heavy) and Uneven (ragged per-item tile sums) extend the
+/// suite for the perf-portability campaign.
+enum class StreamKernel { Copy, Mul, Add, Triad, Dot, Reduce, Uneven };
 
 [[nodiscard]] std::string_view to_string(StreamKernel k) noexcept;
+
+/// Total elements read by one Uneven invocation over n items: item i reads
+/// i%kUnevenTile+1 elements, so a full tile contributes 1+2+...+kUnevenTile.
+[[nodiscard]] constexpr std::size_t uneven_span_total(std::size_t n) noexcept {
+  constexpr std::size_t t = kUnevenTile;
+  const std::size_t full = n / t, rem = n % t;
+  return full * (t * (t + 1) / 2) + rem * (rem + 1) / 2;
+}
 
 /// Bytes moved by one invocation of a kernel on arrays of n doubles.
 [[nodiscard]] double stream_bytes(StreamKernel k, std::size_t n) noexcept;
@@ -43,7 +61,17 @@ class StreamBenchmark {
   virtual void mul() = 0;         ///< b[i] = scalar * c[i]
   virtual void add() = 0;         ///< c[i] = a[i] + b[i]
   virtual void triad() = 0;       ///< a[i] = b[i] + scalar * c[i]
-  [[nodiscard]] virtual double dot() = 0;  ///< sum a[i] * b[i]
+  [[nodiscard]] virtual double dot() = 0;     ///< sum a[i] * b[i]
+  [[nodiscard]] virtual double reduce() = 0;  ///< sum a[i] * a[i]
+  /// c[i] = sum of a[j] for j in [tile_start(i), i], tiles of kUnevenTile.
+  virtual void uneven() = 0;
+
+  /// Host-side launch schedule for the elementwise kernels. Only models
+  /// whose real APIs expose a schedule knob honor it (SYCL via the
+  /// LaunchPolicy parallel_for overload, Kokkos via Schedule<...>); the
+  /// default is a no-op, mirroring CUDA/HIP/stdpar, which have none.
+  /// Simulated time is schedule-invariant by construction either way.
+  virtual void set_schedule(gpusim::Schedule /*schedule*/) {}
 
   virtual void read_arrays(std::vector<double>& a, std::vector<double>& b,
                            std::vector<double>& c) = 0;

@@ -48,8 +48,28 @@ using gpusim::KernelCosts;
       c.bytes_read = 2 * nd;
       c.flops = 2.0 * static_cast<double>(n);
       break;
+    case StreamKernel::Reduce:
+      c.bytes_read = nd;
+      c.flops = 2.0 * static_cast<double>(n);
+      break;
+    case StreamKernel::Uneven: {
+      const double span = static_cast<double>(uneven_span_total(n));
+      c.bytes_read = span * sizeof(double);
+      c.bytes_written = nd;
+      c.flops = span;
+      break;
+    }
   }
   return c;
+}
+
+/// Shared Uneven body: tile-local ragged prefix sum into c[i].
+template <typename T>
+inline void uneven_at(const T* a, T* c, std::size_t i) {
+  const std::size_t start = i - (i % kUnevenTile);
+  T acc{};
+  for (std::size_t j = start; j <= i; ++j) acc += a[j];
+  c[i] = acc;
 }
 
 // ---------------------------------------------------------------- cudax --
@@ -142,6 +162,38 @@ class CudaxStream final : public StreamBenchmark {
                             kChunks * sizeof(double),
                             cudax::cudaMemcpyDeviceToHost));
     return std::accumulate(host.begin(), host.end(), 0.0);
+  }
+
+  [[nodiscard]] double reduce() override {
+    const std::size_t chunk = (n_ + kChunks - 1) / kChunks;
+    const cudax::dim3 grid{kChunks, 1, 1};
+    const cudax::dim3 block{1, 1, 1};
+    check(cudax::cudaLaunch(
+        grid, block, costs_for(StreamKernel::Reduce, n_),
+        static_cast<cudax::cudaStream_t>(nullptr),
+        [a = a_, p = partials_, n = n_,
+         chunk](const cudax::KernelCtx& ctx) {
+          const std::size_t cidx = ctx.global_x();
+          if (cidx >= kChunks) return;
+          const std::size_t begin = cidx * chunk;
+          const std::size_t end = std::min(n, begin + chunk);
+          double acc = 0.0;
+          for (std::size_t i = begin; i < end; ++i) acc += a[i] * a[i];
+          p[cidx] = acc;
+        }));
+    std::array<double, kChunks> host{};
+    check(cudax::cudaMemcpy(host.data(), partials_,
+                            kChunks * sizeof(double),
+                            cudax::cudaMemcpyDeviceToHost));
+    return std::accumulate(host.begin(), host.end(), 0.0);
+  }
+
+  void uneven() override {
+    launch(StreamKernel::Uneven,
+           [a = a_, c = c_, n = n_](const cudax::KernelCtx& ctx) {
+             const std::size_t i = ctx.global_x();
+             if (i < n) uneven_at(a, c, i);
+           });
   }
 
   void read_arrays(std::vector<double>& a, std::vector<double>& b,
@@ -287,6 +339,36 @@ class HipxStream final : public StreamBenchmark {
     return std::accumulate(host.begin(), host.end(), 0.0);
   }
 
+  [[nodiscard]] double reduce() override {
+    const PlatformScope scope(platform_);
+    const std::size_t chunk = (n_ + kChunks - 1) / kChunks;
+    check(hipx::hipLaunchKernelGGL(
+        [a = a_, p = partials_, n = n_,
+         chunk](const hipx::KernelCtx& ctx) {
+          const std::size_t cidx = ctx.global_x();
+          if (cidx >= kChunks) return;
+          const std::size_t begin = cidx * chunk;
+          const std::size_t end = std::min(n, begin + chunk);
+          double acc = 0.0;
+          for (std::size_t i = begin; i < end; ++i) acc += a[i] * a[i];
+          p[cidx] = acc;
+        },
+        hipx::dim3{kChunks, 1, 1}, hipx::dim3{1, 1, 1},
+        costs_for(StreamKernel::Reduce, n_), stream_));
+    std::array<double, kChunks> host{};
+    check(hipx::hipMemcpy(host.data(), partials_, kChunks * sizeof(double),
+                          hipx::hipMemcpyDeviceToHost));
+    return std::accumulate(host.begin(), host.end(), 0.0);
+  }
+
+  void uneven() override {
+    run(StreamKernel::Uneven,
+        [a = a_, c = c_, n = n_](const hipx::KernelCtx& ctx) {
+          const std::size_t i = ctx.global_x();
+          if (i < n) uneven_at(a, c, i);
+        });
+  }
+
   void read_arrays(std::vector<double>& a, std::vector<double>& b,
                    std::vector<double>& c) override {
     const PlatformScope scope(platform_);
@@ -374,7 +456,7 @@ class SyclxStream final : public StreamBenchmark {
 
   void init_arrays() override {
     queue_.parallel_for(syclx::range{n_}, costs_for(StreamKernel::Copy, n_),
-                        [a = a_, b = b_, c = c_](syclx::id i) {
+                        policy_, [a = a_, b = b_, c = c_](syclx::id i) {
                           a[i] = kInitA;
                           b[i] = kInitB;
                           c[i] = kInitC;
@@ -383,21 +465,22 @@ class SyclxStream final : public StreamBenchmark {
 
   void copy() override {
     queue_.parallel_for(syclx::range{n_}, costs_for(StreamKernel::Copy, n_),
+                        policy_,
                         [a = a_, c = c_](syclx::id i) { c[i] = a[i]; });
   }
   void mul() override {
     queue_.parallel_for(
-        syclx::range{n_}, costs_for(StreamKernel::Mul, n_),
+        syclx::range{n_}, costs_for(StreamKernel::Mul, n_), policy_,
         [b = b_, c = c_](syclx::id i) { b[i] = kScalar * c[i]; });
   }
   void add() override {
     queue_.parallel_for(
-        syclx::range{n_}, costs_for(StreamKernel::Add, n_),
+        syclx::range{n_}, costs_for(StreamKernel::Add, n_), policy_,
         [a = a_, b = b_, c = c_](syclx::id i) { c[i] = a[i] + b[i]; });
   }
   void triad() override {
     queue_.parallel_for(
-        syclx::range{n_}, costs_for(StreamKernel::Triad, n_),
+        syclx::range{n_}, costs_for(StreamKernel::Triad, n_), policy_,
         [a = a_, b = b_, c = c_](syclx::id i) {
           a[i] = b[i] + kScalar * c[i];
         });
@@ -408,6 +491,25 @@ class SyclxStream final : public StreamBenchmark {
         syclx::range{n_}, 0.0, costs_for(StreamKernel::Dot, n_),
         [a = a_, b = b_](std::size_t i) { return a[i] * b[i]; },
         [](double x, double y) { return x + y; });
+  }
+
+  [[nodiscard]] double reduce() override {
+    return queue_.reduce(
+        syclx::range{n_}, 0.0, costs_for(StreamKernel::Reduce, n_),
+        [a = a_](std::size_t i) { return a[i] * a[i]; },
+        [](double x, double y) { return x + y; });
+  }
+
+  void uneven() override {
+    queue_.parallel_for(syclx::range{n_},
+                        costs_for(StreamKernel::Uneven, n_), policy_,
+                        [a = a_, c = c_](syclx::id i) {
+                          uneven_at(a, c, static_cast<std::size_t>(i));
+                        });
+  }
+
+  void set_schedule(gpusim::Schedule schedule) override {
+    policy_ = gpusim::LaunchPolicy{schedule, 0};
   }
 
   void read_arrays(std::vector<double>& a, std::vector<double>& b,
@@ -426,6 +528,7 @@ class SyclxStream final : public StreamBenchmark {
 
  private:
   syclx::queue queue_;
+  gpusim::LaunchPolicy policy_{};
   std::size_t n_{};
   double* a_{};
   double* b_{};
@@ -492,6 +595,18 @@ class OmpxStream final : public StreamBenchmark {
     return ompx::target_teams_reduce(
         dev_, n_, 0.0, costs_for(StreamKernel::Dot, n_),
         [a = a_, b = b_](std::size_t i) { return a[i] * b[i]; });
+  }
+
+  [[nodiscard]] double reduce() override {
+    return ompx::target_teams_reduce(
+        dev_, n_, 0.0, costs_for(StreamKernel::Reduce, n_),
+        [a = a_](std::size_t i) { return a[i] * a[i]; });
+  }
+
+  void uneven() override {
+    ompx::target_teams_distribute_parallel_for(
+        dev_, n_, costs_for(StreamKernel::Uneven, n_),
+        [a = a_, c = c_](std::size_t i) { uneven_at(a, c, i); });
   }
 
   void read_arrays(std::vector<double>& a, std::vector<double>& b,
@@ -577,6 +692,19 @@ class AccxStream final : public StreamBenchmark {
         [a = a_, b = b_](std::size_t i) { return a[i] * b[i]; });
   }
 
+  [[nodiscard]] double reduce() override {
+    return acc_.parallel_loop_reduce(
+        n_, 0.0, costs_for(StreamKernel::Reduce, n_),
+        [a = a_](std::size_t i) { return a[i] * a[i]; });
+  }
+
+  void uneven() override {
+    acc_.parallel_loop(n_, costs_for(StreamKernel::Uneven, n_),
+                       [a = a_, c = c_](std::size_t i) {
+                         uneven_at(a, c, i);
+                       });
+  }
+
   void read_arrays(std::vector<double>& a, std::vector<double>& b,
                    std::vector<double>& c) override {
     // `#pragma acc update self(...)` equivalent.
@@ -654,6 +782,21 @@ class StdparStream final : public StreamBenchmark {
                                      b_->begin(), 0.0);
   }
 
+  [[nodiscard]] double reduce() override {
+    // sum a[i]^2 as the self-inner-product, the stdpar idiom.
+    return stdparx::transform_reduce(pol_, a_->begin(), a_->end(),
+                                     a_->begin(), 0.0);
+  }
+
+  void uneven() override {
+    // stdpar has no index-based loop; recover i from the element address,
+    // the std::for_each(par_unseq) idiom for indexed access.
+    stdparx::for_each(pol_, c_->begin(), c_->end(),
+                      [a = a_->begin(), c = c_->begin()](double& x) {
+                        uneven_at(a, c, static_cast<std::size_t>(&x - c));
+                      });
+  }
+
   void read_arrays(std::vector<double>& a, std::vector<double>& b,
                    std::vector<double>& c) override {
     a.resize(n_);
@@ -695,7 +838,7 @@ class KokkosxStream final : public StreamBenchmark {
 
   void init_arrays() override {
     kokkosx::parallel_for(exec_, kokkosx::RangePolicy{0, n_},
-                          costs_for(StreamKernel::Copy, n_),
+                          costs_for(StreamKernel::Copy, n_), policy_,
                           [a = *a_, b = *b_, c = *c_](std::size_t i) {
                             a(i) = kInitA;
                             b(i) = kInitB;
@@ -705,22 +848,24 @@ class KokkosxStream final : public StreamBenchmark {
 
   void copy() override {
     kokkosx::parallel_for(exec_, kokkosx::RangePolicy{0, n_},
-                          costs_for(StreamKernel::Copy, n_),
+                          costs_for(StreamKernel::Copy, n_), policy_,
                           [a = *a_, c = *c_](std::size_t i) { c(i) = a(i); });
   }
   void mul() override {
     kokkosx::parallel_for(
         exec_, kokkosx::RangePolicy{0, n_}, costs_for(StreamKernel::Mul, n_),
+        policy_,
         [b = *b_, c = *c_](std::size_t i) { b(i) = kScalar * c(i); });
   }
   void add() override {
     kokkosx::parallel_for(
         exec_, kokkosx::RangePolicy{0, n_}, costs_for(StreamKernel::Add, n_),
+        policy_,
         [a = *a_, b = *b_, c = *c_](std::size_t i) { c(i) = a(i) + b(i); });
   }
   void triad() override {
     kokkosx::parallel_for(exec_, kokkosx::RangePolicy{0, n_},
-                          costs_for(StreamKernel::Triad, n_),
+                          costs_for(StreamKernel::Triad, n_), policy_,
                           [a = *a_, b = *b_, c = *c_](std::size_t i) {
                             a(i) = b(i) + kScalar * c(i);
                           });
@@ -735,6 +880,33 @@ class KokkosxStream final : public StreamBenchmark {
         },
         result);
     return result;
+  }
+
+  [[nodiscard]] double reduce() override {
+    double result = 0.0;
+    kokkosx::parallel_reduce(
+        exec_, kokkosx::RangePolicy{0, n_},
+        costs_for(StreamKernel::Reduce, n_),
+        [a = *a_](std::size_t i, double& update) { update += a(i) * a(i); },
+        result);
+    return result;
+  }
+
+  void uneven() override {
+    kokkosx::parallel_for(exec_, kokkosx::RangePolicy{0, n_},
+                          costs_for(StreamKernel::Uneven, n_), policy_,
+                          [a = *a_, c = *c_](std::size_t i) {
+                            const std::size_t start = i - (i % kUnevenTile);
+                            double acc = 0.0;
+                            for (std::size_t j = start; j <= i; ++j) {
+                              acc += a(j);
+                            }
+                            c(i) = acc;
+                          });
+  }
+
+  void set_schedule(gpusim::Schedule schedule) override {
+    policy_ = gpusim::LaunchPolicy{schedule, 0};
   }
 
   void read_arrays(std::vector<double>& a, std::vector<double>& b,
@@ -753,6 +925,7 @@ class KokkosxStream final : public StreamBenchmark {
 
  private:
   kokkosx::Execution exec_;
+  gpusim::LaunchPolicy policy_{};
   std::size_t n_{};
   std::unique_ptr<kokkosx::View<double>> a_, b_, c_;
 };
@@ -837,6 +1010,35 @@ class AlpakaxStream final : public StreamBenchmark {
                     partials[cidx] = acc;
                   });
     return std::accumulate(partials.begin(), partials.end(), 0.0);
+  }
+
+  [[nodiscard]] double reduce() override {
+    constexpr std::size_t kChunks = 64;
+    std::array<double, kChunks> partials{};
+    const std::size_t chunk = (n_ + kChunks - 1) / kChunks;
+    alpakax::exec(queue_, alpakax::WorkDiv{kChunks, 1},
+                  costs_for(StreamKernel::Reduce, n_),
+                  [a = a_->data(), &partials, n = n_,
+                   chunk](const alpakax::AccCtx& ctx) {
+                    const std::size_t cidx = ctx.global_thread_idx;
+                    if (cidx >= kChunks) return;
+                    const std::size_t begin = cidx * chunk;
+                    const std::size_t end = std::min(n, begin + chunk);
+                    double acc = 0.0;
+                    for (std::size_t i = begin; i < end; ++i) {
+                      acc += a[i] * a[i];
+                    }
+                    partials[cidx] = acc;
+                  });
+    return std::accumulate(partials.begin(), partials.end(), 0.0);
+  }
+
+  void uneven() override {
+    run(StreamKernel::Uneven,
+        [a = a_->data(), c = c_->data(), n = n_](const alpakax::AccCtx& ctx) {
+          const std::size_t i = ctx.global_thread_idx;
+          if (i < n) uneven_at(a, c, i);
+        });
   }
 
   void read_arrays(std::vector<double>& a, std::vector<double>& b,

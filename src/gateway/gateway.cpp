@@ -80,9 +80,15 @@ bool Gateway::dispatch_async(const Request& req,
   budget_.on_request();
   const bool head = req.method == "HEAD";
   const bool idempotent = req.method == "GET" || head;
-  const bool hedgeable = config_.hedge_after_ms > 0 &&
-                         req.method == "GET" &&
-                         req.path.rfind(config_.hedge_prefix, 0) == 0;
+  bool hedge_path = false;
+  for (const std::string& prefix : config_.hedge_prefixes) {
+    if (req.path.rfind(prefix, 0) == 0) {
+      hedge_path = true;
+      break;
+    }
+  }
+  const bool hedgeable =
+      config_.hedge_after_ms > 0 && req.method == "GET" && hedge_path;
   auto* task = new ProxyTask(*this, token, upstream_wire(req, request_id),
                              head, idempotent, hedgeable);
   // All task state is loop-thread-only; hop there before touching it.

@@ -40,9 +40,12 @@ struct GatewayConfig {
   int idle_timeout_ms{5000};
   int connect_timeout_ms{1000};   ///< upstream dial budget
   int upstream_timeout_ms{5000};  ///< full upstream exchange budget
-  /// Hedge a slow GET under `hedge_prefix` after this long; <= 0 disables.
+  /// Hedge a slow GET under any of `hedge_prefixes` after this long;
+  /// <= 0 disables.
   int hedge_after_ms{30};
-  std::string hedge_prefix{"/v1/matrix"};
+  /// Hot immutable read paths worth a duplicate upstream leg: cached on
+  /// the replica, so a hedge costs a lookup, never recomputation.
+  std::vector<std::string> hedge_prefixes{"/v1/matrix", "/v1/perf"};
   /// Extra attempts (on other replicas) for idempotent requests.
   int max_retries{2};
   /// Ceiling on sockets (in-use + idle) per replica; proxy legs beyond it

@@ -59,6 +59,7 @@ std::pair<int, std::uint16_t> bind_ephemeral(const std::string& host,
   server_cfg.threads = cfg.threads_per_replica;
   server_cfg.max_in_flight = cfg.max_in_flight;
   server_cfg.adopt_fd = listen_fd;
+  server_cfg.enable_perf = cfg.enable_perf;
   try {
     serve::Server server(data::paper_matrix(), server_cfg);
     server.start();

@@ -26,6 +26,11 @@ struct SupervisorConfig {
   std::string host{"127.0.0.1"};
   unsigned threads_per_replica{2};
   unsigned max_in_flight{0};  ///< per-replica overload cap; 0 = uncapped
+  /// Each replica runs the perf-portability campaign at startup and serves
+  /// GET /v1/perf (see serve::ServerConfig::enable_perf). Off by default:
+  /// test fleets fork dozens of replicas and must not pay the campaign per
+  /// child; `mcmm cluster` turns it on.
+  bool enable_perf{false};
 };
 
 /// Binds `count` ephemeral listeners and forks one serve replica per

@@ -281,6 +281,25 @@ void reset() {
   s.t0 = Clock::now();
 }
 
+Trace capture_trace(const std::function<void()>& work) {
+  const bool was_enabled = enabled();
+  const Config prior_cfg = current_config();
+  reset();
+  enable(prior_cfg);
+  work();
+  Trace trace = snapshot();
+  if (!was_enabled) {
+    disable();
+    reset();
+  }
+  return trace;
+}
+
+std::vector<KernelSummary> capture_kernel_summaries(
+    const std::function<void()>& work) {
+  return capture_trace(work).kernel_summaries();
+}
+
 void init_from_env() {
   const char* spec = std::getenv("MCMM_GPUPROF");
   if (spec == nullptr || *spec == '\0' || std::string_view(spec) == "0") {

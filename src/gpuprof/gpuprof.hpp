@@ -28,6 +28,8 @@
 // allocation-free and lock-free (one atomic load + branch per op, no
 // clock reads) — verified by the A/B harness in micro_benchmarks.
 
+#include <functional>
+
 #include "gpuprof/trace.hpp"
 
 namespace mcmm::gpuprof {
@@ -56,6 +58,20 @@ void disable();
 
 /// Clears the timeline and counters (runs back to back).
 void reset();
+
+/// Scoped measurement: clears the timeline, enables tracing, runs `work`,
+/// and returns the trace it produced, restoring the profiler's prior
+/// enabled/disabled state afterwards. This is the measurement layer for
+/// perf-portability campaigns (ROADMAP item 1): callers get achieved-
+/// GB/s-vs-peak per kernel without re-instrumenting. Takes exclusive use
+/// of the profiler — any timeline recorded before the call is discarded,
+/// so do not interleave with an ambient MCMM_GPUPROF trace you intend to
+/// keep.
+[[nodiscard]] Trace capture_trace(const std::function<void()>& work);
+
+/// Convenience over capture_trace: just the per-kernel roofline rows.
+[[nodiscard]] std::vector<KernelSummary> capture_kernel_summaries(
+    const std::function<void()>& work);
 
 /// Reads MCMM_GPUPROF / MCMM_GPUPROF_{TRACE,CSV,REPORT} and, when set,
 /// enables tracing and registers an at-exit writer. Called from a static

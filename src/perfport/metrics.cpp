@@ -1,0 +1,83 @@
+// The two perf-portability metrics over raw campaign samples: Fridman-
+// style efficiency-vs-peak per cell and Reguly's harmonic-mean PP per
+// (model, kernel) row.
+
+#include <algorithm>
+
+#include "perfport/perfport.hpp"
+
+namespace mcmm::perfport {
+
+double performance_portability(
+    const std::vector<double>& efficiencies) noexcept {
+  // PP(a, p, H) = |H| / sum_{i in H} 1/e_i(a, p), and 0 when any platform
+  // in H is unsupported (Reguly/Pennycook: the harmonic mean goes to zero
+  // as any e_i does, so unsupported platforms zero the metric).
+  if (efficiencies.empty()) return 0.0;
+  double inv_sum = 0.0;
+  for (const double e : efficiencies) {
+    if (e <= 0.0) return 0.0;
+    inv_sum += 1.0 / e;
+  }
+  return static_cast<double>(efficiencies.size()) / inv_sum;
+}
+
+std::vector<PerfRow> build_rows(const std::vector<RouteSample>& samples,
+                                const std::vector<Vendor>& vendors,
+                                std::size_t top_n) {
+  // Row order: Fig. 1 column order for models, run order for kernels —
+  // both restricted to what the samples actually cover, so CLI filters
+  // narrow the table instead of leaving empty rows.
+  std::vector<Model> models;
+  for (const Model m : kFigureColumnOrder) {
+    const bool present =
+        std::any_of(samples.begin(), samples.end(),
+                    [&](const RouteSample& s) { return s.model == m; });
+    if (present) models.push_back(m);
+  }
+  std::vector<PerfKernel> kernels;
+  for (const PerfKernel k : kAllPerfKernels) {
+    const bool present =
+        std::any_of(samples.begin(), samples.end(),
+                    [&](const RouteSample& s) { return s.kernel == k; });
+    if (present) kernels.push_back(k);
+  }
+
+  std::vector<PerfRow> rows;
+  rows.reserve(models.size() * kernels.size());
+  for (const Model model : models) {
+    for (const PerfKernel kernel : kernels) {
+      PerfRow row;
+      row.model = model;
+      row.kernel = kernel;
+      std::vector<double> efficiencies;
+      efficiencies.reserve(vendors.size());
+      for (const Vendor vendor : vendors) {
+        PerfCell cell;
+        cell.vendor = vendor;
+        // Best route x schedule at the scoring size wins the cell.
+        for (const RouteSample& s : samples) {
+          if (s.model != model || s.kernel != kernel ||
+              s.vendor != vendor || s.n != top_n) {
+            continue;
+          }
+          const double eff =
+              std::clamp(s.pct_of_peak / 100.0, 0.0, 1.0);
+          if (!cell.supported || eff > cell.efficiency) {
+            cell.supported = true;
+            cell.efficiency = eff;
+            cell.route = s.route;
+            cell.achieved_gbps = s.achieved_gbps;
+          }
+        }
+        efficiencies.push_back(cell.supported ? cell.efficiency : 0.0);
+        row.cells.push_back(std::move(cell));
+      }
+      row.pp = performance_portability(efficiencies);
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+}  // namespace mcmm::perfport

@@ -1,0 +1,35 @@
+#pragma once
+// Renderers for "Figure 2" — the BabelStream efficiency matrix produced
+// by the perf-portability campaign (src/perfport). Same format family as
+// the Figure 1 renderers; the txt form is golden-gated byte-for-byte
+// (tests/render/golden/figure2.txt) and all forms serve at GET /v1/perf.
+//
+// Only the perfport report *types* are consumed (a header-only include),
+// so mcmm_render keeps linking against mcmm_core alone.
+
+#include <string>
+
+#include "perfport/perfport.hpp"
+
+namespace mcmm::render {
+
+/// Fig. 2 as a fixed-width text grid: one row per (model, kernel), one
+/// efficiency column per vendor, PP last.
+[[nodiscard]] std::string figure2_text(const perfport::PerfReport& r);
+
+/// Fig. 2 as a GitHub-flavoured Markdown table.
+[[nodiscard]] std::string figure2_markdown(const perfport::PerfReport& r);
+
+/// Long-form CSV: one row per (model, kernel, vendor) cell.
+[[nodiscard]] std::string figure2_csv(const perfport::PerfReport& r);
+
+/// Fig. 2 as a standalone HTML page.
+[[nodiscard]] std::string figure2_html(const perfport::PerfReport& r);
+
+/// Fig. 2 as a LaTeX tabular environment.
+[[nodiscard]] std::string figure2_latex(const perfport::PerfReport& r);
+
+/// Fig. 2 as YAML (rows with per-vendor cell mappings).
+[[nodiscard]] std::string figure2_yaml(const perfport::PerfReport& r);
+
+}  // namespace mcmm::render

@@ -6,6 +6,7 @@
 
 #include "core/claims.hpp"
 #include "core/planner.hpp"
+#include "render/perf.hpp"
 #include "render/render.hpp"
 #include "serve/json.hpp"
 #include "yamlx/matrix_yaml.hpp"
@@ -158,6 +159,8 @@ std::string index_json() {
          R"({"method":"GET","path":"/v1/cell/{vendor}/{model}/{language}"},)"
          R"({"method":"POST","path":"/v1/plan"},)"
          R"({"method":"GET","path":"/v1/claims"},)"
+         R"({"method":"GET","path":"/v1/perf",)"
+         R"("query":"format=json|txt|md|csv|html|latex|yaml"},)"
          R"({"method":"GET","path":"/healthz"},)"
          R"({"method":"GET","path":"/metrics"}]})"
          "\n";
@@ -373,7 +376,8 @@ Api::Cached Api::make_cached(std::string body, std::string content_type) {
 }
 
 Api::Api(const CompatibilityMatrix& matrix, const Metrics* metrics,
-         const std::atomic<bool>* draining)
+         const std::atomic<bool>* draining,
+         const perfport::PerfReport* perf)
     : matrix_(&matrix), metrics_(metrics), draining_(draining) {
   const char* text_plain = "text/plain; charset=utf-8";
   matrix_formats_.emplace(
@@ -392,6 +396,24 @@ Api::Api(const CompatibilityMatrix& matrix, const Metrics* metrics,
   matrix_formats_.emplace(
       "yaml",
       make_cached(yamlx::matrix_to_yaml_text(matrix), "application/yaml"));
+  if (perf != nullptr) {
+    perf_formats_.emplace(
+        "json", make_cached(perfport::report_json(*perf), "application/json"));
+    perf_formats_.emplace(
+        "txt", make_cached(render::figure2_text(*perf), text_plain));
+    perf_formats_.emplace(
+        "md", make_cached(render::figure2_markdown(*perf),
+                          "text/markdown; charset=utf-8"));
+    perf_formats_.emplace("csv", make_cached(render::figure2_csv(*perf),
+                                             "text/csv; charset=utf-8"));
+    perf_formats_.emplace("html", make_cached(render::figure2_html(*perf),
+                                              "text/html; charset=utf-8"));
+    perf_formats_.emplace(
+        "latex", make_cached(render::figure2_latex(*perf),
+                             "application/x-tex"));
+    perf_formats_.emplace("yaml", make_cached(render::figure2_yaml(*perf),
+                                              "application/yaml"));
+  }
   for (const SupportEntry* e : matrix.entries()) {
     cells_.emplace(e->combo,
                    make_cached(cell_json(matrix, *e), "application/json"));
@@ -440,6 +462,23 @@ Response Api::handle_matrix(const Request& req) const {
   if (format == "tex") format = "latex";
   const auto it = matrix_formats_.find(format);
   if (it == matrix_formats_.end()) {
+    return error_response(
+        400, "unknown format (want json|txt|md|csv|html|latex|yaml)");
+  }
+  return deliver(it->second, req);
+}
+
+Response Api::handle_perf(const Request& req) const {
+  if (perf_formats_.empty()) {
+    return error_response(
+        404, "perf campaign disabled (start the server with --perf)");
+  }
+  std::string_view format = req.query_param("format", "json");
+  if (format == "text") format = "txt";
+  if (format == "markdown") format = "md";
+  if (format == "tex") format = "latex";
+  const auto it = perf_formats_.find(format);
+  if (it == perf_formats_.end()) {
     return error_response(
         400, "unknown format (want json|txt|md|csv|html|latex|yaml)");
   }
@@ -511,6 +550,9 @@ Response Api::handle(const Request& req) const {
   }
   if (path == "/v1/matrix") {
     return is_get ? handle_matrix(req) : method_not_allowed("GET, HEAD");
+  }
+  if (path == "/v1/perf") {
+    return is_get ? handle_perf(req) : method_not_allowed("GET, HEAD");
   }
   if (path.rfind("/v1/cell/", 0) == 0) {
     return is_get ? handle_cell(req) : method_not_allowed("GET, HEAD");

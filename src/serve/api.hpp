@@ -11,6 +11,8 @@
 //   GET  /v1/cell/{vendor}/{model}/{language}
 //   POST /v1/plan     PlannerQuery JSON -> ranked PlannedRoutes
 //   GET  /v1/claims   machine-checked paper claims
+//   GET  /v1/perf     Figure 2 (same format query; 404 unless the server
+//                     ran the perf campaign — see ServerConfig::enable_perf)
 //   GET  /healthz     liveness
 //   GET  /metrics     Prometheus text exposition
 
@@ -20,6 +22,7 @@
 #include <string_view>
 
 #include "core/matrix.hpp"
+#include "perfport/perfport.hpp"
 #include "serve/http.hpp"
 #include "serve/metrics.hpp"
 
@@ -32,11 +35,13 @@ class Api {
  public:
   /// Precomputes every cacheable response. `metrics` may be null (then
   /// GET /metrics reports an empty registry and /healthz a zero gauge);
-  /// `draining` may be null (then /healthz always reports false). Neither
-  /// is owned.
+  /// `draining` may be null (then /healthz always reports false); `perf`
+  /// may be null (then GET /v1/perf answers 404). None are owned; `perf`
+  /// is only read during construction.
   explicit Api(const CompatibilityMatrix& matrix,
                const Metrics* metrics = nullptr,
-               const std::atomic<bool>* draining = nullptr);
+               const std::atomic<bool>* draining = nullptr,
+               const perfport::PerfReport* perf = nullptr);
 
   /// Full dispatch, including conditional-GET: a request whose
   /// If-None-Match matches the resource's ETag gets a bodyless 304.
@@ -55,6 +60,7 @@ class Api {
   [[nodiscard]] static Response deliver(const Cached& c, const Request& req);
 
   [[nodiscard]] Response handle_matrix(const Request& req) const;
+  [[nodiscard]] Response handle_perf(const Request& req) const;
   [[nodiscard]] Response handle_cell(const Request& req) const;
   [[nodiscard]] Response handle_plan(const Request& req) const;
   /// Rendered per request (not cached, no ETag): the in-flight gauge and
@@ -65,6 +71,8 @@ class Api {
   const Metrics* metrics_;
   const std::atomic<bool>* draining_;
   std::map<std::string, Cached, std::less<>> matrix_formats_;
+  /// Empty when the perf campaign was not run (then /v1/perf is a 404).
+  std::map<std::string, Cached, std::less<>> perf_formats_;
   std::map<Combination, Cached> cells_;
   Cached claims_;
   Cached index_;

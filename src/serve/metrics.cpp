@@ -26,6 +26,19 @@ void Metrics::record_request(int status, std::uint64_t micros) noexcept {
   latency_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Metrics::record_endpoint(std::string_view path) noexcept {
+  if (path == "/v1") path = "/";  // the index is served at both
+  if (path.rfind("/v1/cell/", 0) == 0) path = "/v1/cell";
+  std::size_t slot = kEndpoints.size();  // "other"
+  for (std::size_t i = 0; i < kEndpoints.size(); ++i) {
+    if (kEndpoints[i] == path) {
+      slot = i;
+      break;
+    }
+  }
+  by_endpoint_[slot].fetch_add(1, std::memory_order_relaxed);
+}
+
 std::uint64_t Metrics::requests_total() const noexcept {
   std::uint64_t total = 0;
   for (const auto& counter : by_status_) {
@@ -55,6 +68,27 @@ std::string Metrics::prometheus_text() const {
   if (other != 0) {
     out += "mcmm_http_requests_total{code=\"other\"} ";
     out += std::to_string(other);
+    out += '\n';
+  }
+
+  out +=
+      "# HELP mcmm_http_requests_by_endpoint_total Requests routed, by "
+      "endpoint family.\n"
+      "# TYPE mcmm_http_requests_by_endpoint_total counter\n";
+  for (std::size_t i = 0; i < kEndpoints.size(); ++i) {
+    const std::uint64_t n = by_endpoint_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    out += "mcmm_http_requests_by_endpoint_total{endpoint=\"";
+    out += kEndpoints[i];
+    out += "\"} ";
+    out += std::to_string(n);
+    out += '\n';
+  }
+  const std::uint64_t other_endpoint =
+      by_endpoint_[kEndpoints.size()].load(std::memory_order_relaxed);
+  if (other_endpoint != 0) {
+    out += "mcmm_http_requests_by_endpoint_total{endpoint=\"other\"} ";
+    out += std::to_string(other_endpoint);
     out += '\n';
   }
 

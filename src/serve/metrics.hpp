@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "serve/event_loop.hpp"
 
@@ -21,6 +22,10 @@ class Metrics {
 
   /// One finished request: its response status and handling latency.
   void record_request(int status, std::uint64_t micros) noexcept;
+
+  /// Attributes one request to its endpoint family (exact paths plus the
+  /// /v1/cell/... subtree; anything else lands in "other").
+  void record_endpoint(std::string_view path) noexcept;
 
   /// Brackets request handling (parse complete -> response sent) so the
   /// in-flight gauge is live. The gateway's power-of-two balancer reads it
@@ -55,6 +60,11 @@ class Metrics {
   /// Tracked status codes; anything else lands in the trailing "other".
   static constexpr std::array<int, 13> kStatusCodes{
       200, 304, 400, 404, 405, 408, 413, 414, 431, 500, 501, 503, 505};
+  /// Tracked endpoint families; anything else lands in the trailing
+  /// "other". "/v1/cell" stands for the whole /v1/cell/... subtree.
+  static constexpr std::array<std::string_view, 8> kEndpoints{
+      "/",         "/healthz",  "/metrics", "/v1/matrix",
+      "/v1/cell",  "/v1/plan",  "/v1/claims", "/v1/perf"};
   /// Histogram bucket upper bounds, microseconds (+Inf is implicit).
   static constexpr std::array<std::uint64_t, 7> kBucketMicros{
       100, 500, 1000, 5000, 25000, 100000, 1000000};
@@ -62,6 +72,7 @@ class Metrics {
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> in_flight_{0};
   std::array<std::atomic<std::uint64_t>, kStatusCodes.size() + 1> by_status_{};
+  std::array<std::atomic<std::uint64_t>, kEndpoints.size() + 1> by_endpoint_{};
   std::array<std::atomic<std::uint64_t>, kBucketMicros.size() + 1> buckets_{};
   std::atomic<std::uint64_t> latency_sum_micros_{0};
   std::atomic<std::uint64_t> latency_count_{0};

@@ -694,7 +694,11 @@ ListenerConfig Server::to_listener_config(const ServerConfig& config) {
 Server::Server(const CompatibilityMatrix& matrix, ServerConfig config)
     : HttpListener(to_listener_config(config)),
       max_in_flight_(config.max_in_flight),
-      api_(matrix, &metrics_, drain_flag()) {
+      perf_report_(config.enable_perf
+                       ? std::make_unique<perfport::PerfReport>(
+                             perfport::run_campaign(config.perf_config))
+                       : nullptr),
+      api_(matrix, &metrics_, drain_flag(), perf_report_.get()) {
   metrics_.attach_loop(&loop_counters());
 }
 
@@ -705,6 +709,7 @@ Server::~Server() {
 
 Response Server::handle_request(const Request& req,
                                 const std::string& /*request_id*/) {
+  metrics_.record_endpoint(req.path);
   if (max_in_flight_ > 0 && metrics_.in_flight() > max_in_flight_) {
     // Overload-shaped rejection: tell the caller when to come back so a
     // gateway can retry elsewhere instead of piling on.

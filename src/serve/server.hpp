@@ -275,6 +275,13 @@ struct ServerConfig {
   int adopt_fd{-1};
   /// Print the probed fd limit / connection ceiling at startup.
   bool log_fd_limit{false};
+  /// Run the perf-portability campaign (src/perfport) at construction and
+  /// serve its Figure 2 at GET /v1/perf. Off by default: the campaign
+  /// simulates every allowed route and adds seconds of startup time, which
+  /// replica-heavy tests must not pay. Without it /v1/perf answers 404.
+  bool enable_perf{false};
+  /// Campaign knobs when enable_perf is set (defaults match the CI gate).
+  perfport::CampaignConfig perf_config{};
   Limits limits{};
 };
 
@@ -305,6 +312,9 @@ class Server : public HttpListener {
 
   unsigned max_in_flight_;
   Metrics metrics_;
+  /// Built before api_ (declaration order matters: Api caches renders of
+  /// the report during construction). Null when enable_perf is off.
+  std::unique_ptr<perfport::PerfReport> perf_report_;
   Api api_;
 };
 

@@ -508,4 +508,54 @@ TEST(GatewayHedging, FastPrimaryNeverHedges) {
   EXPECT_EQ(gateway.gateway_metrics().hedges_total(), 0u);
 }
 
+TEST(GatewayHedging, PerfPathIsHedgeEligible) {
+  // /v1/perf serves a cached idempotent render, so it sits in the default
+  // hedge prefix list next to /v1/matrix.
+  FakeUpstream slow("slow", 400);
+  FakeUpstream fast("fast", 0);
+
+  GatewayConfig config;
+  config.port = 0;
+  config.threads = 4;
+  config.policy = Policy::RoundRobin;  // deterministic: primary is `slow`
+  config.hedge_after_ms = 20;
+  config.registry.probe_interval_ms = 60000;
+  std::vector<ReplicaEndpoint> endpoints(2);
+  endpoints[0].port = slow.port();
+  endpoints[1].port = fast.port();
+  Gateway gateway(std::move(endpoints), config);
+  gateway.start();
+
+  TestClient client(gateway.port());
+  const auto reply = client.get("/v1/perf?format=txt");
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_EQ(reply.body, "fast") << "the hedge should win";
+  EXPECT_EQ(gateway.gateway_metrics().hedges_total(), 1u);
+}
+
+TEST(GatewayHedging, OffPrefixPathsAreNeverHedged) {
+  // /v1/claims is not in the hedge prefix list: the request must ride out
+  // the slow primary even though a hedge would have been faster.
+  FakeUpstream slow("slow", 120);
+  FakeUpstream fast("fast", 0);
+
+  GatewayConfig config;
+  config.port = 0;
+  config.threads = 2;
+  config.policy = Policy::RoundRobin;
+  config.hedge_after_ms = 20;
+  config.registry.probe_interval_ms = 60000;
+  std::vector<ReplicaEndpoint> endpoints(2);
+  endpoints[0].port = slow.port();
+  endpoints[1].port = fast.port();
+  Gateway gateway(std::move(endpoints), config);
+  gateway.start();
+
+  TestClient client(gateway.port());
+  const auto reply = client.get("/v1/claims");
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_EQ(reply.body, "slow") << "off-prefix paths must not hedge";
+  EXPECT_EQ(gateway.gateway_metrics().hedges_total(), 0u);
+}
+
 }  // namespace

@@ -8,10 +8,13 @@
 #include <string>
 
 #include "data/dataset.hpp"
+#include "perfport/perfport.hpp"
+#include "render/perf.hpp"
 #include "render/render.hpp"
 #include "serve/api.hpp"
 #include "serve/http.hpp"
 #include "serve/json.hpp"
+#include "serve/metrics.hpp"
 
 #ifndef MCMM_GOLDEN_DIR
 #error "MCMM_GOLDEN_DIR must point at tests/render/golden"
@@ -267,6 +270,114 @@ TEST(Api, EtagsAreStrongStableAndHonoured) {
                             "If-None-Match: \"deadbeef\"\r\n"))
                 .status,
             200);
+}
+
+/// Small two-kernel campaign backing the /v1/perf tests; renders are
+/// cached by the Api constructor, so the run happens once.
+const mcmm::perfport::PerfReport& perf_report() {
+  static const mcmm::perfport::PerfReport report = [] {
+    mcmm::perfport::CampaignConfig cfg;
+    cfg.sizes = {4096};
+    cfg.reps = 1;
+    cfg.kernels = {mcmm::perfport::PerfKernel::Triad,
+                   mcmm::perfport::PerfKernel::Dot};
+    return mcmm::perfport::run_campaign(cfg);
+  }();
+  return report;
+}
+
+const Api& perf_api() {
+  static const Api instance(paper_matrix(), nullptr, nullptr, &perf_report());
+  return instance;
+}
+
+TEST(ApiPerf, DisabledCampaignIs404WithAHint) {
+  // The default api() was built without a report; /v1/perf must say how
+  // to turn it on rather than pretend the path does not exist.
+  const Response r = api().handle(get("/v1/perf"));
+  EXPECT_EQ(r.status, 404);
+  EXPECT_NE(r.body.find("--perf"), std::string::npos) << r.body;
+  // The index still advertises the endpoint either way.
+  EXPECT_NE(api().handle(get("/")).body.find("/v1/perf"), std::string::npos);
+}
+
+TEST(ApiPerf, FormatsAndAliases) {
+  const std::pair<const char*, const char*> cases[] = {
+      {"/v1/perf", "application/json"},
+      {"/v1/perf?format=json", "application/json"},
+      {"/v1/perf?format=txt", "text/plain; charset=utf-8"},
+      {"/v1/perf?format=text", "text/plain; charset=utf-8"},
+      {"/v1/perf?format=md", "text/markdown; charset=utf-8"},
+      {"/v1/perf?format=markdown", "text/markdown; charset=utf-8"},
+      {"/v1/perf?format=csv", "text/csv; charset=utf-8"},
+      {"/v1/perf?format=html", "text/html; charset=utf-8"},
+      {"/v1/perf?format=latex", "application/x-tex"},
+      {"/v1/perf?format=tex", "application/x-tex"},
+      {"/v1/perf?format=yaml", "application/yaml"},
+  };
+  for (const auto& [target, content_type] : cases) {
+    const Response r = perf_api().handle(get(target));
+    ASSERT_EQ(r.status, 200) << target;
+    EXPECT_EQ(r.content_type, content_type) << target;
+    EXPECT_FALSE(r.body.empty()) << target;
+  }
+  EXPECT_NE(perf_api().handle(get("/v1/perf")).body.find("mcmm-perfport-v1"),
+            std::string::npos);
+  EXPECT_EQ(perf_api().handle(get("/v1/perf?format=ascii")).status, 400);
+  EXPECT_EQ(perf_api().handle(post("/v1/perf", "{}")).status, 405);
+}
+
+TEST(ApiPerf, TxtIsByteIdenticalToTheLibraryRender) {
+  // The served bytes are the cached render of the exact report the server
+  // was constructed with — the same identity CI asserts against the
+  // committed Figure 2 golden.
+  const Response r = perf_api().handle(get("/v1/perf?format=txt"));
+  ASSERT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, mcmm::render::figure2_text(perf_report()));
+}
+
+TEST(ApiPerf, EtagsAreStrongAndHonoured) {
+  const Response r = perf_api().handle(get("/v1/perf?format=txt"));
+  ASSERT_EQ(r.status, 200);
+  ASSERT_FALSE(r.etag.empty());
+  EXPECT_EQ(r.etag, etag_for(r.body));
+  const Response not_modified = perf_api().handle(
+      get("/v1/perf?format=txt", "If-None-Match: " + r.etag + "\r\n"));
+  EXPECT_EQ(not_modified.status, 304);
+  EXPECT_TRUE(not_modified.body.empty());
+  EXPECT_EQ(not_modified.etag, r.etag);
+  EXPECT_EQ(perf_api()
+                .handle(get("/v1/perf?format=txt",
+                            "If-None-Match: \"deadbeef\"\r\n"))
+                .status,
+            200);
+}
+
+TEST(Metrics, PerEndpointCounterNormalizesPaths) {
+  mcmm::serve::Metrics metrics;
+  metrics.record_endpoint("/v1/matrix");
+  metrics.record_endpoint("/v1/perf");
+  metrics.record_endpoint("/v1/perf");
+  metrics.record_endpoint("/v1/cell/nvidia/cuda/c%2B%2B");
+  metrics.record_endpoint("/v1");  // alias of the index
+  metrics.record_endpoint("/");
+  metrics.record_endpoint("/favicon.ico");  // off-table -> "other"
+  const std::string text = metrics.prometheus_text();
+  const std::pair<const char*, const char*> expected[] = {
+      {"endpoint=\"/v1/matrix\"} 1", "matrix"},
+      {"endpoint=\"/v1/perf\"} 2", "perf"},
+      {"endpoint=\"/v1/cell\"} 1", "cell subtree collapses to one label"},
+      {"endpoint=\"/\"} 2", "/v1 is the same index as /"},
+      {"endpoint=\"other\"} 1", "unknown paths are bucketed, not dropped"},
+  };
+  for (const auto& [needle, why] : expected) {
+    EXPECT_NE(text.find(std::string("mcmm_http_requests_by_endpoint_total{") +
+                        needle),
+              std::string::npos)
+        << why << "\n" << text;
+  }
+  // Zero-count endpoints stay out of the exposition (no label noise).
+  EXPECT_EQ(text.find("endpoint=\"/healthz\""), std::string::npos);
 }
 
 }  // namespace

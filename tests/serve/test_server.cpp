@@ -246,6 +246,11 @@ TEST_F(ServerTest, MetricsReflectTraffic) {
             std::string::npos);
   EXPECT_NE(metrics.body.find("mcmm_http_request_duration_seconds_bucket"),
             std::string::npos);
+  // Per-endpoint family: the /healthz hit above must show up labelled.
+  EXPECT_NE(metrics.body.find("mcmm_http_requests_by_endpoint_total{"
+                              "endpoint=\"/healthz\"}"),
+            std::string::npos)
+      << metrics.body;
 }
 
 TEST_F(ServerTest, RequestIdIsMintedEchoedAndSanitized) {

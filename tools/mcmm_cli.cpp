@@ -11,10 +11,12 @@
 //   mcmm diff <before.yaml> <after.yaml>        snapshot changelog
 //   mcmm sanitize [...]                         gpusan the simulated GPU
 //   mcmm profile [...]                          gpuprof trace & roofline
+//   mcmm perfbench [...]                        perf-portability campaign (Fig. 2)
 //   mcmm serve [--port N] [--threads N]         HTTP/JSON query service
 //   mcmm gateway --backend host:port [...]      reverse proxy over replicas
 //   mcmm cluster <replicas> [...]               forked replica fleet + proxy
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -35,6 +37,8 @@
 #include "data/excluded.hpp"
 #include "gpusan/fixtures.hpp"
 #include "gpusan/gpusan.hpp"
+#include "perfport/perfport.hpp"
+#include "render/perf.hpp"
 #include "render/render.hpp"
 #include "render/report.hpp"
 #include "gateway/gateway.hpp"
@@ -70,16 +74,33 @@ commands:
                                          leakcheck) over the clean suite, a
                                          defect fixture, or a wrapped
                                          command; exits non-zero on findings
+  perfbench [--json] [--format json|txt|md|csv|html|latex|yaml]
+            [--out <path>] [--vendor <v1,v2>] [--model <m1,m2>]
+            [--kernel <k1,k2>] [--sizes <n1,n2>] [--reps <n>]
+            [--schedule static|dynamic|both]
+                                         run the BabelStream perf-
+                                         portability campaign over every
+                                         allowed (model x vendor x
+                                         schedule) route and print Fig. 2:
+                                         efficiency vs vendor peak per
+                                         cell, harmonic-mean PP per row;
+                                         --out writes the JSON report
+                                         (BENCH_perfport.json); exits
+                                         non-zero if any route fails
+                                         numerical verification
   serve [--port <n>] [--threads <n>] [--host <addr>] [--max-in-flight <n>]
-        [--idle-timeout-ms <n>] [--backlog <n>]
+        [--idle-timeout-ms <n>] [--backlog <n>] [--perf]
                                          HTTP/JSON API over the knowledge
                                          base: GET /v1/matrix (+?format=),
                                          GET /v1/cell/{v}/{m}/{l},
                                          POST /v1/plan, GET /v1/claims,
-                                         /healthz, /metrics; drains
-                                         gracefully on SIGTERM/SIGINT;
-                                         --max-in-flight sheds overload
-                                         with 503 + Retry-After
+                                         /healthz, /metrics; --perf runs
+                                         the perfbench campaign at startup
+                                         and serves it at GET /v1/perf
+                                         (+?format=); drains gracefully on
+                                         SIGTERM/SIGINT; --max-in-flight
+                                         sheds overload with 503 +
+                                         Retry-After
   gateway --backend <host:port> [--backend ...] [--port <n>] [--host <addr>]
           [--threads <n>] [--policy rr|p2c] [--retries <n>]
           [--hedge-ms <n>] [--no-hedge] [--idle-timeout-ms <n>]
@@ -89,16 +110,20 @@ commands:
                                          balancing, per-replica circuit
                                          breakers, budgeted retries of
                                          idempotent requests, latency
-                                         hedging for /v1/matrix; adds
-                                         /gateway/healthz /gateway/replicas
-                                         and a combined /metrics
+                                         hedging for /v1/matrix and
+                                         /v1/perf; adds /gateway/healthz
+                                         /gateway/replicas and a combined
+                                         /metrics
   cluster <replicas> [--port <n>] [--host <addr>] [--threads <n>]
           [--replica-threads <n>] [--max-in-flight <n>] [--policy rr|p2c]
-          [--retries <n>] [--hedge-ms <n>] [--no-hedge]
+          [--retries <n>] [--hedge-ms <n>] [--no-hedge] [--no-perf]
                                          fork <replicas> serve processes on
                                          ephemeral ports and front them
-                                         with the gateway; SIGTERM drains
-                                         the gateway then stops replicas
+                                         with the gateway; each replica
+                                         serves GET /v1/perf unless
+                                         --no-perf skips the startup
+                                         campaign; SIGTERM drains the
+                                         gateway then stops replicas
   profile [--chrome <path>] [--csv <path>] [--json] [--report <path>]
           [--allow-empty] [-- <command> [args...]]
                                          gpuprof: trace kernels/copies with
@@ -533,6 +558,171 @@ int cmd_profile(const std::vector<std::string>& args) {
   return (all_verified && !trace.empty()) ? 0 : 1;
 }
 
+// --- mcmm perfbench ------------------------------------------------------
+
+/// Splits "a,b,c" into its non-empty fields.
+std::vector<std::string> split_commas(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    if (end > start) out.push_back(spec.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::string ascii_lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::optional<perfport::PerfKernel> parse_perf_kernel(const std::string& s) {
+  const std::string lower = ascii_lower(s);
+  for (const perfport::PerfKernel k : perfport::kAllPerfKernels) {
+    if (lower == ascii_lower(std::string(perfport::to_string(k)))) return k;
+  }
+  return std::nullopt;
+}
+
+int cmd_perfbench(const std::vector<std::string>& args) {
+  perfport::CampaignConfig cfg;
+  std::string format = "txt";
+  std::string out_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--json") {
+      format = "json";
+    } else if (a == "--format" && i + 1 < args.size()) {
+      format = args[++i];
+    } else if (a == "--out" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (a == "--vendor" && i + 1 < args.size()) {
+      cfg.vendors.clear();
+      for (const std::string& word : split_commas(args[++i])) {
+        const auto vendor = parse_vendor(word);
+        if (!vendor) {
+          std::cerr << "unknown vendor: " << word << "\n";
+          return 2;
+        }
+        cfg.vendors.push_back(*vendor);
+      }
+    } else if (a == "--model" && i + 1 < args.size()) {
+      for (const std::string& word : split_commas(args[++i])) {
+        const auto model = parse_model(word);
+        if (!model) {
+          std::cerr << "unknown model: " << word << "\n";
+          return 2;
+        }
+        cfg.models.push_back(*model);
+      }
+    } else if (a == "--kernel" && i + 1 < args.size()) {
+      for (const std::string& word : split_commas(args[++i])) {
+        const auto kernel = parse_perf_kernel(word);
+        if (!kernel) {
+          std::cerr << "unknown kernel: " << word
+                    << " (want copy|mul|add|triad|dot|reduce|uneven)\n";
+          return 2;
+        }
+        cfg.kernels.push_back(*kernel);
+      }
+    } else if (a == "--sizes" && i + 1 < args.size()) {
+      cfg.sizes.clear();
+      for (const std::string& word : split_commas(args[++i])) {
+        char* end = nullptr;
+        const long n = std::strtol(word.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || n < 1 || n > (1L << 24)) {
+          std::cerr << "--sizes wants doubles-per-array in 1..16777216\n";
+          return 2;
+        }
+        cfg.sizes.push_back(static_cast<std::size_t>(n));
+      }
+      if (cfg.sizes.empty()) {
+        std::cerr << "--sizes wants a comma list\n";
+        return 2;
+      }
+    } else if (a == "--reps" && i + 1 < args.size()) {
+      char* end = nullptr;
+      const long n = std::strtol(args[++i].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || n < 1 || n > 64) {
+        std::cerr << "--reps wants 1..64\n";
+        return 2;
+      }
+      cfg.reps = static_cast<std::size_t>(n);
+    } else if (a == "--schedule" && i + 1 < args.size()) {
+      const std::string& spec = args[++i];
+      if (spec == "static") {
+        cfg.schedules = {gpusim::Schedule::Static};
+      } else if (spec == "dynamic") {
+        cfg.schedules = {gpusim::Schedule::Dynamic};
+      } else if (spec != "both") {
+        std::cerr << "--schedule wants static, dynamic, or both\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      return usage();
+    }
+  }
+  if (format == "text") format = "txt";
+  if (format == "markdown") format = "md";
+  if (format == "tex") format = "latex";
+  const bool known_format =
+      format == "json" || format == "txt" || format == "md" ||
+      format == "csv" || format == "html" || format == "latex" ||
+      format == "yaml";
+  if (!known_format) {  // reject before paying for the campaign
+    std::cerr << "unknown format: " << format
+              << " (want json|txt|md|csv|html|latex|yaml)\n";
+    return 2;
+  }
+  try {
+    const perfport::PerfReport report = perfport::run_campaign(cfg);
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+      }
+      out << perfport::report_json(report);
+      std::cerr << "mcmm perfbench: wrote " << out_path << "\n";
+    }
+    if (format == "json") {
+      std::cout << perfport::report_json(report);
+    } else if (format == "txt") {
+      std::cout << render::figure2_text(report);
+    } else if (format == "md") {
+      std::cout << render::figure2_markdown(report);
+    } else if (format == "csv") {
+      std::cout << render::figure2_csv(report);
+    } else if (format == "html") {
+      std::cout << render::figure2_html(report);
+    } else if (format == "latex") {
+      std::cout << render::figure2_latex(report);
+    } else {
+      std::cout << render::figure2_yaml(report);
+    }
+    std::size_t unverified = 0;
+    for (const perfport::RouteSample& s : report.samples) {
+      if (!s.verified) ++unverified;
+    }
+    // Stats go to stderr so a redirected stdout stays byte-comparable to
+    // the committed golden / served /v1/perf body.
+    std::cerr << "mcmm perfbench: " << report.route_count << " route(s), "
+              << report.samples.size() << " sample(s), "
+              << report.rows.size() << " figure row(s), " << unverified
+              << " unverified\n";
+    return unverified == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "mcmm perfbench: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 // --- mcmm serve ----------------------------------------------------------
 
 /// The running server, for the signal handler. Writes happen before the
@@ -594,12 +784,19 @@ int cmd_serve(const std::vector<std::string>& args) {
         return 2;
       }
       cfg.backlog = static_cast<int>(*depth);
+    } else if (a == "--perf") {
+      cfg.enable_perf = true;
     } else {
       std::cerr << "unknown argument: " << a << "\n";
       return usage();
     }
   }
   cfg.log_fd_limit = true;
+  if (cfg.enable_perf) {
+    std::cout << "mcmm serve: running the perf-portability campaign "
+                 "(seconds of simulated kernels)...\n"
+              << std::flush;
+  }
   try {
     serve::Server server(data::paper_matrix(), cfg);
     server.start();
@@ -609,7 +806,9 @@ int cmd_serve(const std::vector<std::string>& args) {
     std::cout << "mcmm serve: listening on http://" << cfg.host << ":"
               << server.port() << "\n"
               << "endpoints: /v1/matrix /v1/cell/{vendor}/{model}/{language} "
-                 "/v1/plan /v1/claims /healthz /metrics\n"
+                 "/v1/plan /v1/claims "
+              << (cfg.enable_perf ? "/v1/perf " : "")
+              << "/healthz /metrics\n"
               << std::flush;
     server.join();
     std::cout << "mcmm serve: drained after "
@@ -639,7 +838,8 @@ extern "C" void gateway_signal_handler(int) {
 int parse_gateway_args(const std::vector<std::string>& args,
                        std::size_t first, gateway::GatewayConfig& cfg,
                        std::vector<gateway::ReplicaEndpoint>* backends,
-                       unsigned* replica_threads, unsigned* max_in_flight) {
+                       unsigned* replica_threads, unsigned* max_in_flight,
+                       bool* replica_perf) {
   for (std::size_t i = first; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto int_arg = [&](long min, long max) -> std::optional<long> {
@@ -719,6 +919,8 @@ int parse_gateway_args(const std::vector<std::string>& args,
       cfg.hedge_after_ms = static_cast<int>(*ms);
     } else if (a == "--no-hedge") {
       cfg.hedge_after_ms = 0;
+    } else if (a == "--no-perf" && replica_perf != nullptr) {
+      *replica_perf = false;
     } else if (a == "--idle-timeout-ms") {
       const auto ms = int_arg(100, 3600000);
       if (!ms) {
@@ -767,7 +969,7 @@ int cmd_gateway(const std::vector<std::string>& args) {
   gateway::GatewayConfig cfg;
   std::vector<gateway::ReplicaEndpoint> backends;
   const int rc =
-      parse_gateway_args(args, 0, cfg, &backends, nullptr, nullptr);
+      parse_gateway_args(args, 0, cfg, &backends, nullptr, nullptr, nullptr);
   if (rc != 0) return rc;
   if (backends.empty()) {
     std::cerr << "mcmm gateway: at least one --backend host:port needed\n";
@@ -796,9 +998,12 @@ int cmd_cluster(const std::vector<std::string>& args) {
   }
   gateway::GatewayConfig cfg;
   gateway::SupervisorConfig sup;
+  // A user-run cluster serves the full API, Figure 2 included; test fleets
+  // construct SupervisorConfig directly and keep the default (off).
+  sup.enable_perf = true;
   const int rc = parse_gateway_args(args, 1, cfg, nullptr,
                                     &sup.threads_per_replica,
-                                    &sup.max_in_flight);
+                                    &sup.max_in_flight, &sup.enable_perf);
   if (rc != 0) return rc;
   cfg.log_fd_limit = true;
   sup.host = "127.0.0.1";
@@ -839,6 +1044,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "--help" || command == "-h" || command == "help") {
+    usage();  // same text; asking for help is not an error
+    return 0;
+  }
   if (command == "table") return cmd_table(args);
   if (command == "describe") return cmd_describe(args);
   if (command == "advise") return cmd_advise(args);
@@ -849,6 +1058,7 @@ int main(int argc, char** argv) {
   if (command == "diff") return cmd_diff(args);
   if (command == "sanitize") return cmd_sanitize(args);
   if (command == "profile") return cmd_profile(args);
+  if (command == "perfbench") return cmd_perfbench(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "gateway") return cmd_gateway(args);
   if (command == "cluster") return cmd_cluster(args);
