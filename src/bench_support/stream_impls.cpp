@@ -15,6 +15,7 @@
 #include "models/ompx/ompx.hpp"
 #include "models/stdparx/stdparx.hpp"
 #include "models/syclx/syclx.hpp"
+#include "pstlx/pstlx.hpp"
 
 namespace mcmm::bench {
 namespace {
@@ -778,14 +779,18 @@ class StdparStream final : public StreamBenchmark {
   }
 
   [[nodiscard]] double dot() override {
-    return stdparx::transform_reduce(pol_, a_->begin(), a_->end(),
-                                     b_->begin(), 0.0);
+    // Routed through the pstlx algorithm library; same chunk
+    // decomposition, combine order, and KernelCosts as
+    // stdparx::transform_reduce, so the sum and simulated time are
+    // bitwise unchanged (asserted by the differential battery).
+    return pstlx::transform_reduce(pol_, a_->begin(), a_->end(),
+                                   b_->begin(), 0.0);
   }
 
   [[nodiscard]] double reduce() override {
     // sum a[i]^2 as the self-inner-product, the stdpar idiom.
-    return stdparx::transform_reduce(pol_, a_->begin(), a_->end(),
-                                     a_->begin(), 0.0);
+    return pstlx::transform_reduce(pol_, a_->begin(), a_->end(),
+                                   a_->begin(), 0.0);
   }
 
   void uneven() override {

@@ -39,4 +39,12 @@ void leak();
 /// CI asserts the report is clean.
 void clean_suite();
 
+/// True negative across the pstlx device algorithms (sort, stable_sort,
+/// merge, inclusive/exclusive scan, reduce, transform_reduce, for_each,
+/// transform) on every constructible stdparx route: blocked tiles and
+/// co-rank merge segments partition their inputs and outputs, so the
+/// shadow log must show zero inter-work-item conflicts under the given
+/// schedule. `mcmm sanitize --fixture pstlx` runs it under both.
+void pstlx_suite(gpusim::Schedule schedule);
+
 }  // namespace mcmm::gpusan::fixtures

@@ -9,11 +9,11 @@
 #include <set>
 #include <sstream>
 #include <tuple>
-#include <unordered_map>
 #include <vector>
 
 #include "gpusim/device.hpp"
 #include "gpusim/sanitizer.hpp"
+#include "pstlx/host.hpp"
 
 namespace mcmm::gpusan {
 namespace {
@@ -232,12 +232,22 @@ void analyze_launch_races(State& s, std::uint64_t lid,
                           const std::string& desc) {
   if (!s.cfg.racecheck) return;
 
-  std::unordered_map<std::uintptr_t, std::vector<AccessRecord>> cells;
+  std::vector<AccessRecord> records;
   std::erase_if(s.log, [&](const AccessRecord& r) {
     if (r.launch != lid) return false;
-    cells[r.cell].push_back(r);
+    records.push_back(r);
     return true;
   });
+  // Group by cell with a parallel stable sort on the cell address (the
+  // pstlx host fallback — this scan is one of its dogfood sites; see
+  // BENCH_gpusim.json's conflict-scan A/B). Stability keeps each cell's
+  // records in log order, so first-writer detection below behaves
+  // exactly like the per-cell vectors this replaces, and cells are now
+  // visited in deterministic address order instead of hash order.
+  pstlx::stable_sort(pstlx::host_policy{}, records.begin(), records.end(),
+                     [](const AccessRecord& x, const AccessRecord& y) {
+                       return x.cell < y.cell;
+                     });
 
   struct Conflict {
     std::uint64_t conflicting_cells{0};
@@ -249,13 +259,18 @@ void analyze_launch_races(State& s, std::uint64_t lid,
   std::map<std::pair<std::uint64_t, bool>, Conflict> conflicts;
   std::map<std::uint64_t, std::pair<std::string, std::size_t>> alloc_info;
 
-  for (const auto& [cell, records] : cells) {
+  for (std::size_t lo = 0, hi = 0; lo < records.size(); lo = hi) {
+    const std::uintptr_t cell = records[lo].cell;
+    hi = lo + 1;
+    while (hi < records.size() && records[hi].cell == cell) ++hi;
+
     // Distinct work items that wrote / touched this cell.
     std::uint64_t writer = gpusim::kNoWorkItem;
     bool write_write = false;
     bool conflict = false;
     std::uint64_t other = gpusim::kNoWorkItem;
-    for (const AccessRecord& r : records) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      const AccessRecord& r = records[k];
       if (!r.write) continue;
       if (writer == gpusim::kNoWorkItem) {
         writer = r.item;
@@ -267,10 +282,10 @@ void analyze_launch_races(State& s, std::uint64_t lid,
     }
     if (writer == gpusim::kNoWorkItem) continue;  // read-only cell
     if (!write_write) {
-      for (const AccessRecord& r : records) {
-        if (r.item != writer) {
+      for (std::size_t k = lo; k < hi; ++k) {
+        if (records[k].item != writer) {
           conflict = true;
-          other = r.item;
+          other = records[k].item;
           break;
         }
       }

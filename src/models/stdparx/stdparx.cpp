@@ -75,8 +75,12 @@ execution_policy::execution_policy(Vendor vendor, Runtime runtime)
     : vendor_(vendor), runtime_(runtime) {
   const gpusim::BackendProfile profile = profile_for(vendor, runtime);
   device_ = &gpusim::Platform::instance().device(vendor);
-  queue_ = std::shared_ptr<gpusim::Queue>(device_->create_queue().release());
+  queue_ = device_->create_queue();
   queue_->set_backend_profile(profile);
+}
+
+void execution_policy::validate() const {
+  (void)profile_for(vendor_, runtime_);  // throws when the gate closed
 }
 
 }  // namespace mcmm::stdparx

@@ -52,6 +52,15 @@ class execution_policy {
     return runtime_ == Runtime::OneDPL;
   }
 
+  /// Re-checks the Figure 1 gate this policy was constructed under.
+  /// The roc-stdpar opt-in is a process-global switch that can flip
+  /// *after* construction; algorithms call this before their first
+  /// launch so a newly unsupported combination throws
+  /// UnsupportedCombination without consuming any queue time — the
+  /// queue's simulated clock and pending state are exactly as before
+  /// the call (strong guarantee, no partially-consumed queue).
+  void validate() const;
+
   [[nodiscard]] gpusim::Device& device() const noexcept { return *device_; }
   [[nodiscard]] gpusim::Queue& queue() const noexcept { return *queue_; }
   [[nodiscard]] double simulated_time_us() const noexcept {

@@ -1,0 +1,244 @@
+#pragma once
+// pstlx host-side fallback: the same blocked/two-pass/merge-path cores
+// as the device surface (src/pstlx/pstlx.hpp), executed directly on the
+// process-wide fork-join engine with no simulated device, queue, or
+// policy gate. This is what "the CPU fallback of a -stdpar compiler"
+// looks like in the simulation, and it is what the repo dogfoods on its
+// own hot host paths (loadgen's percentile sort, gpusan's shadow-log
+// conflict scan).
+//
+// Depends only on gpusim (ThreadPool), never on the model layers, so
+// mcmm_gpusan can use it without growing its dependency set.
+//
+// Determinism contract: identical results for identical inputs across
+// MCMM_NUM_THREADS and Schedule settings — tile geometry is a function
+// of n alone and tiles combine in index order (see detail.hpp).
+
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <memory>
+#include <vector>
+
+#include "gpusim/thread_pool.hpp"
+#include "pstlx/detail.hpp"
+
+namespace mcmm::pstlx {
+
+/// Execution knobs for the host fallback. Scheduling never changes
+/// results, only how tiles are handed to workers. Inputs shorter than
+/// `serial_cutoff` run the plain serial algorithm — below that, the
+/// fork-join handoff costs more than it buys.
+struct host_policy {
+  gpusim::Schedule schedule{gpusim::Schedule::Dynamic};
+  std::uint64_t grain{0};
+  std::size_t serial_cutoff{2048};
+};
+
+namespace detail {
+
+/// Task executor over the global fork-join pool: runs body(t) for every
+/// task index, chunked per the policy's schedule.
+template <typename Body>
+void host_exec(const host_policy& pol, std::size_t tasks,
+               const Body& body) {
+  gpusim::ThreadPool::global().parallel_for_chunks(
+      tasks,
+      [&](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t t = begin; t < end; ++t) {
+          body(static_cast<std::size_t>(t));
+        }
+      },
+      pol.schedule, pol.grain);
+}
+
+template <typename It>
+[[nodiscard]] auto* contiguous_data(It it) {
+  return std::to_address(it);
+}
+
+}  // namespace detail
+
+/// Parallel sort over a contiguous range (blocked merge sort; not
+/// stable — use stable_sort for that).
+template <typename RandomIt,
+          typename Comp = std::less<
+              typename std::iterator_traits<RandomIt>::value_type>>
+void sort(const host_policy& pol, RandomIt first, RandomIt last,
+          Comp comp = {}) {
+  using T = typename std::iterator_traits<RandomIt>::value_type;
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  if (n < 2) return;
+  if (n <= pol.serial_cutoff) {
+    std::sort(first, last, comp);
+    return;
+  }
+  T* data = detail::contiguous_data(first);
+  std::vector<T> tmp(n);
+  detail::blocked_merge_sort<false, T, Comp, detail::NoteNothing>(
+      data, n, comp, tmp.data(), [&](std::size_t tasks, const auto& body) {
+        detail::host_exec(pol, tasks, body);
+      });
+}
+
+/// Parallel stable sort (blocked stable merge sort: std::stable_sort
+/// per tile, stable merge-path rounds — equal elements keep their input
+/// order, matching std::stable_sort).
+template <typename RandomIt,
+          typename Comp = std::less<
+              typename std::iterator_traits<RandomIt>::value_type>>
+void stable_sort(const host_policy& pol, RandomIt first, RandomIt last,
+                 Comp comp = {}) {
+  using T = typename std::iterator_traits<RandomIt>::value_type;
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  if (n < 2) return;
+  if (n <= pol.serial_cutoff) {
+    std::stable_sort(first, last, comp);
+    return;
+  }
+  T* data = detail::contiguous_data(first);
+  std::vector<T> tmp(n);
+  detail::blocked_merge_sort<true, T, Comp, detail::NoteNothing>(
+      data, n, comp, tmp.data(), [&](std::size_t tasks, const auto& body) {
+        detail::host_exec(pol, tasks, body);
+      });
+}
+
+/// Stable parallel merge of two sorted contiguous ranges into `out`
+/// (std::merge semantics: ties take from the first range first).
+template <typename RandomIt, typename OutIt,
+          typename Comp = std::less<
+              typename std::iterator_traits<RandomIt>::value_type>>
+void merge(const host_policy& pol, RandomIt first1, RandomIt last1,
+           RandomIt first2, RandomIt last2, OutIt out, Comp comp = {}) {
+  using T = typename std::iterator_traits<RandomIt>::value_type;
+  const std::size_t na = static_cast<std::size_t>(last1 - first1);
+  const std::size_t nb = static_cast<std::size_t>(last2 - first2);
+  if (na + nb == 0) return;
+  if (na + nb <= pol.serial_cutoff) {
+    std::merge(first1, last1, first2, last2, out, comp);
+    return;
+  }
+  detail::parallel_merge<T, Comp, detail::NoteNothing>(
+      detail::contiguous_data(first1), na, detail::contiguous_data(first2),
+      nb, detail::contiguous_data(out), comp,
+      [&](std::size_t tasks, const auto& body) {
+        detail::host_exec(pol, tasks, body);
+      });
+}
+
+/// Blocked parallel reduce (deterministic combine order; see
+/// detail::blocked_reduce).
+template <typename RandomIt, typename R,
+          typename Combine = std::plus<R>>
+[[nodiscard]] R reduce(const host_policy& pol, RandomIt first,
+                       RandomIt last, R init, Combine combine = {}) {
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  if (n <= pol.serial_cutoff) {
+    R acc = init;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = combine(acc, static_cast<R>(first[i]));
+    }
+    return acc;
+  }
+  return detail::blocked_reduce(
+      n, init, [&](std::size_t i) { return static_cast<R>(first[i]); },
+      combine, [](std::size_t, std::size_t) {},
+      [&](std::size_t tasks, const auto& body) {
+        detail::host_exec(pol, tasks, body);
+      });
+}
+
+/// Blocked parallel transform_reduce over one range.
+template <typename RandomIt, typename R, typename Transform,
+          typename Combine = std::plus<R>>
+[[nodiscard]] R transform_reduce(const host_policy& pol, RandomIt first,
+                                 RandomIt last, R init, Transform transform,
+                                 Combine combine = {}) {
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  if (n <= pol.serial_cutoff) {
+    R acc = init;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = combine(acc, static_cast<R>(transform(first[i])));
+    }
+    return acc;
+  }
+  return detail::blocked_reduce(
+      n, init,
+      [&](std::size_t i) { return static_cast<R>(transform(first[i])); },
+      combine, [](std::size_t, std::size_t) {},
+      [&](std::size_t tasks, const auto& body) {
+        detail::host_exec(pol, tasks, body);
+      });
+}
+
+/// Two-pass parallel inclusive scan (out[i] = in[0] op ... op in[i]).
+template <typename RandomIt, typename OutIt, typename Op = std::plus<>>
+void inclusive_scan(const host_policy& pol, RandomIt first, RandomIt last,
+                    OutIt out, Op op = {}) {
+  using U = typename std::iterator_traits<OutIt>::value_type;
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  if (n == 0) return;
+  if (n <= pol.serial_cutoff) {
+    U acc = static_cast<U>(first[0]);
+    out[0] = acc;
+    for (std::size_t i = 1; i < n; ++i) {
+      acc = op(acc, static_cast<U>(first[i]));
+      out[i] = acc;
+    }
+    return;
+  }
+  detail::two_pass_scan<true, typename std::iterator_traits<
+                                  RandomIt>::value_type,
+                        U, Op, detail::NoteNothing>(
+      detail::contiguous_data(first), detail::contiguous_data(out), n, U{},
+      op, [&](std::size_t tasks, const auto& body) {
+        detail::host_exec(pol, tasks, body);
+      });
+}
+
+/// Two-pass parallel exclusive scan (out[i] = init op in[0] op ... op
+/// in[i-1]; out[0] = init).
+template <typename RandomIt, typename OutIt, typename U,
+          typename Op = std::plus<>>
+void exclusive_scan(const host_policy& pol, RandomIt first, RandomIt last,
+                    OutIt out, U init, Op op = {}) {
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  if (n == 0) return;
+  if (n <= pol.serial_cutoff) {
+    U acc = init;
+    for (std::size_t i = 0; i < n; ++i) {
+      const U next = op(acc, static_cast<U>(first[i]));
+      out[i] = acc;
+      acc = next;
+    }
+    return;
+  }
+  detail::two_pass_scan<false, typename std::iterator_traits<
+                                   RandomIt>::value_type,
+                        U, Op, detail::NoteNothing>(
+      detail::contiguous_data(first), detail::contiguous_data(out), n, init,
+      op, [&](std::size_t tasks, const auto& body) {
+        detail::host_exec(pol, tasks, body);
+      });
+}
+
+/// Parallel for_each over a contiguous range.
+template <typename RandomIt, typename F>
+void for_each(const host_policy& pol, RandomIt first, RandomIt last,
+              F&& f) {
+  const std::size_t n = static_cast<std::size_t>(last - first);
+  if (n == 0) return;
+  if (n <= pol.serial_cutoff) {
+    for (std::size_t i = 0; i < n; ++i) f(first[i]);
+    return;
+  }
+  gpusim::ThreadPool::global().parallel_for_chunks(
+      n,
+      [&](std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i) f(first[i]);
+      },
+      pol.schedule, pol.grain);
+}
+
+}  // namespace mcmm::pstlx

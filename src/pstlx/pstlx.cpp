@@ -1,0 +1,38 @@
+#include "pstlx/pstlx.hpp"
+
+namespace mcmm::pstlx {
+
+std::string_view to_string(SupportTier tier) noexcept {
+  switch (tier) {
+    case SupportTier::VendorComplete:
+      return "vendor-complete";
+    case SupportTier::CustomNamespace:
+      return "custom-namespace";
+    case SupportTier::OptInExperimental:
+      return "opt-in-experimental";
+    case SupportTier::Experimental:
+      return "experimental";
+    case SupportTier::Unsupported:
+      return "unsupported";
+  }
+  return "?";
+}
+
+SupportTier tier_for(Vendor vendor, stdparx::Runtime runtime) noexcept {
+  switch (runtime) {
+    case stdparx::Runtime::NVHPC:
+      return vendor == Vendor::NVIDIA ? SupportTier::VendorComplete
+                                      : SupportTier::Unsupported;
+    case stdparx::Runtime::OneDPL:
+      return vendor == Vendor::Intel ? SupportTier::CustomNamespace
+                                     : SupportTier::Experimental;
+    case stdparx::Runtime::RocStdpar:
+      return vendor == Vendor::AMD ? SupportTier::OptInExperimental
+                                   : SupportTier::Unsupported;
+    case stdparx::Runtime::OpenSYCL:
+      return SupportTier::Experimental;
+  }
+  return SupportTier::Unsupported;
+}
+
+}  // namespace mcmm::pstlx

@@ -19,6 +19,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/error.hpp"
 #include "gpusim/thread_pool.hpp"
+#include "support/rng.hpp"
 
 // Binary-wide allocation counter: the steady-state launch path must not
 // touch the heap (no std::function, no task vectors). Counting in the
@@ -221,8 +222,9 @@ TEST(Engine, StripedMemcpyAndMemsetMatchSerial) {
   ThreadPool pool(4);
   constexpr std::size_t bytes = (std::size_t{1} << 22) + 12345;
   std::vector<unsigned char> src(bytes);
+  mcmm::testing::rng r(131);
   for (std::size_t i = 0; i < bytes; ++i) {
-    src[i] = static_cast<unsigned char>(i * 131 + 7);
+    src[i] = static_cast<unsigned char>(r.next());
   }
   std::vector<unsigned char> dst(bytes, 0);
   pool.parallel_for_chunks(bytes, [&](std::uint64_t b, std::uint64_t e) {

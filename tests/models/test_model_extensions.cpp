@@ -9,6 +9,7 @@
 #include "models/kokkosx/kokkosx.hpp"
 #include "models/ompx/ompx.hpp"
 #include "models/stdparx/stdparx.hpp"
+#include "support/rng.hpp"
 
 namespace mcmm {
 namespace {
@@ -185,8 +186,9 @@ TEST(StdparExtensions, MinMaxElementValues) {
   const auto pol = stdparx::par_gpu(Vendor::NVIDIA, stdparx::Runtime::NVHPC);
   constexpr std::size_t n = 4096;
   std::vector<double> host(n);
+  mcmm::testing::rng r(2654435761u);
   for (std::size_t i = 0; i < n; ++i) {
-    host[i] = static_cast<double>((i * 2654435761u) % 100000);
+    host[i] = static_cast<double>(r.below(100000));  // inside (-5, 1e6)
   }
   host[123] = -5.0;
   host[3210] = 1e6;

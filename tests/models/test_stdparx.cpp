@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "support/rng.hpp"
+
 namespace mcmm::stdparx {
 namespace {
 
@@ -152,8 +154,9 @@ TEST(Stdparx, SortOrdersDeviceArray) {
   const execution_policy pol = par_gpu(Vendor::NVIDIA, Runtime::NVHPC);
   constexpr std::size_t n = 2048;
   std::vector<int> host(n);
+  mcmm::testing::rng r(7919);
   for (std::size_t i = 0; i < n; ++i) {
-    host[i] = static_cast<int>((i * 7919) % 10007);
+    host[i] = static_cast<int>(r.below(10007));
   }
   device_vector<int> d(pol, n);
   d.upload(host.data(), n);

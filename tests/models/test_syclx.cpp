@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "support/rng.hpp"
+
 namespace mcmm::syclx {
 namespace {
 
@@ -131,8 +133,9 @@ TEST(Syclx, MaxReduction) {
   queue q(Vendor::AMD, Implementation::OpenSYCL);
   constexpr std::size_t n = 5000;
   std::vector<double> host(n);
+  mcmm::testing::rng r(0x57c1u);
   for (std::size_t i = 0; i < n; ++i) {
-    host[i] = static_cast<double>((i * 37) % 1000);
+    host[i] = static_cast<double>(r.below(1000));  // all below the max
   }
   host[1234] = 5000.0;
   double* d = q.malloc_device<double>(n);

@@ -1,0 +1,172 @@
+// pstlx determinism regression test: every algorithm's output — and the
+// simulated clock it produces — must be byte-identical across
+// MCMM_NUM_THREADS = 1, 4, and hardware_concurrency, under both launch
+// schedules. The worker count is pinned per process (the global pool is
+// a process-wide singleton), so each leg re-executes this binary via
+// /proc/self/exe with `--emit-fingerprint`, which prints a full dump of
+// every result buffer plus the simulated time consumed.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/stdparx/stdparx.hpp"
+#include "pstlx/host.hpp"
+#include "pstlx/pstlx.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcmm::Vendor;
+using mcmm::stdparx::Runtime;
+namespace pstlx = mcmm::pstlx;
+namespace mtest = mcmm::testing;
+
+constexpr std::size_t kN = 12289;  // prime: short tail tiles everywhere
+
+void dump(std::ostream& os, const char* tag, const auto& v) {
+  os << tag << ':';
+  for (const auto& x : v) os << ' ' << x;
+  os << '\n';
+}
+
+/// One schedule's worth of device + host algorithm runs, streamed as
+/// text. Any thread-count dependence shows up as a byte diff.
+void fingerprint_schedule(std::ostream& os, mcmm::gpusim::Schedule s) {
+  pstlx::schedule_guard guard(s);
+  const auto pol = mcmm::stdparx::par_gpu(Vendor::NVIDIA, Runtime::NVHPC);
+
+  const std::vector<int> in =
+      mtest::make_data<int>(mtest::Shape::Random, kN, 0xf1bceed5ull);
+
+  mcmm::stdparx::device_vector<int> a(pol, kN);
+  mcmm::stdparx::device_vector<int> b(pol, kN);
+  mcmm::stdparx::device_vector<int> merged(pol, 2 * kN);
+  mcmm::stdparx::device_vector<long> scanned(pol, kN);
+  a.upload(in.data(), kN);
+  b.upload(in.data(), kN);
+
+  pstlx::for_each(pol, a.begin(), a.end(), [](int& x) { x = x * 3 + 1; });
+  pstlx::sort(pol, a.begin(), a.end());
+  pstlx::stable_sort(pol, b.begin(), b.end());
+  pstlx::merge(pol, a.begin(), a.end(), b.begin(), b.end(),
+               merged.begin());
+  pstlx::inclusive_scan(pol, b.begin(), b.end(), scanned.begin());
+  const long sum = pstlx::reduce(pol, a.begin(), a.end(), 0L);
+  const long dot =
+      pstlx::transform_reduce(pol, a.begin(), a.end(), b.begin(), 0L);
+  pol.queue().synchronize();
+
+  std::vector<int> sorted(kN), merged_h(2 * kN);
+  std::vector<long> scanned_h(kN);
+  a.download(sorted.data(), kN);
+  merged.download(merged_h.data(), 2 * kN);
+  scanned.download(scanned_h.data(), kN);
+
+  os << "schedule " << (s == mcmm::gpusim::Schedule::Static ? "static"
+                                                            : "dynamic")
+     << '\n';
+  dump(os, "sorted", sorted);
+  dump(os, "merged", merged_h);
+  dump(os, "scanned", scanned_h);
+  os << "sum: " << sum << "\ndot: " << dot
+     << "\nsim_us: " << pol.queue().simulated_time_us() << '\n';
+
+  // Host fallback over the thread pool: same invariants, no queue.
+  const pstlx::host_policy host{.schedule = s, .serial_cutoff = 64};
+  std::vector<int> hsorted = in;
+  std::vector<long> hscanned(kN);
+  pstlx::sort(host, hsorted.begin(), hsorted.end());
+  pstlx::inclusive_scan(host, hsorted.begin(), hsorted.end(),
+                        hscanned.begin());
+  const long hsum = pstlx::reduce(host, in.begin(), in.end(), 0L);
+  dump(os, "host_sorted", hsorted);
+  dump(os, "host_scanned", hscanned);
+  os << "host_sum: " << hsum << '\n';
+}
+
+int emit_fingerprint() {
+  std::ostringstream os;
+  fingerprint_schedule(os, mcmm::gpusim::Schedule::Static);
+  fingerprint_schedule(os, mcmm::gpusim::Schedule::Dynamic);
+  const std::string text = os.str();
+  std::fputs(text.c_str(), stdout);
+  return text.empty() ? 1 : 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// This binary's path, resolved in-process (inside std::system's shell,
+/// /proc/self/exe would name the shell).
+std::string self_exe() {
+  char buffer[4096];
+  const ssize_t len =
+      ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (len <= 0) return {};
+  buffer[len] = '\0';
+  return buffer;
+}
+
+/// Re-executes this binary with MCMM_NUM_THREADS pinned and returns the
+/// child's fingerprint bytes.
+std::string fingerprint_with_threads(unsigned threads,
+                                     const std::string& tag) {
+  const std::string exe = self_exe();
+  if (exe.empty()) {
+    ADD_FAILURE() << "cannot resolve /proc/self/exe";
+    return {};
+  }
+  const std::string out_path = "pstlx_determinism_" + tag + ".txt";
+  const std::string cmd = "MCMM_NUM_THREADS=" + std::to_string(threads) +
+                          " '" + exe + "' --emit-fingerprint > '" +
+                          out_path + "' 2>/dev/null";
+  const int rc = std::system(cmd.c_str());
+  EXPECT_EQ(rc, 0) << "child re-exec failed for " << threads << " threads";
+  const std::string fp = read_file(out_path);
+  std::remove(out_path.c_str());
+  return fp;
+}
+
+TEST(PstlxDeterminism, FingerprintIdenticalAcrossWorkerCounts) {
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  const std::string f1 = fingerprint_with_threads(1, "t1");
+  const std::string f4 = fingerprint_with_threads(4, "t4");
+  const std::string fhw = fingerprint_with_threads(hw, "thw");
+  ASSERT_FALSE(f1.empty());
+  EXPECT_EQ(f1, f4) << "pstlx results depend on the worker count";
+  EXPECT_EQ(f1, fhw) << "pstlx results depend on the worker count";
+}
+
+TEST(PstlxDeterminism, BackToBackRunsInOneProcessMatch) {
+  std::ostringstream first, second;
+  fingerprint_schedule(first, mcmm::gpusim::Schedule::Dynamic);
+  fingerprint_schedule(second, mcmm::gpusim::Schedule::Dynamic);
+  ASSERT_FALSE(first.str().empty());
+  EXPECT_EQ(first.str(), second.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--emit-fingerprint") == 0) {
+      return emit_fingerprint();
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,137 @@
+// Edge-tiling coverage (satellite): gpusim::Queue launches tile work
+// with exact ceil-division — no padding threads, no dropped tail. The
+// pstlx sort and scan decompositions lean on that tiling at every
+// awkward count: primes, one-off-from-power-of-two, sizes below one
+// tile, sizes that leave a single-element tail tile. A wrong tile
+// boundary shows up here as a missing or doubled element, not a race.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "models/stdparx/stdparx.hpp"
+#include "pstlx/pstlx.hpp"
+#include "support/rng.hpp"
+
+namespace mcmm {
+namespace {
+
+using testing::Shape;
+using testing::make_data;
+
+// Around the sort tile floor (1024), the tile-count cap (64 tiles →
+// 65536 elements), powers of two ± 1, primes, and a large prime.
+constexpr std::size_t kAwkwardSizes[] = {
+    1,    2,    3,     63,    64,    65,    1000,  1023,   1024,
+    1025, 2047, 2049,  4097,  65535, 65536, 65537, 104729,
+};
+
+[[nodiscard]] stdparx::execution_policy device_policy() {
+  return stdparx::par_gpu(Vendor::NVIDIA, stdparx::Runtime::NVHPC);
+}
+
+TEST(PstlxEdgeTiling, SortEveryAwkwardSize) {
+  const auto pol = device_policy();
+  for (const std::size_t n : kAwkwardSizes) {
+    SCOPED_TRACE(::testing::Message() << "n=" << n);
+    std::vector<int> expected = make_data<int>(Shape::Random, n, n * 31);
+    stdparx::device_vector<int> d(pol, n);
+    d.upload(expected.data(), n);
+    pstlx::sort(pol, d.begin(), d.end());
+    std::vector<int> got(n);
+    d.download(got.data(), n);
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(got, expected);
+  }
+}
+
+TEST(PstlxEdgeTiling, InclusiveScanEveryAwkwardSize) {
+  const auto pol = device_policy();
+  for (const std::size_t n : kAwkwardSizes) {
+    SCOPED_TRACE(::testing::Message() << "n=" << n);
+    const std::vector<long> in = make_data<long>(Shape::Random, n, n * 37);
+    stdparx::device_vector<long> d(pol, n);
+    stdparx::device_vector<long> dout(pol, n);
+    d.upload(in.data(), n);
+    pstlx::inclusive_scan(pol, d.begin(), d.end(), dout.begin());
+    std::vector<long> got(n);
+    dout.download(got.data(), n);
+    std::vector<long> expected(n);
+    std::inclusive_scan(in.begin(), in.end(), expected.begin());
+    ASSERT_EQ(got, expected);
+  }
+}
+
+TEST(PstlxEdgeTiling, ExclusiveScanEveryAwkwardSize) {
+  const auto pol = device_policy();
+  for (const std::size_t n : kAwkwardSizes) {
+    SCOPED_TRACE(::testing::Message() << "n=" << n);
+    const std::vector<long> in = make_data<long>(Shape::Random, n, n * 41);
+    stdparx::device_vector<long> d(pol, n);
+    stdparx::device_vector<long> dout(pol, n);
+    d.upload(in.data(), n);
+    pstlx::exclusive_scan(pol, d.begin(), d.end(), dout.begin(), 1L);
+    std::vector<long> got(n);
+    dout.download(got.data(), n);
+    std::vector<long> expected(n);
+    std::exclusive_scan(in.begin(), in.end(), expected.begin(), 1L);
+    ASSERT_EQ(got, expected);
+  }
+}
+
+/// Asymmetric merges: a short tail tile in one range must not misalign
+/// the co-rank split of the other.
+TEST(PstlxEdgeTiling, MergeLopsidedRanges) {
+  const auto pol = device_policy();
+  const std::pair<std::size_t, std::size_t> splits[] = {
+      {1, 104729}, {104729, 1}, {1023, 1025}, {4097, 63}, {65537, 2047},
+  };
+  for (const auto& [na, nb] : splits) {
+    SCOPED_TRACE(::testing::Message() << "na=" << na << " nb=" << nb);
+    std::vector<int> a = make_data<int>(Shape::DuplicateHeavy, na, na);
+    std::vector<int> b = make_data<int>(Shape::DuplicateHeavy, nb, nb);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    stdparx::device_vector<int> da(pol, na);
+    stdparx::device_vector<int> db(pol, nb);
+    stdparx::device_vector<int> dout(pol, na + nb);
+    da.upload(a.data(), na);
+    db.upload(b.data(), nb);
+    pstlx::merge(pol, da.begin(), da.end(), db.begin(), db.end(),
+                 dout.begin());
+    std::vector<int> got(na + nb);
+    dout.download(got.data(), na + nb);
+    std::vector<int> expected(na + nb);
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), expected.begin());
+    ASSERT_EQ(got, expected);
+  }
+}
+
+/// Both schedules walk the same tiles: a Static/Dynamic disagreement at
+/// an awkward size would betray a tiling dependent on work distribution.
+TEST(PstlxEdgeTiling, AwkwardSizesScheduleInvariant) {
+  for (const std::size_t n : {std::size_t{65}, std::size_t{104729}}) {
+    SCOPED_TRACE(::testing::Message() << "n=" << n);
+    const std::vector<int> in = make_data<int>(Shape::Random, n, n * 43);
+    std::vector<int> results[2];
+    int slot = 0;
+    for (const auto s :
+         {gpusim::Schedule::Static, gpusim::Schedule::Dynamic}) {
+      pstlx::schedule_guard guard(s);
+      const auto pol = device_policy();
+      stdparx::device_vector<int> d(pol, n);
+      d.upload(in.data(), n);
+      pstlx::sort(pol, d.begin(), d.end());
+      results[slot].resize(n);
+      d.download(results[slot].data(), n);
+      ++slot;
+    }
+    ASSERT_EQ(results[0], results[1]);
+  }
+}
+
+}  // namespace
+}  // namespace mcmm

@@ -12,27 +12,14 @@
 
 #include "core/error.hpp"
 #include "data/dataset.hpp"
+#include "support/rng.hpp"
 
 namespace mcmm::yamlx {
 namespace {
 
-/// A deterministic xorshift so failures reproduce.
-class Rng {
- public:
-  explicit Rng(std::uint64_t seed) : state_(seed | 1) {}
-  std::uint64_t next() {
-    state_ ^= state_ << 13;
-    state_ ^= state_ >> 7;
-    state_ ^= state_ << 17;
-    return state_;
-  }
-  std::size_t below(std::size_t n) {
-    return static_cast<std::size_t>(next() % n);
-  }
-
- private:
-  std::uint64_t state_;
-};
+/// Deterministic seeded generator (shared test helper) so failures
+/// reproduce.
+using Rng = mcmm::testing::rng;
 
 [[nodiscard]] std::string base_document() {
   Node root = Node::mapping();

@@ -68,7 +68,7 @@ commands:
   export <directory>                     write YAML/HTML/LaTeX/MD/CSV
   diff <before.yaml> <after.yaml>        changelog between two snapshots
   sanitize [--passes p1,p2] [--json] [--report <path>]
-           [--fixture oob|uaf|race|race-clean|leak]
+           [--fixture oob|uaf|race|race-clean|leak|pstlx]
            [-- <command> [args...]]
                                          run gpusan (memcheck/racecheck/
                                          leakcheck) over the clean suite, a
@@ -406,6 +406,9 @@ int cmd_sanitize(const std::vector<std::string>& args) {
       gpusan::fixtures::privatized_histogram(gpusim::Schedule::Dynamic);
     } else if (fixture == "leak") {
       gpusan::fixtures::leak();
+    } else if (fixture == "pstlx") {
+      gpusan::fixtures::pstlx_suite(gpusim::Schedule::Static);
+      gpusan::fixtures::pstlx_suite(gpusim::Schedule::Dynamic);
     } else {
       std::cerr << "unknown fixture: " << fixture << "\n";
       return 2;
