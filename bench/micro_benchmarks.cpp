@@ -28,8 +28,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <utility>
+
+#include "gpusim/graph.hpp"
 
 #include "bench_support/stream.hpp"
 #include "data/dataset.hpp"
@@ -190,6 +193,24 @@ struct EngineReport {
   double cscan_ms_hashmap{0};
   double cscan_ms_pstlx{0};
   bool cscan_identical{false};
+  // Graph replay A/B: per-node host overhead of replaying a pre-compiled
+  // kernel chain vs eager launches of the same chain, plus the BabelStream
+  // capture/replay identity check (results and simulated clock must match
+  // the eager run bit-for-bit).
+  std::uint64_t graph_nodes{0};
+  double graph_eager_ns{0};   ///< eager ns per launch over the chain
+  double graph_replay_ns{0};  ///< replay ns per node over the chain
+  std::uint64_t graph_stream_n{0};
+  bool graph_results_identical{false};
+  bool graph_sim_time_identical{false};
+  // Multi-device weak scaling: the Triad cycle on 1/2/4 devices at a fixed
+  // n per device, with a P2P gather back to device 0.
+  std::uint64_t md_n{0};
+  double md_sim_us_1{0};
+  double md_sim_us_2{0};
+  double md_sim_us_4{0};
+  double md_p2p_us{0};  ///< gather peer-link time of the 4-device run
+  bool md_results_identical{false};
 };
 
 /// gpuprof A/B: the disabled-path guarantee (hooks off = one atomic load
@@ -475,6 +496,218 @@ void run_pstlx_harness(EngineReport& rep) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Graph replay A/B and multi-device weak scaling (tentpole dogfood).
+// ---------------------------------------------------------------------------
+
+/// Per-node replay overhead vs eager launches, and the BabelStream
+/// capture/replay identity check.
+void run_graph_harness(EngineReport& rep) {
+  constexpr int kTimingReps = 5;
+  const gpusim::DeviceDescriptor descriptor =
+      gpusim::tiny_test_device(std::size_t{1} << 26);
+
+  // --- Host overhead: a chain of single-item empty kernels. The eager
+  // path pays validation + hook probes + thunk setup per launch; replay
+  // walks a pre-compiled op array (the chain fuses into one indirect
+  // call). ---
+  {
+    constexpr std::uint64_t kNodes = 8192;
+    rep.graph_nodes = kNodes;
+    gpusim::Device dev(descriptor);
+    gpusim::Queue& q = dev.default_queue();
+    const gpusim::LaunchConfig cfg = gpusim::launch_1d(1, 1);
+    const gpusim::KernelCosts empty{};
+    const auto body = [](const gpusim::WorkItem&) {};
+
+    for (std::uint64_t i = 0; i < 1000; ++i) q.launch(cfg, empty, body);
+    rep.graph_eager_ns = std::numeric_limits<double>::max();
+    for (int r = 0; r < kTimingReps; ++r) {
+      const auto t0 = Clock::now();
+      for (std::uint64_t i = 0; i < kNodes; ++i) q.launch(cfg, empty, body);
+      rep.graph_eager_ns = std::min(
+          rep.graph_eager_ns, seconds_since(t0) * 1e9 / kNodes);
+    }
+
+    gpusim::Graph graph;
+    q.begin_capture(graph);
+    for (std::uint64_t i = 0; i < kNodes; ++i) q.launch(cfg, empty, body);
+    (void)q.end_capture();
+    gpusim::ExecutableGraph exec(graph, q);
+    (void)exec.replay(q);  // warm-up
+    rep.graph_replay_ns = std::numeric_limits<double>::max();
+    for (int r = 0; r < kTimingReps; ++r) {
+      const auto t0 = Clock::now();
+      (void)exec.replay(q);
+      rep.graph_replay_ns = std::min(
+          rep.graph_replay_ns, seconds_since(t0) * 1e9 / kNodes);
+    }
+  }
+
+  // --- Identity: the full BabelStream Triad cycle (init + reps x
+  // copy/mul/add/triad) captured from a fresh queue and replayed once on
+  // a fresh device must match the eager run bit-for-bit — array contents
+  // and final simulated clock. ---
+  {
+    constexpr std::uint64_t n = std::uint64_t{1} << 20;
+    constexpr int reps = 3;
+    constexpr double kScalar = 0.4;
+    rep.graph_stream_n = n;
+    const gpusim::LaunchConfig cfg = gpusim::launch_1d(n, 256);
+    gpusim::KernelCosts stream_costs;
+    stream_costs.bytes_read = 2.0 * static_cast<double>(n) * sizeof(double);
+    stream_costs.bytes_written = static_cast<double>(n) * sizeof(double);
+    stream_costs.flops = 2.0 * static_cast<double>(n);
+
+    const auto submit = [&](gpusim::Queue& q, double* a, double* b,
+                            double* c) {
+      (void)q.launch(cfg, stream_costs, [=](const gpusim::WorkItem& it) {
+        const std::uint64_t i = it.global_x();
+        if (i < n) {
+          a[i] = 0.1;
+          b[i] = 0.2;
+          c[i] = 0.0;
+        }
+      });
+      for (int r = 0; r < reps; ++r) {
+        (void)q.launch(cfg, stream_costs, [=](const gpusim::WorkItem& it) {
+          const std::uint64_t i = it.global_x();
+          if (i < n) c[i] = a[i];
+        });
+        (void)q.launch(cfg, stream_costs, [=](const gpusim::WorkItem& it) {
+          const std::uint64_t i = it.global_x();
+          if (i < n) b[i] = kScalar * c[i];
+        });
+        (void)q.launch(cfg, stream_costs, [=](const gpusim::WorkItem& it) {
+          const std::uint64_t i = it.global_x();
+          if (i < n) c[i] = a[i] + b[i];
+        });
+        (void)q.launch(cfg, stream_costs, [=](const gpusim::WorkItem& it) {
+          const std::uint64_t i = it.global_x();
+          if (i < n) a[i] = b[i] + kScalar * c[i];
+        });
+      }
+    };
+
+    gpusim::Device eager_dev(descriptor);
+    auto* ea = static_cast<double*>(eager_dev.allocate(n * sizeof(double)));
+    auto* eb = static_cast<double*>(eager_dev.allocate(n * sizeof(double)));
+    auto* ec = static_cast<double*>(eager_dev.allocate(n * sizeof(double)));
+    submit(eager_dev.default_queue(), ea, eb, ec);
+    const double eager_sim = eager_dev.default_queue().simulated_time_us();
+
+    gpusim::Device replay_dev(descriptor);
+    auto* ra = static_cast<double*>(replay_dev.allocate(n * sizeof(double)));
+    auto* rb = static_cast<double*>(replay_dev.allocate(n * sizeof(double)));
+    auto* rc = static_cast<double*>(replay_dev.allocate(n * sizeof(double)));
+    gpusim::Queue& rq = replay_dev.default_queue();
+    gpusim::Graph graph;
+    rq.begin_capture(graph);
+    submit(rq, ra, rb, rc);
+    (void)rq.end_capture();
+    gpusim::ExecutableGraph exec(graph, rq);
+    (void)exec.replay(rq);
+
+    rep.graph_sim_time_identical = rq.simulated_time_us() == eager_sim;
+    rep.graph_results_identical =
+        std::memcmp(ea, ra, n * sizeof(double)) == 0 &&
+        std::memcmp(eb, rb, n * sizeof(double)) == 0 &&
+        std::memcmp(ec, rc, n * sizeof(double)) == 0;
+
+    eager_dev.deallocate(ea);
+    eager_dev.deallocate(eb);
+    eager_dev.deallocate(ec);
+    replay_dev.deallocate(ra);
+    replay_dev.deallocate(rb);
+    replay_dev.deallocate(rc);
+  }
+}
+
+/// Triad weak scaling on 1/2/4 local devices (fixed n per device), with a
+/// P2P gather of each device's array head back to device 0 for the
+/// cross-device identity check.
+void run_multi_device_harness(EngineReport& rep) {
+  constexpr std::uint64_t n = std::uint64_t{1} << 20;
+  constexpr int reps = 3;
+  constexpr double kScalar = 0.4;
+  constexpr std::uint64_t kGatherDoubles = 1024;
+  rep.md_n = n;
+  const gpusim::DeviceDescriptor descriptor =
+      gpusim::tiny_test_device(std::size_t{1} << 26);
+  const gpusim::LaunchConfig cfg = gpusim::launch_1d(n, 256);
+  gpusim::KernelCosts stream_costs;
+  stream_costs.bytes_read = 2.0 * static_cast<double>(n) * sizeof(double);
+  stream_costs.bytes_written = static_cast<double>(n) * sizeof(double);
+  stream_costs.flops = 2.0 * static_cast<double>(n);
+
+  rep.md_results_identical = true;
+  for (const unsigned count : {1u, 2u, 4u}) {
+    std::vector<std::unique_ptr<gpusim::Device>> devs;
+    std::vector<double*> as(count), bs(count), cs(count);
+    for (unsigned d = 0; d < count; ++d) {
+      devs.push_back(std::make_unique<gpusim::Device>(descriptor, d));
+      as[d] = static_cast<double*>(devs[d]->allocate(n * sizeof(double)));
+      bs[d] = static_cast<double*>(devs[d]->allocate(n * sizeof(double)));
+      cs[d] = static_cast<double*>(devs[d]->allocate(n * sizeof(double)));
+    }
+    auto* gather = static_cast<double*>(
+        devs[0]->allocate(count * kGatherDoubles * sizeof(double)));
+
+    for (unsigned d = 0; d < count; ++d) {
+      gpusim::Queue& q = devs[d]->default_queue();
+      double* a = as[d];
+      double* b = bs[d];
+      double* c = cs[d];
+      (void)q.launch(cfg, stream_costs, [=](const gpusim::WorkItem& it) {
+        const std::uint64_t i = it.global_x();
+        if (i < n) {
+          a[i] = 0.1;
+          b[i] = 0.2;
+          c[i] = 0.0;
+        }
+      });
+      for (int r = 0; r < reps; ++r) {
+        (void)q.launch(cfg, stream_costs, [=](const gpusim::WorkItem& it) {
+          const std::uint64_t i = it.global_x();
+          if (i < n) a[i] = b[i] + kScalar * c[i];
+        });
+      }
+    }
+    // Gather each device's array head to device 0 over the peer link.
+    double p2p_us = 0;
+    for (unsigned d = 0; d < count; ++d) {
+      const gpusim::Event e = devs[d]->default_queue().memcpy_peer(
+          gather + d * kGatherDoubles, *devs[0], as[d],
+          kGatherDoubles * sizeof(double));
+      if (d > 0) p2p_us += e.duration_us();
+    }
+    double t_max = 0;
+    for (unsigned d = 0; d < count; ++d) {
+      t_max = std::max(t_max, devs[d]->default_queue().simulated_time_us());
+    }
+    if (count == 1) rep.md_sim_us_1 = t_max;
+    if (count == 2) rep.md_sim_us_2 = t_max;
+    if (count == 4) {
+      rep.md_sim_us_4 = t_max;
+      rep.md_p2p_us = p2p_us;
+    }
+    // Every device ran identical data: the gathered heads must be
+    // bitwise equal to device 0's.
+    for (unsigned d = 1; d < count; ++d) {
+      rep.md_results_identical =
+          rep.md_results_identical &&
+          std::memcmp(gather, gather + d * kGatherDoubles,
+                      kGatherDoubles * sizeof(double)) == 0;
+    }
+    devs[0]->deallocate(gather);
+    for (unsigned d = 0; d < count; ++d) {
+      devs[d]->deallocate(as[d]);
+      devs[d]->deallocate(bs[d]);
+      devs[d]->deallocate(cs[d]);
+    }
+  }
+}
+
 [[nodiscard]] bool write_engine_json(const EngineReport& r,
                                      const std::string& path) {
   std::ofstream out(path);
@@ -539,6 +772,36 @@ void run_pstlx_harness(EngineReport& rep) {
       << "    \"results_identical\": "
       << (r.cscan_identical ? "true" : "false") << "\n"
       << "  },\n"
+      << "  \"graph_replay\": {\n"
+      << "    \"kernel\": \"chain of empty single-item kernels\",\n"
+      << "    \"nodes\": " << r.graph_nodes << ",\n"
+      << "    \"eager_ns_per_launch\": " << r.graph_eager_ns << ",\n"
+      << "    \"replay_ns_per_node\": " << r.graph_replay_ns << ",\n"
+      << "    \"speedup\": "
+      << (r.graph_replay_ns > 0 ? r.graph_eager_ns / r.graph_replay_ns : 0.0)
+      << ",\n"
+      << "    \"budget_ns_per_node\": " << r.graph_eager_ns / 5.0 << ",\n"
+      << "    \"within_budget\": "
+      << (r.graph_replay_ns * 5.0 <= r.graph_eager_ns ? "true" : "false")
+      << ",\n"
+      << "    \"stream_n\": " << r.graph_stream_n << ",\n"
+      << "    \"results_identical\": "
+      << (r.graph_results_identical ? "true" : "false") << ",\n"
+      << "    \"sim_time_identical\": "
+      << (r.graph_sim_time_identical ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"multi_device\": {\n"
+      << "    \"kernel\": \"Triad weak scaling, n per device\",\n"
+      << "    \"n_per_device\": " << r.md_n << ",\n"
+      << "    \"sim_us_1\": " << r.md_sim_us_1 << ",\n"
+      << "    \"sim_us_2\": " << r.md_sim_us_2 << ",\n"
+      << "    \"sim_us_4\": " << r.md_sim_us_4 << ",\n"
+      << "    \"gather_p2p_us\": " << r.md_p2p_us << ",\n"
+      << "    \"weak_scaling_efficiency\": "
+      << (r.md_sim_us_4 > 0 ? r.md_sim_us_1 / r.md_sim_us_4 : 0.0) << ",\n"
+      << "    \"results_identical\": "
+      << (r.md_results_identical ? "true" : "false") << "\n"
+      << "  },\n"
       << "  \"sim_time_identical\": "
       << (r.sim_time_identical ? "true" : "false") << ",\n"
       << "  \"results_identical\": "
@@ -560,6 +823,20 @@ void run_pstlx_harness(EngineReport& rep) {
       r.psort_ms_pstlx, r.psort_identical ? "true" : "false",
       static_cast<unsigned long long>(r.cscan_records), r.cscan_ms_hashmap,
       r.cscan_ms_pstlx, r.cscan_identical ? "true" : "false");
+  std::printf(
+      "graph A/B: eager %.2f ns/launch vs replay %.2f ns/node (%.1fx, "
+      "%llu nodes); stream capture/replay identical: results=%s "
+      "sim_time=%s\n",
+      r.graph_eager_ns, r.graph_replay_ns,
+      r.graph_replay_ns > 0 ? r.graph_eager_ns / r.graph_replay_ns : 0.0,
+      static_cast<unsigned long long>(r.graph_nodes),
+      r.graph_results_identical ? "true" : "false",
+      r.graph_sim_time_identical ? "true" : "false");
+  std::printf(
+      "multi-device: Triad weak scaling T1 %.1f us, T2 %.1f us, T4 %.1f "
+      "us (gather p2p %.2f us); results_identical=%s\n",
+      r.md_sim_us_1, r.md_sim_us_2, r.md_sim_us_4, r.md_p2p_us,
+      r.md_results_identical ? "true" : "false");
   std::printf("engine A/B report written to %s\n", path.c_str());
   return true;
 }
@@ -617,10 +894,15 @@ int main(int argc, char** argv) {
       report.profiler_off_ns, report.profiler_on_ns,
       report.profiler_after_disable_ns);
   run_pstlx_harness(report);
+  run_graph_harness(report);
+  run_multi_device_harness(report);
   if (!write_engine_json(report, json_path)) return 1;
   const bool all_identical = report.sim_time_identical &&
                              report.results_identical &&
                              report.psort_identical &&
-                             report.cscan_identical;
+                             report.cscan_identical &&
+                             report.graph_results_identical &&
+                             report.graph_sim_time_identical &&
+                             report.md_results_identical;
   return all_identical ? 0 : 2;
 }

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <tuple>
 #include <unordered_map>
 
 #include "gpusim/device.hpp"
@@ -31,6 +32,11 @@ struct State {
   std::map<std::uint64_t, TraceEvent> open;  ///< begun, end not yet seen
   std::vector<TraceEvent> events;
   std::uint64_t dropped{0};
+  /// Graph-replay per-node attribution, folded in bulk at replay end.
+  /// Raw-sum convention of Trace::folded (peak parked in pct_of_peak,
+  /// latency sum in launch_overhead_pct).
+  std::map<std::tuple<std::string, std::string, std::string>, KernelSummary>
+      folded;
 };
 
 State& state() {
@@ -158,14 +164,18 @@ std::uint64_t hook_copy_begin(void*, gpusim::Queue& queue,
   OpKind op = OpKind::MemcpyH2D;
   if (kind == gpusim::CopyKind::DeviceToHost) op = OpKind::MemcpyD2H;
   if (kind == gpusim::CopyKind::DeviceToDevice) op = OpKind::MemcpyD2D;
+  if (kind == gpusim::CopyKind::PeerToPeer) op = OpKind::MemcpyP2P;
   const std::uint64_t id =
       open_event(s, queue, op, std::string(to_string(op)));
   if (id == 0) return 0;
   TraceEvent& e = s.open.at(id);
   // Traffic as the cost model bills it: D2H reads device DRAM, H2D writes
-  // it, D2D does both.
+  // it, D2D does both, P2P reads the source device (the event lives on the
+  // source queue; the destination device's DRAM is not this account).
   if (op != OpKind::MemcpyH2D) e.bytes_read = static_cast<double>(bytes);
-  if (op != OpKind::MemcpyD2H) e.bytes_written = static_cast<double>(bytes);
+  if (op != OpKind::MemcpyD2H && op != OpKind::MemcpyP2P) {
+    e.bytes_written = static_cast<double>(bytes);
+  }
   return id;
 }
 
@@ -208,10 +218,66 @@ void hook_sync(void*, gpusim::Queue& queue, double sim_us) {
   add_marker(s, queue, OpKind::Sync, "Sync", sim_us);
 }
 
+std::uint64_t hook_graph_replay_begin(void*, gpusim::Queue& queue,
+                                      std::size_t node_count) {
+  State& s = state();
+  const std::lock_guard lock(s.mu);
+  if (!s.enabled) return 0;
+  const std::uint64_t id =
+      open_event(s, queue, OpKind::GraphReplay, "GraphReplay");
+  if (id == 0) return 0;
+  s.open.at(id).items = node_count;  // nodes dispatched, not work items
+  return id;
+}
+
+void hook_graph_replay_end(void*, gpusim::Queue& queue, std::uint64_t id,
+                           const gpusim::Event& sim,
+                           const gpusim::GraphNodeSample* nodes,
+                           std::size_t count) {
+  State& s = state();
+  const std::lock_guard lock(s.mu);
+  // Fold per-node attribution into the summary rows the way the eager path
+  // would have accumulated per-launch events: same (device, name, model)
+  // key, same traffic and simulated spans, so roofline numbers line up.
+  // Host time is not attributed per node (the replay's host span lives on
+  // the single GraphReplay event).
+  const gpusim::DeviceDescriptor& dev = queue.device().descriptor();
+  const double latency_us = dev.kernel_launch_latency_us +
+                            queue.backend_profile().extra_launch_latency_us;
+  const std::string& model = queue.backend_profile().label;
+  for (std::size_t i = 0; i < count; ++i) {
+    const gpusim::GraphNodeSample& n = nodes[i];
+    const bool is_kernel = n.kind == gpusim::GraphNodeKind::Kernel;
+    if (!is_kernel && n.kind != gpusim::GraphNodeKind::Memset) continue;
+    const char* name =
+        n.label != nullptr ? n.label : (is_kernel ? "kernel" : "Memset");
+    KernelSummary& row = s.folded[{dev.name, name, model}];
+    row.vendor = dev.vendor;
+    row.device = dev.name;
+    row.name = name;
+    row.model = model;
+    ++row.launches;
+    row.items += n.items;
+    row.bytes += n.bytes_read + n.bytes_written;
+    row.sim_us += n.sim_end_us - n.sim_begin_us;
+    row.pct_of_peak = dev.mem_bandwidth_gbps;  // temporarily holds peak
+    row.launch_overhead_pct += latency_us;     // temporarily a sum
+  }
+  close_event(s, id, sim);
+}
+
 constexpr gpusim::ProfilerHooks kHooks{
-    nullptr,          &hook_launch_begin, &hook_launch_end,
-    &hook_copy_begin, &hook_copy_end,     &hook_fill_begin,
-    &hook_fill_end,   &hook_event_record, &hook_sync,
+    nullptr,
+    &hook_launch_begin,
+    &hook_launch_end,
+    &hook_copy_begin,
+    &hook_copy_end,
+    &hook_fill_begin,
+    &hook_fill_end,
+    &hook_event_record,
+    &hook_sync,
+    &hook_graph_replay_begin,
+    &hook_graph_replay_end,
 };
 
 /// Builds a trace snapshot (s.mu held).
@@ -220,6 +286,8 @@ constexpr gpusim::ProfilerHooks kHooks{
   t.events = s.events;
   t.dropped = s.dropped;
   t.incomplete = s.open.size();
+  t.folded.reserve(s.folded.size());
+  for (const auto& [key, row] : s.folded) t.folded.push_back(row);
   return t;
 }
 
@@ -274,6 +342,7 @@ void reset() {
   const std::lock_guard lock(s.mu);
   s.events.clear();
   s.open.clear();
+  s.folded.clear();
   s.queue_ids.clear();
   s.dropped = 0;
   s.next_id = 1;

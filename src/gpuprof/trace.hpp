@@ -19,9 +19,11 @@ enum class OpKind : std::uint8_t {
   MemcpyH2D,
   MemcpyD2H,
   MemcpyD2D,
+  MemcpyP2P,    ///< peer-to-peer copy over the inter-device link
   Memset,
   EventRecord,  ///< Queue::record() marker (zero duration)
   Sync,         ///< Queue::synchronize() marker (zero duration)
+  GraphReplay,  ///< one ExecutableGraph replay (whole-graph span)
 };
 
 [[nodiscard]] std::string_view to_string(OpKind k) noexcept;
@@ -80,11 +82,20 @@ struct Trace {
   std::vector<TraceEvent> events;
   std::uint64_t dropped{0};     ///< ops beyond the event cap
   std::uint64_t incomplete{0};  ///< begun ops with no end at snapshot time
+  /// Pre-aggregated per-kernel rows contributed by graph replays: a replay
+  /// produces one GraphReplay timeline event plus bulk per-node attribution
+  /// folded here (no per-node timeline events — that per-node traffic is
+  /// the overhead replay removes). Rows carry *raw sums* in the same
+  /// interim convention kernel_summaries() uses while accumulating
+  /// (pct_of_peak holds the device peak, launch_overhead_pct the latency
+  /// sum); kernel_summaries() merges and finalizes them.
+  std::vector<KernelSummary> folded;
 
   [[nodiscard]] bool empty() const noexcept { return events.empty(); }
 
   /// Per-kernel roofline attribution, grouped by (device, name, model),
-  /// kernels and memsets only (copies have no kernel roofline).
+  /// kernels and memsets only (copies have no kernel roofline). Includes
+  /// the folded graph-replay contributions.
   [[nodiscard]] std::vector<KernelSummary> kernel_summaries() const;
 
   /// chrome://tracing JSON ("X" complete events on the simulated

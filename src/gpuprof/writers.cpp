@@ -89,9 +89,12 @@ void json_escape(std::string& out, std::string_view in) {
     case OpKind::MemcpyH2D:
     case OpKind::MemcpyD2H:
     case OpKind::MemcpyD2D:
+    case OpKind::MemcpyP2P:
       return "memcpy";
     case OpKind::Memset:
       return "memset";
+    case OpKind::GraphReplay:
+      return "graph";
     case OpKind::EventRecord:
     case OpKind::Sync:
       break;
@@ -111,12 +114,16 @@ std::string_view to_string(OpKind k) noexcept {
       return "MemcpyD2H";
     case OpKind::MemcpyD2D:
       return "MemcpyD2D";
+    case OpKind::MemcpyP2P:
+      return "MemcpyP2P";
     case OpKind::Memset:
       return "Memset";
     case OpKind::EventRecord:
       return "EventRecord";
     case OpKind::Sync:
       return "Sync";
+    case OpKind::GraphReplay:
+      return "GraphReplay";
   }
   return "?";
 }
@@ -126,6 +133,22 @@ std::vector<KernelSummary> Trace::kernel_summaries() const {
   // roofline study needs. Ordered map for deterministic row order.
   std::map<std::tuple<std::string, std::string, std::string>, KernelSummary>
       rows;
+  // Graph replays arrive pre-aggregated (see Trace::folded): merge their
+  // raw sums first, then fold the timeline events on top.
+  for (const KernelSummary& f : folded) {
+    KernelSummary& row = rows[{f.device, f.name, f.model}];
+    row.vendor = f.vendor;
+    row.device = f.device;
+    row.name = f.name;
+    row.model = f.model;
+    row.launches += f.launches;
+    row.items += f.items;
+    row.bytes += f.bytes;
+    row.sim_us += f.sim_us;
+    row.host_us += f.host_us;
+    row.pct_of_peak = f.pct_of_peak;              // temporarily holds peak
+    row.launch_overhead_pct += f.launch_overhead_pct;  // temporarily a sum
+  }
   for (const TraceEvent& e : events) {
     if (e.kind != OpKind::Kernel && e.kind != OpKind::Memset) continue;
     KernelSummary& row = rows[{e.device, e.name, e.model}];

@@ -89,11 +89,11 @@ State& state() {
 [[nodiscard]] std::pair<int, gpusim::RangeQuery> classify_range(
     const void* p, std::size_t bytes) {
   for (Vendor v : kVendors) {
-    gpusim::Device* dev = gpusim::Platform::instance().try_device(v);
-    if (dev == nullptr) continue;
-    gpusim::RangeQuery q = dev->allocator().query_range(p, bytes);
-    if (q.status != gpusim::RangeStatus::Unknown) {
-      return {static_cast<int>(v), std::move(q)};
+    for (gpusim::Device* dev : gpusim::Platform::instance().devices_of(v)) {
+      gpusim::RangeQuery q = dev->allocator().query_range(p, bytes);
+      if (q.status != gpusim::RangeStatus::Unknown) {
+        return {static_cast<int>(v), std::move(q)};
+      }
     }
   }
   return {-1, gpusim::RangeQuery{}};
@@ -465,7 +465,7 @@ void enable(const Config& config) {
   const std::size_t guard = config.memcheck ? config.redzone_bytes : 0;
   gpusim::DeviceAllocator::set_default_guard_bytes(guard);
   for (Vendor v : kVendors) {
-    if (gpusim::Device* dev = gpusim::Platform::instance().try_device(v)) {
+    for (gpusim::Device* dev : gpusim::Platform::instance().devices_of(v)) {
       dev->allocator().set_guard_bytes(guard);
     }
   }
@@ -476,7 +476,7 @@ void disable() {
   gpusim::install_sanitizer_hooks(nullptr);
   gpusim::DeviceAllocator::set_default_guard_bytes(0);
   for (Vendor v : kVendors) {
-    if (gpusim::Device* dev = gpusim::Platform::instance().try_device(v)) {
+    for (gpusim::Device* dev : gpusim::Platform::instance().devices_of(v)) {
       dev->allocator().set_guard_bytes(0);
     }
   }
@@ -511,7 +511,7 @@ Report finalize() {
   const std::lock_guard lock(s.mu);
   if (s.enabled) {
     for (Vendor v : kVendors) {
-      if (gpusim::Device* dev = gpusim::Platform::instance().try_device(v)) {
+      for (gpusim::Device* dev : gpusim::Platform::instance().devices_of(v)) {
         verify_device_canaries(s, *dev, "finalize", 0);
         sweep_device_leaks(s, *dev, "end of program");
       }
@@ -527,7 +527,7 @@ void reset() {
   // corrupted block freed just before the reset) so they cannot leak into
   // the next run's report.
   for (Vendor v : kVendors) {
-    if (gpusim::Device* dev = gpusim::Platform::instance().try_device(v)) {
+    for (gpusim::Device* dev : gpusim::Platform::instance().devices_of(v)) {
       (void)dev->allocator().verify_canaries();
     }
   }

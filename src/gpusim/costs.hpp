@@ -74,4 +74,17 @@ inline constexpr double kStreamEfficiency = 0.88;
          2.0 * bytes / (dev.mem_bandwidth_gbps * kStreamEfficiency * 1e3);
 }
 
+/// Simulated duration of a peer-to-peer copy between two devices over the
+/// inter-device link (NVLink / Infinity Fabric / Xe Link). Device-initiated
+/// — no host bounce — so it pays one copy-latency hop (the slower
+/// endpoint's) and is bounded by the slower endpoint's link bandwidth.
+[[nodiscard]] inline double p2p_time_us(const DeviceDescriptor& src,
+                                        const DeviceDescriptor& dst,
+                                        double bytes) {
+  const double link_gbps =
+      std::min(src.p2p_bandwidth_gbps, dst.p2p_bandwidth_gbps);
+  return std::max(src.copy_latency_us, dst.copy_latency_us) +
+         bytes / (link_gbps * 1e3);
+}
+
 }  // namespace mcmm::gpusim

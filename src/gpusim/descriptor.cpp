@@ -11,6 +11,7 @@ DeviceDescriptor mi250x_like() {
   d.memory_bytes = std::size_t{64} * 1024 * 1024 * 1024;
   d.mem_bandwidth_gbps = 1638.0;  // half of the dual-GCD 3.2 TB/s
   d.pcie_bandwidth_gbps = 36.0;   // Infinity Fabric host link
+  d.p2p_bandwidth_gbps = 100.0;   // Infinity Fabric GCD<->GCD
   d.kernel_launch_latency_us = 6.0;
   d.copy_latency_us = 8.0;
   d.peak_tflops_fp64 = 23.9;
@@ -28,6 +29,7 @@ DeviceDescriptor ponte_vecchio_like() {
   d.memory_bytes = std::size_t{64} * 1024 * 1024 * 1024;
   d.mem_bandwidth_gbps = 1638.0;
   d.pcie_bandwidth_gbps = 64.0;  // PCIe gen5 x16
+  d.p2p_bandwidth_gbps = 53.0;   // Xe Link
   d.kernel_launch_latency_us = 8.0;
   d.copy_latency_us = 10.0;
   d.peak_tflops_fp64 = 26.0;
@@ -45,6 +47,7 @@ DeviceDescriptor h100_like() {
   d.memory_bytes = std::size_t{80} * 1024 * 1024 * 1024;
   d.mem_bandwidth_gbps = 3350.0;
   d.pcie_bandwidth_gbps = 64.0;
+  d.p2p_bandwidth_gbps = 450.0;  // NVLink gen4
   d.kernel_launch_latency_us = 4.0;
   d.copy_latency_us = 6.0;
   d.peak_tflops_fp64 = 33.5;

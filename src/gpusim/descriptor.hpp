@@ -19,6 +19,7 @@ struct DeviceDescriptor {
   std::size_t memory_bytes{};
   double mem_bandwidth_gbps{};      ///< device memory bandwidth, GB/s
   double pcie_bandwidth_gbps{};     ///< host <-> device link, GB/s
+  double p2p_bandwidth_gbps{};      ///< device <-> device link, GB/s
   double kernel_launch_latency_us{};
   double copy_latency_us{};
   double peak_tflops_fp64{};

@@ -1,7 +1,8 @@
 #pragma once
 // A simulated GPU device: descriptor + memory + queues. The Platform holds
-// one device per vendor, standing in for the three-machine testbed the
-// paper's ecosystem spans.
+// N devices per vendor (lazily grown, ordinal 0 by default), standing in
+// for the multi-GPU nodes of the three-machine testbed the paper's
+// ecosystem spans.
 
 #include <memory>
 #include <string_view>
@@ -16,8 +17,9 @@ namespace mcmm::gpusim {
 
 class Device {
  public:
-  explicit Device(DeviceDescriptor descriptor)
+  explicit Device(DeviceDescriptor descriptor, unsigned ordinal = 0)
       : descriptor_(std::move(descriptor)),
+        ordinal_(ordinal),
         allocator_(descriptor_.memory_bytes),
         default_queue_(std::make_unique<Queue>(*this)) {}
 
@@ -37,6 +39,10 @@ class Device {
     return descriptor_;
   }
   [[nodiscard]] Vendor vendor() const noexcept { return descriptor_.vendor; }
+
+  /// Position of this device on its vendor's Platform rail (0 = the
+  /// default device real runtimes select with cudaSetDevice(0)).
+  [[nodiscard]] unsigned ordinal() const noexcept { return ordinal_; }
 
   [[nodiscard]] DeviceAllocator& allocator() noexcept { return allocator_; }
   [[nodiscard]] const DeviceAllocator& allocator() const noexcept {
@@ -61,29 +67,49 @@ class Device {
 
  private:
   DeviceDescriptor descriptor_;
+  unsigned ordinal_{0};
   DeviceAllocator allocator_;
   std::unique_ptr<Queue> default_queue_;
 };
 
-/// The simulated machine room: one device per vendor, lazily constructed.
+/// The simulated machine room: N devices per vendor on a dense ordinal
+/// rail, lazily constructed. Ordinal 0 is the device single-GPU code has
+/// always used; requesting a higher ordinal materializes every device up
+/// to it (each with its own allocator, default queue, and sanitizer/
+/// profiler state). Sibling descriptors get a " #k" name suffix so
+/// per-device attribution stays distinguishable in profiler summaries.
 class Platform {
  public:
   [[nodiscard]] static Platform& instance();
 
-  [[nodiscard]] Device& device(Vendor v);
+  [[nodiscard]] Device& device(Vendor v, unsigned ordinal = 0);
 
-  /// The vendor's device if it has been constructed, else nullptr. Lets
-  /// the sanitizer sweep existing devices without forcing all three into
-  /// existence.
-  [[nodiscard]] Device* try_device(Vendor v) noexcept;
+  /// The vendor's device at `ordinal` if it has been constructed, else
+  /// nullptr. Lets the sanitizer sweep existing devices without forcing
+  /// any into existence.
+  [[nodiscard]] Device* try_device(Vendor v, unsigned ordinal = 0) noexcept;
 
-  /// Replaces a vendor's device with a custom-descriptor one (tests use
-  /// this for tiny-memory devices); returns the new device.
-  Device& reset_device(Vendor v, const DeviceDescriptor& descriptor);
+  /// Number of constructed devices on the vendor's rail.
+  [[nodiscard]] unsigned device_count(Vendor v) const noexcept;
+
+  /// All constructed devices of a vendor, ordinal order (sanitizer and
+  /// teardown sweeps).
+  [[nodiscard]] std::vector<Device*> devices_of(Vendor v) noexcept;
+
+  /// Replaces the vendor's device at `ordinal` with a custom-descriptor
+  /// one (tests use this for tiny-memory devices; weak-scaling runs use it
+  /// for pristine per-device clocks); returns the new device. Materializes
+  /// lower ordinals as defaults if needed so the rail stays dense.
+  Device& reset_device(Vendor v, const DeviceDescriptor& descriptor,
+                       unsigned ordinal = 0);
+
+  /// Destroys devices above ordinal `keep - 1` (teardown checkpoints fire
+  /// for each). Weak-scaling scenarios shrink rails back after a run.
+  void trim_devices(Vendor v, unsigned keep);
 
  private:
   Platform() = default;
-  std::unique_ptr<Device> devices_[3];
+  std::vector<std::unique_ptr<Device>> devices_[3];
 };
 
 }  // namespace mcmm::gpusim

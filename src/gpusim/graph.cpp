@@ -1,0 +1,605 @@
+#include "gpusim/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "gpusim/device.hpp"
+#include "gpusim/queue.hpp"
+#include "gpusim/sanitizer.hpp"
+#include "gpusim/stripe.hpp"
+
+namespace mcmm::gpusim {
+namespace {
+
+/// "node #3 (memcpy 'triad')" — how findings name a node.
+std::string node_name(NodeId id, GraphNodeKind kind,
+                      const std::string& label) {
+  const char* what = "marker";
+  switch (kind) {
+    case GraphNodeKind::Kernel: what = "kernel"; break;
+    case GraphNodeKind::Memcpy: what = "memcpy"; break;
+    case GraphNodeKind::Memset: what = "memset"; break;
+    case GraphNodeKind::Marker: what = "marker"; break;
+  }
+  std::string name = "node #" + std::to_string(id) + " (" + what;
+  if (!label.empty()) name += " '" + label + "'";
+  name += ")";
+  return name;
+}
+
+bool spans_overlap(const MemSpan& a, const MemSpan& b) noexcept {
+  if (a.bytes == 0 || b.bytes == 0) return false;
+  const auto a0 = reinterpret_cast<std::uintptr_t>(a.ptr);
+  const auto b0 = reinterpret_cast<std::uintptr_t>(b.ptr);
+  return a0 < b0 + b.bytes && b0 < a0 + a.bytes;
+}
+
+bool any_overlap(const std::vector<MemSpan>& xs, const std::vector<MemSpan>& ys,
+                 MemSpan* where) noexcept {
+  for (const MemSpan& x : xs) {
+    for (const MemSpan& y : ys) {
+      if (spans_overlap(x, y)) {
+        if (where != nullptr) *where = x;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string GraphValidationError::compose_message(const GraphValidation& v) {
+  if (v.findings.empty()) return "graph validation failed";
+  std::string msg = "graph validation failed: " + v.findings.front().kind +
+                    ": " + v.findings.front().message;
+  if (v.findings.size() > 1) {
+    msg += " (+" + std::to_string(v.findings.size() - 1) + " more)";
+  }
+  return msg;
+}
+
+NodeId Graph::add_memcpy(void* dst, const void* src, std::size_t bytes,
+                         CopyKind kind, std::vector<NodeId> deps) {
+  if (kind == CopyKind::PeerToPeer) {
+    throw GraphError(
+        "add_memcpy: PeerToPeer copies span two devices and cannot be "
+        "captured into a single-device graph");
+  }
+  check_deps(deps);
+  Node node;
+  node.kind = GraphNodeKind::Memcpy;
+  node.dst = dst;
+  node.src = src;
+  node.bytes = bytes;
+  node.copy_kind = kind;
+  node.access.reads.push_back({src, bytes});
+  node.access.writes.push_back({dst, bytes});
+  node.deps = std::move(deps);
+  return push_node(std::move(node));
+}
+
+NodeId Graph::add_memset(void* dst, int value, std::size_t bytes,
+                         std::vector<NodeId> deps) {
+  check_deps(deps);
+  Node node;
+  node.kind = GraphNodeKind::Memset;
+  node.dst = dst;
+  node.fill_value = value;
+  node.bytes = bytes;
+  node.access.writes.push_back({dst, bytes});
+  node.deps = std::move(deps);
+  return push_node(std::move(node));
+}
+
+NodeId Graph::add_marker(std::vector<NodeId> deps, std::string label) {
+  check_deps(deps);
+  Node node;
+  node.kind = GraphNodeKind::Marker;
+  node.label = std::move(label);
+  node.deps = std::move(deps);
+  return push_node(std::move(node));
+}
+
+void Graph::add_dependency(NodeId before, NodeId after) {
+  if (before >= nodes_.size() || after >= nodes_.size()) {
+    throw GraphError("add_dependency: unknown node id");
+  }
+  if (before == after) {
+    throw GraphError("add_dependency: node cannot depend on itself");
+  }
+  nodes_[after].deps.push_back(before);
+}
+
+void Graph::start_capture_session() {
+  if (in_capture_) {
+    throw CaptureError("begin_capture: graph is already being captured into");
+  }
+  if (!nodes_.empty()) {
+    throw CaptureError("begin_capture: capture requires an empty graph");
+  }
+  in_capture_ = true;
+  last_captured_ = kNoNode;
+}
+
+void Graph::record_memcpy(void* dst, const void* src, std::size_t bytes,
+                          CopyKind kind) {
+  Node node;
+  node.kind = GraphNodeKind::Memcpy;
+  node.dst = dst;
+  node.src = src;
+  node.bytes = bytes;
+  node.copy_kind = kind;
+  node.access.reads.push_back({src, bytes});
+  node.access.writes.push_back({dst, bytes});
+  record_node(std::move(node));
+}
+
+void Graph::record_memset(void* dst, int value, std::size_t bytes) {
+  Node node;
+  node.kind = GraphNodeKind::Memset;
+  node.dst = dst;
+  node.fill_value = value;
+  node.bytes = bytes;
+  node.access.writes.push_back({dst, bytes});
+  record_node(std::move(node));
+}
+
+void Graph::record_marker(const char* label) {
+  Node node;
+  node.kind = GraphNodeKind::Marker;
+  if (label != nullptr) node.label = label;
+  record_node(std::move(node));
+}
+
+void Graph::record_node(Node&& node) {
+  if (last_captured_ != kNoNode) node.deps.push_back(last_captured_);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  last_captured_ = id;
+}
+
+NodeId Graph::push_node(Node&& node) {
+  if (in_capture_) {
+    throw CaptureError(
+        "graph is being captured into; submit through the capturing queue");
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void Graph::check_deps(const std::vector<NodeId>& deps) const {
+  for (const NodeId d : deps) {
+    if (d >= nodes_.size()) {
+      throw GraphError("unknown dependency node #" + std::to_string(d));
+    }
+  }
+}
+
+const Graph::Node& Graph::at(NodeId id) const {
+  if (id >= nodes_.size()) {
+    throw GraphError("unknown node #" + std::to_string(id));
+  }
+  return nodes_[id];
+}
+
+Graph::Topo Graph::compute_topo(const std::vector<Node>& nodes,
+                                GraphValidation* findings) {
+  const std::size_t n = nodes.size();
+  Topo topo;
+  topo.order.reserve(n);
+  topo.wave.assign(n, 1);
+
+  std::vector<std::vector<NodeId>> children(n);
+  std::vector<std::uint32_t> indeg(n, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    for (const NodeId d : nodes[id].deps) {
+      children[d].push_back(id);
+      ++indeg[id];
+    }
+  }
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (NodeId id = 0; id < n; ++id) {
+    if (indeg[id] == 0) ready.push(id);
+  }
+  while (!ready.empty()) {
+    const NodeId u = ready.top();
+    ready.pop();
+    topo.order.push_back(u);
+    for (const NodeId c : children[u]) {
+      topo.wave[c] = std::max(topo.wave[c], topo.wave[u] + 1);
+      if (--indeg[c] == 0) ready.push(c);
+    }
+  }
+  if (topo.order.size() < n && findings != nullptr) {
+    NodeId first = kNoNode;
+    std::size_t stuck = 0;
+    for (NodeId id = 0; id < n; ++id) {
+      if (indeg[id] != 0) {
+        ++stuck;
+        first = std::min(first, id);
+      }
+    }
+    findings->findings.push_back(GraphFinding{
+        "cycle",
+        std::to_string(stuck) + " node(s) form a dependency cycle through " +
+            node_name(first, nodes[first].kind,
+                      nodes[first].label),
+        first, first});
+  }
+  return topo;
+}
+
+GraphValidation Graph::validate(const std::vector<Node>& nodes,
+                                Device& device) {
+  GraphValidation out;
+  const std::size_t n = nodes.size();
+  const Topo topo = compute_topo(nodes, &out);
+  const DeviceAllocator& alloc = device.allocator();
+  const std::uint64_t max_block = device.descriptor().max_threads_per_block;
+
+  // Per-node checks: launch-config limits and buffer lifetime through the
+  // allocator (query_range is the sanitizer's non-throwing classifier).
+  auto classify = [&](NodeId id, const Node& nd, const void* p,
+                      std::size_t bytes, const char* role,
+                      bool require_device) {
+    const RangeQuery q = alloc.query_range(p, bytes);
+    const std::string who = node_name(id, nd.kind, nd.label);
+    switch (q.status) {
+      case RangeStatus::Ok:
+        break;
+      case RangeStatus::UseAfterFree:
+        out.findings.push_back(GraphFinding{
+            "freed-buffer",
+            who + ": " + role + " points into freed allocation #" +
+                std::to_string(q.id) +
+                (q.origin.empty() ? std::string{} : " ('" + q.origin + "')"),
+            id, id});
+        break;
+      case RangeStatus::OutOfBounds:
+        out.findings.push_back(GraphFinding{
+            "out-of-bounds",
+            who + ": " + role + " runs past allocation #" +
+                std::to_string(q.id) + " of " + std::to_string(q.bytes) +
+                " bytes",
+            id, id});
+        break;
+      case RangeStatus::Unknown:
+        if (require_device) {
+          out.findings.push_back(GraphFinding{
+              "unknown-pointer",
+              who + ": " + role + " is not device memory of this device", id,
+              id});
+        }
+        break;
+    }
+  };
+
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& nd = nodes[id];
+    switch (nd.kind) {
+      case GraphNodeKind::Kernel: {
+        if (nd.cfg.total_threads() == 0 || nd.cfg.block.volume() > max_block) {
+          out.findings.push_back(GraphFinding{
+              "invalid-launch",
+              node_name(id, nd.kind, nd.label) +
+                  ": empty shape or block of " +
+                  std::to_string(nd.cfg.block.volume()) +
+                  " threads exceeds device limit of " +
+                  std::to_string(max_block),
+              id, id});
+        }
+        // Declared spans may legitimately be host memory (Unknown); only
+        // dead or escaping device ranges are defects.
+        for (const MemSpan& s : nd.access.reads) {
+          classify(id, nd, s.ptr, s.bytes, "declared read", false);
+        }
+        for (const MemSpan& s : nd.access.writes) {
+          classify(id, nd, s.ptr, s.bytes, "declared write", false);
+        }
+        break;
+      }
+      case GraphNodeKind::Memcpy: {
+        const bool src_device = nd.copy_kind != CopyKind::HostToDevice;
+        const bool dst_device = nd.copy_kind != CopyKind::DeviceToHost;
+        classify(id, nd, nd.src, nd.bytes, "source", src_device);
+        classify(id, nd, nd.dst, nd.bytes, "destination", dst_device);
+        if (!src_device && alloc.owns(nd.src)) {
+          out.findings.push_back(GraphFinding{
+              "direction-mismatch",
+              node_name(id, nd.kind, nd.label) +
+                  ": H2D source is device memory",
+              id, id});
+        }
+        if (!dst_device && alloc.owns(nd.dst)) {
+          out.findings.push_back(GraphFinding{
+              "direction-mismatch",
+              node_name(id, nd.kind, nd.label) +
+                  ": D2H destination is device memory",
+              id, id});
+        }
+        break;
+      }
+      case GraphNodeKind::Memset:
+        classify(id, nd, nd.dst, nd.bytes, "destination", true);
+        break;
+      case GraphNodeKind::Marker:
+        break;
+    }
+  }
+
+  // Race pass: unordered node pairs whose declared accesses overlap with at
+  // least one write. Needs the full order relation, so skip under a cycle.
+  if (topo.order.size() == n) {
+    const std::size_t words = (n + 63) / 64;
+    std::vector<std::uint64_t> anc(n * words, 0);
+    for (const NodeId u : topo.order) {
+      std::uint64_t* row = anc.data() + std::size_t{u} * words;
+      for (const NodeId d : nodes[u].deps) {
+        const std::uint64_t* drow = anc.data() + std::size_t{d} * words;
+        for (std::size_t w = 0; w < words; ++w) row[w] |= drow[w];
+        row[d / 64] |= std::uint64_t{1} << (d % 64);
+      }
+    }
+    const auto is_ancestor = [&](NodeId a, NodeId b) {
+      return (anc[std::size_t{b} * words + a / 64] >> (a % 64)) & 1;
+    };
+    const auto has_access = [&](const Node& nd) {
+      return !nd.access.reads.empty() || !nd.access.writes.empty();
+    };
+    for (NodeId i = 0; i < n; ++i) {
+      if (!has_access(nodes[i])) continue;
+      for (NodeId j = i + 1; j < n; ++j) {
+        if (!has_access(nodes[j])) continue;
+        if (is_ancestor(i, j) || is_ancestor(j, i)) continue;
+        ++out.pairs_checked;
+        const Node& a = nodes[i];
+        const Node& b = nodes[j];
+        MemSpan where{};
+        const char* how = nullptr;
+        if (any_overlap(a.access.writes, b.access.writes, &where)) {
+          how = "write-write";
+        } else if (any_overlap(a.access.writes, b.access.reads, &where)) {
+          how = "write-read";
+        } else if (any_overlap(a.access.reads, b.access.writes, &where)) {
+          how = "read-write";
+        }
+        if (how != nullptr) {
+          out.findings.push_back(GraphFinding{
+              "race",
+              std::string(how) + " race between unordered " +
+                  node_name(i, a.kind, a.label) + " and " +
+                  node_name(j, b.kind, b.label) + " on " +
+                  std::to_string(where.bytes) + " bytes",
+              i, j});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+GraphValidation validate_graph(const Graph& graph, Device& device) {
+  return Graph::validate(graph.nodes_, device);
+}
+
+ExecutableGraph::ExecutableGraph(const Graph& graph, Queue& queue)
+    : device_(&queue.device()), pool_(queue.pool_) {
+  validation_ = Graph::validate(graph.nodes_, *device_);
+  if (!validation_.clean()) throw GraphValidationError(validation_);
+
+  const std::vector<Graph::Node>& nodes = graph.nodes_;
+  const std::size_t n = nodes.size();
+  node_count_ = n;
+
+  const Graph::Topo topo = Graph::compute_topo(nodes, nullptr);
+  for (const std::uint32_t w : topo.wave) {
+    wave_count_ = std::max<std::size_t>(wave_count_, w);
+  }
+  if (n == 0) wave_count_ = 0;
+
+  // Execution order: wave-major, id-minor. A captured linear chain
+  // degenerates to submission order; host work within a wave runs in id
+  // order, keeping replay deterministic for any DAG.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (topo.wave[a] != topo.wave[b]) return topo.wave[a] < topo.wave[b];
+    return a < b;
+  });
+
+  // Bake durations with the same cost-model calls the eager queue makes,
+  // then chain per-node offsets from base 0 in dependency order. For a
+  // captured chain this reproduces the eager clock's FP addition sequence
+  // exactly, so replay onto a fresh queue lands on a bit-identical time.
+  const DeviceDescriptor& desc = device_->descriptor();
+  const BackendProfile& profile = queue.backend_profile();
+  begin_off_us_.assign(n, 0.0);
+  end_off_us_.assign(n, 0.0);
+  std::size_t kernel_nodes = 0;
+  for (const NodeId id : order) {
+    const Graph::Node& nd = nodes[id];
+    double duration = 0.0;
+    switch (nd.kind) {
+      case GraphNodeKind::Kernel:
+        duration = kernel_time_us(desc, profile, nd.costs);
+        ++kernel_nodes;
+        break;
+      case GraphNodeKind::Memcpy:
+        duration = nd.copy_kind == CopyKind::DeviceToDevice
+                       ? d2d_time_us(desc, static_cast<double>(nd.bytes))
+                       : copy_time_us(desc, static_cast<double>(nd.bytes));
+        break;
+      case GraphNodeKind::Memset: {
+        KernelCosts costs;
+        costs.bytes_written = static_cast<double>(nd.bytes);
+        duration = kernel_time_us(desc, profile, costs);
+        break;
+      }
+      case GraphNodeKind::Marker:
+        break;
+    }
+    double begin = 0.0;
+    for (const NodeId d : nd.deps) begin = std::max(begin, end_off_us_[d]);
+    begin_off_us_[id] = begin;
+    end_off_us_[id] = begin + duration;
+    total_duration_us_ = std::max(total_duration_us_, end_off_us_[id]);
+  }
+
+  // Pre-resolve every dispatch. execs_ is sized exactly first: Op::exec
+  // pointers into it must survive the build loop.
+  execs_.reserve(kernel_nodes);
+  bodies_.reserve(kernel_nodes);
+  ops_.reserve(n);
+  for (const NodeId id : order) {
+    const Graph::Node& nd = nodes[id];
+    switch (nd.kind) {
+      case GraphNodeKind::Kernel: {
+        bodies_.push_back(nd.body);
+        const std::uint64_t total = nd.cfg.total_threads();
+        if (total == 1) {
+          // Single-item node: pre-build its work item and fuse it into a
+          // run of adjacent same-body-type nodes — one indirect call per
+          // run, bodies inlined in the per-type run_fused instantiation.
+          fused_bodies_.push_back(nd.body.get());
+          fused_items_.push_back(first_work_item(nd.cfg));
+          if (!ops_.empty() && ops_.back().code == OpCode::Fused &&
+              ops_.back().fused == nd.fused) {
+            ++ops_.back().fused_count;
+          } else {
+            Op op;
+            op.code = OpCode::Fused;
+            op.fused = nd.fused;
+            op.fused_first =
+                static_cast<std::uint32_t>(fused_bodies_.size() - 1);
+            op.fused_count = 1;
+            ops_.push_back(op);
+          }
+        } else {
+          execs_.push_back(Graph::KernelExec{nd.cfg, nd.body.get()});
+          Op op;
+          op.code = OpCode::Kernel;
+          op.chunk = nd.chunk;
+          op.exec = &execs_.back();
+          op.total = total;
+          op.schedule = nd.policy.schedule;
+          op.grain = nd.policy.grain;
+          ops_.push_back(op);
+        }
+        break;
+      }
+      case GraphNodeKind::Memcpy: {
+        Op op;
+        op.code = OpCode::Copy;
+        op.dst = nd.dst;
+        op.src = nd.src;
+        op.bytes = nd.bytes;
+        ops_.push_back(op);
+        break;
+      }
+      case GraphNodeKind::Memset: {
+        Op op;
+        op.code = OpCode::Fill;
+        op.dst = nd.dst;
+        op.value = nd.fill_value;
+        op.bytes = nd.bytes;
+        ops_.push_back(op);
+        break;
+      }
+      case GraphNodeKind::Marker:
+        break;
+    }
+  }
+
+  // Per-node attribution handed to the profiler in bulk at each replay end.
+  // Labels are copied first (label pointers must not move afterwards).
+  labels_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) labels_.push_back(nodes[id].label);
+  samples_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    const Graph::Node& nd = nodes[id];
+    GraphNodeSample s;
+    s.label = labels_[id].empty() ? nullptr : labels_[id].c_str();
+    s.kind = nd.kind;
+    s.copy_kind = nd.copy_kind;
+    switch (nd.kind) {
+      case GraphNodeKind::Kernel:
+        s.items = nd.cfg.total_threads();
+        s.bytes_read = nd.costs.bytes_read;
+        s.bytes_written = nd.costs.bytes_written;
+        s.flops = nd.costs.flops;
+        break;
+      case GraphNodeKind::Memcpy:
+        s.bytes_read = static_cast<double>(nd.bytes);
+        s.bytes_written = static_cast<double>(nd.bytes);
+        break;
+      case GraphNodeKind::Memset:
+        s.bytes_written = static_cast<double>(nd.bytes);
+        break;
+      case GraphNodeKind::Marker:
+        break;
+    }
+    samples_.push_back(s);
+  }
+}
+
+Event ExecutableGraph::replay(Queue& queue) {
+  if (&queue.device() != device_) {
+    throw GraphError(
+        "replay: queue belongs to a different device than the graph was "
+        "instantiated for");
+  }
+  if (queue.capturing()) {
+    throw CaptureError("replay: queue is in capture mode");
+  }
+  const ProfilerHooks* prof = profiler_hooks();
+  std::uint64_t trace_id = 0;
+  if (prof != nullptr && prof->on_graph_replay_begin != nullptr) {
+    trace_id = prof->on_graph_replay_begin(prof->ctx, queue, node_count_);
+  }
+  // The replay hot loop: flat pre-resolved ops, no per-node hook probes, no
+  // allocation, no sanitizer bookkeeping (validated once at instantiate).
+  ThreadPool& pool = *pool_;
+  void* const* fused_bodies = fused_bodies_.data();
+  const WorkItem* fused_items = fused_items_.data();
+  for (const Op& op : ops_) {
+    switch (op.code) {
+      case OpCode::Fused:
+        op.fused(fused_bodies + op.fused_first, fused_items + op.fused_first,
+                 op.fused_count);
+        break;
+      case OpCode::Kernel:
+        pool.run_batch(op.total, op.chunk, op.exec, op.schedule, op.grain);
+        break;
+      case OpCode::Copy:
+        stripe::run_copy(pool, op.dst, op.src, op.bytes);
+        break;
+      case OpCode::Fill:
+        stripe::run_fill(pool, op.dst, op.value, op.bytes);
+        break;
+    }
+  }
+  // One clock step for the whole graph: T0 + critical-path duration. The
+  // eager path would have summed the same per-node durations in the same
+  // order, so from T0 = 0 the final time is bit-identical.
+  const Event e = queue.advance(total_duration_us_);
+  // One sanitizer sync per replay: red-zone verification at the same point
+  // the eager path's final synchronize() would check them.
+  if (const SanitizerHooks* hooks = sanitizer_hooks();
+      hooks != nullptr && hooks->on_sync != nullptr) {
+    hooks->on_sync(hooks->ctx, queue);
+  }
+  if (trace_id != 0 && prof->on_graph_replay_end != nullptr) {
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+      samples_[i].sim_begin_us = e.sim_begin_us + begin_off_us_[i];
+      samples_[i].sim_end_us = e.sim_begin_us + end_off_us_[i];
+    }
+    prof->on_graph_replay_end(prof->ctx, queue, trace_id, e, samples_.data(),
+                              samples_.size());
+  }
+  return e;
+}
+
+}  // namespace mcmm::gpusim

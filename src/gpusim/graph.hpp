@@ -1,0 +1,378 @@
+#pragma once
+// Kernel-graph capture & replay (the CUDA Graphs / hipGraph shape).
+//
+// A `Graph` is a device-agnostic IR: a DAG of kernel launches, memcpies,
+// memsets, and event-wait markers. It is built either explicitly
+// (add_kernel/add_memcpy/... with declared memory-access sets and
+// dependencies) or by putting a `Queue` into capture mode, where every
+// submitted operation is recorded as a node chained after the previous one
+// instead of executing — stream-capture semantics: an in-order queue
+// captures a linear chain.
+//
+// `ExecutableGraph` compiles the IR for one device. Construction runs the
+// one-shot gpusan-style validation pass (cycle detection, launch-config
+// limits, buffer lifetime through the device allocator, and overlap/race
+// edges between unordered nodes with declared accesses), bakes every node's
+// simulated duration from the same cost model the eager queue uses, chains
+// per-node simulated offsets in submission order (so one replay reproduces
+// the eager clock arithmetic bit-for-bit from a fresh queue), and
+// pre-resolves every dispatch into a flat op array in topological-wavefront
+// order. Replay then walks that array with near-zero per-node overhead: no
+// allocation, no hook re-lookup per node, no per-launch sanitizer
+// bookkeeping (the graph was validated once), and runs of adjacent
+// single-item kernel nodes of the same body type are fused into one
+// indirect call over pre-built work items. The profiler sees one begin/end
+// pair per replay with bulk per-node attribution (GraphNodeSample), not one
+// event per node.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "gpusim/costs.hpp"
+#include "gpusim/dim3.hpp"
+#include "gpusim/error.hpp"
+#include "gpusim/ops.hpp"
+#include "gpusim/profiler.hpp"
+#include "gpusim/thread_pool.hpp"
+
+namespace mcmm::gpusim {
+
+class Device;
+class Queue;
+class ExecutableGraph;
+
+using NodeId = std::uint32_t;
+
+/// Base of all graph-layer errors.
+class GraphError : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+/// Capture-mode misuse: capture-while-capturing, capturing into a non-empty
+/// graph, ending a capture that never began, replaying during capture.
+class CaptureError : public GraphError {
+ public:
+  using GraphError::GraphError;
+};
+
+/// A byte range a kernel node declares it touches. Declared accesses feed
+/// the one-shot race validation; nodes without declarations are still
+/// ordered by their dependencies but contribute no race edges.
+struct MemSpan {
+  const void* ptr{nullptr};
+  std::size_t bytes{0};
+};
+
+struct GraphAccess {
+  std::vector<MemSpan> reads;
+  std::vector<MemSpan> writes;
+};
+
+/// One defect found by the instantiate-time validation pass.
+struct GraphFinding {
+  std::string kind;     ///< "cycle", "invalid-launch", "freed-buffer",
+                        ///< "out-of-bounds", "unknown-pointer",
+                        ///< "direction-mismatch", "race"
+  std::string message;  ///< human-readable, names the offending node(s)
+  NodeId a{0};          ///< primary node
+  NodeId b{0};          ///< second node of a race pair (else == a)
+};
+
+/// Result of the one-shot validation pass over a captured graph.
+struct GraphValidation {
+  std::vector<GraphFinding> findings;
+  std::size_t pairs_checked{0};  ///< unordered node pairs examined for races
+
+  [[nodiscard]] bool clean() const noexcept { return findings.empty(); }
+};
+
+/// Thrown by ExecutableGraph construction when validation finds defects.
+class GraphValidationError : public GraphError {
+ public:
+  explicit GraphValidationError(GraphValidation validation)
+      : GraphError(compose_message(validation)),
+        validation_(std::move(validation)) {}
+
+  [[nodiscard]] const GraphValidation& validation() const noexcept {
+    return validation_;
+  }
+
+ private:
+  static std::string compose_message(const GraphValidation& v);
+
+  GraphValidation validation_;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  /// Adds a kernel node. `access` declares the device-memory footprint used
+  /// by the race validation; `deps` are nodes that must complete first.
+  /// The body is copied into the graph and owned by it (and by every
+  /// ExecutableGraph instantiated from it).
+  template <typename Body>
+  NodeId add_kernel(const LaunchConfig& cfg, const KernelCosts& costs,
+                    Body body, GraphAccess access = {},
+                    std::vector<NodeId> deps = {}, LaunchPolicy policy = {},
+                    std::string label = {}) {
+    check_deps(deps);
+    Node node;
+    node.kind = GraphNodeKind::Kernel;
+    node.cfg = cfg;
+    node.costs = costs;
+    node.policy = policy;
+    node.label = std::move(label);
+    node.access = std::move(access);
+    node.deps = std::move(deps);
+    attach_body(node, std::move(body));
+    return push_node(std::move(node));
+  }
+
+  /// Adds a memcpy node. PeerToPeer copies are not graphable (they span two
+  /// devices; an ExecutableGraph is compiled for one) — GraphError.
+  NodeId add_memcpy(void* dst, const void* src, std::size_t bytes,
+                    CopyKind kind, std::vector<NodeId> deps = {});
+
+  /// Adds a memset node over device memory.
+  NodeId add_memset(void* dst, int value, std::size_t bytes,
+                    std::vector<NodeId> deps = {});
+
+  /// Adds a zero-duration event-wait/marker node (a pure ordering point).
+  NodeId add_marker(std::vector<NodeId> deps = {}, std::string label = {});
+
+  /// Declares that `before` must complete before `after` starts.
+  void add_dependency(NodeId before, NodeId after);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+
+  [[nodiscard]] GraphNodeKind node_kind(NodeId id) const {
+    return at(id).kind;
+  }
+  [[nodiscard]] const std::string& node_label(NodeId id) const {
+    return at(id).label;
+  }
+  [[nodiscard]] const std::vector<NodeId>& node_deps(NodeId id) const {
+    return at(id).deps;
+  }
+
+  /// True while a Queue in capture mode is recording into this graph.
+  [[nodiscard]] bool capturing() const noexcept { return in_capture_; }
+
+ private:
+  friend class Queue;
+  friend class ExecutableGraph;
+
+  static constexpr NodeId kNoNode = ~NodeId{0};
+
+  /// Per-node dispatch context handed to the pool as the type-erased
+  /// ChunkFn ctx. Stable storage lives in ExecutableGraph::execs_.
+  struct KernelExec {
+    LaunchConfig cfg;
+    void* body{nullptr};
+  };
+
+  /// Fused dispatch over a run of single-item kernel nodes sharing one
+  /// body type: bodies[i] runs on items[i], inlined in one indirect call.
+  using FusedFn = void (*)(void* const* bodies, const WorkItem* items,
+                           std::uint32_t n);
+
+  /// Static per-Body-type runners. Unlike the eager LaunchThunk, replay
+  /// never publishes per-item sanitizer state: the graph was validated once
+  /// at instantiate, which is exactly the per-launch cost replay removes.
+  template <typename Body>
+  struct GraphThunk {
+    static void run(void* ctx, std::uint64_t begin, std::uint64_t end) {
+      auto* exec = static_cast<KernelExec*>(ctx);
+      Body& body = *static_cast<Body*>(exec->body);
+      WorkItem item = begin == 0 ? first_work_item(exec->cfg)
+                                 : work_item_from_linear(exec->cfg, begin);
+      for (std::uint64_t i = begin;;) {
+        body(item);
+        if (++i == end) break;
+        advance_work_item(exec->cfg, item);
+      }
+    }
+
+    static void run_fused(void* const* bodies, const WorkItem* items,
+                          std::uint32_t n) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        (*static_cast<Body*>(bodies[i]))(items[i]);
+      }
+    }
+  };
+
+  struct Node {
+    GraphNodeKind kind{GraphNodeKind::Marker};
+    // Kernel
+    LaunchConfig cfg{};
+    KernelCosts costs{};
+    LaunchPolicy policy{};
+    std::shared_ptr<void> body{};
+    ThreadPool::ChunkFn chunk{nullptr};
+    FusedFn fused{nullptr};
+    // Memcpy / Memset
+    void* dst{nullptr};
+    const void* src{nullptr};
+    std::size_t bytes{0};
+    int fill_value{0};
+    CopyKind copy_kind{CopyKind::HostToDevice};
+    // Common
+    std::string label;
+    GraphAccess access;
+    std::vector<NodeId> deps;
+  };
+
+  template <typename Body>
+  void attach_body(Node& node, Body&& body) {
+    using Stored = std::decay_t<Body>;
+    auto owned = std::make_shared<Stored>(std::forward<Body>(body));
+    node.body = owned;
+    node.chunk = &GraphThunk<Stored>::run;
+    node.fused = &GraphThunk<Stored>::run_fused;
+  }
+
+  // --- capture plumbing (called by Queue in capture mode) -----------------
+
+  void start_capture_session();
+  void end_capture_session() noexcept { in_capture_ = false; }
+
+  /// Records one captured operation chained after the previously captured
+  /// node (an in-order queue captures a linear chain). The duration is
+  /// baked later, at instantiate, from the target queue's descriptor and
+  /// backend profile — the same inputs the eager path would have used.
+  template <typename Body>
+  void record_kernel(const LaunchConfig& cfg, const KernelCosts& costs,
+                     Body&& body, LaunchPolicy policy, const char* label) {
+    Node node;
+    node.kind = GraphNodeKind::Kernel;
+    node.cfg = cfg;
+    node.costs = costs;
+    node.policy = policy;
+    if (label != nullptr) node.label = label;
+    attach_body(node, std::forward<Body>(body));
+    record_node(std::move(node));
+  }
+
+  void record_memcpy(void* dst, const void* src, std::size_t bytes,
+                     CopyKind kind);
+  void record_memset(void* dst, int value, std::size_t bytes);
+  void record_marker(const char* label);
+
+  void record_node(Node&& node);
+  NodeId push_node(Node&& node);
+  void check_deps(const std::vector<NodeId>& deps) const;
+  [[nodiscard]] const Node& at(NodeId id) const;
+
+  /// Topological order (Kahn, smallest-id-first for determinism) and the
+  /// 1-based wavefront of every node (wave = 1 + max wave of its deps).
+  struct Topo {
+    std::vector<NodeId> order;        ///< partial when a cycle exists
+    std::vector<std::uint32_t> wave;  ///< indexed by NodeId
+  };
+  static Topo compute_topo(const std::vector<Node>& nodes,
+                           GraphValidation* findings);
+  static GraphValidation validate(const std::vector<Node>& nodes,
+                                  Device& device);
+
+  friend GraphValidation validate_graph(const Graph& graph, Device& device);
+
+  std::vector<Node> nodes_;
+  NodeId last_captured_{kNoNode};
+  bool in_capture_{false};
+};
+
+/// A graph compiled for one device: validated exactly once, durations and
+/// dispatch order pre-resolved. Replays any number of times on queues of
+/// that device.
+class ExecutableGraph {
+ public:
+  /// Validates `graph` against `queue`'s device (cycles, launch limits,
+  /// buffer lifetime, races between unordered nodes) and compiles the
+  /// replay schedule using the queue's current backend profile for kernel
+  /// durations. Throws GraphValidationError when validation finds defects.
+  ExecutableGraph(const Graph& graph, Queue& queue);
+
+  ExecutableGraph(ExecutableGraph&&) noexcept = default;
+  ExecutableGraph& operator=(ExecutableGraph&&) noexcept = default;
+  ExecutableGraph(const ExecutableGraph&) = delete;
+  ExecutableGraph& operator=(const ExecutableGraph&) = delete;
+
+  /// Dispatches every node and advances the queue's simulated clock by the
+  /// graph's critical-path duration in one step. Replaying a graph captured
+  /// from a fresh queue onto a fresh queue reproduces the eager results and
+  /// final simulated time bit-for-bit. The queue must belong to the device
+  /// the graph was instantiated for.
+  Event replay(Queue& queue);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
+  [[nodiscard]] std::size_t wave_count() const noexcept { return wave_count_; }
+
+  /// Simulated span of one replay (critical-path end offset), microseconds.
+  [[nodiscard]] double duration_us() const noexcept {
+    return total_duration_us_;
+  }
+
+  /// The (clean) validation result, with pairs_checked accounting.
+  [[nodiscard]] const GraphValidation& validation() const noexcept {
+    return validation_;
+  }
+
+ private:
+  enum class OpCode : std::uint8_t { Fused, Kernel, Copy, Fill };
+
+  /// One pre-resolved dispatch in execution order (wave-major, id-minor).
+  struct Op {
+    OpCode code{OpCode::Kernel};
+    Schedule schedule{Schedule::Static};
+    std::uint32_t fused_first{0};
+    std::uint32_t fused_count{0};
+    ThreadPool::ChunkFn chunk{nullptr};
+    Graph::KernelExec* exec{nullptr};
+    Graph::FusedFn fused{nullptr};
+    std::uint64_t total{0};
+    std::uint64_t grain{0};
+    void* dst{nullptr};
+    const void* src{nullptr};
+    std::size_t bytes{0};
+    int value{0};
+  };
+
+  Device* device_{nullptr};
+  ThreadPool* pool_{nullptr};
+  std::vector<Graph::KernelExec> execs_;       ///< stable ChunkFn contexts
+  std::vector<std::shared_ptr<void>> bodies_;  ///< keeps captured bodies alive
+  std::vector<Op> ops_;
+  std::vector<void*> fused_bodies_;
+  std::vector<WorkItem> fused_items_;
+  std::vector<std::string> labels_;            ///< owns sample label strings
+  std::vector<GraphNodeSample> samples_;       ///< id-order, rebased per replay
+  std::vector<double> begin_off_us_;           ///< id-order sim offsets
+  std::vector<double> end_off_us_;
+  double total_duration_us_{0};
+  std::size_t wave_count_{0};
+  std::size_t node_count_{0};
+  GraphValidation validation_;
+};
+
+/// Runs the validation pass alone (what ExecutableGraph construction does,
+/// without compiling). Lets tests and tools inspect findings that would
+/// make instantiation throw.
+[[nodiscard]] GraphValidation validate_graph(const Graph& graph,
+                                             Device& device);
+
+}  // namespace mcmm::gpusim

@@ -1,0 +1,44 @@
+#pragma once
+// Queue-operation vocabulary shared by the eager queue (queue.hpp) and the
+// kernel-graph layer (graph.hpp): completed-operation timing, memcpy
+// directions, and the host-side launch policy. Factored out of queue.hpp so
+// graph.hpp can name these types without pulling in the full Queue (which
+// itself includes graph.hpp for capture mode).
+
+#include <cstdint>
+
+#include "gpusim/thread_pool.hpp"
+
+namespace mcmm::gpusim {
+
+/// A completed operation's position on the simulated timeline.
+struct Event {
+  double sim_begin_us{0};
+  double sim_end_us{0};
+
+  [[nodiscard]] double duration_us() const noexcept {
+    return sim_end_us - sim_begin_us;
+  }
+};
+
+/// Direction of an explicit memcpy. PeerToPeer moves device memory between
+/// two distinct devices over the simulated interconnect (Queue::memcpy_peer)
+/// and is billed against the link bandwidth, not DRAM or PCIe.
+enum class CopyKind { HostToDevice, DeviceToHost, DeviceToDevice, PeerToPeer };
+
+/// What a captured graph node does when replayed. Shared vocabulary between
+/// graph.hpp (node storage) and profiler.hpp (bulk per-node attribution).
+enum class GraphNodeKind : std::uint8_t { Kernel, Memcpy, Memset, Marker };
+
+/// Host-side scheduling of a launch (how the work-item range is handed to
+/// the pool's threads). Purely an execution knob: it never changes the
+/// simulated time or the set of work items executed. Dynamic scheduling
+/// pays a little ticket traffic to keep imbalanced kernels (reductions
+/// with few fat work items, stencils with ragged rows) off the critical
+/// path of the slowest static chunk.
+struct LaunchPolicy {
+  Schedule schedule{Schedule::Static};
+  std::uint64_t grain{0};  ///< dynamic sub-range size; 0 = engine default
+};
+
+}  // namespace mcmm::gpusim

@@ -30,6 +30,23 @@ class Queue;
 struct KernelCosts;
 struct Event;
 enum class CopyKind;
+enum class GraphNodeKind : std::uint8_t;
+
+/// Per-node attribution handed to on_graph_replay_end in bulk: one array
+/// for the whole replay instead of a begin/end hook pair per node (that
+/// per-node hook traffic is exactly the overhead graph replay removes).
+/// Sim spans are rebased onto the replay's position on the queue timeline.
+struct GraphNodeSample {
+  const char* label{nullptr};  ///< node label, may be null
+  GraphNodeKind kind{};
+  CopyKind copy_kind{};        ///< valid when kind == GraphNodeKind::Memcpy
+  std::uint64_t items{0};      ///< kernel work items (0 for non-kernels)
+  double bytes_read{0};
+  double bytes_written{0};
+  double flops{0};
+  double sim_begin_us{0};
+  double sim_end_us{0};
+};
 
 /// Callback table a profiler installs. Any entry may be null.
 struct ProfilerHooks {
@@ -65,6 +82,20 @@ struct ProfilerHooks {
   /// Queue::synchronize() completed at simulated time `sim_us` (an
   /// event-wait/sync marker; all submitted work is already joined here).
   void (*on_sync)(void* ctx, Queue& queue, double sim_us){nullptr};
+
+  /// An ExecutableGraph replay is about to dispatch `node_count`
+  /// pre-resolved nodes on `queue`. One begin/end pair covers the whole
+  /// replay — there are no per-node hook calls. Returns a nonzero
+  /// correlation id to receive on_graph_replay_end.
+  std::uint64_t (*on_graph_replay_begin)(void* ctx, Queue& queue,
+                                         std::size_t node_count){nullptr};
+  /// The replay completed and advanced the simulated clock by `sim`.
+  /// `nodes[0..count)` carries per-node attribution in submission order for
+  /// bulk folding into summaries; the array is owned by the caller and
+  /// valid only for the duration of the call.
+  void (*on_graph_replay_end)(void* ctx, Queue& queue, std::uint64_t id,
+                              const Event& sim, const GraphNodeSample* nodes,
+                              std::size_t count){nullptr};
 };
 
 namespace profiler_detail {

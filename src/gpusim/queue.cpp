@@ -2,44 +2,9 @@
 
 #include "gpusim/device.hpp"
 #include "gpusim/error.hpp"
+#include "gpusim/stripe.hpp"
 
 namespace mcmm::gpusim {
-namespace {
-
-/// Copies and fills at or above this size are striped over the pool (the
-/// BabelStream init/read paths move hundreds of MiB through them); smaller
-/// ones stay serial — the fork-join round trip would dominate.
-constexpr std::size_t kParallelBytesThreshold = std::size_t{1} << 22;
-
-struct CopyCtx {
-  unsigned char* dst;
-  const unsigned char* src;
-};
-
-void copy_chunk(void* ctx, std::uint64_t begin, std::uint64_t end) {
-  auto* c = static_cast<CopyCtx*>(ctx);
-  std::memcpy(c->dst + begin, c->src + begin, end - begin);
-}
-
-struct FillCtx {
-  unsigned char* dst;
-  int value;
-};
-
-void fill_chunk(void* ctx, std::uint64_t begin, std::uint64_t end) {
-  auto* f = static_cast<FillCtx*>(ctx);
-  std::memset(f->dst + begin, f->value, end - begin);
-}
-
-/// Striping a memory-bound loop pays only when distinct cores sit behind
-/// the workers; on an oversubscribed single-core host it just adds context
-/// switches, so the copy stays serial there.
-bool parallel_copies_profitable(const ThreadPool& pool) {
-  static const bool multi_core = std::thread::hardware_concurrency() > 1;
-  return multi_core && pool.worker_count() > 1;
-}
-
-}  // namespace
 
 Queue::Queue(Device& device)
     : device_(&device),
@@ -76,19 +41,19 @@ Event Queue::memcpy(void* dst, const void* src, std::size_t bytes,
       alloc.check_range(src, bytes);
       alloc.check_range(dst, bytes);
       break;
+    case CopyKind::PeerToPeer:
+      throw InvalidPointer("memcpy: PeerToPeer copies go through memcpy_peer");
+  }
+  if (capture_ != nullptr) {
+    capture_->record_memcpy(dst, src, bytes, kind);
+    return Event{sim_time_us_, sim_time_us_};
   }
   const ProfilerHooks* prof = profiler_hooks();
   std::uint64_t trace_id = 0;
   if (prof != nullptr && prof->on_copy_begin != nullptr) {
     trace_id = prof->on_copy_begin(prof->ctx, *this, kind, bytes);
   }
-  if (bytes >= kParallelBytesThreshold && parallel_copies_profitable(*pool_)) {
-    CopyCtx ctx{static_cast<unsigned char*>(dst),
-                static_cast<const unsigned char*>(src)};
-    pool_->run_batch(bytes, &copy_chunk, &ctx);
-  } else {
-    std::memcpy(dst, src, bytes);
-  }
+  stripe::run_copy(*pool_, dst, src, bytes);
   if (const SanitizerHooks* hooks = sanitizer_hooks();
       hooks != nullptr && hooks->on_sync != nullptr) {
     hooks->on_sync(hooks->ctx, *this);
@@ -105,19 +70,55 @@ Event Queue::memcpy(void* dst, const void* src, std::size_t bytes,
   return e;
 }
 
+Event Queue::memcpy_peer(void* dst, Device& dst_device, const void* src,
+                         std::size_t bytes) {
+  if (capture_ != nullptr) {
+    throw CaptureError(
+        "memcpy_peer: PeerToPeer copies span two devices and cannot be "
+        "captured into a single-device graph");
+  }
+  device_->allocator().check_range(src, bytes);
+  dst_device.allocator().check_range(dst, bytes);
+  if (&dst_device == device_) {
+    // Same device on both ends: there is no inter-device link to bill, so
+    // this is an ordinary device copy (cudaMemcpyPeer does the same).
+    return memcpy(dst, src, bytes, CopyKind::DeviceToDevice);
+  }
+  const ProfilerHooks* prof = profiler_hooks();
+  std::uint64_t trace_id = 0;
+  if (prof != nullptr && prof->on_copy_begin != nullptr) {
+    trace_id =
+        prof->on_copy_begin(prof->ctx, *this, CopyKind::PeerToPeer, bytes);
+  }
+  stripe::run_copy(*pool_, dst, src, bytes);
+  if (const SanitizerHooks* hooks = sanitizer_hooks();
+      hooks != nullptr && hooks->on_sync != nullptr) {
+    hooks->on_sync(hooks->ctx, *this);
+  }
+  // The source queue owns the transfer: its clock advances by the link
+  // time; the destination device's queues are unaffected (the consumer
+  // orders against the producer by reading the returned Event).
+  const Event e = advance(p2p_time_us(device_->descriptor(),
+                                      dst_device.descriptor(),
+                                      static_cast<double>(bytes)));
+  if (trace_id != 0 && prof->on_copy_end != nullptr) {
+    prof->on_copy_end(prof->ctx, *this, trace_id, e);
+  }
+  return e;
+}
+
 Event Queue::memset(void* dst, int value, std::size_t bytes) {
   device_->allocator().check_range(dst, bytes);
+  if (capture_ != nullptr) {
+    capture_->record_memset(dst, value, bytes);
+    return Event{sim_time_us_, sim_time_us_};
+  }
   const ProfilerHooks* prof = profiler_hooks();
   std::uint64_t trace_id = 0;
   if (prof != nullptr && prof->on_fill_begin != nullptr) {
     trace_id = prof->on_fill_begin(prof->ctx, *this, bytes);
   }
-  if (bytes >= kParallelBytesThreshold && parallel_copies_profitable(*pool_)) {
-    FillCtx ctx{static_cast<unsigned char*>(dst), value};
-    pool_->run_batch(bytes, &fill_chunk, &ctx);
-  } else {
-    std::memset(dst, value, bytes);
-  }
+  stripe::run_fill(*pool_, dst, value, bytes);
   if (const SanitizerHooks* hooks = sanitizer_hooks();
       hooks != nullptr && hooks->on_sync != nullptr) {
     hooks->on_sync(hooks->ctx, *this);
@@ -131,6 +132,24 @@ Event Queue::memset(void* dst, int value, std::size_t bytes) {
   return e;
 }
 
+void Queue::begin_capture(Graph& graph) {
+  if (capture_ != nullptr) {
+    throw CaptureError("begin_capture: queue is already capturing");
+  }
+  graph.start_capture_session();  // throws on busy or non-empty graph
+  capture_ = &graph;
+}
+
+std::size_t Queue::end_capture() {
+  if (capture_ == nullptr) {
+    throw CaptureError("end_capture: queue is not capturing");
+  }
+  Graph* graph = capture_;
+  capture_ = nullptr;
+  graph->end_capture_session();
+  return graph->node_count();
+}
+
 }  // namespace mcmm::gpusim
 
 namespace mcmm::gpusim {
@@ -140,22 +159,59 @@ Platform& Platform::instance() {
   return platform;
 }
 
-Device& Platform::device(Vendor v) {
-  const auto idx = static_cast<std::size_t>(v);
-  if (!devices_[idx]) {
-    devices_[idx] = std::make_unique<Device>(descriptor_for(v));
+Device& Platform::device(Vendor v, unsigned ordinal) {
+  auto& rail = devices_[static_cast<std::size_t>(v)];
+  while (rail.size() <= ordinal) {
+    DeviceDescriptor descriptor = descriptor_for(v);
+    if (!rail.empty()) {
+      // Ordinal 0 keeps the spec-sheet name (golden traces and roofline
+      // summaries key on it); siblings get a " #k" suffix so per-device
+      // attribution stays distinguishable in summaries and reports.
+      descriptor.name += " #" + std::to_string(rail.size());
+    }
+    rail.push_back(std::make_unique<Device>(std::move(descriptor),
+                                            static_cast<unsigned>(rail.size())));
   }
-  return *devices_[idx];
+  return *rail[ordinal];
 }
 
-Device* Platform::try_device(Vendor v) noexcept {
-  return devices_[static_cast<std::size_t>(v)].get();
+Device* Platform::try_device(Vendor v, unsigned ordinal) noexcept {
+  const auto& rail = devices_[static_cast<std::size_t>(v)];
+  return ordinal < rail.size() ? rail[ordinal].get() : nullptr;
 }
 
-Device& Platform::reset_device(Vendor v, const DeviceDescriptor& descriptor) {
-  const auto idx = static_cast<std::size_t>(v);
-  devices_[idx] = std::make_unique<Device>(descriptor);
-  return *devices_[idx];
+unsigned Platform::device_count(Vendor v) const noexcept {
+  return static_cast<unsigned>(devices_[static_cast<std::size_t>(v)].size());
+}
+
+std::vector<Device*> Platform::devices_of(Vendor v) noexcept {
+  std::vector<Device*> out;
+  const auto& rail = devices_[static_cast<std::size_t>(v)];
+  out.reserve(rail.size());
+  for (const auto& d : rail) out.push_back(d.get());
+  return out;
+}
+
+Device& Platform::reset_device(Vendor v, const DeviceDescriptor& descriptor,
+                               unsigned ordinal) {
+  auto& rail = devices_[static_cast<std::size_t>(v)];
+  if (ordinal > rail.size()) {
+    // Materialize the rail up to the requested ordinal first so device
+    // ordinals stay dense (ordinal == index invariant).
+    static_cast<void>(device(v, ordinal - 1));
+  }
+  auto replacement = std::make_unique<Device>(descriptor, ordinal);
+  if (ordinal == rail.size()) {
+    rail.push_back(std::move(replacement));
+  } else {
+    rail[ordinal] = std::move(replacement);
+  }
+  return *rail[ordinal];
+}
+
+void Platform::trim_devices(Vendor v, unsigned keep) {
+  auto& rail = devices_[static_cast<std::size_t>(v)];
+  while (rail.size() > keep) rail.pop_back();
 }
 
 }  // namespace mcmm::gpusim

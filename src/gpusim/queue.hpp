@@ -15,6 +15,8 @@
 #include "gpusim/allocator.hpp"
 #include "gpusim/costs.hpp"
 #include "gpusim/dim3.hpp"
+#include "gpusim/graph.hpp"
+#include "gpusim/ops.hpp"
 #include "gpusim/profiler.hpp"
 #include "gpusim/sanitizer.hpp"
 #include "gpusim/thread_pool.hpp"
@@ -22,30 +24,6 @@
 namespace mcmm::gpusim {
 
 class Device;
-
-/// A completed operation's position on the simulated timeline.
-struct Event {
-  double sim_begin_us{0};
-  double sim_end_us{0};
-
-  [[nodiscard]] double duration_us() const noexcept {
-    return sim_end_us - sim_begin_us;
-  }
-};
-
-/// Direction of an explicit memcpy.
-enum class CopyKind { HostToDevice, DeviceToHost, DeviceToDevice };
-
-/// Host-side scheduling of a launch (how the work-item range is handed to
-/// the pool's threads). Purely an execution knob: it never changes the
-/// simulated time or the set of work items executed. Dynamic scheduling
-/// pays a little ticket traffic to keep imbalanced kernels (reductions
-/// with few fat work items, stencils with ragged rows) off the critical
-/// path of the slowest static chunk.
-struct LaunchPolicy {
-  Schedule schedule{Schedule::Static};
-  std::uint64_t grain{0};  ///< dynamic sub-range size; 0 = engine default
-};
 
 class Queue {
  public:
@@ -76,6 +54,14 @@ class Queue {
     const std::uint64_t total = cfg.total_threads();
     if (total == 0 || cfg.block.volume() > max_threads_per_block_) {
       fail_launch(cfg);  // [[noreturn]]: empty shape or block over limit
+    }
+    if (capture_ != nullptr) {
+      // Capture mode: record instead of executing. The clock does not move
+      // (nothing ran); the duration is baked at graph instantiate from the
+      // same descriptor/profile the eager path would have used here.
+      capture_->record_kernel(cfg, costs, std::forward<Body>(body), policy,
+                              kernel_label());
+      return Event{sim_time_us_, sim_time_us_};
     }
     using Thunk = LaunchThunk<std::remove_reference_t<Body>>;
     Thunk thunk{cfg, std::addressof(body), 0};
@@ -110,9 +96,22 @@ class Queue {
   /// memset on device memory (striped over the pool above a threshold).
   Event memset(void* dst, int value, std::size_t bytes);
 
+  /// Copies device memory of this queue's device into device memory of
+  /// `dst_device` over the simulated inter-device link (NVLink / Infinity
+  /// Fabric / Xe Link), billed by p2p_time_us against the slower endpoint.
+  /// Same-device calls degrade to an ordinary DeviceToDevice memcpy. Not
+  /// capturable into a graph (a graph is compiled for one device).
+  Event memcpy_peer(void* dst, Device& dst_device, const void* src,
+                    std::size_t bytes);
+
   /// Records the current simulated time (an event-record marker on the
-  /// profiler timeline).
+  /// profiler timeline). In capture mode the marker is recorded as a
+  /// zero-duration graph node instead.
   [[nodiscard]] Event record() const {
+    if (capture_ != nullptr) {
+      capture_->record_marker("event");
+      return Event{sim_time_us_, sim_time_us_};
+    }
     if (const ProfilerHooks* prof = profiler_hooks();
         prof != nullptr && prof->on_event_record != nullptr) {
       prof->on_event_record(prof->ctx, *this, sim_time_us_);
@@ -125,8 +124,17 @@ class Queue {
   /// submitted work is already complete here. Kept because real code
   /// synchronizes at these points and the model layers mirror that shape —
   /// and because the sanitizer verifies allocation red zones here, exactly
-  /// where compute-sanitizer reports deferred memory errors.
+  /// where compute-sanitizer reports deferred memory errors. In capture
+  /// mode it records an event-wait marker node (CUDA stream capture treats
+  /// in-stream synchronization points the same way).
   void synchronize() noexcept {
+    if (capture_ != nullptr) {
+      try {
+        capture_->record_marker("sync");
+      } catch (...) {  // vector growth OOM; the barrier itself cannot fail
+      }
+      return;
+    }
     const SanitizerHooks* hooks = sanitizer_hooks();
     if (hooks != nullptr && hooks->on_sync != nullptr) {
       hooks->on_sync(hooks->ctx, *this);
@@ -136,6 +144,19 @@ class Queue {
       prof->on_sync(prof->ctx, *this, sim_time_us_);
     }
   }
+
+  /// Puts the queue into capture mode: subsequent launches, memcpies,
+  /// memsets, and event records are recorded into `graph` as a linear chain
+  /// instead of executing. Throws CaptureError when this queue is already
+  /// capturing (capture-while-capturing), the graph is being captured into
+  /// by another queue, or the graph is not empty.
+  void begin_capture(Graph& graph);
+
+  /// Ends capture mode and returns the number of captured nodes. Throws
+  /// CaptureError when the queue is not capturing.
+  std::size_t end_capture();
+
+  [[nodiscard]] bool capturing() const noexcept { return capture_ != nullptr; }
 
   /// Total simulated time consumed by this queue, microseconds.
   [[nodiscard]] double simulated_time_us() const noexcept {
@@ -186,12 +207,17 @@ class Queue {
     return e;
   }
 
+  /// ExecutableGraph replays through the queue's private clock/pool seam
+  /// (advance + pool_) — the whole point is to bypass the per-launch path.
+  friend class ExecutableGraph;
+
   Device* device_;
   const DeviceDescriptor* descriptor_;  ///< cached: hot path, Device opaque
   ThreadPool* pool_;
   std::uint64_t max_threads_per_block_;
   BackendProfile profile_{};
   double sim_time_us_{0};
+  Graph* capture_{nullptr};  ///< non-null while in capture mode
 };
 
 }  // namespace mcmm::gpusim

@@ -52,6 +52,39 @@ std::string report_json(const PerfReport& report) {
                             : report.config.kernels.size()) +
          ",\n";
 
+  // The weak-scaling section only appears when the report carries one, so
+  // campaign-only payloads stay byte-identical to the committed goldens.
+  if (!report.weak_scaling.empty()) {
+    out += "  \"weak_scaling\": [\n";
+    for (std::size_t i = 0; i < report.weak_scaling.size(); ++i) {
+      const WeakScalingSample& w = report.weak_scaling[i];
+      out += "    {\"vendor\": " + json_str(to_string(w.vendor));
+      out += ", \"devices\": " + std::to_string(w.devices);
+      out += ", \"n_per_device\": " + std::to_string(w.n_per_device);
+      out += ", \"reps\": " + std::to_string(w.reps);
+      out += ", \"graph_nodes\": " + std::to_string(w.graph_nodes);
+      out += ", \"sim_us\": " + json_num(w.sim_us);
+      out += ", \"p2p_us\": " + json_num(w.p2p_us);
+      out += ", \"efficiency\": " + json_num(w.efficiency);
+      out += std::string(", \"verified\": ") +
+             (w.verified ? "true" : "false");
+      out += ", \"shares\": [";
+      for (std::size_t j = 0; j < w.shares.size(); ++j) {
+        const DeviceShare& s = w.shares[j];
+        if (j > 0) out += ", ";
+        out += "{\"device\": " + json_str(s.device);
+        out += ", \"ordinal\": " + std::to_string(s.ordinal);
+        out += ", \"sim_us\": " + json_num(s.sim_us);
+        out += ", \"achieved_gbps\": " + json_num(s.achieved_gbps);
+        out += ", \"pct_of_peak\": " + json_num(s.pct_of_peak) + "}";
+      }
+      out += "]}";
+      if (i + 1 < report.weak_scaling.size()) out += ",";
+      out += "\n";
+    }
+    out += "  ],\n";
+  }
+
   out += "  \"samples\": [\n";
   for (std::size_t i = 0; i < report.samples.size(); ++i) {
     const RouteSample& s = report.samples[i];

@@ -125,11 +125,56 @@ struct PerfRow {
   double pp{0};
 };
 
+/// Weak-scaling campaign parameters: the BabelStream cycle plus
+/// Reduce/Uneven at a fixed problem size *per device*, captured once into
+/// a per-device kernel graph and replayed `reps` times on 1/2/4 devices
+/// of each vendor. Dot/Reduce partial results are gathered to device 0
+/// over the simulated peer link.
+struct WeakScalingConfig {
+  std::size_t n_per_device{1u << 20};
+  int reps{2};
+  std::vector<unsigned> device_counts{1, 2, 4};
+  std::vector<Vendor> vendors{Vendor::AMD, Vendor::Intel, Vendor::NVIDIA};
+};
+
+/// One device's share of a weak-scaling scenario, from the gpuprof
+/// roofline attribution of its folded graph-replay samples.
+struct DeviceShare {
+  std::string device;  ///< ordinal-suffixed name, e.g. "... MI250X-like #1"
+  unsigned ordinal{};
+  double sim_us{};         ///< kernel+memset simulated time on this device
+  double bytes{};          ///< declared traffic across the suite kernels
+  double achieved_gbps{};  ///< bytes / sim time, aggregate over the suite
+  double pct_of_peak{};    ///< achieved vs the device's nominal peak
+};
+
+/// One (vendor, device count) weak-scaling point. sim_us is T_N: the
+/// maximum simulated queue time over the scenario's devices after the
+/// result gather (replays + P2P communication; verification D2H reads are
+/// excluded). Weak-scaling efficiency is T_1 / T_N, ideal 1.0 — the gap
+/// is the inter-device gather cost.
+struct WeakScalingSample {
+  Vendor vendor{};
+  unsigned devices{};
+  std::size_t n_per_device{};
+  int reps{};
+  std::size_t graph_nodes{};  ///< nodes in each per-device captured graph
+  double sim_us{};            ///< T_N, microseconds
+  double p2p_us{};            ///< simulated peer-link time of the gather
+  double efficiency{};        ///< T_1 / T_N in [0, 1]
+  bool verified{};
+  std::vector<DeviceShare> shares;  ///< ordinal order
+};
+
 struct PerfReport {
   CampaignConfig config;
   std::size_t route_count{0};  ///< distinct (route, vendor) pairs run
   std::vector<RouteSample> samples;
   std::vector<PerfRow> rows;  ///< model-major, kernel-minor
+  /// Multi-device weak-scaling section (run_weak_scaling); empty unless
+  /// requested — an empty vector is omitted from the JSON payload and the
+  /// Figure 2 renders, keeping the single-device goldens byte-stable.
+  std::vector<WeakScalingSample> weak_scaling;
 };
 
 /// Reguly's performance-portability metric over a platform set's
@@ -153,6 +198,15 @@ struct PerfReport {
 /// (roc-stdpar) is toggled on for the campaign and restored afterwards,
 /// mirroring the executable-matrix benches.
 [[nodiscard]] PerfReport run_campaign(const CampaignConfig& config = {});
+
+/// Runs the multi-device weak-scaling campaign on pristine devices: per
+/// (vendor, device count) the suite graph is captured once per device and
+/// replayed, partials are gathered to device 0 over the peer link, and
+/// per-device roofline shares come from gpuprof's folded graph-replay
+/// attribution. Takes exclusive use of the profiler; materialized sibling
+/// devices are trimmed back (one pristine device per vendor remains).
+[[nodiscard]] std::vector<WeakScalingSample> run_weak_scaling(
+    const WeakScalingConfig& config = {});
 
 /// BENCH_perfport.json payload (schema "mcmm-perfport-v1").
 [[nodiscard]] std::string report_json(const PerfReport& report);

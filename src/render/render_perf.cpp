@@ -33,6 +33,35 @@ using perfport::PerfRow;
   return c.supported ? fixed(c.efficiency) : std::string("-");
 }
 
+/// Weak-scaling appendix (text form), present only when the report
+/// carries weak-scaling samples — campaign-only reports render exactly as
+/// before, keeping the committed golden byte-stable.
+[[nodiscard]] std::string weak_scaling_text(const PerfReport& r) {
+  if (r.weak_scaling.empty()) return {};
+  std::string out =
+      "\nWeak scaling (graph replay; BabelStream + Reduce/Uneven, n per "
+      "device)\n";
+  out += "n = " + std::to_string(r.weak_scaling.front().n_per_device) +
+         " doubles/device x " +
+         std::to_string(r.weak_scaling.front().reps) +
+         " reps; efficiency = T1 / TN\n\n";
+  std::string header = pad_right("Vendor", 10);
+  header += pad_left("Devices", 9);
+  header += pad_left("TN(us)", 14);
+  header += pad_left("P2P(us)", 10);
+  header += pad_left("Eff", 8);
+  out += header + "\n" + std::string(header.size(), '-') + "\n";
+  for (const perfport::WeakScalingSample& w : r.weak_scaling) {
+    out += pad_right(std::string(to_string(w.vendor)), 10);
+    out += pad_left(std::to_string(w.devices), 9);
+    out += pad_left(fixed(w.sim_us, 1), 14);
+    out += pad_left(fixed(w.p2p_us, 3), 10);
+    out += pad_left(fixed(w.efficiency), 8);
+    out += "\n";
+  }
+  return out;
+}
+
 /// "n = 1048576 doubles x 2 reps; schedules: static, dynamic"
 [[nodiscard]] std::string config_line(const PerfReport& r) {
   std::string out = "n = " + std::to_string(r.config.sizes.back()) +
@@ -77,6 +106,7 @@ std::string figure2_text(const PerfReport& r) {
     out += pad_left(fixed(row.pp), kCellW);
     out += "\n";
   }
+  out += weak_scaling_text(r);
   return out;
 }
 
@@ -97,6 +127,22 @@ std::string figure2_markdown(const PerfReport& r) {
            std::string(to_string(row.kernel)) + " |";
     for (const PerfCell& c : row.cells) out += " " + cell_text(c) + " |";
     out += " " + fixed(row.pp) + " |\n";
+  }
+  if (!r.weak_scaling.empty()) {
+    out += "\n## Weak scaling (graph replay)\n\n";
+    out += "n = " +
+           std::to_string(r.weak_scaling.front().n_per_device) +
+           " doubles/device x " +
+           std::to_string(r.weak_scaling.front().reps) +
+           " reps; efficiency = T1 / TN.\n\n";
+    out += "| Vendor | Devices | TN (us) | P2P (us) | Efficiency |\n";
+    out += "|---|---:|---:|---:|---:|\n";
+    for (const perfport::WeakScalingSample& w : r.weak_scaling) {
+      out += "| " + std::string(to_string(w.vendor)) + " | " +
+             std::to_string(w.devices) + " | " + fixed(w.sim_us, 1) +
+             " | " + fixed(w.p2p_us, 3) + " | " + fixed(w.efficiency) +
+             " |\n";
+    }
   }
   return out;
 }

@@ -30,6 +30,8 @@ Node descriptor_to_yaml(const gpusim::DeviceDescriptor& d) {
         Node::scalar(format_double(d.mem_bandwidth_gbps)));
   n.set("pcie_bandwidth_gbps",
         Node::scalar(format_double(d.pcie_bandwidth_gbps)));
+  n.set("p2p_bandwidth_gbps",
+        Node::scalar(format_double(d.p2p_bandwidth_gbps)));
   n.set("kernel_launch_latency_us",
         Node::scalar(format_double(d.kernel_launch_latency_us)));
   n.set("copy_latency_us", Node::scalar(format_double(d.copy_latency_us)));
@@ -45,7 +47,8 @@ gpusim::DeviceDescriptor descriptor_from_yaml(const Node& n) {
       "vendor",          "name",
       "compute_units",   "clock_ghz",
       "memory_bytes",    "mem_bandwidth_gbps",
-      "pcie_bandwidth_gbps", "kernel_launch_latency_us",
+      "pcie_bandwidth_gbps", "p2p_bandwidth_gbps",
+      "kernel_launch_latency_us",
       "copy_latency_us", "peak_tflops_fp64",
       "max_threads_per_block", "warp_size",
   };
@@ -74,6 +77,9 @@ gpusim::DeviceDescriptor descriptor_from_yaml(const Node& n) {
   }
   if (const Node* v = n.find("pcie_bandwidth_gbps")) {
     d.pcie_bandwidth_gbps = v->as_double();
+  }
+  if (const Node* v = n.find("p2p_bandwidth_gbps")) {
+    d.p2p_bandwidth_gbps = v->as_double();
   }
   if (const Node* v = n.find("kernel_launch_latency_us")) {
     d.kernel_launch_latency_us = v->as_double();

@@ -12,6 +12,7 @@
 //   mcmm sanitize [...]                         gpusan the simulated GPU
 //   mcmm profile [...]                          gpuprof trace & roofline
 //   mcmm perfbench [...]                        perf-portability campaign (Fig. 2)
+//   mcmm graph [...]                            kernel-graph capture/replay demo
 //   mcmm serve [--port N] [--threads N]         HTTP/JSON query service
 //   mcmm gateway --backend host:port [...]      reverse proxy over replicas
 //   mcmm cluster <replicas> [...]               forked replica fleet + proxy
@@ -19,6 +20,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -37,6 +39,9 @@
 #include "data/excluded.hpp"
 #include "gpusan/fixtures.hpp"
 #include "gpusan/gpusan.hpp"
+#include "gpusim/descriptor.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/graph.hpp"
 #include "perfport/perfport.hpp"
 #include "render/perf.hpp"
 #include "render/render.hpp"
@@ -78,6 +83,7 @@ commands:
             [--out <path>] [--vendor <v1,v2>] [--model <m1,m2>]
             [--kernel <k1,k2>] [--sizes <n1,n2>] [--reps <n>]
             [--schedule static|dynamic|both]
+            [--weak-scaling] [--devices <d1,d2>]
                                          run the BabelStream perf-
                                          portability campaign over every
                                          allowed (model x vendor x
@@ -87,7 +93,22 @@ commands:
                                          --out writes the JSON report
                                          (BENCH_perfport.json); exits
                                          non-zero if any route fails
-                                         numerical verification
+                                         numerical verification;
+                                         --weak-scaling appends the
+                                         multi-device section (graph
+                                         replay on --devices devices per
+                                         vendor, default 1,2,4, with P2P
+                                         result gather)
+  graph [--vendor <v>] [--n <doubles>] [--reps <n>]
+                                         kernel-graph capture & replay
+                                         demo: captures the BabelStream
+                                         triad cycle into a graph,
+                                         validates + instantiates it, and
+                                         replays it against the eager
+                                         queue — printing node/wave
+                                         counts and checking results and
+                                         simulated time are bit-identical;
+                                         exits non-zero on any mismatch
   serve [--port <n>] [--threads <n>] [--host <addr>] [--max-in-flight <n>]
         [--idle-timeout-ms <n>] [--backlog <n>] [--perf]
                                          HTTP/JSON API over the knowledge
@@ -594,12 +615,31 @@ std::optional<perfport::PerfKernel> parse_perf_kernel(const std::string& s) {
 
 int cmd_perfbench(const std::vector<std::string>& args) {
   perfport::CampaignConfig cfg;
+  perfport::WeakScalingConfig weak_cfg;
+  bool weak_scaling = false;
   std::string format = "txt";
   std::string out_path;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--json") {
       format = "json";
+    } else if (a == "--weak-scaling") {
+      weak_scaling = true;
+    } else if (a == "--devices" && i + 1 < args.size()) {
+      weak_cfg.device_counts.clear();
+      for (const std::string& word : split_commas(args[++i])) {
+        char* end = nullptr;
+        const long d = std::strtol(word.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || d < 1 || d > 8) {
+          std::cerr << "--devices wants device counts in 1..8\n";
+          return 2;
+        }
+        weak_cfg.device_counts.push_back(static_cast<unsigned>(d));
+      }
+      if (weak_cfg.device_counts.empty()) {
+        std::cerr << "--devices wants a comma list\n";
+        return 2;
+      }
     } else if (a == "--format" && i + 1 < args.size()) {
       format = args[++i];
     } else if (a == "--out" && i + 1 < args.size()) {
@@ -684,7 +724,11 @@ int cmd_perfbench(const std::vector<std::string>& args) {
     return 2;
   }
   try {
-    const perfport::PerfReport report = perfport::run_campaign(cfg);
+    perfport::PerfReport report = perfport::run_campaign(cfg);
+    if (weak_scaling) {
+      weak_cfg.vendors = cfg.vendors;
+      report.weak_scaling = perfport::run_weak_scaling(weak_cfg);
+    }
     if (!out_path.empty()) {
       std::ofstream out(out_path);
       if (!out) {
@@ -713,15 +757,209 @@ int cmd_perfbench(const std::vector<std::string>& args) {
     for (const perfport::RouteSample& s : report.samples) {
       if (!s.verified) ++unverified;
     }
+    for (const perfport::WeakScalingSample& w : report.weak_scaling) {
+      if (!w.verified) ++unverified;
+    }
     // Stats go to stderr so a redirected stdout stays byte-comparable to
     // the committed golden / served /v1/perf body.
     std::cerr << "mcmm perfbench: " << report.route_count << " route(s), "
               << report.samples.size() << " sample(s), "
-              << report.rows.size() << " figure row(s), " << unverified
-              << " unverified\n";
+              << report.rows.size() << " figure row(s), "
+              << report.weak_scaling.size() << " weak-scaling point(s), "
+              << unverified << " unverified\n";
     return unverified == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "mcmm perfbench: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+// --- mcmm graph ----------------------------------------------------------
+
+/// Capture/replay demo: the BabelStream triad cycle (init + reps x
+/// copy/mul/add/triad) is run once eagerly and once as a captured graph
+/// replayed from a fresh queue; both the array contents and the final
+/// simulated clock must agree bit-for-bit.
+int cmd_graph(const std::vector<std::string>& args) {
+  Vendor vendor = Vendor::NVIDIA;
+  std::size_t n = 1u << 20;
+  int reps = 3;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--vendor" && i + 1 < args.size()) {
+      const auto v = parse_vendor(args[++i]);
+      if (!v) {
+        std::cerr << "unknown vendor: " << args[i] << "\n";
+        return 2;
+      }
+      vendor = *v;
+    } else if (a == "--n" && i + 1 < args.size()) {
+      char* end = nullptr;
+      const long v = std::strtol(args[++i].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || v < 1 || v > (1L << 24)) {
+        std::cerr << "--n wants doubles-per-array in 1..16777216\n";
+        return 2;
+      }
+      n = static_cast<std::size_t>(v);
+    } else if (a == "--reps" && i + 1 < args.size()) {
+      char* end = nullptr;
+      const long v = std::strtol(args[++i].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || v < 1 || v > 64) {
+        std::cerr << "--reps wants 1..64\n";
+        return 2;
+      }
+      reps = static_cast<int>(v);
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      return usage();
+    }
+  }
+
+  try {
+    using gpusim::KernelCosts;
+    const auto cfg = gpusim::launch_1d(n, 256);
+    const double nd = static_cast<double>(n) * sizeof(double);
+    KernelCosts copy_c;
+    copy_c.bytes_read = nd;
+    copy_c.bytes_written = nd;
+    KernelCosts mul_c = copy_c;
+    mul_c.flops = static_cast<double>(n);
+    KernelCosts add_c;
+    add_c.bytes_read = 2 * nd;
+    add_c.bytes_written = nd;
+    add_c.flops = static_cast<double>(n);
+    KernelCosts triad_c = add_c;
+    triad_c.flops = 2.0 * static_cast<double>(n);
+
+    // Submits init + the full reps cycle to `q` — either executing
+    // eagerly or, with the queue in capture mode, recording the graph.
+    const auto submit = [&](gpusim::Queue& q, double* a, double* b,
+                            double* c) {
+      {
+        gpusim::KernelLabelScope label("Init");
+        (void)q.launch(cfg, copy_c, [=](const gpusim::WorkItem& it) {
+          const std::size_t i = it.global_x();
+          if (i < n) {
+            a[i] = bench::kInitA;
+            b[i] = bench::kInitB;
+            c[i] = bench::kInitC;
+          }
+        });
+      }
+      for (int r = 0; r < reps; ++r) {
+        {
+          gpusim::KernelLabelScope label("Copy");
+          (void)q.launch(cfg, copy_c, [=](const gpusim::WorkItem& it) {
+            const std::size_t i = it.global_x();
+            if (i < n) c[i] = a[i];
+          });
+        }
+        {
+          gpusim::KernelLabelScope label("Mul");
+          (void)q.launch(cfg, mul_c, [=](const gpusim::WorkItem& it) {
+            const std::size_t i = it.global_x();
+            if (i < n) b[i] = bench::kScalar * c[i];
+          });
+        }
+        {
+          gpusim::KernelLabelScope label("Add");
+          (void)q.launch(cfg, add_c, [=](const gpusim::WorkItem& it) {
+            const std::size_t i = it.global_x();
+            if (i < n) c[i] = a[i] + b[i];
+          });
+        }
+        {
+          gpusim::KernelLabelScope label("Triad");
+          (void)q.launch(cfg, triad_c, [=](const gpusim::WorkItem& it) {
+            const std::size_t i = it.global_x();
+            if (i < n) a[i] = b[i] + bench::kScalar * c[i];
+          });
+        }
+      }
+    };
+
+    struct RunResult {
+      std::vector<double> a, b, c;
+      double sim_us{};
+    };
+    const auto read_back = [&](gpusim::Device& dev, gpusim::Queue& q,
+                               double* a, double* b, double* c) {
+      RunResult r;
+      r.sim_us = q.simulated_time_us();  // before the D2H reads
+      r.a.resize(n);
+      r.b.resize(n);
+      r.c.resize(n);
+      (void)q.memcpy(r.a.data(), a, n * sizeof(double),
+                     gpusim::CopyKind::DeviceToHost);
+      (void)q.memcpy(r.b.data(), b, n * sizeof(double),
+                     gpusim::CopyKind::DeviceToHost);
+      (void)q.memcpy(r.c.data(), c, n * sizeof(double),
+                     gpusim::CopyKind::DeviceToHost);
+      dev.deallocate(a);
+      dev.deallocate(b);
+      dev.deallocate(c);
+      return r;
+    };
+
+    gpusim::Platform& platform = gpusim::Platform::instance();
+
+    // Eager reference on a pristine device (simulated clock at zero).
+    gpusim::Device& eager_dev =
+        platform.reset_device(vendor, gpusim::descriptor_for(vendor));
+    {
+      auto* a = static_cast<double*>(eager_dev.allocate(n * sizeof(double)));
+      auto* b = static_cast<double*>(eager_dev.allocate(n * sizeof(double)));
+      auto* c = static_cast<double*>(eager_dev.allocate(n * sizeof(double)));
+      submit(eager_dev.default_queue(), a, b, c);
+      const RunResult eager =
+          read_back(eager_dev, eager_dev.default_queue(), a, b, c);
+
+      // Captured + replayed on another pristine device.
+      gpusim::Device& dev =
+          platform.reset_device(vendor, gpusim::descriptor_for(vendor));
+      auto* ga = static_cast<double*>(dev.allocate(n * sizeof(double)));
+      auto* gb = static_cast<double*>(dev.allocate(n * sizeof(double)));
+      auto* gc = static_cast<double*>(dev.allocate(n * sizeof(double)));
+      gpusim::Queue& q = dev.default_queue();
+      gpusim::Graph graph;
+      q.begin_capture(graph);
+      submit(q, ga, gb, gc);
+      const std::size_t captured = q.end_capture();
+      gpusim::ExecutableGraph exec(graph, q);
+      (void)exec.replay(q);
+      const RunResult replay = read_back(dev, q, ga, gb, gc);
+
+      const bool results_identical =
+          std::memcmp(eager.a.data(), replay.a.data(),
+                      n * sizeof(double)) == 0 &&
+          std::memcmp(eager.b.data(), replay.b.data(),
+                      n * sizeof(double)) == 0 &&
+          std::memcmp(eager.c.data(), replay.c.data(),
+                      n * sizeof(double)) == 0;
+      const bool time_identical = eager.sim_us == replay.sim_us;
+
+      std::cout << "mcmm graph: " << to_string(vendor) << " '"
+                << dev.descriptor().name << "', n=" << n
+                << " doubles, reps=" << reps << "\n";
+      std::cout << "captured " << captured << " node(s), "
+                << exec.wave_count() << " wave(s), validation checked "
+                << exec.validation().pairs_checked
+                << " unordered pair(s)\n";
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "eager : %.3f us simulated\n"
+                    "replay: %.3f us simulated (one replay, %.3f us "
+                    "critical path)\n",
+                    eager.sim_us, replay.sim_us, exec.duration_us());
+      std::cout << line;
+      std::cout << "results bit-identical: "
+                << (results_identical ? "yes" : "NO")
+                << "; simulated time bit-identical: "
+                << (time_identical ? "yes" : "NO") << "\n";
+      return results_identical && time_identical ? 0 : 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "mcmm graph: " << e.what() << "\n";
     return 1;
   }
 }
@@ -1062,6 +1300,7 @@ int main(int argc, char** argv) {
   if (command == "sanitize") return cmd_sanitize(args);
   if (command == "profile") return cmd_profile(args);
   if (command == "perfbench") return cmd_perfbench(args);
+  if (command == "graph") return cmd_graph(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "gateway") return cmd_gateway(args);
   if (command == "cluster") return cmd_cluster(args);
